@@ -1,0 +1,71 @@
+// Reproduces paper Figure 4 (distribution of segment number K and segment
+// length over the 20 synthetic datasets) and Figure 5 (one example series
+// at SNR = 35).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "src/datagen/synthetic.h"
+#include "src/table/group_by.h"
+
+namespace tsexplain {
+namespace {
+
+void PrintHistogram(const std::map<int, int>& histogram, const char* unit) {
+  for (const auto& [bucket, count] : histogram) {
+    std::printf("  %4d %-4s | %s (%d)\n", bucket, unit,
+                std::string(static_cast<size_t>(count), '#').c_str(), count);
+  }
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 4: segment-count and segment-length distribution "
+      "(20 synthetic datasets, n = 100)");
+
+  std::map<int, int> k_histogram;
+  std::map<int, int> length_histogram;  // bucketed by 10
+  int total_segments = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SyntheticConfig config;
+    config.seed = seed;
+    const SyntheticDataset ds = GenerateSynthetic(config);
+    ++k_histogram[ds.ground_truth_k()];
+    for (size_t i = 0; i + 1 < ds.ground_truth_cuts.size(); ++i) {
+      const int len =
+          ds.ground_truth_cuts[i + 1] - ds.ground_truth_cuts[i];
+      ++length_histogram[len / 10 * 10];
+      ++total_segments;
+    }
+  }
+
+  bench::PrintSubHeader("segment number K (paper: K varies 2..10)");
+  PrintHistogram(k_histogram, "K");
+  bench::PrintSubHeader("segment length, bucketed by 10 (paper: 6..84)");
+  PrintHistogram(length_histogram, "+");
+  std::printf("  total segments: %d\n", total_segments);
+
+  bench::PrintHeader("Figure 5: example synthetic series at SNR = 35");
+  SyntheticConfig config;
+  config.seed = 4;
+  config.snr_db = 35.0;
+  const SyntheticDataset ds = GenerateSynthetic(config);
+  const TimeSeries agg = GroupByTime(*ds.table, AggregateFunction::kSum, 0);
+  std::printf("  ground-truth cuts: ");
+  for (int cut : ds.ground_truth_cuts) std::printf("%d ", cut);
+  std::printf("\n  aggregated series ('|' marks ground-truth cuts):\n");
+  bench::PrintAsciiChart(agg, ds.ground_truth_cuts, 12);
+  for (size_t c = 0; c < ds.noisy.size(); ++c) {
+    std::printf("  category a%zu:\n", c + 1);
+    bench::PrintAsciiChart(TimeSeries(ds.noisy[c]), ds.category_cuts[c], 6);
+  }
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Figure 11 (and Figure 2): segmentation of the Covid
+// total-confirmed-cases series with TSExplain (elbow K, paper found K*=6)
+// vs Bottom-Up / FLUSS / NNSegment, plus the evolving top-3 explanations.
+// Expected shape: WA/NY early, NY+NJ+MA spring, CA/TX/FL/IL later; the
+// baselines show repeated / late explanations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+namespace {
+
+bool SegmentTopContains(const SegmentExplanation& seg,
+                        const std::string& needle) {
+  for (const ExplanationItem& item : seg.top) {
+    if (item.description.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void Run() {
+  bench::PrintHeader("Figure 11 / Figure 2: Covid total-confirmed-cases");
+  Timer timer;
+  bench::Workload w = bench::MakeCovidTotalWorkload();
+  w.config.use_filter = true;
+  w.config.use_guess_verify = true;
+  TSExplain engine(*w.table, w.config);
+  const TSExplainResult result = bench::RunCaseStudy(w, engine);
+
+  // Shape checks against the paper's narrative.
+  const bool k_in_band = result.chosen_k >= 4 && result.chosen_k <= 9;
+  bool ny_early = false, ca_late = false;
+  const size_t mid = result.segments.size() / 2;
+  for (size_t i = 0; i < result.segments.size(); ++i) {
+    if (i <= mid && SegmentTopContains(result.segments[i], "state=NY")) {
+      ny_early = true;
+    }
+    if (i >= mid && SegmentTopContains(result.segments[i], "state=CA")) {
+      ca_late = true;
+    }
+  }
+  std::printf("\n  shape check -- K* in [4, 9] (paper: 6): %s (K*=%d)\n",
+              k_in_band ? "PASS" : "FAIL", result.chosen_k);
+  std::printf("  shape check -- NY drives an early segment: %s\n",
+              ny_early ? "PASS" : "FAIL");
+  std::printf("  shape check -- CA drives a late segment: %s\n",
+              ca_late ? "PASS" : "FAIL");
+
+  // Section 7.4.4: "a slight change of the optimal K will only bring up a
+  // slight shift in the results". Compare K*-1 / K* / K*+1 cut sets.
+  bench::PrintSubHeader("sensitivity to K (section 7.4.4)");
+  for (int k : {result.chosen_k - 1, result.chosen_k + 1}) {
+    if (k < 1) continue;
+    TSExplainConfig sensitivity_config = w.config;
+    sensitivity_config.fixed_k = k;
+    TSExplain sensitivity_engine(*w.table, sensitivity_config);
+    const TSExplainResult shifted = sensitivity_engine.Run();
+    // Count cuts of the smaller scheme missing from the larger one.
+    int unmatched = 0;
+    for (int cut : shifted.segmentation.cuts) {
+      bool found = false;
+      for (int base_cut : result.segmentation.cuts) {
+        if (std::abs(cut - base_cut) <= 2) found = true;
+      }
+      if (!found) ++unmatched;
+    }
+    std::printf("  K=%d: %d cut(s) not shared with the K*=%d scheme "
+                "(paper: ~1)\n",
+                k, unmatched, result.chosen_k);
+  }
+  std::printf("  total time: %s\n",
+              bench::FormatMs(timer.ElapsedMs()).c_str());
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

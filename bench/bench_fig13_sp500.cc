@@ -1,0 +1,68 @@
+// Reproduces paper Figure 13 + Table 4: segmentation of the S&P 500 index
+// (paper found K*=4: rise to 2/6, crash to 3/24, recovery to 8/25, dip to
+// 10/1) with hierarchical explain-by attributes category > subcategory >
+// stock. Expected shape: technology drives every phase; financial appears
+// in the crash but NOT in the recovery; internet retail appears early.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+namespace {
+
+bool SegmentHas(const SegmentExplanation& seg, const std::string& needle,
+                int tau) {
+  for (const ExplanationItem& item : seg.top) {
+    if (item.description.find(needle) != std::string::npos &&
+        (tau == 0 || item.tau == tau)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Run() {
+  bench::PrintHeader("Figure 13 / Table 4: S&P 500");
+  Timer timer;
+  bench::Workload w = bench::MakeSp500Workload();
+  w.config.use_filter = true;
+  w.config.use_guess_verify = true;
+  TSExplain engine(*w.table, w.config);
+  const TSExplainResult result = bench::RunCaseStudy(w, engine);
+
+  const bool k_in_band = result.chosen_k >= 3 && result.chosen_k <= 7;
+  int tech_segments = 0;
+  bool fin_in_decline = false, fin_in_recovery_top = false;
+  for (const SegmentExplanation& seg : result.segments) {
+    if (SegmentHas(seg, "technology", 0)) ++tech_segments;
+    // A segment whose overall trend dropped: its '-' explanations.
+    if (SegmentHas(seg, "financial", -1)) fin_in_decline = true;
+    if (SegmentHas(seg, "financial", +1)) fin_in_recovery_top = true;
+  }
+  std::printf("\n  shape check -- K* in [3, 7] (paper: 4): %s (K*=%d)\n",
+              k_in_band ? "PASS" : "FAIL", result.chosen_k);
+  std::printf("  shape check -- technology in most segments "
+              "(%d of %zu): %s\n",
+              tech_segments, result.segments.size(),
+              tech_segments * 2 >= static_cast<int>(result.segments.size())
+                  ? "PASS"
+                  : "FAIL");
+  std::printf("  shape check -- financial contributes to a decline but not "
+              "to a rise (Table 4): %s\n",
+              (fin_in_decline && !fin_in_recovery_top) ? "PASS" : "FAIL");
+  std::printf("  epsilon after hierarchy dedup (paper: 610): %zu\n",
+              result.epsilon);
+  std::printf("  total time: %s\n",
+              bench::FormatMs(timer.ElapsedMs()).c_str());
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Figure 14 + Table 5: segmentation of the Liquor
+// bottles-sold series (paper found K*=7) over four explain-by attributes
+// BV / P / CN / VN with conjunctions up to order 3. Expected shape: the
+// surfaced explanations are about BV and P (large packs during the
+// pandemic, the BV=1000 closure crash and reopening recovery), while CN
+// and VN stay out of the top lists.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 14 / Table 5: Liquor");
+  Timer timer;
+  bench::Workload w = bench::MakeLiquorWorkload();
+  w.config.use_filter = true;
+  w.config.use_guess_verify = true;
+  w.config.use_sketch = true;
+  TSExplain engine(*w.table, w.config);
+  const TSExplainResult result = bench::RunCaseStudy(w, engine);
+
+  const bool k_in_band = result.chosen_k >= 4 && result.chosen_k <= 10;
+  int bv_or_p = 0, cn_or_vn = 0, conjunctions = 0;
+  bool bv1000 = false, pack12_up = false;
+  for (const SegmentExplanation& seg : result.segments) {
+    for (const ExplanationItem& item : seg.top) {
+      if (item.description.find("BV=") != std::string::npos ||
+          item.description.find("P=") != std::string::npos) {
+        ++bv_or_p;
+      }
+      if (item.description.find("CN=") != std::string::npos ||
+          item.description.find("VN=") != std::string::npos) {
+        ++cn_or_vn;
+      }
+      if (item.description.find(" & ") != std::string::npos) ++conjunctions;
+      if (item.description.find("BV=1000") != std::string::npos) {
+        bv1000 = true;
+      }
+      if (item.description == "P=12" && item.tau > 0) pack12_up = true;
+    }
+  }
+  std::printf("\n  shape check -- K* in [4, 10] (paper: 7): %s (K*=%d)\n",
+              k_in_band ? "PASS" : "FAIL", result.chosen_k);
+  std::printf("  shape check -- explanations are about BV/P, not CN/VN "
+              "(%d vs %d): %s\n",
+              bv_or_p, cn_or_vn, bv_or_p > cn_or_vn ? "PASS" : "FAIL");
+  std::printf("  shape check -- BV=1000 (closure/recovery) surfaces: %s\n",
+              bv1000 ? "PASS" : "FAIL");
+  std::printf("  shape check -- P=12 rises somewhere (stock-up phases): "
+              "%s\n",
+              pack12_up ? "PASS" : "FAIL");
+  std::printf("  shape check -- conjunction explanations appear (e.g. "
+              "BV=1750 & P=6): %s (%d)\n",
+              conjunctions > 0 ? "PASS" : "FAIL", conjunctions);
+  std::printf("  epsilon: %zu (paper: 8197), filtered: %zu (paper: 1812)\n",
+              result.epsilon, result.filtered_epsilon);
+  std::printf("  total time: %s\n",
+              bench::FormatMs(timer.ElapsedMs()).c_str());
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces paper Figure 16: end-to-end efficiency comparison. The
+// explanation-agnostic baselines only segment, so (as in the paper) a CA
+// explanation pass over their segments is added to make them comparable;
+// TSExplain interleaves segmentation and explanation, so only its overall
+// time is reported. K is the optimal K TSExplain found.
+//
+// Expected shape: FLUSS slowest, Bottom-Up / NNSegment in the middle,
+// VanillaTSExplain comparable on Covid but slow on Liquor (epsilon), and
+// optimized TSExplain fastest everywhere.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/baselines/bottom_up.h"
+#include "src/baselines/fluss.h"
+#include "src/baselines/nnsegment.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+namespace {
+
+struct Row {
+  const char* method;
+  double segmentation_ms;
+  double explanation_ms;
+  double total() const { return segmentation_ms + explanation_ms; }
+};
+
+void Run() {
+  bench::PrintHeader("Figure 16: end-to-end efficiency vs baselines");
+
+  // The paper shows covid total / covid daily / liquor.
+  std::vector<bench::Workload> workloads;
+  workloads.push_back(bench::MakeCovidTotalWorkload());
+  workloads.push_back(bench::MakeCovidDailyWorkload());
+  workloads.push_back(bench::MakeLiquorWorkload());
+
+  for (bench::Workload& w : workloads) {
+    bench::PrintSubHeader(w.name);
+
+    // Optimized TSExplain first: it supplies the optimal K for everyone.
+    TSExplainConfig opt = w.config;
+    bench::ApplyPreset(bench::OptPreset::kO1O2, &opt);
+    Timer opt_timer;
+    TSExplain opt_engine(*w.table, opt);
+    const TSExplainResult opt_result = opt_engine.Run();
+    const double opt_ms = opt_timer.ElapsedMs();
+    const int k = opt_result.chosen_k;
+
+    TSExplainConfig vanilla = w.config;
+    bench::ApplyPreset(bench::OptPreset::kVanilla, &vanilla);
+    vanilla.fixed_k = k;
+    Timer vanilla_timer;
+    TSExplain vanilla_engine(*w.table, vanilla);
+    vanilla_engine.Run();
+    const double vanilla_ms = vanilla_timer.ElapsedMs();
+
+    // Baselines segment the (smoothed) aggregated series, then explain
+    // each of their segments with the CA module (fresh engine so cache
+    // effects do not flatter them).
+    const TimeSeries overall = vanilla_engine.cube().OverallSeries();
+    std::vector<Row> rows;
+    auto run_baseline = [&](const char* name, auto segment_fn) {
+      Timer seg_timer;
+      const std::vector<int> cuts = segment_fn();
+      const double seg_ms = seg_timer.ElapsedMs();
+      TSExplainConfig explain_config = w.config;
+      bench::ApplyPreset(bench::OptPreset::kVanilla, &explain_config);
+      Timer explain_timer;
+      TSExplain explain_engine(*w.table, explain_config);
+      for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+        explain_engine.ExplainSegment(cuts[i], cuts[i + 1]);
+      }
+      rows.push_back(Row{name, seg_ms, explain_timer.ElapsedMs()});
+    };
+    const int window = std::max(3, static_cast<int>(overall.size()) / 64);
+    run_baseline("Bottom-Up",
+                 [&] { return BottomUpSegment(overall.values, k); });
+    run_baseline("FLUSS",
+                 [&] { return FlussSegment(overall.values, k, window); });
+    run_baseline("NNSegment",
+                 [&] { return NnSegment(overall.values, k, window); });
+
+    std::printf("  %-18s %14s %14s %14s\n", "method", "segmentation",
+                "explanation", "overall");
+    for (const Row& row : rows) {
+      std::printf("  %-18s %s %s %s\n", row.method,
+                  bench::FormatMs(row.segmentation_ms).c_str(),
+                  bench::FormatMs(row.explanation_ms).c_str(),
+                  bench::FormatMs(row.total()).c_str());
+    }
+    std::printf("  %-18s %14s %14s %s\n", "VanillaTSExplain", "-", "-",
+                bench::FormatMs(vanilla_ms).c_str());
+    std::printf("  %-18s %14s %14s %s   (K*=%d)\n", "TSExplain", "-", "-",
+                bench::FormatMs(opt_ms).c_str(), k);
+
+    // The paper reports TSExplain fastest outright; its baselines ran in
+    // Python (stumpy FLUSS, authors' NNSegment), ours are optimized C++,
+    // so the honest check here is (a) the optimization stack beats Vanilla
+    // decisively and (b) TSExplain stays within a small factor of even
+    // native-code shape-only baselines that skip the evolving-explanation
+    // search entirely (see EXPERIMENTS.md).
+    double fastest_baseline = vanilla_ms;
+    for (const Row& row : rows) {
+      fastest_baseline = std::min(fastest_baseline, row.total());
+    }
+    std::printf("  shape check -- optimized beats Vanilla by >= 5x: %s "
+                "(%.1fx)\n",
+                vanilla_ms >= 5.0 * opt_ms ? "PASS" : "FAIL",
+                vanilla_ms / opt_ms);
+    std::printf("  note -- TSExplain vs fastest C++ baseline+explanation: "
+                "%.1fx (paper's Python baselines were slower than "
+                "TSExplain)\n",
+                opt_ms / fastest_baseline);
+  }
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

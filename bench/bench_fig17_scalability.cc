@@ -1,0 +1,120 @@
+// Reproduces paper Figure 17: latency of VanillaTSExplain vs optimized
+// TSExplain for synthetic series of length 100..6400. Like the paper, a
+// variant is terminated once it exceeds a time budget (theirs: 100 s; ours
+// defaults to 30 s per run and can be overridden with TSE_SCALE_BUDGET_S).
+// Expected shape: Vanilla grows ~cubically; the optimized pipeline grows
+// far slower.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+#include "src/datagen/synthetic.h"
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr int kLengths[] = {100, 200, 400, 800, 1600, 3200, 6400};
+constexpr int kSeriesPerLength = 3;  // paper uses 5; 3 keeps the suite fast
+
+double BudgetSeconds() {
+  if (const char* env = std::getenv("TSE_SCALE_BUDGET_S")) {
+    return std::atof(env);
+  }
+  return 60.0;
+}
+
+// Returns average latency (ms), or a negative value if over budget.
+double RunVariant(int length, bool optimized, double budget_s) {
+  double total_ms = 0.0;
+  for (int i = 0; i < kSeriesPerLength; ++i) {
+    SyntheticConfig sconfig;
+    sconfig.length = length;
+    sconfig.snr_db = 35.0;
+    sconfig.seed = 9000 + static_cast<uint64_t>(length) * 7 +
+                   static_cast<uint64_t>(i);
+    sconfig.num_interior_cuts = 6;
+    sconfig.min_gap = std::max(6, length / 40);
+    const SyntheticDataset ds = GenerateSynthetic(sconfig);
+
+    TSExplainConfig config;
+    config.measure = "value";
+    config.explain_by_names = {"category"};
+    config.max_order = 1;
+    if (optimized) {
+      config.use_filter = true;
+      config.use_guess_verify = true;
+      config.use_sketch = true;
+    }
+    Timer timer;
+    TSExplain engine(*ds.table, config);
+    engine.Run();
+    total_ms += timer.ElapsedMs();
+    if (timer.ElapsedSeconds() > budget_s) return -1.0;
+  }
+  return total_ms / kSeriesPerLength;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 17: scalability with series length (3 series per length, "
+      "SNR = 35)");
+  const double budget_s = BudgetSeconds();
+  std::printf("  per-run time budget: %.0f s (paper terminates at 100 s)\n\n",
+              budget_s);
+  std::printf("  %-8s %18s %18s\n", "length", "VanillaTSExplain",
+              "TSExplain(O1+O2)");
+
+  bool vanilla_alive = true, optimized_alive = true;
+  std::vector<double> vanilla_ms, optimized_ms;
+  for (int length : kLengths) {
+    std::string vanilla_cell = "terminated";
+    std::string optimized_cell = "terminated";
+    if (vanilla_alive) {
+      const double ms = RunVariant(length, /*optimized=*/false, budget_s);
+      if (ms < 0) {
+        vanilla_alive = false;
+      } else {
+        vanilla_ms.push_back(ms);
+        vanilla_cell = bench::FormatMs(ms);
+      }
+    }
+    if (optimized_alive) {
+      const double ms = RunVariant(length, /*optimized=*/true, budget_s);
+      if (ms < 0) {
+        optimized_alive = false;
+      } else {
+        optimized_ms.push_back(ms);
+        optimized_cell = bench::FormatMs(ms);
+      }
+    }
+    std::printf("  %-8d %18s %18s\n", length, vanilla_cell.c_str(),
+                optimized_cell.c_str());
+    if (!vanilla_alive && !optimized_alive) break;
+  }
+
+  // Shape: the optimized pipeline must scale to strictly longer series
+  // within the same budget, and be far faster at the longest shared n.
+  const size_t shared = std::min(vanilla_ms.size(), optimized_ms.size());
+  const bool scales_further = optimized_ms.size() > vanilla_ms.size() ||
+                              optimized_ms.size() == 7u;
+  double speedup = 0.0;
+  if (shared > 0) speedup = vanilla_ms[shared - 1] / optimized_ms[shared - 1];
+  std::printf("\n  shape check -- optimizations reach longer series within "
+              "budget: %s\n",
+              scales_further ? "PASS" : "FAIL");
+  std::printf("  speedup at longest shared length: %.1fx (paper reports up "
+              "to 13x)\n",
+              speedup);
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out: Cascading Analysts cost vs epsilon, guess-and-verify
+// initial guess, variance-table granularity (vanilla vs sketch), diff-score
+// lookups, matrix profile, and the K-segmentation DP.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+
+#include "bench_util.h"
+#include "src/baselines/matrix_profile.h"
+#include "src/common/rng.h"
+#include "src/datagen/liquor_sim.h"
+#include "src/datagen/synthetic.h"
+#include "src/diff/guess_verify.h"
+#include "src/seg/kseg_dp.h"
+#include "src/seg/sketch.h"
+
+namespace tsexplain {
+namespace {
+
+// Fixture data for CA benchmarks: a two-attribute lattice with the given
+// per-attribute cardinality.
+struct CaFixture {
+  std::unique_ptr<Table> table;
+  ExplanationRegistry registry;
+  std::vector<double> gamma;
+
+  explicit CaFixture(int cardinality) {
+    table = std::make_unique<Table>(Schema("t", {"A", "B"}, {"m"}));
+    table->AddTimeBucket("0");
+    for (int a = 0; a < cardinality; ++a) {
+      for (int b = 0; b < cardinality; ++b) {
+        table->AppendRow(0,
+                         {"a" + std::to_string(a), "b" + std::to_string(b)},
+                         {1.0});
+      }
+    }
+    registry = ExplanationRegistry::Build(*table, {0, 1}, 2);
+    Rng rng(7);
+    gamma.resize(registry.num_explanations());
+    for (auto& g : gamma) g = rng.Uniform(0.0, 100.0);
+  }
+};
+
+void BM_CascadingAnalysts(benchmark::State& state) {
+  CaFixture fixture(static_cast<int>(state.range(0)));
+  CascadingAnalysts solver(fixture.registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.TopM(fixture.gamma, 3));
+  }
+  state.counters["epsilon"] =
+      static_cast<double>(fixture.registry.num_explanations());
+}
+BENCHMARK(BM_CascadingAnalysts)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GuessVerify(benchmark::State& state) {
+  CaFixture fixture(40);  // epsilon = 40 + 40 + 1600
+  CascadingAnalysts solver(fixture.registry);
+  const int initial_guess = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GuessVerifyTopM(solver, fixture.gamma, 3, nullptr, initial_guess));
+  }
+}
+BENCHMARK(BM_GuessVerify)->Arg(5)->Arg(30)->Arg(120);
+
+void BM_PlainCaSameInstance(benchmark::State& state) {
+  CaFixture fixture(40);
+  CascadingAnalysts solver(fixture.registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.TopM(fixture.gamma, 3));
+  }
+}
+BENCHMARK(BM_PlainCaSameInstance);
+
+// Variance-table construction: the module (c) bottleneck, vanilla vs the
+// sketched candidate set.
+struct SegFixture {
+  SyntheticDataset ds;
+  ExplanationRegistry registry;
+  std::unique_ptr<ExplanationCube> cube;
+  std::unique_ptr<SegmentExplainer> explainer;
+
+  explicit SegFixture(int n) {
+    SyntheticConfig config;
+    config.length = n;
+    config.snr_db = 35.0;
+    config.seed = 42;
+    config.num_interior_cuts = 4;
+    ds = GenerateSynthetic(config);
+    registry = ExplanationRegistry::Build(*ds.table, {0}, 1);
+    cube = std::make_unique<ExplanationCube>(*ds.table, registry,
+                                             AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer = std::make_unique<SegmentExplainer>(*cube, registry, options);
+  }
+};
+
+void BM_VarianceTableVanilla(benchmark::State& state) {
+  SegFixture fixture(static_cast<int>(state.range(0)));
+  VarianceCalculator calc(*fixture.explainer, VarianceMetric::kTse);
+  std::vector<int> positions(static_cast<size_t>(fixture.explainer->n()));
+  std::iota(positions.begin(), positions.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VarianceTable::Compute(calc, positions));
+  }
+}
+BENCHMARK(BM_VarianceTableVanilla)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VarianceTableSketched(benchmark::State& state) {
+  SegFixture fixture(static_cast<int>(state.range(0)));
+  VarianceCalculator calc(*fixture.explainer, VarianceMetric::kTse);
+  const SketchResult sketch = SelectSketch(calc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VarianceTable::Compute(calc, sketch.positions));
+  }
+  state.counters["sketch_size"] =
+      static_cast<double>(sketch.positions.size());
+}
+BENCHMARK(BM_VarianceTableSketched)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KsegDp(benchmark::State& state) {
+  SegFixture fixture(static_cast<int>(state.range(0)));
+  VarianceCalculator calc(*fixture.explainer, VarianceMetric::kTse);
+  std::vector<int> positions(static_cast<size_t>(fixture.explainer->n()));
+  std::iota(positions.begin(), positions.end(), 0);
+  const VarianceTable table = VarianceTable::Compute(calc, positions);
+  for (auto _ : state) {
+    KSegmentationDp dp(table, 20);
+    benchmark::DoNotOptimize(dp.TotalVariance(20));
+  }
+}
+BENCHMARK(BM_KsegDp)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_CubeScoreLookup(benchmark::State& state) {
+  SegFixture fixture(200);
+  size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.cube->Score(
+        DiffMetricKind::kAbsoluteChange, 0, t % 100, 100 + t % 99));
+    ++t;
+  }
+}
+BENCHMARK(BM_CubeScoreLookup);
+
+void BM_MatrixProfile(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  double level = 0.0;
+  for (auto& v : values) {
+    level += rng.Gaussian(0.0, 1.0);
+    v = level;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMatrixProfile(values, 12));
+  }
+}
+BENCHMARK(BM_MatrixProfile)->Arg(345)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LiquorCubeBuild(benchmark::State& state) {
+  const auto table = MakeLiquorTable();
+  std::vector<AttrId> attrs{0, 1, 2, 3};
+  for (auto _ : state) {
+    const auto registry = ExplanationRegistry::Build(*table, attrs, 3);
+    benchmark::DoNotOptimize(
+        ExplanationCube(*table, registry, AggregateFunction::kSum, 0));
+  }
+}
+BENCHMARK(BM_LiquorCubeBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tsexplain
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Shared helpers for the benchmark harness: workload factories for the four
+// paper datasets, optimization presets (Figure 15's Vanilla / w-filter / O1
+// / O2 / O1+O2), and report printers (segment tables, ASCII charts).
+
+#ifndef TSEXPLAIN_BENCH_BENCH_UTIL_H_
+#define TSEXPLAIN_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+namespace bench {
+
+/// One paper dataset: the simulated relation plus the query the paper runs
+/// against it.
+struct Workload {
+  std::string name;
+  std::unique_ptr<Table> table;
+  TSExplainConfig config;  // optimizations all off (Vanilla)
+};
+
+Workload MakeCovidTotalWorkload();
+Workload MakeCovidDailyWorkload();
+Workload MakeSp500Workload();
+Workload MakeLiquorWorkload();
+/// All four, in the paper's Table 6 order.
+std::vector<Workload> AllWorkloads();
+
+/// Optimization presets of Figure 15.
+enum class OptPreset { kVanilla, kFilter, kO1, kO2, kO1O2 };
+
+inline constexpr OptPreset kAllPresets[] = {
+    OptPreset::kVanilla, OptPreset::kFilter, OptPreset::kO1, OptPreset::kO2,
+    OptPreset::kO1O2,
+};
+
+const char* PresetName(OptPreset preset);
+void ApplyPreset(OptPreset preset, TSExplainConfig* config);
+
+/// Report printers -------------------------------------------------------
+void PrintHeader(const std::string& title);
+void PrintSubHeader(const std::string& title);
+
+/// Fixed-width milliseconds, e.g. "  175.3 ms".
+std::string FormatMs(double ms);
+
+/// Renders the aggregated series as an ASCII chart with '|' markers at the
+/// cut positions.
+void PrintAsciiChart(const TimeSeries& ts, const std::vector<int>& cuts,
+                     int height = 10, int width = 96);
+
+/// Prints a Table-3/4/5-style per-segment explanation table.
+void PrintSegmentsTable(const TSExplainResult& result);
+
+/// Prints "label: t0 | t1 | ... " using the series' time labels.
+void PrintCutDates(const std::string& label, const std::vector<int>& cuts,
+                   const std::vector<std::string>& time_labels);
+
+/// Explanation-agnostic baseline segmentations of one series at the same K
+/// (section 7.2's comparison setup). `window` is the subsequence length for
+/// FLUSS / NNSegment; <= 0 picks max(3, n/64).
+struct BaselineCuts {
+  std::vector<int> bottom_up;
+  std::vector<int> fluss;
+  std::vector<int> nnsegment;
+  int window = 0;
+};
+BaselineCuts RunBaselines(const std::vector<double>& values, int k,
+                          int window = 0);
+
+/// Number of adjacent segment pairs whose top-explanation lists are
+/// identical (the paper's "less explanation diversity" critique of the
+/// baselines, section 7.4).
+int CountIdenticalNeighborSegments(TSExplain& engine,
+                                   const std::vector<int>& cuts);
+
+/// Runs one full case study: TSExplain (auto K unless fixed in `w.config`)
+/// plus the three baselines at the same K, printing the paper-style
+/// figures/tables. Returns the TSExplain result for shape checks.
+TSExplainResult RunCaseStudy(Workload& w, TSExplain& engine);
+
+}  // namespace bench
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BENCH_BENCH_UTIL_H_

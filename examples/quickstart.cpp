@@ -1,0 +1,71 @@
+// Quickstart: build a tiny relation, ask TSExplain "what drives the ups and
+// downs of my KPI over time", and print the evolving explanations.
+//
+//   $ ./quickstart
+//
+// The relation simulates a product-sales table with two explain-by
+// attributes (region, product). Mid-series the growth driver hands over
+// from region=NA/product=widget to region=EU/product=gadget -- TSExplain
+// should segment at the hand-over and name the contributors on each side.
+
+#include <cstdio>
+
+#include "src/pipeline/tsexplain.h"
+
+using tsexplain::AggregateFunction;
+using tsexplain::Schema;
+using tsexplain::SegmentExplanation;
+using tsexplain::Table;
+using tsexplain::TimeId;
+using tsexplain::TSExplain;
+using tsexplain::TSExplainConfig;
+using tsexplain::TSExplainResult;
+
+int main() {
+  // 1. Build the relation: one row per (day, region, product).
+  Table table(Schema("day", {"region", "product"}, {"sales"}));
+  const int n = 40;
+  for (int day = 0; day < n; ++day) {
+    table.AddTimeBucket("d" + std::to_string(day));
+  }
+  for (int day = 0; day < n; ++day) {
+    const double phase1 = day < 20 ? day : 20.0;          // grows, then flat
+    const double phase2 = day < 20 ? 0.0 : (day - 20.0);  // flat, then grows
+    // NA widgets boom while NA gadgets slowly bleed -- the right story is
+    // the conjunction "region=NA & product=widget", not all of NA.
+    table.AppendRow(day, {"NA", "widget"}, {100.0 + 8.0 * phase1});
+    table.AppendRow(day, {"NA", "gadget"}, {90.0 - 2.0 * phase1});
+    table.AppendRow(day, {"EU", "widget"}, {40.0});
+    table.AppendRow(day, {"EU", "gadget"}, {80.0 + 10.0 * phase2});
+  }
+
+  // 2. Configure the query: SELECT day, SUM(sales) GROUP BY day,
+  //    explained by {region, product}, top-3 per segment, auto K.
+  TSExplainConfig config;
+  config.aggregate = AggregateFunction::kSum;
+  config.measure = "sales";
+  config.explain_by_names = {"region", "product"};
+  config.max_order = 2;  // allow conjunctions like region=EU & product=gadget
+  config.m = 3;
+
+  // 3. Run.
+  TSExplain engine(table, config);
+  const TSExplainResult result = engine.Run();
+
+  // 4. Read the evolving explanations.
+  std::printf("TSExplain chose K = %d segments (total variance %.3f)\n\n",
+              result.chosen_k, result.segmentation.total_variance);
+  for (const SegmentExplanation& seg : result.segments) {
+    std::printf("segment %s .. %s is driven by:\n", seg.begin_label.c_str(),
+                seg.end_label.c_str());
+    for (const auto& item : seg.top) {
+      std::printf("    %-38s gamma=%8.1f\n", item.ToString().c_str(),
+                  item.gamma);
+    }
+  }
+  std::printf(
+      "\n(expected: the first segment is driven by region=NA & "
+      "product=widget rising -- with NA gadgets bleeding (-) -- and the "
+      "second by region=EU & product=gadget)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "src/baselines/bottom_up.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/ts/linear_fit.h"
+
+namespace tsexplain {
+
+std::vector<int> BottomUpSegment(const std::vector<double>& values, int k) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 2);
+
+  // Boundaries of the current segmentation (always includes 0 and n-1);
+  // start from the finest scheme: every point is a boundary.
+  std::vector<int> bounds(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) bounds[static_cast<size_t>(i)] = i;
+
+  const SseOracle oracle(values);
+  const int target = std::min(k, n - 1);
+
+  while (static_cast<int>(bounds.size()) - 1 > target) {
+    // Find the interior boundary whose removal (merging its two neighbor
+    // segments) adds the least error.
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_idx = 1;
+    for (size_t i = 1; i + 1 < bounds.size(); ++i) {
+      const size_t a = static_cast<size_t>(bounds[i - 1]);
+      const size_t b = static_cast<size_t>(bounds[i]);
+      const size_t c = static_cast<size_t>(bounds[i + 1]);
+      const double cost =
+          oracle.Sse(a, c) - oracle.Sse(a, b) - oracle.Sse(b, c);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_idx = i;
+      }
+    }
+    bounds.erase(bounds.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+  return bounds;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,24 @@
+// Bottom-Up piecewise-linear segmentation (Keogh et al. [21]).
+//
+// The survey's best-performing offline PLA algorithm: start from the finest
+// segmentation (every pair of adjacent points), repeatedly merge the
+// adjacent segment pair whose merge increases the approximation error the
+// least, and stop when K segments remain. Error is the least-squares linear
+// fit SSE (O(1) per query through SseOracle).
+//
+// Primary explanation-agnostic baseline of the paper's section 7.2.
+
+#ifndef TSEXPLAIN_BASELINES_BOTTOM_UP_H_
+#define TSEXPLAIN_BASELINES_BOTTOM_UP_H_
+
+#include <vector>
+
+namespace tsexplain {
+
+/// Segments `values` into exactly `k` pieces (or fewer when the series is
+/// too short). Returns cut positions (point indices) including 0 and n-1.
+std::vector<int> BottomUpSegment(const std::vector<double>& values, int k);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BASELINES_BOTTOM_UP_H_

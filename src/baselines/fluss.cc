@@ -1,0 +1,106 @@
+#include "src/baselines/fluss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::vector<double> ArcCurve(const MatrixProfile& mp) {
+  const size_t l = mp.size();
+  std::vector<double> mark(l + 1, 0.0);
+  for (size_t j = 0; j < l; ++j) {
+    const int32_t nn = mp.index[j];
+    if (nn < 0) continue;
+    const size_t lo = std::min<size_t>(j, static_cast<size_t>(nn));
+    const size_t hi = std::max<size_t>(j, static_cast<size_t>(nn));
+    // The arc covers positions strictly between its endpoints.
+    if (hi > lo + 1) {
+      mark[lo + 1] += 1.0;
+      mark[hi] -= 1.0;
+    }
+  }
+  std::vector<double> ac(l, 0.0);
+  double running = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    running += mark[i];
+    ac[i] = running;
+  }
+  return ac;
+}
+
+std::vector<double> CorrectedArcCurve(const MatrixProfile& mp, int w) {
+  const std::vector<double> ac = ArcCurve(mp);
+  const size_t l = ac.size();
+  std::vector<double> cac(l, 1.0);
+  if (l < 3) return cac;
+  const double dl = static_cast<double>(l);
+  const size_t edge = std::min<size_t>(static_cast<size_t>(5) *
+                                           static_cast<size_t>(w),
+                                       l);
+  for (size_t i = 0; i < l; ++i) {
+    // Idealized arc curve for random arcs: parabola 2 i (l - i) / l.
+    const double ideal =
+        2.0 * static_cast<double>(i) * (dl - static_cast<double>(i)) / dl;
+    if (ideal <= 0.0) {
+      cac[i] = 1.0;
+    } else {
+      cac[i] = std::min(ac[i] / ideal, 1.0);
+    }
+  }
+  // Edges are unreliable (few arcs can exist): pin to 1.
+  for (size_t i = 0; i < edge && i < l; ++i) cac[i] = 1.0;
+  for (size_t i = l >= edge ? l - edge : 0; i < l; ++i) cac[i] = 1.0;
+  return cac;
+}
+
+std::vector<int> ExtractRegimes(const std::vector<double>& cac, int count,
+                                int zone) {
+  TSE_CHECK_GE(count, 0);
+  TSE_CHECK_GE(zone, 0);
+  std::vector<double> curve = cac;  // mutated: accepted zones get pinned
+  std::vector<int> boundaries;
+  for (int r = 0; r < count; ++r) {
+    size_t best = 0;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i] < best_value) {
+        best_value = curve[i];
+        best = i;
+      }
+    }
+    if (best_value >= 1.0) break;  // nothing left below the ceiling
+    boundaries.push_back(static_cast<int>(best));
+    const size_t lo = best >= static_cast<size_t>(zone)
+                          ? best - static_cast<size_t>(zone)
+                          : 0;
+    const size_t hi =
+        std::min(curve.size(), best + static_cast<size_t>(zone) + 1);
+    for (size_t i = lo; i < hi; ++i) curve[i] = 1.0;
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  return boundaries;
+}
+
+std::vector<int> FlussSegment(const std::vector<double>& values, int k,
+                              int w) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 3);
+  std::vector<int> cuts{0, n - 1};
+  if (k == 1 || static_cast<size_t>(w) + 1 >= values.size()) return cuts;
+
+  const MatrixProfile mp = ComputeMatrixProfile(values, w);
+  const std::vector<double> cac = CorrectedArcCurve(mp, w);
+  const std::vector<int> boundaries = ExtractRegimes(cac, k - 1, 5 * w);
+  for (int b : boundaries) {
+    if (b > 0 && b < n - 1) cuts.push_back(b);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,43 @@
+// FLUSS: Fast Low-cost Unipotent Semantic Segmentation (Gharghabi et al.,
+// ICDM 2017), reimplemented on top of our matrix profile.
+//
+// Pipeline: matrix profile index -> arc curve (for each position, the
+// number of nearest-neighbor arcs passing over it) -> corrected arc curve
+// CAC = min(AC / idealized-parabola, 1), with the first and last 5w
+// positions pinned to 1 -> regimes extracted as the K-1 lowest CAC minima
+// with a 5w exclusion zone around each accepted minimum.
+//
+// Explanation-agnostic baseline of the paper's section 7.2.
+
+#ifndef TSEXPLAIN_BASELINES_FLUSS_H_
+#define TSEXPLAIN_BASELINES_FLUSS_H_
+
+#include <vector>
+
+#include "src/baselines/matrix_profile.h"
+
+namespace tsexplain {
+
+/// Arc curve: ac[i] = number of NN arcs (j <-> index[j]) strictly crossing
+/// position i. Length equals mp.size().
+std::vector<double> ArcCurve(const MatrixProfile& mp);
+
+/// Corrected arc curve in [0, 1] (1 = no evidence of a boundary). `w` is
+/// the subsequence length used for the matrix profile.
+std::vector<double> CorrectedArcCurve(const MatrixProfile& mp, int w);
+
+/// Full FLUSS segmentation: returns cut positions (point indices) including
+/// 0 and n-1, with (k - 1) interior boundaries extracted from the CAC.
+/// Fewer boundaries may be returned when the exclusion zones exhaust the
+/// series first.
+std::vector<int> FlussSegment(const std::vector<double>& values, int k,
+                              int w);
+
+/// Extracts up to `count` regime boundaries from a CAC with exclusion zone
+/// `zone` (FLUSS uses 5w). Exposed for tests.
+std::vector<int> ExtractRegimes(const std::vector<double>& cac, int count,
+                                int zone);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BASELINES_FLUSS_H_

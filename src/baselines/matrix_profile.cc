@@ -1,0 +1,150 @@
+#include "src/baselines/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Stats {
+  std::vector<double> mean;
+  std::vector<double> sigma;  // population std of each window
+};
+
+Stats WindowStats(const std::vector<double>& values, int w) {
+  const size_t n = values.size();
+  const size_t l = n - static_cast<size_t>(w) + 1;
+  std::vector<double> prefix(n + 1, 0.0), prefix_sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+    prefix_sq[i + 1] = prefix_sq[i] + values[i] * values[i];
+  }
+  Stats stats;
+  stats.mean.resize(l);
+  stats.sigma.resize(l);
+  for (size_t i = 0; i < l; ++i) {
+    const double sum = prefix[i + w] - prefix[i];
+    const double sum_sq = prefix_sq[i + w] - prefix_sq[i];
+    const double mean = sum / w;
+    const double var = std::max(0.0, sum_sq / w - mean * mean);
+    stats.mean[i] = mean;
+    stats.sigma[i] = std::sqrt(var);
+  }
+  return stats;
+}
+
+// Distance from the dot product under z-normalization, with the
+// constant-subsequence conventions.
+double DistFromDot(double dot, double mean_i, double mean_j, double sigma_i,
+                   double sigma_j, int w) {
+  constexpr double kSigmaEps = 1e-12;
+  const bool const_i = sigma_i < kSigmaEps;
+  const bool const_j = sigma_j < kSigmaEps;
+  if (const_i && const_j) return 0.0;
+  if (const_i || const_j) return std::sqrt(static_cast<double>(w));
+  double corr = (dot - w * mean_i * mean_j) / (w * sigma_i * sigma_j);
+  corr = std::clamp(corr, -1.0, 1.0);
+  return std::sqrt(std::max(0.0, 2.0 * w * (1.0 - corr)));
+}
+
+int EffectiveExclusion(int w, int exclusion_zone) {
+  if (exclusion_zone >= 0) return exclusion_zone;
+  return (w + 3) / 4;  // ceil(w / 4)
+}
+
+}  // namespace
+
+MatrixProfile ComputeMatrixProfile(const std::vector<double>& values, int w,
+                                   int exclusion_zone) {
+  TSE_CHECK_GE(w, 2);
+  TSE_CHECK_LE(static_cast<size_t>(w), values.size());
+  const size_t n = values.size();
+  const size_t l = n - static_cast<size_t>(w) + 1;
+  const int zone = EffectiveExclusion(w, exclusion_zone);
+  const Stats stats = WindowStats(values, w);
+
+  MatrixProfile mp;
+  mp.profile.assign(l, kInf);
+  mp.index.assign(l, -1);
+
+  auto update = [&mp](size_t i, size_t j, double d) {
+    if (d < mp.profile[i]) {
+      mp.profile[i] = d;
+      mp.index[i] = static_cast<int32_t>(j);
+    }
+  };
+
+  // Diagonal traversal: along diagonal k = j - i > 0 the dot product
+  // updates in O(1) per step. Each unordered pair is touched once and both
+  // directions are updated.
+  for (size_t k = 1; k < l; ++k) {
+    if (static_cast<int>(k) <= zone) continue;  // inside exclusion zone
+    double dot = 0.0;
+    for (int t = 0; t < w; ++t) {
+      dot += values[t] * values[k + static_cast<size_t>(t)];
+    }
+    update(0, k, DistFromDot(dot, stats.mean[0], stats.mean[k],
+                             stats.sigma[0], stats.sigma[k], w));
+    update(k, 0, DistFromDot(dot, stats.mean[0], stats.mean[k],
+                             stats.sigma[0], stats.sigma[k], w));
+    for (size_t i = 1; i + k < l; ++i) {
+      const size_t j = i + k;
+      dot += values[i + w - 1] * values[j + w - 1] -
+             values[i - 1] * values[j - 1];
+      const double d = DistFromDot(dot, stats.mean[i], stats.mean[j],
+                                   stats.sigma[i], stats.sigma[j], w);
+      update(i, j, d);
+      update(j, i, d);
+    }
+  }
+
+  // Unreached entries (tiny series / huge zone) keep index -1; profile inf.
+  return mp;
+}
+
+double ZNormalizedDistance(const std::vector<double>& values, size_t i,
+                           size_t j, int w) {
+  TSE_CHECK_LE(i + static_cast<size_t>(w), values.size());
+  TSE_CHECK_LE(j + static_cast<size_t>(w), values.size());
+  const Stats stats = WindowStats(values, w);
+  double dot = 0.0;
+  for (int t = 0; t < w; ++t) {
+    dot += values[i + static_cast<size_t>(t)] *
+           values[j + static_cast<size_t>(t)];
+  }
+  return DistFromDot(dot, stats.mean[i], stats.mean[j], stats.sigma[i],
+                     stats.sigma[j], w);
+}
+
+MatrixProfile ComputeMatrixProfileBruteForce(const std::vector<double>& values,
+                                             int w, int exclusion_zone) {
+  TSE_CHECK_GE(w, 2);
+  TSE_CHECK_LE(static_cast<size_t>(w), values.size());
+  const size_t l = values.size() - static_cast<size_t>(w) + 1;
+  const int zone = EffectiveExclusion(w, exclusion_zone);
+
+  MatrixProfile mp;
+  mp.profile.assign(l, kInf);
+  mp.index.assign(l, -1);
+  for (size_t i = 0; i < l; ++i) {
+    for (size_t j = 0; j < l; ++j) {
+      if (std::abs(static_cast<long long>(i) - static_cast<long long>(j)) <=
+          zone) {
+        continue;
+      }
+      const double d = ZNormalizedDistance(values, i, j, w);
+      if (d < mp.profile[i]) {
+        mp.profile[i] = d;
+        mp.index[i] = static_cast<int32_t>(j);
+      }
+    }
+  }
+  return mp;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,48 @@
+// Matrix profile via STOMP (Zhu et al.): for every length-w subsequence of
+// a series, the z-normalized Euclidean distance to its nearest neighbor
+// (excluding trivial matches) and that neighbor's index.
+//
+// This is the substrate for the FLUSS semantic-segmentation baseline
+// (Gharghabi et al. [9]). The O(n^2) incremental-dot-product formulation is
+// exact and more than fast enough at the series lengths TSExplain targets.
+
+#ifndef TSEXPLAIN_BASELINES_MATRIX_PROFILE_H_
+#define TSEXPLAIN_BASELINES_MATRIX_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsexplain {
+
+struct MatrixProfile {
+  /// profile[i]: z-normalized Euclidean distance from subsequence i to its
+  /// nearest non-trivial neighbor.
+  std::vector<double> profile;
+  /// index[i]: position of that nearest neighbor (-1 if none exists, e.g.
+  /// when the exclusion zone covers everything).
+  std::vector<int32_t> index;
+
+  size_t size() const { return profile.size(); }
+};
+
+/// Computes the self-join matrix profile of `values` with subsequence
+/// length `w`. `exclusion_zone` < 0 uses the customary ceil(w / 4).
+/// Requires 2 <= w <= values.size().
+/// Constant subsequences (zero variance) are handled like the reference
+/// implementations: two constants are distance 0, constant-vs-non-constant
+/// is sqrt(w).
+MatrixProfile ComputeMatrixProfile(const std::vector<double>& values, int w,
+                                   int exclusion_zone = -1);
+
+/// Brute-force O(n^2 w) reference used by the tests.
+MatrixProfile ComputeMatrixProfileBruteForce(const std::vector<double>& values,
+                                             int w, int exclusion_zone = -1);
+
+/// z-normalized Euclidean distance between two subsequences (test helper).
+double ZNormalizedDistance(const std::vector<double>& values, size_t i,
+                           size_t j, int w);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BASELINES_MATRIX_PROFILE_H_

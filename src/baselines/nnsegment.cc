@@ -1,0 +1,64 @@
+#include "src/baselines/nnsegment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/baselines/fluss.h"
+
+namespace tsexplain {
+
+std::vector<double> NnCrossScore(const std::vector<double>& values, int w) {
+  TSE_CHECK_GE(w, 2);
+  TSE_CHECK_GT(values.size(), static_cast<size_t>(w));
+  const MatrixProfile mp = ComputeMatrixProfile(values, w);
+  const size_t l = mp.size();
+
+  // Count arcs crossing each boundary (same sweep as FLUSS's arc curve).
+  std::vector<double> mark(l + 1, 0.0);
+  size_t arcs = 0;
+  for (size_t j = 0; j < l; ++j) {
+    const int32_t nn = mp.index[j];
+    if (nn < 0) continue;
+    ++arcs;
+    const size_t lo = std::min<size_t>(j, static_cast<size_t>(nn));
+    const size_t hi = std::max<size_t>(j, static_cast<size_t>(nn));
+    if (hi > lo + 1) {
+      mark[lo + 1] += 1.0;
+      mark[hi] -= 1.0;
+    }
+  }
+
+  std::vector<double> score(l, 1.0);
+  if (arcs == 0) return score;
+  double running = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    running += mark[i];
+    score[i] = std::min(1.0, running / static_cast<double>(arcs));
+  }
+  // Edge windows cannot be boundaries of a meaningful segment.
+  const size_t edge = std::min<size_t>(static_cast<size_t>(w), l);
+  for (size_t i = 0; i < edge; ++i) score[i] = 1.0;
+  for (size_t i = l >= edge ? l - edge : 0; i < l; ++i) score[i] = 1.0;
+  return score;
+}
+
+std::vector<int> NnSegment(const std::vector<double>& values, int k, int w) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 3);
+  std::vector<int> cuts{0, n - 1};
+  if (k == 1 || static_cast<size_t>(w) + 1 >= values.size()) return cuts;
+
+  const std::vector<double> score = NnCrossScore(values, w);
+  // Reuse FLUSS's minima extraction with the plain window exclusion zone.
+  const std::vector<int> boundaries = ExtractRegimes(score, k - 1, w);
+  for (int b : boundaries) {
+    if (b > 0 && b < n - 1) cuts.push_back(b);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+}  // namespace tsexplain

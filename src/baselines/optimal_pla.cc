@@ -1,0 +1,75 @@
+#include "src/baselines/optimal_pla.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/ts/linear_fit.h"
+
+namespace tsexplain {
+
+std::vector<int> OptimalPlaSegment(const std::vector<double>& values,
+                                   int k) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 2);
+  const int target = std::min(k, n - 1);
+  const SseOracle oracle(values);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // d[j][q]: min total SSE covering points [0, j] with q segments.
+  std::vector<std::vector<double>> d(
+      static_cast<size_t>(n),
+      std::vector<double>(static_cast<size_t>(target) + 1, kInf));
+  std::vector<std::vector<int>> parent(
+      static_cast<size_t>(n),
+      std::vector<int>(static_cast<size_t>(target) + 1, -1));
+  for (int j = 1; j < n; ++j) {
+    d[static_cast<size_t>(j)][1] = oracle.Sse(0, static_cast<size_t>(j));
+    parent[static_cast<size_t>(j)][1] = 0;
+  }
+  for (int q = 2; q <= target; ++q) {
+    for (int j = q; j < n; ++j) {
+      double best = kInf;
+      int best_parent = -1;
+      for (int jp = q - 1; jp < j; ++jp) {
+        const double prev = d[static_cast<size_t>(jp)][static_cast<size_t>(q) - 1];
+        if (prev == kInf) continue;
+        const double candidate =
+            prev + oracle.Sse(static_cast<size_t>(jp),
+                              static_cast<size_t>(j));
+        if (candidate < best) {
+          best = candidate;
+          best_parent = jp;
+        }
+      }
+      d[static_cast<size_t>(j)][static_cast<size_t>(q)] = best;
+      parent[static_cast<size_t>(j)][static_cast<size_t>(q)] = best_parent;
+    }
+  }
+
+  std::vector<int> cuts;
+  int j = n - 1;
+  for (int q = target; q >= 1; --q) {
+    cuts.push_back(j);
+    j = parent[static_cast<size_t>(j)][static_cast<size_t>(q)];
+    TSE_CHECK_GE(j, 0);
+  }
+  cuts.push_back(0);
+  std::reverse(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+double PlaTotalSse(const std::vector<double>& values,
+                   const std::vector<int>& cuts) {
+  TSE_CHECK_GE(cuts.size(), 2u);
+  const SseOracle oracle(values);
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    total += oracle.Sse(static_cast<size_t>(cuts[i]),
+                        static_cast<size_t>(cuts[i + 1]));
+  }
+  return total;
+}
+
+}  // namespace tsexplain

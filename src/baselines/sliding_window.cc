@@ -1,0 +1,112 @@
+#include "src/baselines/sliding_window.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/ts/linear_fit.h"
+
+namespace tsexplain {
+
+std::vector<int> SlidingWindowPass(const std::vector<double>& values,
+                                   double max_error) {
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 2);
+  const SseOracle oracle(values);
+
+  std::vector<int> bounds{0};
+  int anchor = 0;
+  int end = 1;
+  while (end < n - 1) {
+    // Grow until the fit breaks.
+    if (oracle.Sse(static_cast<size_t>(anchor),
+                   static_cast<size_t>(end + 1)) <= max_error) {
+      ++end;
+    } else {
+      bounds.push_back(end);
+      anchor = end;
+      end = anchor + 1;
+    }
+  }
+  bounds.push_back(n - 1);
+  return bounds;
+}
+
+std::vector<int> SlidingWindowSegment(const std::vector<double>& values,
+                                      int k) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 2);
+  const int target = std::min(k, n - 1);
+  const SseOracle oracle(values);
+
+  // Bisection on the error threshold: more error -> fewer segments.
+  double lo = 0.0;
+  double hi = std::max(oracle.Sse(0, static_cast<size_t>(n - 1)), 1e-9);
+  std::vector<int> best = SlidingWindowPass(values, hi);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    std::vector<int> scheme = SlidingWindowPass(values, mid);
+    const int segments = static_cast<int>(scheme.size()) - 1;
+    if (segments == target) return scheme;
+    // Keep the closest scheme seen so far for the fix-up path.
+    if (std::abs(segments - target) <
+        std::abs(static_cast<int>(best.size()) - 1 - target)) {
+      best = scheme;
+    }
+    if (segments > target) {
+      lo = mid;  // too many segments: allow more error
+    } else {
+      hi = mid;
+    }
+  }
+
+  // Fix-up: merge the cheapest boundary or split the worst segment until
+  // the count matches.
+  while (static_cast<int>(best.size()) - 1 > target) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_idx = 1;
+    for (size_t i = 1; i + 1 < best.size(); ++i) {
+      const double cost =
+          oracle.Sse(static_cast<size_t>(best[i - 1]),
+                     static_cast<size_t>(best[i + 1])) -
+          oracle.Sse(static_cast<size_t>(best[i - 1]),
+                     static_cast<size_t>(best[i])) -
+          oracle.Sse(static_cast<size_t>(best[i]),
+                     static_cast<size_t>(best[i + 1]));
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_idx = i;
+      }
+    }
+    best.erase(best.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+  while (static_cast<int>(best.size()) - 1 < target) {
+    // Split the segment with the largest error at its best split point.
+    double best_gain = -1.0;
+    int best_split = -1;
+    for (size_t i = 0; i + 1 < best.size(); ++i) {
+      const int a = best[i];
+      const int b = best[i + 1];
+      if (b - a < 2) continue;
+      const double whole =
+          oracle.Sse(static_cast<size_t>(a), static_cast<size_t>(b));
+      for (int s = a + 1; s < b; ++s) {
+        const double gain =
+            whole -
+            oracle.Sse(static_cast<size_t>(a), static_cast<size_t>(s)) -
+            oracle.Sse(static_cast<size_t>(s), static_cast<size_t>(b));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_split = s;
+        }
+      }
+    }
+    if (best_split < 0) break;  // cannot split further
+    best.push_back(best_split);
+    std::sort(best.begin(), best.end());
+  }
+  return best;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,28 @@
+// Sliding-Window piecewise-linear segmentation (Keogh's survey [21]):
+// anchor the left end of a segment and grow it rightward until the linear
+// fit error exceeds a threshold, then start a new segment. To produce
+// exactly K segments (the interface all baselines share here), the error
+// threshold is found by bisection, with a merge/split fix-up for plateaus.
+//
+// Extra explanation-agnostic baseline used by the ablation benches.
+
+#ifndef TSEXPLAIN_BASELINES_SLIDING_WINDOW_H_
+#define TSEXPLAIN_BASELINES_SLIDING_WINDOW_H_
+
+#include <vector>
+
+namespace tsexplain {
+
+/// One left-to-right sliding-window pass with the given per-segment error
+/// threshold. Returns cut positions including 0 and n-1.
+std::vector<int> SlidingWindowPass(const std::vector<double>& values,
+                                   double max_error);
+
+/// Exactly-K wrapper: bisects the threshold, then merges/splits to land on
+/// K segments (or fewer when the series is too short).
+std::vector<int> SlidingWindowSegment(const std::vector<double>& values,
+                                      int k);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BASELINES_SLIDING_WINDOW_H_

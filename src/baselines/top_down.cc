@@ -1,0 +1,70 @@
+#include "src/baselines/top_down.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/common/check.h"
+#include "src/ts/linear_fit.h"
+
+namespace tsexplain {
+namespace {
+
+struct SplitCandidate {
+  double gain;  // error reduction achieved by the split
+  int begin;
+  int end;
+  int split;
+
+  bool operator<(const SplitCandidate& other) const {
+    return gain < other.gain;  // max-heap by gain
+  }
+};
+
+// Best interior split of [begin, end]; split < 0 when no split possible.
+SplitCandidate BestSplit(const SseOracle& oracle, int begin, int end) {
+  SplitCandidate c{0.0, begin, end, -1};
+  const double whole = oracle.Sse(static_cast<size_t>(begin),
+                                  static_cast<size_t>(end));
+  double best = std::numeric_limits<double>::infinity();
+  for (int s = begin + 1; s < end; ++s) {
+    const double split_err =
+        oracle.Sse(static_cast<size_t>(begin), static_cast<size_t>(s)) +
+        oracle.Sse(static_cast<size_t>(s), static_cast<size_t>(end));
+    if (split_err < best) {
+      best = split_err;
+      c.split = s;
+    }
+  }
+  if (c.split >= 0) c.gain = whole - best;
+  return c;
+}
+
+}  // namespace
+
+std::vector<int> TopDownSegment(const std::vector<double>& values, int k) {
+  TSE_CHECK_GE(k, 1);
+  const int n = static_cast<int>(values.size());
+  TSE_CHECK_GE(n, 2);
+  const int target = std::min(k, n - 1);
+
+  const SseOracle oracle(values);
+  std::priority_queue<SplitCandidate> heap;
+  heap.push(BestSplit(oracle, 0, n - 1));
+
+  std::vector<int> bounds{0, n - 1};
+  int segments = 1;
+  while (segments < target && !heap.empty()) {
+    const SplitCandidate top = heap.top();
+    heap.pop();
+    if (top.split < 0) continue;  // unsplittable piece
+    bounds.push_back(top.split);
+    ++segments;
+    heap.push(BestSplit(oracle, top.begin, top.split));
+    heap.push(BestSplit(oracle, top.split, top.end));
+  }
+  std::sort(bounds.begin(), bounds.end());
+  return bounds;
+}
+
+}  // namespace tsexplain

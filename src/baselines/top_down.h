@@ -1,0 +1,20 @@
+// Top-Down piecewise-linear segmentation (Douglas-Peucker / Ramer style,
+// per Keogh's survey [21]): recursively split the segment whose best split
+// reduces the total linear-fit error the most, until K segments exist.
+//
+// Extra explanation-agnostic baseline used by the ablation benches.
+
+#ifndef TSEXPLAIN_BASELINES_TOP_DOWN_H_
+#define TSEXPLAIN_BASELINES_TOP_DOWN_H_
+
+#include <vector>
+
+namespace tsexplain {
+
+/// Segments `values` into exactly `k` pieces (or fewer when the series is
+/// too short). Returns cut positions (point indices) including 0 and n-1.
+std::vector<int> TopDownSegment(const std::vector<double>& values, int k);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_BASELINES_TOP_DOWN_H_

@@ -1,0 +1,21 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsexplain {
+namespace internal {
+
+CheckFailStream::CheckFailStream(const char* file, int line,
+                                 const char* condition) {
+  stream_ << file << ":" << line << ": check failed: " << condition << " ";
+}
+
+CheckFailStream::~CheckFailStream() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();  // never returns; the process dies with the diagnostic
+}
+
+}  // namespace internal
+}  // namespace tsexplain

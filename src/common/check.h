@@ -1,0 +1,67 @@
+// Lightweight invariant-checking macros.
+//
+// The library is exception-free on hot paths; programming errors (broken
+// invariants, out-of-range arguments) abort with a diagnostic instead of
+// propagating exceptions, following the style of LevelDB/RocksDB assertions.
+//
+//   TSE_CHECK(cond) << "message";        always on
+//   TSE_DCHECK(cond) << "message";       debug builds only
+//   TSE_CHECK_GE(a, b), TSE_CHECK_LT(a, b), ...  comparison helpers
+
+#ifndef TSEXPLAIN_COMMON_CHECK_H_
+#define TSEXPLAIN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace tsexplain {
+namespace internal {
+
+// Accumulates a failure message via operator<< and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition);
+  ~CheckFailStream();
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns a CheckFailStream expression into void so it can sit in the false
+// branch of the ternary inside TSE_CHECK (the glog "voidify" idiom).
+struct Voidify {
+  void operator&(CheckFailStream&) {}
+  void operator&(CheckFailStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace tsexplain
+
+// `<<` binds tighter than `&`, so trailing messages attach to the stream.
+#define TSE_CHECK(condition)                                  \
+  (condition) ? (void)0                                       \
+              : ::tsexplain::internal::Voidify() &            \
+                    ::tsexplain::internal::CheckFailStream(   \
+                        __FILE__, __LINE__, #condition)
+
+#define TSE_CHECK_EQ(a, b) TSE_CHECK((a) == (b))
+#define TSE_CHECK_NE(a, b) TSE_CHECK((a) != (b))
+#define TSE_CHECK_GE(a, b) TSE_CHECK((a) >= (b))
+#define TSE_CHECK_GT(a, b) TSE_CHECK((a) > (b))
+#define TSE_CHECK_LE(a, b) TSE_CHECK((a) <= (b))
+#define TSE_CHECK_LT(a, b) TSE_CHECK((a) < (b))
+
+#ifdef NDEBUG
+#define TSE_DCHECK(condition) \
+  while (false) TSE_CHECK(condition)
+#else
+#define TSE_DCHECK(condition) TSE_CHECK(condition)
+#endif
+
+#endif  // TSEXPLAIN_COMMON_CHECK_H_

@@ -1,0 +1,121 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  TSE_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  TSE_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 kept away from 0 for a finite log.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBool(double p) {
+  return NextDouble() < p;
+}
+
+int64_t Rng::Poisson(double lambda) {
+  TSE_CHECK_GE(lambda, 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda > 64.0) {
+    const double draw = Gaussian(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : static_cast<int64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  int64_t count = 0;
+  double product = NextDouble();
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+std::vector<int> Rng::SampleDistinctSorted(int lo, int hi, int k) {
+  TSE_CHECK_GE(k, 0);
+  TSE_CHECK_LE(static_cast<int64_t>(k), static_cast<int64_t>(hi) - lo + 1);
+  // Floyd's algorithm: k distinct values without building the full range.
+  std::vector<int> picked;
+  picked.reserve(static_cast<size_t>(k));
+  for (int j = hi - k + 1; j <= hi; ++j) {
+    const int t = static_cast<int>(UniformInt(lo, j));
+    bool seen = false;
+    for (int value : picked) {
+      if (value == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,76 @@
+#include "src/common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  TSE_CHECK_GE(needed, 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string DayOffsetToDate(int day_offset, int anchor_month, int anchor_day,
+                            bool leap_year) {
+  static const int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                        31, 31, 30, 31, 30, 31};
+  int month = anchor_month;
+  int day = anchor_day + day_offset;
+  TSE_CHECK_GE(day_offset, 0);
+  for (;;) {
+    int days_in_month = kDaysPerMonth[month - 1];
+    if (leap_year && month == 2) days_in_month = 29;
+    if (day <= days_in_month) break;
+    day -= days_in_month;
+    month = month % 12 + 1;
+  }
+  return StrFormat("%d-%d", month, day);
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,37 @@
+// Small string helpers shared by the table layer, data generators, and the
+// benchmark report printers.
+
+#ifndef TSEXPLAIN_COMMON_STRINGS_H_
+#define TSEXPLAIN_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace tsexplain {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads (or truncates) `s` to exactly `width` characters.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Right-pads (or truncates) `s` to exactly `width` characters.
+std::string PadRight(const std::string& s, size_t width);
+
+/// Formats a day offset from an anchor date (month/day only, e.g. "3-14").
+/// `anchor_month`/`anchor_day` use a non-leap-year calendar unless
+/// `leap_year` is set (2020 is a leap year).
+std::string DayOffsetToDate(int day_offset, int anchor_month, int anchor_day,
+                            bool leap_year);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_COMMON_STRINGS_H_

@@ -1,0 +1,4 @@
+#include "src/common/timer.h"
+
+// Header-only; this translation unit exists so the build file can list the
+// module uniformly.

@@ -1,0 +1,49 @@
+// Wall-clock timing utilities used by the pipeline's latency breakdown
+// (paper Figure 15) and the benchmark harness.
+
+#ifndef TSEXPLAIN_COMMON_TIMER_H_
+#define TSEXPLAIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tsexplain {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed milliseconds to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedMs(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_COMMON_TIMER_H_

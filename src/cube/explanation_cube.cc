@@ -1,0 +1,165 @@
+#include "src/cube/explanation_cube.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+// Enumerates all non-empty attribute subsets of size <= max_order as bit
+// masks over explain_by indices. Small: |A| <= ~6 in practice.
+std::vector<uint32_t> SubsetMasks(size_t num_attrs, int max_order) {
+  std::vector<uint32_t> masks;
+  const uint32_t limit = 1u << num_attrs;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    if (__builtin_popcount(mask) <= max_order) masks.push_back(mask);
+  }
+  return masks;
+}
+
+}  // namespace
+
+ExplanationCube::ExplanationCube(const Table& table,
+                                 const ExplanationRegistry& registry,
+                                 AggregateFunction f, int measure_idx)
+    : f_(f), time_labels_(table.time_labels()) {
+  if (measure_idx >= 0) {
+    TSE_CHECK_LT(static_cast<size_t>(measure_idx),
+                 table.schema().num_measures());
+  }
+  const size_t n = table.num_time_buckets();
+  overall_.assign(n, AggState{});
+  slices_.assign(registry.num_explanations(), std::vector<AggState>(n));
+
+  const std::vector<AttrId>& explain_by = registry.explain_by();
+  const std::vector<uint32_t> masks =
+      SubsetMasks(explain_by.size(), registry.max_order());
+
+  // Rows with the same explain-by value tuple hit the same cells; memoize
+  // the subset -> cell-id resolution per distinct tuple (relations have far
+  // fewer distinct tuples than rows). Keyed by the exact tuple to rule out
+  // hash collisions.
+  struct TupleEntry {
+    std::vector<ValueId> tuple;
+    std::vector<ExplId> cells;
+  };
+  std::unordered_map<uint64_t, std::vector<TupleEntry>> tuple_cells;
+  std::vector<Predicate> preds;
+  std::vector<ValueId> tuple(explain_by.size());
+  preds.reserve(static_cast<size_t>(registry.max_order()));
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const size_t t = static_cast<size_t>(table.time(row));
+    const double value =
+        measure_idx < 0 ? 1.0 : table.measure(row, measure_idx);
+    overall_[t].Add(value);
+
+    uint64_t tuple_hash = 1469598103934665603ULL;
+    for (size_t idx = 0; idx < explain_by.size(); ++idx) {
+      tuple[idx] = table.dim(row, explain_by[idx]);
+      tuple_hash ^=
+          static_cast<uint64_t>(static_cast<uint32_t>(tuple[idx]));
+      tuple_hash *= 1099511628211ULL;
+    }
+    std::vector<TupleEntry>& bucket = tuple_cells[tuple_hash];
+    TupleEntry* entry = nullptr;
+    for (TupleEntry& candidate : bucket) {
+      if (candidate.tuple == tuple) {
+        entry = &candidate;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      bucket.push_back(TupleEntry{tuple, {}});
+      entry = &bucket.back();
+      entry->cells.reserve(masks.size());
+      for (uint32_t mask : masks) {
+        preds.clear();
+        for (size_t idx = 0; idx < explain_by.size(); ++idx) {
+          if (mask & (1u << idx)) {
+            preds.push_back(Predicate{explain_by[idx], tuple[idx]});
+          }
+        }
+        const ExplId id = registry.Lookup(Explanation::FromPredicates(preds));
+        TSE_CHECK_NE(id, kInvalidExplId);
+        entry->cells.push_back(id);
+      }
+    }
+    for (ExplId id : entry->cells) {
+      slices_[static_cast<size_t>(id)][t].Add(value);
+    }
+  }
+}
+
+DiffScore ExplanationCube::Score(DiffMetricKind kind, ExplId e,
+                                 size_t t_control, size_t t_test) const {
+  TSE_CHECK_LT(t_control, n());
+  TSE_CHECK_LT(t_test, n());
+  const std::vector<AggState>& slice = slices_[static_cast<size_t>(e)];
+  const AggState& ot = overall_[t_test];
+  const AggState& oc = overall_[t_control];
+  return ComputeDiff(kind, ot.Finalize(f_), oc.Finalize(f_),
+                     ot.Minus(slice[t_test]).Finalize(f_),
+                     oc.Minus(slice[t_control]).Finalize(f_));
+}
+
+TimeSeries ExplanationCube::OverallSeries() const {
+  TimeSeries out;
+  out.labels = time_labels_;
+  out.values.resize(n());
+  for (size_t t = 0; t < n(); ++t) out.values[t] = Overall(t);
+  return out;
+}
+
+TimeSeries ExplanationCube::SliceSeries(ExplId e) const {
+  TSE_CHECK_GE(e, 0);
+  TSE_CHECK_LT(static_cast<size_t>(e), slices_.size());
+  TimeSeries out;
+  out.labels = time_labels_;
+  out.values.resize(n());
+  for (size_t t = 0; t < n(); ++t) out.values[t] = SliceValue(e, t);
+  return out;
+}
+
+namespace {
+
+// Trailing moving average over AggState partials (clipped at the start so
+// the output length is unchanged).
+void SmoothPartials(std::vector<AggState>* series, int w) {
+  const size_t n = series->size();
+  std::vector<AggState> out(n);
+  AggState window{};
+  for (size_t i = 0; i < n; ++i) {
+    window.Merge((*series)[i]);
+    if (i >= static_cast<size_t>(w)) {
+      window = window.Minus((*series)[i - static_cast<size_t>(w)]);
+    }
+    const double count = static_cast<double>(
+        std::min(i + 1, static_cast<size_t>(w)));
+    out[i] = AggState{window.sum / count, window.count / count};
+  }
+  *series = std::move(out);
+}
+
+}  // namespace
+
+void ExplanationCube::SmoothInPlace(int w) {
+  TSE_CHECK_GE(w, 1);
+  if (w == 1) return;
+  SmoothPartials(&overall_, w);
+  for (auto& slice : slices_) SmoothPartials(&slice, w);
+}
+
+void ExplanationCube::AppendBucket(const AggState& overall,
+                                   const std::vector<AggState>& slice_partials,
+                                   const std::string& label) {
+  TSE_CHECK_EQ(slice_partials.size(), slices_.size());
+  overall_.push_back(overall);
+  for (size_t e = 0; e < slices_.size(); ++e) {
+    slices_[e].push_back(slice_partials[e]);
+  }
+  time_labels_.push_back(label.empty() ? std::to_string(time_labels_.size())
+                                       : label);
+}
+
+}  // namespace tsexplain

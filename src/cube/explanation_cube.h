@@ -1,0 +1,79 @@
+// Explanation cube: precomputation module (a) of the pipeline (Figure 7).
+//
+// For every candidate explanation E the cube materializes the aggregated
+// time series of its slice, ts(sigma_E R), as decomposable (sum, count)
+// partials. Because the aggregate is decomposable, the "without E" series
+// ts(R - sigma_E R) is derived by subtracting partials; the diff score
+// gamma(E) for ANY segment [t_c, t_t] is then O(1) (paper section 5.2).
+
+#ifndef TSEXPLAIN_CUBE_EXPLANATION_CUBE_H_
+#define TSEXPLAIN_CUBE_EXPLANATION_CUBE_H_
+
+#include <vector>
+
+#include "src/diff/diff_metrics.h"
+#include "src/diff/explanation_registry.h"
+#include "src/table/group_by.h"
+#include "src/table/table.h"
+#include "src/ts/time_series.h"
+
+namespace tsexplain {
+
+/// Materialized per-explanation time-series partials + the overall series.
+class ExplanationCube {
+ public:
+  /// Scans `table` once, accumulating partials for every registry cell.
+  /// `measure_idx` of -1 means COUNT(*) semantics.
+  ExplanationCube(const Table& table, const ExplanationRegistry& registry,
+                  AggregateFunction f, int measure_idx);
+
+  /// Number of time buckets.
+  size_t n() const { return overall_.size(); }
+
+  /// Number of candidate explanations covered (epsilon).
+  size_t num_explanations() const { return slices_.size(); }
+
+  AggregateFunction aggregate() const { return f_; }
+
+  /// Finalized overall aggregate at time t: f(M, R at t).
+  double Overall(size_t t) const { return overall_[t].Finalize(f_); }
+
+  /// Finalized slice aggregate at time t: f(M, sigma_E R at t).
+  double SliceValue(ExplId e, size_t t) const {
+    return slices_[static_cast<size_t>(e)][t].Finalize(f_);
+  }
+
+  /// gamma(E) and tau(E) for the segment with control endpoint `t_control`
+  /// and test endpoint `t_test` (Definitions 3.2/3.3). O(1).
+  DiffScore Score(DiffMetricKind kind, ExplId e, size_t t_control,
+                  size_t t_test) const;
+
+  /// Dense overall aggregated series (with time labels).
+  TimeSeries OverallSeries() const;
+
+  /// Dense slice series for one explanation.
+  TimeSeries SliceSeries(ExplId e) const;
+
+  /// Appends one new time bucket of partials (streaming extension,
+  /// section 8). `slice_partials` must be aligned with the registry ids and
+  /// `overall` must equal the sum over disjoint order-1 slices.
+  void AppendBucket(const AggState& overall,
+                    const std::vector<AggState>& slice_partials,
+                    const std::string& label = "");
+
+  /// Smooths every partial series with a trailing moving average of window
+  /// `w` (paper section 7.4: fuzzy datasets are smoothed before being
+  /// explained). Averaging the (sum, count) partials is a linear operation,
+  /// so decomposability -- and hence O(1) diff scores -- is preserved.
+  void SmoothInPlace(int w);
+
+ private:
+  AggregateFunction f_;
+  std::vector<AggState> overall_;               // [t]
+  std::vector<std::vector<AggState>> slices_;   // [expl][t]
+  std::vector<std::string> time_labels_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_CUBE_EXPLANATION_CUBE_H_

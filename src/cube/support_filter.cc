@@ -1,0 +1,36 @@
+#include "src/cube/support_filter.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::vector<bool> ComputeSupportFilter(const ExplanationCube& cube,
+                                       double ratio) {
+  TSE_CHECK_GE(ratio, 0.0);
+  const size_t n = cube.n();
+  std::vector<bool> active(cube.num_explanations(), false);
+  for (size_t e = 0; e < cube.num_explanations(); ++e) {
+    for (size_t t = 0; t < n; ++t) {
+      const double slice = std::abs(cube.SliceValue(static_cast<ExplId>(e), t));
+      // A zero slice value carries no support even when the overall value is
+      // also zero, so require a strictly positive slice.
+      if (slice > 0.0 && slice >= ratio * std::abs(cube.Overall(t))) {
+        active[e] = true;
+        break;
+      }
+    }
+  }
+  return active;
+}
+
+size_t CountActive(const std::vector<bool>& active) {
+  size_t count = 0;
+  for (bool b : active) {
+    if (b) ++count;
+  }
+  return count;
+}
+
+}  // namespace tsexplain

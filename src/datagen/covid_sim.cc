@@ -1,0 +1,127 @@
+#include "src/datagen/covid_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace {
+
+// One epidemic wave: Gaussian bump of daily cases.
+struct Wave {
+  double peak_day;
+  double width;     // standard deviation in days
+  double amplitude; // cases/day at the peak
+};
+
+struct StateScript {
+  const char* name;
+  std::vector<Wave> waves;
+};
+
+double WaveValue(const Wave& w, double day) {
+  const double z = (day - w.peak_day) / w.width;
+  return w.amplitude * std::exp(-0.5 * z * z);
+}
+
+// Day offsets from 2020-01-22: 3-14 -> 52, 5-4 -> 103, 5-29 -> 128,
+// 9-25 -> 247, 11-27 -> 310, 12-31 -> 344.
+const StateScript kScriptedStates[] = {
+    // Early outbreak + huge winter wave.
+    {"CA", {{100, 25, 1800}, {190, 28, 8200}, {330, 22, 34000}}},
+    // First US cases, modest later waves.
+    {"WA", {{42, 16, 950}, {200, 30, 700}, {320, 25, 2600}}},
+    // Spring epicenter + winter resurgence.
+    {"NY", {{73, 14, 9900}, {250, 40, 900}, {332, 24, 10800}}},
+    {"NJ", {{75, 14, 3600}, {334, 26, 4900}}},
+    {"MA", {{82, 15, 2400}, {330, 26, 4200}}},
+    // May transition leader + fall epicenter.
+    {"IL", {{118, 16, 2900}, {300, 20, 11500}, {338, 30, 6000}}},
+    // Summer belt + winter.
+    {"TX", {{185, 22, 7400}, {300, 26, 6300}, {338, 24, 12600}}},
+    {"FL", {{180, 18, 9200}, {335, 28, 9500}}},
+    {"AZ", {{182, 16, 2900}, {336, 22, 5100}}},
+    {"GA", {{188, 22, 3100}, {335, 26, 4600}}},
+    // Fall midwest.
+    {"WI", {{295, 18, 5400}, {330, 24, 3000}}},
+    {"MN", {{305, 16, 4700}}},
+    {"MI", {{85, 16, 1500}, {305, 18, 6100}}},
+    {"OH", {{300, 24, 4900}, {338, 22, 5400}}},
+    {"PA", {{84, 15, 1700}, {320, 24, 7200}}},
+    {"IN", {{305, 22, 4100}}},
+};
+
+const char* kOtherStates[] = {
+    "AL", "AK", "AR", "CO", "CT", "DE", "DC", "HI", "ID", "IA", "KS", "KY",
+    "LA", "ME", "MD", "MS", "MO", "MT", "NE", "NV", "NH", "NM", "NC", "ND",
+    "OK", "OR", "RI", "SC", "SD", "TN", "UT", "VT", "VA", "WV", "WY", "PR",
+    "GU", "VI", "MP", "AS", "DL2", "DL3",
+};
+
+}  // namespace
+
+std::unique_ptr<Table> MakeCovidTable(uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(Schema(
+      "date", {"state"},
+      {"daily_confirmed_cases", "total_confirmed_cases"}));
+
+  for (int day = 0; day < kCovidDays; ++day) {
+    table->AddTimeBucket(DayOffsetToDate(day, 1, 22, /*leap_year=*/true));
+  }
+
+  // Assemble the state list: 16 scripted + 42 background = 58.
+  struct StateSeries {
+    std::string name;
+    std::vector<Wave> waves;
+  };
+  std::vector<StateSeries> states;
+  for (const StateScript& script : kScriptedStates) {
+    states.push_back({script.name, script.waves});
+  }
+  int background_index = 0;
+  for (const char* name : kOtherStates) {
+    // Background states: one or two small waves at random times, biased
+    // late in the year like the real epidemic. The last few entries are
+    // micro-territories whose counts stay below the support-filter ratio
+    // everywhere (the paper's Table 6 keeps 54-55 of 58 candidates).
+    std::vector<Wave> waves;
+    const bool micro = background_index >= 38;  // last 4 territories
+    const int num_waves = rng.NextBool(0.6) ? 2 : 1;
+    for (int w = 0; w < num_waves; ++w) {
+      Wave wave;
+      wave.peak_day = rng.Uniform(120.0, 340.0);
+      wave.width = rng.Uniform(14.0, 32.0);
+      wave.amplitude =
+          micro ? rng.Uniform(2.0, 10.0) : rng.Uniform(150.0, 1400.0);
+      waves.push_back(wave);
+    }
+    states.push_back({name, waves});
+    ++background_index;
+  }
+  TSE_CHECK_EQ(states.size(), static_cast<size_t>(kCovidStates));
+
+  for (const StateSeries& state : states) {
+    double total = 0.0;
+    for (int day = 0; day < kCovidDays; ++day) {
+      double daily = 0.0;
+      for (const Wave& wave : state.waves) {
+        daily += WaveValue(wave, static_cast<double>(day));
+      }
+      // Reporting noise: ~5% multiplicative jitter, floored at zero.
+      daily *= 1.0 + 0.05 * rng.NextGaussian();
+      daily = std::max(0.0, std::floor(daily));
+      total += daily;
+      table->AppendRow(static_cast<TimeId>(day), {state.name},
+                       {daily, total});
+    }
+  }
+  return table;
+}
+
+}  // namespace tsexplain

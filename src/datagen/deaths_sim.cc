@@ -1,0 +1,62 @@
+#include "src/datagen/deaths_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace tsexplain {
+namespace {
+
+// Gaussian bump helper.
+double Bump(double week, double peak, double width, double amplitude) {
+  const double z = (week - peak) / width;
+  return amplitude * std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+std::unique_ptr<Table> MakeDeathsTable(uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(
+      Schema("week", {"vaccinated", "age-group"}, {"deaths"}));
+  for (int w = 0; w < kDeathsWeeks; ++w) {
+    table->AddTimeBucket(std::to_string(14 + w));
+  }
+
+  const std::vector<std::string> ages = {"0-17", "18-49", "50+"};
+  for (int w = 0; w < kDeathsWeeks; ++w) {
+    const double week = 14.0 + w;
+    for (const std::string& age : ages) {
+      for (const std::string& vax : {std::string("NO"), std::string("YES")}) {
+        double deaths = 0.0;
+        const bool old_group = age == "50+";
+        if (vax == "NO") {
+          // Unvaccinated: large early plateau + delta wave (week ~18 and
+          // ~35); all age groups exposed, elders more.
+          const double scale = old_group ? 1.6 : (age == "18-49" ? 1.0 : 0.1);
+          deaths += scale * (Bump(week, 18, 5, 5200) + Bump(week, 35, 5, 7800));
+        } else {
+          // Vaccinated: small early; from late summer elders' protection
+          // wanes, so 50+ vaccinated deaths climb steeply into the winter.
+          if (old_group) {
+            deaths += Bump(week, 50, 9, 6800) + 250.0;
+          } else {
+            deaths += Bump(week, 36, 8, 350) + 60.0;
+          }
+        }
+        // Late-season elder surge regardless of vaccination (week 40+).
+        if (old_group) deaths += Bump(week, 49, 7, 5200);
+        deaths *= 1.0 + 0.05 * rng.NextGaussian();
+        deaths = std::max(0.0, std::floor(deaths));
+        table->AppendRow(static_cast<TimeId>(w), {vax, age}, {deaths});
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace tsexplain

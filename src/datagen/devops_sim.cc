@@ -1,0 +1,82 @@
+#include "src/datagen/devops_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace {
+
+const char* kServices[] = {"checkout", "payments", "search", "catalog",
+                           "auth",     "cart",     "ship",   "notify"};
+const char* kRegions[] = {"us-east", "us-west", "eu", "apac"};
+
+// Incident phases (minute boundaries).
+constexpr int kCanaryStart = 90;
+constexpr int kRollback = 180;
+constexpr int kRecovered = 300;
+
+double BaseRate(const std::string& service) {
+  // Bigger services emit more background errors.
+  if (service == "checkout" || service == "search") return 6.0;
+  if (service == "payments" || service == "auth") return 4.0;
+  return 2.0;
+}
+
+}  // namespace
+
+std::unique_ptr<Table> MakeDevopsTable(uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(
+      Schema("minute", {"service", "region", "version"}, {"errors"}));
+  for (int minute = 0; minute < kDevopsMinutes; ++minute) {
+    table->AddTimeBucket(StrFormat("%02d:%02d", minute / 60, minute % 60));
+  }
+
+  for (const char* service_name : kServices) {
+    const std::string service = service_name;
+    for (const char* region_name : kRegions) {
+      const std::string region = region_name;
+      for (int minute = 0; minute < kDevopsMinutes; ++minute) {
+        // Rolling deployment: v1 everywhere, v2 canary in us-east from the
+        // canary start, v2 fleet-wide after a (clean) rollout at recovery.
+        std::vector<std::string> versions{"v1"};
+        if (minute >= kCanaryStart && region == "us-east") {
+          versions.push_back("v2");
+        }
+        for (const std::string& version : versions) {
+          double rate = BaseRate(service) / versions.size();
+          // The bad canary: checkout v2 in us-east melts down fast.
+          if (service == "checkout" && version == "v2" &&
+              minute >= kCanaryStart && minute < kRollback) {
+            const double ramp =
+                std::min(1.0, (minute - kCanaryStart) / 10.0);
+            rate += 220.0 * ramp;
+          }
+          // Cascading payments incident in every region after rollback.
+          if (service == "payments" && minute >= kRollback &&
+              minute < kRecovered) {
+            const double ramp = std::min(1.0, (minute - kRollback) / 15.0);
+            const double decay =
+                minute > kRecovered - 30
+                    ? (kRecovered - minute) / 30.0
+                    : 1.0;
+            rate += 130.0 * ramp * decay;
+          }
+          const double errors =
+              std::max(0.0, std::floor(rate * (1.0 + 0.15 * rng.NextGaussian())));
+          table->AppendRow(static_cast<TimeId>(minute),
+                           {service, region, version}, {errors});
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace tsexplain

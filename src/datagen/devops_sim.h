@@ -1,0 +1,37 @@
+// DevOps / observability dataset simulator: the fourth domain the paper's
+// introduction motivates ("sectors ranging from finance, retail, IoT to
+// DevOps"). Not part of the paper's evaluation -- used by the extra
+// example and tests to exercise TSExplain on an SRE-shaped workload.
+//
+// Relation: per-minute error counts of a microservice fleet broken down by
+// service (8), region (4), and version (rolling deployments). The scripted
+// incident timeline:
+//   minutes   0- 89: steady state (background error noise)
+//   minutes  90-179: bad canary -- service=checkout & version=v2 errors
+//                    spike in region=us-east only
+//   minutes 180-299: rollback; a cascading dependency incident follows:
+//                    service=payments errors rise in ALL regions
+//   minutes 300-359: recovery
+// TSExplain should segment at the phase boundaries and surface
+// (service=checkout & version=v2 & region=us-east), then
+// (service=payments), as the evolving contributors.
+
+#ifndef TSEXPLAIN_DATAGEN_DEVOPS_SIM_H_
+#define TSEXPLAIN_DATAGEN_DEVOPS_SIM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+/// Minutes covered by the simulation.
+inline constexpr int kDevopsMinutes = 360;
+
+/// Builds Errors(minute | service, region, version | errors).
+std::unique_ptr<Table> MakeDevopsTable(uint64_t seed = 503);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DATAGEN_DEVOPS_SIM_H_

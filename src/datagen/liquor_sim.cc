@@ -1,0 +1,197 @@
+#include "src/datagen/liquor_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace {
+
+// Business-day phase anchors (indices into the 128-day range):
+// 1/2=0, 1/20~12, 3/6~45, 3/31~62, 4/21~77, 5/8~89, 6/10~112, 6/30=127.
+constexpr int kP0 = 12, kP1 = 45, kP2 = 62, kP3 = 77, kP4 = 89, kP5 = 112;
+
+struct Product {
+  int bv;              // bottle volume (ml)
+  int pack;            // bottles per pack
+  std::string category;
+  std::string vendor;
+  double base;         // baseline bottles/day
+};
+
+int PhaseOf(int day) {
+  if (day < kP0) return 0;
+  if (day < kP1) return 1;
+  if (day < kP2) return 2;
+  if (day < kP3) return 3;
+  if (day < kP4) return 4;
+  if (day < kP5) return 5;
+  return 6;
+}
+
+// Per-day log growth of a product in a phase, from the Table 5 narrative.
+double PhaseRate(const Product& p, int phase) {
+  double rate = 0.0;
+  switch (phase) {
+    case 0:  // 1/2 - 1/20: post-holiday decline, packs 6/12 hit hardest
+      rate = -0.006;
+      if (p.pack == 12 || p.pack == 6) rate -= 0.022;
+      if (p.bv == 375 && p.pack == 24) rate -= 0.030;
+      break;
+    case 1:  // 1/20 - 3/6: large packs grow
+      rate = +0.002;
+      if (p.pack == 12) rate += 0.016;
+      if (p.pack == 6) rate += 0.010;
+      if (p.pack == 48) rate += 0.020;
+      break;
+    case 2:  // 3/6 - 3/31: bar/restaurant closure
+      rate = +0.004;
+      if (p.bv == 1000) rate = -0.085;  // independent-store channel dies
+      if (p.bv == 1750 && p.pack == 6) rate = +0.034;
+      if (p.bv == 750 && p.pack == 12) rate = +0.030;
+      break;
+    case 3:  // 3/31 - 4/21: stock-up continues
+      rate = +0.002;
+      if (p.pack == 12) rate += 0.020;
+      if (p.bv == 1750 && p.pack == 6) rate = -0.024;
+      if (p.pack == 24) rate += 0.016;
+      break;
+    case 4:  // 4/21 - 5/8: reopening proclamation
+      rate = +0.001;
+      if (p.bv == 1750 && p.pack == 12) rate = -0.030;
+      if (p.pack == 6) rate += 0.014;
+      if (p.bv == 1000 && p.pack == 12) rate = +0.055;
+      break;
+    case 5:  // 5/8 - 6/10: independent stores recover
+      rate = 0.0;
+      if (p.bv == 1000) rate = +0.045;
+      if (p.bv == 1750 && p.pack == 6) rate = -0.020;
+      if (p.bv == 750 && p.pack == 12) rate = -0.016;
+      break;
+    case 6:  // 6/10 - 6/30: summer
+      rate = +0.002;
+      if (p.pack == 12) rate += 0.018;
+      if (p.bv == 1750 && p.pack == 6) rate = +0.022;
+      if (p.pack == 24) rate += 0.014;
+      break;
+    default:
+      break;
+  }
+  return rate;
+}
+
+// First 128 weekdays starting 2020-01-02 (a Thursday).
+std::vector<std::string> BusinessDayLabels() {
+  std::vector<std::string> labels;
+  int offset = 0;
+  int dow = 3;  // 0 = Monday; Jan 2, 2020 was a Thursday
+  while (labels.size() < static_cast<size_t>(kLiquorDays)) {
+    if (dow < 5) {
+      labels.push_back(DayOffsetToDate(offset, 1, 2, /*leap_year=*/true));
+    }
+    ++offset;
+    dow = (dow + 1) % 7;
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::unique_ptr<Table> MakeLiquorTable(uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(Schema(
+      "date", {"BV", "P", "CN", "VN"}, {"bottles_sold"}));
+  for (const std::string& label : BusinessDayLabels()) {
+    table->AddTimeBucket(label);
+  }
+
+  // Catalog. Pack options depend loosely on bottle volume (minis come in
+  // big packs, handles in small packs), mirroring real assortments.
+  const int kBvValues[] = {50, 100, 200, 375, 500, 750, 1000, 1750, 3000};
+  const int kPacksSmallBottle[] = {12, 24, 48};
+  const int kPacksMidBottle[] = {6, 12, 24};
+  const int kPacksLargeBottle[] = {1, 2, 4, 6, 12};
+  constexpr int kNumCategories = 55;
+  constexpr int kNumVendors = 42;
+
+  std::vector<Product> products;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const std::string category = "CAT" + std::to_string(c);
+    const int vendors_for_cat = static_cast<int>(rng.UniformInt(3, 8));
+    for (int v = 0; v < vendors_for_cat; ++v) {
+      const std::string vendor =
+          "VND" + std::to_string(rng.UniformInt(0, kNumVendors - 1));
+      const int variants = static_cast<int>(rng.UniformInt(10, 20));
+      for (int k = 0; k < variants; ++k) {
+        Product p;
+        p.bv = kBvValues[rng.UniformInt(0, 8)];
+        if (p.bv <= 200) {
+          p.pack = kPacksSmallBottle[rng.UniformInt(0, 2)];
+        } else if (p.bv <= 750) {
+          p.pack = kPacksMidBottle[rng.UniformInt(0, 2)];
+        } else {
+          p.pack = kPacksLargeBottle[rng.UniformInt(0, 4)];
+        }
+        p.category = category;
+        p.vendor = vendor;
+        // Long-tailed demand (log-uniform over [0.15, 15] bottles/day):
+        // real catalogs are mostly slow movers, which is what lets the
+        // paper's support filter cut 8197 candidates down to ~1800.
+        p.base = 0.15 * std::exp(rng.Uniform(0.0, 4.6));
+        products.push_back(p);
+      }
+    }
+  }
+
+  // Make the narrative-critical slices well supported: dedicated product
+  // lines for BV=1000 (independent stores), BV=1750&P=6, BV=750&P=12.
+  for (int extra = 0; extra < 48; ++extra) {
+    Product p;
+    p.category = "CAT" + std::to_string(rng.UniformInt(0, kNumCategories - 1));
+    p.vendor = "VND" + std::to_string(rng.UniformInt(0, kNumVendors - 1));
+    switch (extra % 3) {
+      case 0:
+        p.bv = 1000;
+        p.pack = (extra % 6 < 3) ? 12 : 6;
+        break;
+      case 1:
+        p.bv = 1750;
+        p.pack = 6;
+        break;
+      default:
+        p.bv = 750;
+        p.pack = 12;
+        break;
+    }
+    p.base = rng.Uniform(120.0, 300.0);
+    products.push_back(p);
+  }
+
+  // Demand evolution: per-product log level accumulating phase rates, with
+  // ~8% daily jitter and a Friday bump.
+  for (const Product& p : products) {
+    double log_mult = 0.0;
+    int dow = 3;  // Thursday
+    for (int day = 0; day < kLiquorDays; ++day) {
+      log_mult += PhaseRate(p, PhaseOf(day));
+      double value = p.base * std::exp(log_mult);
+      value *= 1.0 + 0.08 * rng.NextGaussian();
+      if (dow == 4) value *= 1.25;  // Friday
+      value = std::max(0.0, std::floor(value));
+      table->AppendRow(
+          static_cast<TimeId>(day),
+          {std::to_string(p.bv), std::to_string(p.pack), p.category,
+           p.vendor},
+          {value});
+      dow = (dow + 1) % 5;  // business days only
+    }
+  }
+  return table;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,126 @@
+#include "src/datagen/sp500_sim.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace {
+
+// Trading-day anchors (index within the 151-day range):
+//   0   = 1/2      24  = 2/6      35  = 2/20 (crash starts)
+//   57  = 3/24     (bottom)       163c -> 8/25 = index ~117
+//   150 = 10/1
+constexpr int kCrashStart = 35;
+constexpr int kBottom = 57;
+constexpr int kRecoveryEnd = 117;  // ~8/25
+
+struct SectorScript {
+  const char* name;
+  int num_subcategories;
+  int num_stocks;
+  // Piecewise daily log-return drift (per trading day) for the four
+  // phases: [0, crash), [crash, bottom), [bottom, recovery), [recovery,
+  // end).
+  double drift[4];
+};
+
+// Drifts are tuned so the shapes match Table 4's story: tech leads the
+// rise, tech/financial/communication lead the crash, tech + consumer
+// cyclical + communication lead the recovery, financial stays flat, and
+// everything dips after 8/25 with tech dipping most.
+const SectorScript kSectors[] = {
+    {"technology", 12, 75, {+0.0045, -0.030, +0.0068, -0.0065}},
+    {"financial", 10, 65, {+0.0008, -0.034, +0.0006, -0.0028}},
+    {"communication", 8, 26, {+0.0012, -0.028, +0.0042, -0.0042}},
+    {"consumer cyclical", 10, 60, {+0.0010, -0.024, +0.0050, -0.0018}},
+    {"healthcare", 10, 62, {+0.0008, -0.018, +0.0028, -0.0010}},
+    {"industrials", 10, 70, {+0.0004, -0.026, +0.0022, -0.0012}},
+    {"consumer defensive", 8, 35, {+0.0006, -0.014, +0.0016, -0.0006}},
+    {"energy", 7, 23, {-0.0022, -0.040, +0.0012, -0.0030}},
+    {"utilities", 6, 28, {+0.0004, -0.020, +0.0012, -0.0008}},
+    {"real estate", 7, 30, {+0.0006, -0.026, +0.0014, -0.0012}},
+    {"basic materials", 8, 29, {+0.0004, -0.022, +0.0024, -0.0010}},
+};
+
+int PhaseOf(int day) {
+  if (day < kCrashStart) return 0;
+  if (day < kBottom) return 1;
+  if (day < kRecoveryEnd) return 2;
+  return 3;
+}
+
+// Within technology, the first subcategory is "internet retail" and gets an
+// extra early-phase boost (Table 4 lists subcategory=internet retail as a
+// top-3 riser before 2/6).
+constexpr double kInternetRetailBoost = 0.0035;
+
+std::string TradingDayLabel(int day, Rng& rng) {
+  (void)rng;
+  // Map trading-day index to an approximate calendar date: 151 trading
+  // days over 2020-01-02..10-01 is ~273 calendar days; scale by 273/151.
+  const int calendar_offset = static_cast<int>(day * 273.0 / 150.0 + 0.5);
+  return DayOffsetToDate(calendar_offset, 1, 2, /*leap_year=*/true);
+}
+
+}  // namespace
+
+std::unique_ptr<Table> MakeSp500Table(uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_unique<Table>(Schema(
+      "date", {"category", "subcategory", "stock"}, {"weighted_price"}));
+
+  for (int day = 0; day < kSp500Days; ++day) {
+    table->AddTimeBucket(TradingDayLabel(day, rng));
+  }
+
+  int total_stocks = 0;
+  int stock_counter = 0;
+  for (const SectorScript& sector : kSectors) {
+    total_stocks += sector.num_stocks;
+  }
+  TSE_CHECK_EQ(total_stocks, kSp500Stocks);
+
+  for (const SectorScript& sector : kSectors) {
+    const bool is_tech = std::string(sector.name) == "technology";
+    for (int s = 0; s < sector.num_stocks; ++s) {
+      const int sub_index = s % sector.num_subcategories;
+      std::string subcategory;
+      if (is_tech && sub_index == 0) {
+        subcategory = "internet retail";
+      } else {
+        subcategory =
+            std::string(sector.name) + " sub" + std::to_string(sub_index);
+      }
+      const std::string stock_name = "STK" + std::to_string(stock_counter++);
+
+      // Per-stock parameters: index weight (price * share / divisor scale)
+      // and idiosyncratic volatility. Weights are long-tailed (log-uniform)
+      // like real index weights, so roughly half the constituents fall
+      // below the 0.1% support-filter line (paper Table 6: 610 -> 329).
+      double weight = 0.5 * std::exp(rng.Uniform(0.0, 4.5));
+      if (is_tech && s < 6) weight = rng.Uniform(120.0, 250.0);  // mega-caps
+      const double vol = rng.Uniform(0.004, 0.012);
+
+      double log_level = 0.0;
+      for (int day = 0; day < kSp500Days; ++day) {
+        const int phase = PhaseOf(day);
+        double drift = sector.drift[phase];
+        if (is_tech && sub_index == 0 && phase == 0) {
+          drift += kInternetRetailBoost;
+        }
+        log_level += drift + vol * rng.NextGaussian();
+        const double value = weight * std::exp(log_level);
+        table->AppendRow(static_cast<TimeId>(day),
+                         {sector.name, subcategory, stock_name}, {value});
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,193 @@
+#include "src/datagen/synthetic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/ts/time_series.h"
+
+namespace tsexplain {
+namespace {
+
+// Samples `count` interior positions in [min_gap, n-1-min_gap] pairwise at
+// least min_gap apart (rejection over Floyd sampling; the feasible region
+// is wide for the paper's parameters).
+std::vector<int> SampleCuts(Rng& rng, int n, int count, int min_gap) {
+  TSE_CHECK_GE(count, 0);
+  if (count == 0) return {};
+  const int lo = min_gap;
+  const int hi = n - 1 - min_gap;
+  TSE_CHECK_LE(lo, hi);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<int> cuts = rng.SampleDistinctSorted(lo, hi, count);
+    bool ok = true;
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      if (cuts[i] - cuts[i - 1] < min_gap) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return cuts;
+  }
+  // Fallback: evenly spaced (still valid ground truth).
+  std::vector<int> cuts(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    cuts[static_cast<size_t>(i)] = (n - 1) * (i + 1) / (count + 1);
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::vector<double> PaperSnrLevels() {
+  return {20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0};
+}
+
+std::unique_ptr<Table> TableFromCategorySeries(
+    const std::vector<std::vector<double>>& series,
+    const std::vector<std::string>& category_names,
+    const std::vector<std::string>& time_labels) {
+  TSE_CHECK_EQ(series.size(), category_names.size());
+  TSE_CHECK(!series.empty());
+  const size_t n = series[0].size();
+  TSE_CHECK_EQ(time_labels.size(), n);
+
+  auto table = std::make_unique<Table>(
+      Schema("T", {"category"}, {"value"}));
+  for (const std::string& label : time_labels) {
+    table->AddTimeBucket(label);
+  }
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t c = 0; c < series.size(); ++c) {
+      TSE_CHECK_EQ(series[c].size(), n);
+      table->AppendRow(static_cast<TimeId>(t), {category_names[c]},
+                       {series[c][t]});
+    }
+  }
+  return table;
+}
+
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
+  TSE_CHECK_GE(config.length, 20);
+  TSE_CHECK_GE(config.num_categories, 2);
+  Rng rng(config.seed);
+  const int n = config.length;
+  const int num_cats = config.num_categories;
+
+  // Draw the union of interior cuts first (pairwise >= min_gap apart); the
+  // union is the ground truth and respects the paper's segment-length
+  // distribution by construction.
+  const int interior = config.num_interior_cuts > 0
+                           ? config.num_interior_cuts
+                           : static_cast<int>(rng.UniformInt(1, 9));
+  const std::vector<int> union_cuts =
+      SampleCuts(rng, n, interior, config.min_gap);
+
+  SyntheticDataset ds;
+  ds.category_cuts.resize(static_cast<size_t>(num_cats));
+
+  // Sequential construction: walk the cuts in time order, maintaining each
+  // category's current trend (direction, magnitude). At every cut at least
+  // one category flips direction (every cut is necessary); an
+  // invisible_cut_fraction of cuts flips a SECOND, opposite-trending
+  // category with a canceling magnitude so the aggregate slope does not
+  // change -- explanations evolve while the shape stays the same.
+  std::vector<int> direction(static_cast<size_t>(num_cats));
+  std::vector<double> magnitude(static_cast<size_t>(num_cats));
+  for (int c = 0; c < num_cats; ++c) {
+    direction[static_cast<size_t>(c)] = rng.NextBool() ? 1 : -1;
+    magnitude[static_cast<size_t>(c)] = rng.Uniform(3.0, 10.0);
+  }
+
+  // slopes[c][t]: per-step slope of category c applied on step t-1 -> t.
+  std::vector<std::vector<double>> slopes(
+      static_cast<size_t>(num_cats), std::vector<double>(static_cast<size_t>(n), 0.0));
+  size_t next_cut = 0;
+  for (int t = 1; t < n; ++t) {
+    if (next_cut < union_cuts.size() && union_cuts[next_cut] == t - 1) {
+      ++next_cut;
+      // Flip the owner category.
+      const size_t owner =
+          static_cast<size_t>(rng.UniformInt(0, num_cats - 1));
+      const int old_dir = direction[owner];
+      const double old_mag = magnitude[owner];
+      direction[owner] = -old_dir;
+      magnitude[owner] = rng.Uniform(3.0, 10.0);
+      ds.category_cuts[owner].push_back(t - 1);
+
+      // Optionally flip a second category so the aggregate kink cancels:
+      // requires a partner currently trending OPPOSITE to the owner's old
+      // direction; its new magnitude is chosen so the two slope changes
+      // sum to zero.
+      if (rng.NextDouble() < config.invisible_cut_fraction) {
+        std::vector<size_t> partners;
+        for (int c = 0; c < num_cats; ++c) {
+          const size_t cc = static_cast<size_t>(c);
+          if (cc != owner && direction[cc] == -old_dir) {
+            partners.push_back(cc);
+          }
+        }
+        if (!partners.empty()) {
+          const size_t partner = partners[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(partners.size()) - 1))];
+          // Owner's aggregate slope change: -old_dir*(old_mag + new_mag).
+          // Partner flips from -old_dir*m_p to old_dir*m_p' with
+          // m_p' = old_mag + new_mag - m_p (must stay positive).
+          const double needed =
+              old_mag + magnitude[owner] - magnitude[partner];
+          if (needed >= 2.0 && needed <= 14.0) {
+            direction[partner] = old_dir;
+            magnitude[partner] = needed;
+            ds.category_cuts[partner].push_back(t - 1);
+          }
+        }
+      }
+    }
+    for (int c = 0; c < num_cats; ++c) {
+      const size_t cc = static_cast<size_t>(c);
+      slopes[cc][static_cast<size_t>(t)] = direction[cc] * magnitude[cc];
+    }
+  }
+
+  // Integrate slopes into levels and add SNR-calibrated noise.
+  ds.clean.resize(static_cast<size_t>(num_cats));
+  ds.noisy.resize(static_cast<size_t>(num_cats));
+  for (int c = 0; c < num_cats; ++c) {
+    const size_t cc = static_cast<size_t>(c);
+    std::vector<double>& clean = ds.clean[cc];
+    clean.assign(static_cast<size_t>(n), 0.0);
+    // Moderate DC level: the SNR is defined on raw signal power, so a
+    // large offset would drown the trends in noise at low SNR.
+    double level = rng.Uniform(50.0, 250.0);
+    clean[0] = level;
+    for (int t = 1; t < n; ++t) {
+      level += slopes[cc][static_cast<size_t>(t)];
+      clean[static_cast<size_t>(t)] = level;
+    }
+    const double sigma =
+        NoiseSigmaForSnr(SignalPower(clean), config.snr_db);
+    std::vector<double>& noisy = ds.noisy[cc];
+    noisy.resize(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      noisy[static_cast<size_t>(t)] =
+          clean[static_cast<size_t>(t)] + rng.Gaussian(0.0, sigma);
+    }
+  }
+
+  ds.ground_truth_cuts.push_back(0);
+  for (int cut : union_cuts) ds.ground_truth_cuts.push_back(cut);
+  ds.ground_truth_cuts.push_back(n - 1);
+
+  std::vector<std::string> category_names;
+  for (int c = 0; c < num_cats; ++c) {
+    category_names.push_back("a" + std::to_string(c + 1));
+  }
+  std::vector<std::string> time_labels;
+  for (int t = 0; t < n; ++t) time_labels.push_back(std::to_string(t));
+  ds.table = TableFromCategorySeries(ds.noisy, category_names, time_labels);
+  for (auto& cuts : ds.category_cuts) std::sort(cuts.begin(), cuts.end());
+  return ds;
+}
+
+}  // namespace tsexplain

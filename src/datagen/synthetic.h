@@ -1,0 +1,75 @@
+// Synthetic dataset generator (paper section 4.2.1).
+//
+// Each dataset is one relation R(T, value, category) whose aggregated
+// series is the sum over categories. Per category: random interior cutting
+// points, a linear up- or down-trend per piece with ADJACENT PIECES FORCED
+// TO OPPOSITE DIRECTIONS (this is what makes every cut necessary), and
+// Gaussian noise calibrated to a target SNR in dB. The ground-truth
+// segmentation of the aggregate is the union of the per-category cuts.
+//
+// The paper aggregates with count(sales); we materialize one row per
+// (time, category) carrying the series value and aggregate with SUM, which
+// feeds the pipeline the identical per-slice series at a fraction of the
+// row count (row-level COUNT semantics are covered by the group-by tests).
+
+#ifndef TSEXPLAIN_DATAGEN_SYNTHETIC_H_
+#define TSEXPLAIN_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+struct SyntheticConfig {
+  int length = 100;             // n (paper: 100)
+  int num_categories = 3;      // paper: a1, a2, a3
+  double snr_db = 35.0;        // paper sweeps 20..50 in steps of 5
+  /// Number of interior ground-truth cuts (K - 1); <= 0 draws uniformly
+  /// from [1, 9] (paper: K varies 2..10).
+  int num_interior_cuts = 0;
+  /// Minimum distance between cuts and to the endpoints (paper's segment
+  /// lengths range 6..84).
+  int min_gap = 6;
+  /// Fraction of cuts where TWO categories flip with canceling slopes, so
+  /// the aggregate shows no kink: the mix of contributors changes while
+  /// "the overall trend looks the same visually" (paper section 3.1.2).
+  /// These cuts are invisible to shape-based segmentation by construction.
+  double invisible_cut_fraction = 0.35;
+  uint64_t seed = 1;
+};
+
+struct SyntheticDataset {
+  std::unique_ptr<Table> table;  // schema: T | category | value
+  /// Ground-truth cut positions including 0 and length-1.
+  std::vector<int> ground_truth_cuts;
+  /// Clean (pre-noise) per-category series.
+  std::vector<std::vector<double>> clean;
+  /// Noisy per-category series (what the table contains).
+  std::vector<std::vector<double>> noisy;
+  /// Interior cuts per category (metadata for Figure 4 statistics).
+  std::vector<std::vector<int>> category_cuts;
+
+  int ground_truth_k() const {
+    return static_cast<int>(ground_truth_cuts.size()) - 1;
+  }
+};
+
+/// Generates one dataset. Deterministic in config.seed.
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config);
+
+/// The paper's SNR grid {20, 25, ..., 50}.
+std::vector<double> PaperSnrLevels();
+
+/// Builds a Table from per-category series (one row per (t, category),
+/// measure = series value). Shared with the simulators and tests.
+std::unique_ptr<Table> TableFromCategorySeries(
+    const std::vector<std::vector<double>>& series,
+    const std::vector<std::string>& category_names,
+    const std::vector<std::string>& time_labels);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,412 @@
+#include "src/diff/cascading_analysts.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kScoreEps = 1e-12;
+
+}  // namespace
+
+CascadingAnalysts::CascadingAnalysts(const ExplanationRegistry& registry)
+    : registry_(registry) {}
+
+TopExplanations CascadingAnalysts::TopM(const std::vector<double>& gamma,
+                                        int m,
+                                        const std::vector<bool>* selectable) {
+  TSE_CHECK_GE(m, 1);
+  TSE_CHECK_EQ(gamma.size(), registry_.num_explanations());
+  if (selectable != nullptr) {
+    TSE_CHECK_EQ(selectable->size(), registry_.num_explanations());
+  }
+
+  gamma_ = &gamma;
+  selectable_ = selectable;
+  m_ = m;
+  nodes_visited_ = 0;
+
+  // (Re)size the epoch-stamped memo table.
+  if (m > m_cap_ || memo_.size() <
+                        registry_.num_explanations() *
+                            static_cast<size_t>(m + 1)) {
+    m_cap_ = std::max(m, m_cap_);
+    memo_.assign(registry_.num_explanations() *
+                     static_cast<size_t>(m_cap_ + 1),
+                 0.0);
+    memo_epoch_.assign(memo_.size(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: stamps are stale, reset
+    std::fill(memo_epoch_.begin(), memo_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  TopExplanations result;
+  result.best.resize(static_cast<size_t>(m) + 1, 0.0);
+  // The root cannot select itself; Best[q] is the optimal drill-down value.
+  // One knapsack pass per child group yields all quota levels at once, so we
+  // simply evaluate per q (m is tiny; clarity over micro-optimization).
+  for (int q = 1; q <= m; ++q) {
+    result.best[static_cast<size_t>(q)] =
+        BestDrillDown(registry_.root_children(), q);
+  }
+
+  ReconstructDrillDown(registry_.root_children(), m, &result.ids);
+  SortByGammaDesc(gamma, &result.ids);
+  result.gammas.reserve(result.ids.size());
+  for (ExplId id : result.ids) {
+    result.gammas.push_back(gamma[static_cast<size_t>(id)]);
+  }
+  return result;
+}
+
+double CascadingAnalysts::Solve(ExplId cell, int q) {
+  if (q == 0) return 0.0;
+  const size_t slot =
+      static_cast<size_t>(cell) * static_cast<size_t>(m_cap_ + 1) +
+      static_cast<size_t>(q);
+  if (memo_epoch_[slot] == epoch_) return memo_[slot];
+  ++nodes_visited_;
+
+  const bool can_select =
+      selectable_ == nullptr || (*selectable_)[static_cast<size_t>(cell)];
+  double best = 0.0;
+  if (can_select) {
+    const double g = (*gamma_)[static_cast<size_t>(cell)];
+    if (g > kScoreEps) best = g;
+  }
+  const std::vector<ChildGroup>& groups = registry_.children(cell);
+  if (!groups.empty()) {
+    best = std::max(best, BestDrillDown(groups, q));
+  }
+
+  memo_epoch_[slot] = epoch_;
+  memo_[slot] = best;
+  return best;
+}
+
+double CascadingAnalysts::BestDrillDown(const std::vector<ChildGroup>& groups,
+                                        int q) {
+  double best = 0.0;
+  std::vector<double> dp(static_cast<size_t>(q) + 1);
+  for (const ChildGroup& group : groups) {
+    // Knapsack over this dimension's children: dp[x] = best total score
+    // spending exactly <= x quota on the children seen so far.
+    std::fill(dp.begin(), dp.end(), 0.0);
+    for (ExplId child : group.children) {
+      // Children are independent subtrees; descending x keeps each child
+      // used at most once (bounded knapsack over quota).
+      for (int x = q; x >= 1; --x) {
+        double best_here = dp[static_cast<size_t>(x)];
+        for (int y = 1; y <= x; ++y) {
+          const double candidate =
+              dp[static_cast<size_t>(x - y)] + Solve(child, y);
+          best_here = std::max(best_here, candidate);
+        }
+        dp[static_cast<size_t>(x)] = best_here;
+      }
+    }
+    best = std::max(best, dp[static_cast<size_t>(q)]);
+  }
+  return best;
+}
+
+void CascadingAnalysts::Reconstruct(ExplId cell, int q,
+                                    std::vector<ExplId>* out) {
+  if (q == 0) return;
+  const double value = Solve(cell, q);
+  if (value <= kScoreEps) return;  // nothing selected in this subtree
+
+  const bool can_select =
+      selectable_ == nullptr || (*selectable_)[static_cast<size_t>(cell)];
+  if (can_select) {
+    const double g = (*gamma_)[static_cast<size_t>(cell)];
+    if (g > kScoreEps && g >= value - kScoreEps) {
+      out->push_back(cell);
+      return;
+    }
+  }
+  ReconstructDrillDown(registry_.children(cell), q, out);
+}
+
+void CascadingAnalysts::ReconstructDrillDown(
+    const std::vector<ChildGroup>& groups, int q, std::vector<ExplId>* out) {
+  if (q == 0 || groups.empty()) return;
+  const double target = BestDrillDown(groups, q);
+  if (target <= kScoreEps) return;
+
+  // Find a group achieving the target, then re-run its knapsack while
+  // recording the quota granted to each child.
+  for (const ChildGroup& group : groups) {
+    const size_t num_children = group.children.size();
+    std::vector<std::vector<double>> dp(
+        num_children + 1, std::vector<double>(static_cast<size_t>(q) + 1));
+    for (size_t i = 0; i < num_children; ++i) {
+      const ExplId child = group.children[i];
+      for (int x = 0; x <= q; ++x) {
+        double best_here = dp[i][static_cast<size_t>(x)];
+        for (int y = 1; y <= x; ++y) {
+          best_here = std::max(
+              best_here, dp[i][static_cast<size_t>(x - y)] + Solve(child, y));
+        }
+        dp[i + 1][static_cast<size_t>(x)] = best_here;
+      }
+    }
+    if (dp[num_children][static_cast<size_t>(q)] < target - kScoreEps) {
+      continue;  // this dimension does not achieve the optimum
+    }
+    // Walk back through the knapsack to recover per-child quotas.
+    int x = q;
+    for (size_t i = num_children; i > 0; --i) {
+      const ExplId child = group.children[i - 1];
+      int chosen_y = 0;
+      for (int y = 0; y <= x; ++y) {
+        const double candidate =
+            dp[i - 1][static_cast<size_t>(x - y)] + Solve(child, y);
+        if (candidate >= dp[i][static_cast<size_t>(x)] - kScoreEps) {
+          chosen_y = y;
+          break;  // smallest quota achieving the value -> fewest selections
+        }
+      }
+      if (chosen_y > 0) Reconstruct(child, chosen_y, out);
+      x -= chosen_y;
+    }
+    return;
+  }
+  TSE_CHECK(false) << "reconstruction failed to match the optimal value";
+}
+
+TopExplanations CascadingAnalysts::TopMRestricted(
+    const std::vector<double>& gamma, int m,
+    const std::vector<ExplId>& candidates) {
+  TSE_CHECK_GE(m, 1);
+  TSE_CHECK_EQ(gamma.size(), registry_.num_explanations());
+  gamma_ = &gamma;
+  m_ = m;
+  nodes_visited_ = 0;
+
+  // Build the sub-lattice: candidates plus every ancestor cell (all
+  // non-empty sub-conjunctions; at most 2^order - 1 per candidate).
+  LocalLattice lattice;
+  lattice.index.reserve(candidates.size() * 4);
+  auto add_cell = [&lattice](ExplId id, bool is_candidate) -> int {
+    auto [it, inserted] =
+        lattice.index.try_emplace(id, static_cast<int>(lattice.cells.size()));
+    if (inserted) {
+      lattice.cells.push_back(id);
+      lattice.selectable.push_back(is_candidate);
+    } else if (is_candidate) {
+      lattice.selectable[static_cast<size_t>(it->second)] = true;
+    }
+    return it->second;
+  };
+  for (ExplId candidate : candidates) {
+    add_cell(candidate, /*is_candidate=*/true);
+    const Explanation& cell = registry_.explanation(candidate);
+    const auto& preds = cell.predicates();
+    const uint32_t limit = 1u << preds.size();
+    for (uint32_t mask = 1; mask + 1 < limit; ++mask) {  // proper subsets
+      std::vector<Predicate> subset;
+      for (size_t i = 0; i < preds.size(); ++i) {
+        if (mask & (1u << i)) subset.push_back(preds[i]);
+      }
+      const ExplId ancestor =
+          registry_.Lookup(Explanation::FromPredicates(std::move(subset)));
+      TSE_CHECK_NE(ancestor, kInvalidExplId);
+      add_cell(ancestor, /*is_candidate=*/false);
+    }
+  }
+
+  // Rebuild drill-down links within the sub-lattice (same construction as
+  // the registry, restricted to relevant cells).
+  lattice.children.resize(lattice.cells.size());
+  std::vector<std::unordered_map<AttrId, std::vector<ExplId>>> tmp(
+      lattice.cells.size());
+  std::unordered_map<AttrId, std::vector<ExplId>> root_tmp;
+  for (size_t local = 0; local < lattice.cells.size(); ++local) {
+    const ExplId id = lattice.cells[local];
+    const Explanation& cell = registry_.explanation(id);
+    for (const Predicate& p : cell.predicates()) {
+      if (cell.order() == 1) {
+        root_tmp[p.attr].push_back(id);
+      } else {
+        const ExplId parent_id =
+            registry_.Lookup(cell.WithoutAttr(p.attr));
+        auto it = lattice.index.find(parent_id);
+        TSE_CHECK(it != lattice.index.end());
+        tmp[static_cast<size_t>(it->second)][p.attr].push_back(id);
+      }
+    }
+  }
+  auto materialize =
+      [](std::unordered_map<AttrId, std::vector<ExplId>>& groups) {
+        std::vector<ChildGroup> out;
+        out.reserve(groups.size());
+        for (auto& [attr, children] : groups) {
+          std::sort(children.begin(), children.end());
+          out.push_back(ChildGroup{attr, std::move(children)});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const ChildGroup& a, const ChildGroup& b) {
+                    return a.attr < b.attr;
+                  });
+        return out;
+      };
+  lattice.root_children = materialize(root_tmp);
+  for (size_t local = 0; local < lattice.cells.size(); ++local) {
+    lattice.children[local] = materialize(tmp[local]);
+  }
+
+  // DP over the sub-lattice. memo[local * (m+1) + q]; -1 = unset.
+  std::vector<double> memo(
+      lattice.cells.size() * static_cast<size_t>(m + 1), -1.0);
+  TopExplanations result;
+  result.best.resize(static_cast<size_t>(m) + 1, 0.0);
+  for (int q = 1; q <= m; ++q) {
+    result.best[static_cast<size_t>(q)] =
+        BestDrillDownLocal(lattice, lattice.root_children, q, &memo);
+  }
+  ReconstructDrillDownLocal(lattice, lattice.root_children, m, &memo,
+                            &result.ids);
+  SortByGammaDesc(gamma, &result.ids);
+  result.gammas.reserve(result.ids.size());
+  for (ExplId id : result.ids) {
+    result.gammas.push_back(gamma[static_cast<size_t>(id)]);
+  }
+  return result;
+}
+
+double CascadingAnalysts::SolveLocal(const LocalLattice& lattice, int local,
+                                     int q, std::vector<double>* memo) {
+  if (q == 0) return 0.0;
+  const size_t slot = static_cast<size_t>(local) *
+                          static_cast<size_t>(m_ + 1) +
+                      static_cast<size_t>(q);
+  if ((*memo)[slot] >= 0.0) return (*memo)[slot];
+  ++nodes_visited_;
+
+  double best = 0.0;
+  if (lattice.selectable[static_cast<size_t>(local)]) {
+    const double g =
+        (*gamma_)[static_cast<size_t>(lattice.cells[static_cast<size_t>(
+            local)])];
+    if (g > kScoreEps) best = g;
+  }
+  const std::vector<ChildGroup>& groups =
+      lattice.children[static_cast<size_t>(local)];
+  if (!groups.empty()) {
+    best = std::max(best, BestDrillDownLocal(lattice, groups, q, memo));
+  }
+  (*memo)[slot] = best;
+  return best;
+}
+
+double CascadingAnalysts::BestDrillDownLocal(
+    const LocalLattice& lattice, const std::vector<ChildGroup>& groups,
+    int q, std::vector<double>* memo) {
+  double best = 0.0;
+  std::vector<double> dp(static_cast<size_t>(q) + 1);
+  for (const ChildGroup& group : groups) {
+    std::fill(dp.begin(), dp.end(), 0.0);
+    for (ExplId child : group.children) {
+      const int child_local = lattice.index.at(child);
+      for (int x = q; x >= 1; --x) {
+        double best_here = dp[static_cast<size_t>(x)];
+        for (int y = 1; y <= x; ++y) {
+          best_here = std::max(best_here,
+                               dp[static_cast<size_t>(x - y)] +
+                                   SolveLocal(lattice, child_local, y, memo));
+        }
+        dp[static_cast<size_t>(x)] = best_here;
+      }
+    }
+    best = std::max(best, dp[static_cast<size_t>(q)]);
+  }
+  return best;
+}
+
+void CascadingAnalysts::ReconstructLocal(const LocalLattice& lattice,
+                                         int local, int q,
+                                         std::vector<double>* memo,
+                                         std::vector<ExplId>* out) {
+  if (q == 0) return;
+  const double value = SolveLocal(lattice, local, q, memo);
+  if (value <= kScoreEps) return;
+  if (lattice.selectable[static_cast<size_t>(local)]) {
+    const double g =
+        (*gamma_)[static_cast<size_t>(lattice.cells[static_cast<size_t>(
+            local)])];
+    if (g > kScoreEps && g >= value - kScoreEps) {
+      out->push_back(lattice.cells[static_cast<size_t>(local)]);
+      return;
+    }
+  }
+  ReconstructDrillDownLocal(lattice,
+                            lattice.children[static_cast<size_t>(local)], q,
+                            memo, out);
+}
+
+void CascadingAnalysts::ReconstructDrillDownLocal(
+    const LocalLattice& lattice, const std::vector<ChildGroup>& groups,
+    int q, std::vector<double>* memo, std::vector<ExplId>* out) {
+  if (q == 0 || groups.empty()) return;
+  const double target = BestDrillDownLocal(lattice, groups, q, memo);
+  if (target <= kScoreEps) return;
+
+  for (const ChildGroup& group : groups) {
+    const size_t num_children = group.children.size();
+    std::vector<std::vector<double>> dp(
+        num_children + 1, std::vector<double>(static_cast<size_t>(q) + 1));
+    for (size_t i = 0; i < num_children; ++i) {
+      const int child_local = lattice.index.at(group.children[i]);
+      for (int x = 0; x <= q; ++x) {
+        double best_here = dp[i][static_cast<size_t>(x)];
+        for (int y = 1; y <= x; ++y) {
+          best_here = std::max(best_here,
+                               dp[i][static_cast<size_t>(x - y)] +
+                                   SolveLocal(lattice, child_local, y, memo));
+        }
+        dp[i + 1][static_cast<size_t>(x)] = best_here;
+      }
+    }
+    if (dp[num_children][static_cast<size_t>(q)] < target - kScoreEps) {
+      continue;
+    }
+    int x = q;
+    for (size_t i = num_children; i > 0; --i) {
+      const int child_local = lattice.index.at(group.children[i - 1]);
+      int chosen_y = 0;
+      for (int y = 0; y <= x; ++y) {
+        const double candidate =
+            dp[i - 1][static_cast<size_t>(x - y)] +
+            SolveLocal(lattice, child_local, y, memo);
+        if (candidate >= dp[i][static_cast<size_t>(x)] - kScoreEps) {
+          chosen_y = y;
+          break;
+        }
+      }
+      if (chosen_y > 0) {
+        ReconstructLocal(lattice, child_local, chosen_y, memo, out);
+      }
+      x -= chosen_y;
+    }
+    return;
+  }
+  TSE_CHECK(false) << "local reconstruction failed to match the optimum";
+}
+
+void SortByGammaDesc(const std::vector<double>& gamma,
+                     std::vector<ExplId>* ids) {
+  std::sort(ids->begin(), ids->end(), [&gamma](ExplId a, ExplId b) {
+    const double ga = gamma[static_cast<size_t>(a)];
+    const double gb = gamma[static_cast<size_t>(b)];
+    if (ga != gb) return ga > gb;
+    return a < b;  // deterministic tie-break
+  });
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,130 @@
+// Cascading Analysts algorithm (Ruhl, Sundararajan, Yan, SIGMOD 2018),
+// reimplemented from the description in the TSExplain paper (section 5.2,
+// Figure 8): top-m NON-OVERLAPPING explanations maximizing the total diff
+// score.
+//
+// The algorithm simulates an analyst's recursive drill-down. Each lattice
+// cell (conjunction) with quota q decides between
+//   (1) selecting itself as one explanation (consuming 1 quota and closing
+//       its subtree, since descendants overlap it), or
+//   (2) drilling down one unconstrained dimension and distributing the q
+//       quota among the resulting child cells (siblings never overlap).
+// Both choices are optimized exactly:
+//   f(cell, q) = max( gamma(cell) [if q >= 1, cell != root],
+//                     max_d distribute(children(cell, d), q) )
+// where distribute is a small knapsack over children. Cells are memoized,
+// so the cost is O(epsilon * |A| * m^2) per segment, matching the paper.
+//
+// The solver also exposes Best[q] = f(root, q) for every q <= m, which the
+// guess-and-verify optimization needs for its termination test (Eq. 12).
+
+#ifndef TSEXPLAIN_DIFF_CASCADING_ANALYSTS_H_
+#define TSEXPLAIN_DIFF_CASCADING_ANALYSTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/diff/explanation_registry.h"
+
+namespace tsexplain {
+
+/// Result of a top-m query: explanations sorted by descending score.
+struct TopExplanations {
+  /// Selected explanation ids, ranked by descending gamma (the paper's
+  /// E*_m = [E^1, ..., E^m]); may hold fewer than m entries when the data
+  /// cannot support m non-overlapping explanations with positive score.
+  std::vector<ExplId> ids;
+  /// gamma of each selected explanation (aligned with `ids`).
+  std::vector<double> gammas;
+  /// Best[q]: optimal total score using at most q explanations, for
+  /// q = 0..m. Best.back() equals the sum of `gammas`.
+  std::vector<double> best;
+  /// Ideal DCG of this list on its own segment (Eq. 4), cached by the
+  /// SegmentExplainer so distance computations do not recompute it.
+  double idcg = 0.0;
+
+  double TotalScore() const { return best.empty() ? 0.0 : best.back(); }
+};
+
+/// Reusable solver: owns scratch buffers sized to the registry so repeated
+/// per-segment invocations do not allocate. Not thread-safe; create one per
+/// thread.
+class CascadingAnalysts {
+ public:
+  explicit CascadingAnalysts(const ExplanationRegistry& registry);
+
+  /// Computes top-m non-overlapping explanations for the given per-cell
+  /// scores. `gamma[e]` must be the diff score of cell e for the segment
+  /// under analysis (module (a) output). Cells may be excluded from
+  /// *selection* (but still drilled through) by passing `selectable`;
+  /// nullptr means all cells are selectable.
+  TopExplanations TopM(const std::vector<double>& gamma, int m,
+                       const std::vector<bool>* selectable = nullptr);
+
+  /// Same optimization restricted to a small candidate set: only
+  /// `candidates` are selectable and the drill-down forest is rebuilt from
+  /// the candidates plus their ancestor cells, so the cost is
+  /// O(|candidates| * 2^beta-bar * m^2) independent of epsilon. This is
+  /// what makes guess-and-verify (O1) pay off (section 5.3.1).
+  TopExplanations TopMRestricted(const std::vector<double>& gamma, int m,
+                                 const std::vector<ExplId>& candidates);
+
+  /// Number of f(cell, q) evaluations performed by the last TopM call
+  /// (complexity instrumentation for the benches).
+  size_t last_nodes_visited() const { return nodes_visited_; }
+
+ private:
+  // Sub-lattice for TopMRestricted: candidate cells + ancestors with
+  // locally rebuilt drill-down links (global cell ids inside).
+  struct LocalLattice {
+    std::vector<ExplId> cells;
+    std::vector<std::vector<ChildGroup>> children;  // by local index
+    std::vector<ChildGroup> root_children;
+    std::vector<bool> selectable;                   // by local index
+    std::unordered_map<ExplId, int> index;
+  };
+
+  // Memoized f(cell, q) for the current epoch; root is cell id = -1 and is
+  // handled separately.
+  double Solve(ExplId cell, int q);
+  // Optimal distribution of quota q among `groups` children of `cell`.
+  double BestDrillDown(const std::vector<ChildGroup>& groups, int q);
+  // Walks the optimal solution, appending selected cells to out.
+  void Reconstruct(ExplId cell, int q, std::vector<ExplId>* out);
+  void ReconstructDrillDown(const std::vector<ChildGroup>& groups, int q,
+                            std::vector<ExplId>* out);
+
+  // Local-lattice counterparts used by TopMRestricted.
+  double SolveLocal(const LocalLattice& lattice, int local, int q,
+                    std::vector<double>* memo);
+  double BestDrillDownLocal(const LocalLattice& lattice,
+                            const std::vector<ChildGroup>& groups, int q,
+                            std::vector<double>* memo);
+  void ReconstructLocal(const LocalLattice& lattice, int local, int q,
+                        std::vector<double>* memo, std::vector<ExplId>* out);
+  void ReconstructDrillDownLocal(const LocalLattice& lattice,
+                                 const std::vector<ChildGroup>& groups,
+                                 int q, std::vector<double>* memo,
+                                 std::vector<ExplId>* out);
+
+  const ExplanationRegistry& registry_;
+  const std::vector<double>* gamma_ = nullptr;
+  const std::vector<bool>* selectable_ = nullptr;
+  int m_ = 0;
+
+  // Epoch-stamped memo table: memo_[cell * (m_cap_+1) + q].
+  std::vector<double> memo_;
+  std::vector<uint32_t> memo_epoch_;
+  uint32_t epoch_ = 0;
+  int m_cap_ = 0;
+  size_t nodes_visited_ = 0;
+};
+
+/// Convenience: ranks `candidate` ids by descending gamma with deterministic
+/// id tie-breaking (used to order E*_m and by guess-and-verify).
+void SortByGammaDesc(const std::vector<double>& gamma,
+                     std::vector<ExplId>* ids);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_CASCADING_ANALYSTS_H_

@@ -1,0 +1,69 @@
+#include "src/diff/diff_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+int Sign(double x) {
+  if (x > kEps) return 1;
+  if (x < -kEps) return -1;
+  return 0;
+}
+
+}  // namespace
+
+DiffScore ComputeDiff(DiffMetricKind kind, double f_test, double f_control,
+                      double f_test_wo, double f_control_wo) {
+  const double delta = f_test - f_control;
+  const double delta_wo = f_test_wo - f_control_wo;
+  const double contribution = delta - delta_wo;
+
+  DiffScore score;
+  score.tau = Sign(contribution);
+  switch (kind) {
+    case DiffMetricKind::kAbsoluteChange:
+      score.gamma = std::abs(contribution);
+      break;
+    case DiffMetricKind::kRelativeChange:
+      score.gamma =
+          std::abs(delta) < kEps ? 0.0 : std::abs(contribution / delta);
+      break;
+    case DiffMetricKind::kRiskRatio: {
+      // Relative rate of change of the slice vs. of the whole.
+      const double slice_base = f_control - f_control_wo;
+      const double overall_rate =
+          std::abs(f_control) < kEps ? 0.0 : delta / f_control;
+      const double slice_rate =
+          std::abs(slice_base) < kEps ? 0.0 : contribution / slice_base;
+      if (std::abs(overall_rate) < kEps) {
+        score.gamma = 0.0;
+      } else {
+        score.gamma = std::min(std::abs(slice_rate / overall_rate),
+                               kRiskRatioCap);
+      }
+      break;
+    }
+  }
+  return score;
+}
+
+const char* DiffMetricName(DiffMetricKind kind) {
+  switch (kind) {
+    case DiffMetricKind::kAbsoluteChange:
+      return "absolute-change";
+    case DiffMetricKind::kRelativeChange:
+      return "relative-change";
+    case DiffMetricKind::kRiskRatio:
+      return "risk-ratio";
+  }
+  TSE_CHECK(false) << "unknown metric";
+  return "";
+}
+
+}  // namespace tsexplain

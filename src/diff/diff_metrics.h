@@ -1,0 +1,54 @@
+// Difference-metric library: gamma(E) and the change effect tau(E).
+//
+// The paper's default metric is absolute-change (Definition 3.2); the change
+// effect tau is Definition 3.3. Extending the metric library is listed as
+// future work (section 9), so relative-change and risk-ratio are provided as
+// documented extensions:
+//
+//  * kAbsoluteChange:  gamma = |Delta - Delta_wo|, where Delta = f(R_t) -
+//    f(R_c) and Delta_wo is the same difference with E's records removed.
+//  * kRelativeChange:  absolute-change normalized by |Delta|: the fraction
+//    of the overall change attributable to E (0 when Delta is ~0).
+//  * kRiskRatio:       ratio of the slice's relative change rate to the
+//    overall relative change rate, capped at kRiskRatioCap; degenerate
+//    denominators score 0.
+//
+// tau is metric-independent: sign(Delta - Delta_wo), i.e. whether including
+// E's records pushes the overall difference up (+1), down (-1), or not at
+// all (0).
+
+#ifndef TSEXPLAIN_DIFF_DIFF_METRICS_H_
+#define TSEXPLAIN_DIFF_DIFF_METRICS_H_
+
+namespace tsexplain {
+
+enum class DiffMetricKind {
+  kAbsoluteChange,
+  kRelativeChange,
+  kRiskRatio,
+};
+
+/// Upper cap applied to risk-ratio scores so a near-zero overall change
+/// cannot produce unbounded scores.
+inline constexpr double kRiskRatioCap = 100.0;
+
+/// gamma(E) plus the change effect tau(E) in {-1, 0, +1}.
+struct DiffScore {
+  double gamma = 0.0;
+  int tau = 0;
+};
+
+/// Computes the score from the four finalized aggregates:
+///   f_test       = f(M, R_t)
+///   f_control    = f(M, R_c)
+///   f_test_wo    = f(M, R_t - sigma_E R_t)
+///   f_control_wo = f(M, R_c - sigma_E R_c)
+DiffScore ComputeDiff(DiffMetricKind kind, double f_test, double f_control,
+                      double f_test_wo, double f_control_wo);
+
+/// Human-readable metric name ("absolute-change", ...).
+const char* DiffMetricName(DiffMetricKind kind);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_DIFF_METRICS_H_

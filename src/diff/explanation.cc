@@ -1,0 +1,102 @@
+#include "src/diff/explanation.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace tsexplain {
+
+Explanation Explanation::FromPredicates(std::vector<Predicate> preds) {
+  std::sort(preds.begin(), preds.end());
+  for (size_t i = 1; i < preds.size(); ++i) {
+    TSE_CHECK_NE(preds[i - 1].attr, preds[i].attr)
+        << "conjunction constrains one attribute twice";
+  }
+  Explanation e;
+  e.preds_ = std::move(preds);
+  return e;
+}
+
+bool Explanation::TryGetValue(AttrId attr, ValueId* value) const {
+  for (const Predicate& p : preds_) {
+    if (p.attr == attr) {
+      *value = p.value;
+      return true;
+    }
+    if (p.attr > attr) break;  // sorted
+  }
+  return false;
+}
+
+Explanation Explanation::Extend(Predicate p) const {
+  ValueId unused;
+  TSE_CHECK(!TryGetValue(p.attr, &unused))
+      << "attribute already constrained";
+  std::vector<Predicate> preds = preds_;
+  preds.push_back(p);
+  return FromPredicates(std::move(preds));
+}
+
+Explanation Explanation::WithoutAttr(AttrId attr) const {
+  std::vector<Predicate> preds;
+  preds.reserve(preds_.size());
+  bool found = false;
+  for (const Predicate& p : preds_) {
+    if (p.attr == attr) {
+      found = true;
+    } else {
+      preds.push_back(p);
+    }
+  }
+  TSE_CHECK(found) << "attribute not present in conjunction";
+  Explanation e;
+  e.preds_ = std::move(preds);  // removal preserves sort order
+  return e;
+}
+
+bool Explanation::OverlapsWith(const Explanation& other) const {
+  // Merge-scan the two sorted predicate lists looking for a shared
+  // attribute with different values.
+  size_t i = 0, j = 0;
+  while (i < preds_.size() && j < other.preds_.size()) {
+    if (preds_[i].attr == other.preds_[j].attr) {
+      if (preds_[i].value != other.preds_[j].value) return false;
+      ++i;
+      ++j;
+    } else if (preds_[i].attr < other.preds_[j].attr) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+uint64_t Explanation::Hash() const {
+  // FNV-1a over the (attr, value) stream.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (x >> (byte * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const Predicate& p : preds_) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(p.attr)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(p.value)));
+  }
+  return h;
+}
+
+std::string Explanation::ToString(const Table& table) const {
+  if (preds_.empty()) return "<all data>";
+  std::vector<std::string> parts;
+  parts.reserve(preds_.size());
+  for (const Predicate& p : preds_) {
+    parts.push_back(table.PredicateString(p.attr, p.value));
+  }
+  return Join(parts, " & ");
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,86 @@
+// Explanation = conjunction of equality predicates over explain-by
+// attributes (paper Definition 3.1). Explanations are value types: a sorted,
+// duplicate-free list of (attribute, value) pairs with at most one predicate
+// per attribute.
+
+#ifndef TSEXPLAIN_DIFF_EXPLANATION_H_
+#define TSEXPLAIN_DIFF_EXPLANATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+/// Dense id of a candidate explanation within an ExplanationRegistry.
+using ExplId = int32_t;
+
+inline constexpr ExplId kInvalidExplId = -1;
+
+/// Single equality predicate `attr = value` (dictionary-encoded).
+struct Predicate {
+  AttrId attr;
+  ValueId value;
+
+  bool operator==(const Predicate& other) const {
+    return attr == other.attr && value == other.value;
+  }
+  bool operator<(const Predicate& other) const {
+    return attr != other.attr ? attr < other.attr : value < other.value;
+  }
+};
+
+/// Conjunction of predicates, canonically sorted by attribute. The empty
+/// conjunction is the root cell (the whole relation).
+class Explanation {
+ public:
+  Explanation() = default;
+
+  /// Builds from arbitrary-order predicates; sorts and validates that no
+  /// attribute appears twice.
+  static Explanation FromPredicates(std::vector<Predicate> preds);
+
+  /// Number of predicates (the paper's order beta).
+  int order() const { return static_cast<int>(preds_.size()); }
+  bool IsRoot() const { return preds_.empty(); }
+  const std::vector<Predicate>& predicates() const { return preds_; }
+
+  /// Whether some predicate constrains `attr`; outputs its value.
+  bool TryGetValue(AttrId attr, ValueId* value) const;
+
+  /// New explanation extended with one more predicate on an unused attr.
+  Explanation Extend(Predicate p) const;
+
+  /// New explanation with the predicate on `attr` removed (must exist).
+  Explanation WithoutAttr(AttrId attr) const;
+
+  /// Two explanations are non-overlapping iff they disagree on some shared
+  /// attribute (then no record can satisfy both, for any relation R).
+  bool OverlapsWith(const Explanation& other) const;
+
+  bool operator==(const Explanation& other) const {
+    return preds_ == other.preds_;
+  }
+
+  /// Stable hash of the canonical predicate list.
+  uint64_t Hash() const;
+
+  /// Renders as "attr1=v1 & attr2=v2" using the table's dictionaries;
+  /// the root renders as "<all data>".
+  std::string ToString(const Table& table) const;
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+struct ExplanationHasher {
+  size_t operator()(const Explanation& e) const {
+    return static_cast<size_t>(e.Hash());
+  }
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_EXPLANATION_H_

@@ -1,0 +1,125 @@
+#include "src/diff/explanation_registry.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+// Enumerates all non-empty subsets of `explain_by` with size <= max_order,
+// as index lists into explain_by.
+std::vector<std::vector<size_t>> AttrSubsets(size_t num_attrs,
+                                             int max_order) {
+  std::vector<std::vector<size_t>> subsets;
+  std::vector<size_t> current;
+  // Depth-first enumeration in lexicographic order.
+  auto recurse = [&](auto&& self, size_t start) -> void {
+    if (!current.empty()) subsets.push_back(current);
+    if (static_cast<int>(current.size()) == max_order) return;
+    for (size_t i = start; i < num_attrs; ++i) {
+      current.push_back(i);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return subsets;
+}
+
+}  // namespace
+
+ExplanationRegistry ExplanationRegistry::Build(
+    const Table& table, const std::vector<AttrId>& explain_by,
+    int max_order) {
+  TSE_CHECK(!explain_by.empty());
+  TSE_CHECK_GE(max_order, 1);
+  for (AttrId a : explain_by) {
+    TSE_CHECK_GE(a, 0);
+    TSE_CHECK_LT(static_cast<size_t>(a), table.schema().num_dimensions());
+  }
+
+  ExplanationRegistry reg;
+  reg.explain_by_ = explain_by;
+  reg.max_order_ = max_order;
+
+  const auto subsets = AttrSubsets(explain_by.size(), max_order);
+
+  // Pass 1: find every occurring cell.
+  std::vector<Predicate> preds;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (const auto& subset : subsets) {
+      preds.clear();
+      for (size_t idx : subset) {
+        const AttrId attr = explain_by[idx];
+        preds.push_back(Predicate{attr, table.dim(row, attr)});
+      }
+      Explanation cell = Explanation::FromPredicates(preds);
+      auto [it, inserted] = reg.index_.try_emplace(
+          std::move(cell), static_cast<ExplId>(reg.cells_.size()));
+      if (inserted) reg.cells_.push_back(it->first);
+    }
+  }
+
+  // Pass 2: build drill-down links. Every cell of order k >= 1 is a child
+  // of each cell obtained by dropping one of its predicates.
+  reg.children_.resize(reg.cells_.size());
+  std::vector<std::unordered_map<AttrId, std::vector<ExplId>>> tmp(
+      reg.cells_.size());
+  std::unordered_map<AttrId, std::vector<ExplId>> root_tmp;
+  for (ExplId id = 0; id < static_cast<ExplId>(reg.cells_.size()); ++id) {
+    const Explanation& cell = reg.cells_[static_cast<size_t>(id)];
+    for (const Predicate& p : cell.predicates()) {
+      if (cell.order() == 1) {
+        root_tmp[p.attr].push_back(id);
+      } else {
+        const Explanation parent = cell.WithoutAttr(p.attr);
+        const ExplId parent_id = reg.Lookup(parent);
+        TSE_CHECK_NE(parent_id, kInvalidExplId)
+            << "parent cell missing; enumeration must be downward closed";
+        tmp[static_cast<size_t>(parent_id)][p.attr].push_back(id);
+      }
+    }
+  }
+
+  auto materialize =
+      [](std::unordered_map<AttrId, std::vector<ExplId>>& groups) {
+        std::vector<ChildGroup> out;
+        out.reserve(groups.size());
+        for (auto& [attr, children] : groups) {
+          std::sort(children.begin(), children.end());
+          out.push_back(ChildGroup{attr, std::move(children)});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const ChildGroup& a, const ChildGroup& b) {
+                    return a.attr < b.attr;
+                  });
+        return out;
+      };
+
+  reg.root_children_ = materialize(root_tmp);
+  for (size_t i = 0; i < reg.cells_.size(); ++i) {
+    reg.children_[i] = materialize(tmp[i]);
+  }
+  return reg;
+}
+
+const Explanation& ExplanationRegistry::explanation(ExplId id) const {
+  TSE_CHECK_GE(id, 0);
+  TSE_CHECK_LT(static_cast<size_t>(id), cells_.size());
+  return cells_[static_cast<size_t>(id)];
+}
+
+ExplId ExplanationRegistry::Lookup(const Explanation& e) const {
+  auto it = index_.find(e);
+  return it == index_.end() ? kInvalidExplId : it->second;
+}
+
+const std::vector<ChildGroup>& ExplanationRegistry::children(
+    ExplId id) const {
+  TSE_CHECK_GE(id, 0);
+  TSE_CHECK_LT(static_cast<size_t>(id), children_.size());
+  return children_[static_cast<size_t>(id)];
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,70 @@
+// Candidate-explanation enumeration and the drill-down lattice.
+//
+// Enumerates every conjunction of order <= max_order over the explain-by
+// attributes that actually occurs in the relation (empty slices can never
+// carry a diff score) and assigns each a dense ExplId. Also materializes the
+// drill-down structure the Cascading Analysts algorithm walks: for each cell
+// and each unconstrained attribute, the list of child cells obtained by
+// adding one predicate on that attribute (paper Figure 8).
+
+#ifndef TSEXPLAIN_DIFF_EXPLANATION_REGISTRY_H_
+#define TSEXPLAIN_DIFF_EXPLANATION_REGISTRY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/diff/explanation.h"
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+/// Children of a cell along one drill-down attribute.
+struct ChildGroup {
+  AttrId attr;
+  std::vector<ExplId> children;
+};
+
+/// Immutable-after-build candidate set + drill-down lattice.
+class ExplanationRegistry {
+ public:
+  /// Creates an empty registry (no candidates); assign from Build().
+  ExplanationRegistry() = default;
+
+  /// Enumerates all order-<=max_order conjunctions over `explain_by` that
+  /// occur in `table`. max_order is the paper's beta-bar (default 3 there).
+  static ExplanationRegistry Build(const Table& table,
+                                   const std::vector<AttrId>& explain_by,
+                                   int max_order);
+
+  /// Total number of candidate explanations (the paper's epsilon).
+  size_t num_explanations() const { return cells_.size(); }
+
+  const Explanation& explanation(ExplId id) const;
+
+  /// Id for a conjunction, or kInvalidExplId if it never occurs in data.
+  ExplId Lookup(const Explanation& e) const;
+
+  /// Drill-down children of the root (order-1 cells), grouped by attribute.
+  const std::vector<ChildGroup>& root_children() const {
+    return root_children_;
+  }
+
+  /// Drill-down children of a cell, grouped by attribute not yet
+  /// constrained by the cell. Cells at max_order have no children.
+  const std::vector<ChildGroup>& children(ExplId id) const;
+
+  const std::vector<AttrId>& explain_by() const { return explain_by_; }
+  int max_order() const { return max_order_; }
+
+ private:
+  std::vector<AttrId> explain_by_;
+  int max_order_ = 0;
+  std::vector<Explanation> cells_;
+  std::unordered_map<Explanation, ExplId, ExplanationHasher> index_;
+  std::vector<ChildGroup> root_children_;
+  std::vector<std::vector<ChildGroup>> children_;  // aligned with cells_
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_EXPLANATION_REGISTRY_H_

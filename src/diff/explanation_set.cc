@@ -1,0 +1,72 @@
+#include "src/diff/explanation_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tsexplain {
+
+bool SameRankedExplanations(const std::vector<ExplId>& a,
+                            const std::vector<ExplId>& b) {
+  return a == b;
+}
+
+double ExplanationJaccard(const std::vector<ExplId>& a,
+                          const std::vector<ExplId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::set<ExplId> sa(a.begin(), a.end());
+  const std::set<ExplId> sb(b.begin(), b.end());
+  size_t shared = 0;
+  for (ExplId id : sa) {
+    if (sb.count(id) > 0) ++shared;
+  }
+  const size_t unioned = sa.size() + sb.size() - shared;
+  return unioned == 0 ? 1.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(unioned);
+}
+
+double RankWeightedOverlap(const std::vector<ExplId>& a,
+                           const std::vector<ExplId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto weight = [](size_t rank) {
+    return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  };
+  // Weighted agreement: for each id in a, credit its a-rank weight if b
+  // contains it, scaled by how closely the ranks agree.
+  double total = 0.0;
+  double agree = 0.0;
+  for (size_t r = 0; r < a.size(); ++r) {
+    total += weight(r);
+    const auto it = std::find(b.begin(), b.end(), a[r]);
+    if (it != b.end()) {
+      const size_t rb = static_cast<size_t>(it - b.begin());
+      agree += std::min(weight(r), weight(rb));
+    }
+  }
+  for (size_t r = 0; r < b.size(); ++r) total += weight(r);
+  for (size_t r = 0; r < b.size(); ++r) {
+    const auto it = std::find(a.begin(), a.end(), b[r]);
+    if (it != a.end()) {
+      const size_t ra = static_cast<size_t>(it - a.begin());
+      agree += std::min(weight(r), weight(ra));
+    }
+  }
+  return total == 0.0 ? 1.0 : agree / total;
+}
+
+double SchemeExplanationDiversity(
+    const std::vector<std::vector<ExplId>>& per_segment_ids) {
+  if (per_segment_ids.size() <= 1) return 1.0;
+  size_t identical = 0;
+  for (size_t i = 0; i + 1 < per_segment_ids.size(); ++i) {
+    if (SameRankedExplanations(per_segment_ids[i],
+                               per_segment_ids[i + 1])) {
+      ++identical;
+    }
+  }
+  const size_t pairs = per_segment_ids.size() - 1;
+  return 1.0 - static_cast<double>(identical) / static_cast<double>(pairs);
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,38 @@
+// Utilities over ranked explanation lists: similarity between two
+// segments' top lists and diversity diagnostics over a whole scheme
+// (section 7.4's critique of the baselines: "the neighboring segments have
+// the same explanations").
+
+#ifndef TSEXPLAIN_DIFF_EXPLANATION_SET_H_
+#define TSEXPLAIN_DIFF_EXPLANATION_SET_H_
+
+#include <vector>
+
+#include "src/diff/cascading_analysts.h"
+
+namespace tsexplain {
+
+/// True when both ranked lists contain the same ids in the same order.
+bool SameRankedExplanations(const std::vector<ExplId>& a,
+                            const std::vector<ExplId>& b);
+
+/// Jaccard similarity of the two lists' id sets (order-insensitive);
+/// both empty -> 1.
+double ExplanationJaccard(const std::vector<ExplId>& a,
+                          const std::vector<ExplId>& b);
+
+/// Rank-biased overlap-style similarity: weights agreement at rank r by
+/// 1/log2(r+2) on both sides, normalized to [0, 1]; identical lists -> 1,
+/// disjoint -> 0. Stricter than Jaccard about the ordering.
+double RankWeightedOverlap(const std::vector<ExplId>& a,
+                           const std::vector<ExplId>& b);
+
+/// Diversity of a segmentation's explanation sequence: 1 - (number of
+/// adjacent identical-ranked-list pairs) / (number of adjacent pairs).
+/// A single segment scores 1.
+double SchemeExplanationDiversity(
+    const std::vector<std::vector<ExplId>>& per_segment_ids);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_EXPLANATION_SET_H_

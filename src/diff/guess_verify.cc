@@ -1,0 +1,102 @@
+#include "src/diff/guess_verify.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kScoreEps = 1e-9;
+
+}  // namespace
+
+TopExplanations GuessVerifyTopM(CascadingAnalysts& solver,
+                                const std::vector<double>& gamma, int m,
+                                const std::vector<bool>* selectable,
+                                int initial_guess, GuessVerifyStats* stats) {
+  TSE_CHECK_GE(m, 1);
+  TSE_CHECK_GE(initial_guess, 1);
+  const size_t epsilon = gamma.size();
+
+  // chi: candidate ids the caller allows with positive score. Kept
+  // UNSORTED; each guess round only needs the top (guess + m) elements, so
+  // nth_element + a prefix sort beats a full epsilon*log(epsilon) sort.
+  std::vector<ExplId> chi;
+  chi.reserve(epsilon);
+  for (size_t e = 0; e < epsilon; ++e) {
+    if (selectable != nullptr && !(*selectable)[e]) continue;
+    if (gamma[e] > 0.0) chi.push_back(static_cast<ExplId>(e));
+  }
+
+  GuessVerifyStats local_stats;
+  int guess = std::min<int>(initial_guess, static_cast<int>(chi.size()));
+  if (guess == 0) {
+    // No scoring candidates at all: empty result with zero Best.
+    if (stats != nullptr) {
+      stats->iterations = 1;
+      stats->final_guess_size = 0;
+      stats->exact_fallback = true;
+    }
+    TopExplanations empty;
+    empty.best.assign(static_cast<size_t>(m) + 1, 0.0);
+    return empty;
+  }
+
+  auto by_gamma_desc = [&gamma](ExplId a, ExplId b) {
+    const double ga = gamma[static_cast<size_t>(a)];
+    const double gb = gamma[static_cast<size_t>(b)];
+    if (ga != gb) return ga > gb;
+    return a < b;
+  };
+  int sorted_prefix = 0;
+  std::vector<ExplId> candidates;
+  for (;;) {
+    ++local_stats.iterations;
+    // Ensure the first (guess + m) entries of chi are the largest, sorted.
+    const int need =
+        std::min<int>(guess + m, static_cast<int>(chi.size()));
+    if (need > sorted_prefix) {
+      std::nth_element(chi.begin(), chi.begin() + need - 1, chi.end(),
+                       by_gamma_desc);
+      std::sort(chi.begin(), chi.begin() + need, by_gamma_desc);
+      sorted_prefix = need;
+    }
+
+    candidates.assign(chi.begin(), chi.begin() + std::min<int>(
+                                                     guess,
+                                                     static_cast<int>(
+                                                         chi.size())));
+    TopExplanations result = solver.TopMRestricted(gamma, m, candidates);
+
+    const bool covered_all = guess >= static_cast<int>(chi.size());
+    bool verified = true;
+    if (!covered_all) {
+      // Eq. 12: for every split m' in-prefix / (m - m') out-of-prefix, the
+      // out-of-prefix part is upper-bounded by the next (m - m') raw gammas.
+      for (int m_prime = 0; m_prime < m && verified; ++m_prime) {
+        double upper = result.best[static_cast<size_t>(m_prime)];
+        for (int j = 1; j <= m - m_prime; ++j) {
+          const size_t idx = static_cast<size_t>(guess + j - 1);
+          if (idx < chi.size()) {
+            upper += gamma[static_cast<size_t>(chi[idx])];
+          }
+        }
+        if (result.best[static_cast<size_t>(m)] < upper - kScoreEps) {
+          verified = false;
+        }
+      }
+    }
+
+    if (verified || covered_all) {
+      local_stats.final_guess_size = guess;
+      local_stats.exact_fallback = covered_all;
+      if (stats != nullptr) *stats = local_stats;
+      return result;
+    }
+    guess = std::min<int>(guess * 2, static_cast<int>(chi.size()));
+  }
+}
+
+}  // namespace tsexplain

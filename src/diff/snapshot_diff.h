@@ -1,0 +1,70 @@
+// Two-relations diff as a stand-alone public API (paper section 3.1).
+//
+// TSExplain's building block, exposed directly: given a relation, a
+// control timestamp and a test timestamp, return the top-m non-overlapping
+// explanations of the difference -- what PowerBI's "key influencers" or
+// the diff operator of Abuzaid et al. answer for a pair of snapshots.
+// Downstream users who only need "why did yesterday differ from today"
+// can call this without touching segmentation.
+
+#ifndef TSEXPLAIN_DIFF_SNAPSHOT_DIFF_H_
+#define TSEXPLAIN_DIFF_SNAPSHOT_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/diff/diff_metrics.h"
+#include "src/table/group_by.h"
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+struct SnapshotDiffOptions {
+  AggregateFunction aggregate = AggregateFunction::kSum;
+  /// Measure column name; empty = COUNT(*).
+  std::string measure;
+  /// Explain-by attribute names; empty = all dimensions.
+  std::vector<std::string> explain_by;
+  int max_order = 3;
+  int m = 3;
+  DiffMetricKind metric = DiffMetricKind::kAbsoluteChange;
+  /// Support filter ratio; <= 0 disables filtering.
+  double filter_ratio = 0.0;
+  /// Collapse equal-slice conjunctions (hierarchies).
+  bool dedupe_redundant = true;
+};
+
+struct SnapshotDiffItem {
+  std::string description;
+  double gamma = 0.0;
+  int tau = 0;
+  /// Slice aggregate at the control / test timestamps (context for UIs).
+  double control_value = 0.0;
+  double test_value = 0.0;
+};
+
+struct SnapshotDiffResult {
+  /// Ranked top-m non-overlapping explanations of the difference.
+  std::vector<SnapshotDiffItem> top;
+  /// f(M, R) at the two endpoints.
+  double control_total = 0.0;
+  double test_total = 0.0;
+};
+
+/// Explains the difference between the relation at time buckets
+/// `control_time` and `test_time` (labels as registered in the table).
+/// Aborts on unknown labels/columns (consistent with the library's
+/// invariant-checking style).
+SnapshotDiffResult SnapshotDiff(const Table& table,
+                                const std::string& control_time,
+                                const std::string& test_time,
+                                const SnapshotDiffOptions& options = {});
+
+/// Index-based variant (0-based time buckets).
+SnapshotDiffResult SnapshotDiffAt(const Table& table, int control_time,
+                                  int test_time,
+                                  const SnapshotDiffOptions& options = {});
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_DIFF_SNAPSHOT_DIFF_H_

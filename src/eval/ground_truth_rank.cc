@@ -1,0 +1,83 @@
+#include "src/eval/ground_truth_rank.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace tsexplain {
+
+std::vector<int> RandomSegmentation(int n, int k, Rng& rng) {
+  TSE_CHECK_GE(k, 1);
+  TSE_CHECK_LE(k, n - 1);
+  std::vector<int> cuts{0};
+  if (k > 1) {
+    std::vector<int> interior = rng.SampleDistinctSorted(1, n - 2, k - 1);
+    cuts.insert(cuts.end(), interior.begin(), interior.end());
+  }
+  cuts.push_back(n - 1);
+  return cuts;
+}
+
+GroundTruthRankResult EvaluateGroundTruthRank(
+    VarianceCalculator& calc, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed) {
+  TSE_CHECK_GE(samples, 1);
+  const int n = calc.explainer().n();
+  const int k = static_cast<int>(ground_truth_cuts.size()) - 1;
+  TSE_CHECK_GE(k, 1);
+
+  GroundTruthRankResult result;
+  result.samples = samples;
+  result.ground_truth_score = TotalObjective(calc, ground_truth_cuts);
+
+  Rng rng(seed);
+  int better = 0;
+  for (int s = 0; s < samples; ++s) {
+    const std::vector<int> scheme = RandomSegmentation(n, k, rng);
+    if (TotalObjective(calc, scheme) < result.ground_truth_score) {
+      ++better;
+    }
+  }
+  result.rank = better + 1;
+  return result;
+}
+
+double ObjectiveFromTable(const VarianceTable& table,
+                          const std::vector<int>& cuts) {
+  TSE_CHECK_GE(cuts.size(), 2u);
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    total += table.WeightedVar(static_cast<size_t>(cuts[i]),
+                               static_cast<size_t>(cuts[i + 1]));
+  }
+  return total;
+}
+
+GroundTruthRankResult EvaluateGroundTruthRankWithTable(
+    const VarianceTable& table, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed) {
+  TSE_CHECK_GE(samples, 1);
+  // Identity-position requirement so cut values index the table directly.
+  for (size_t i = 0; i < table.positions().size(); ++i) {
+    TSE_CHECK_EQ(table.positions()[i], static_cast<int>(i));
+  }
+  const int n = static_cast<int>(table.num_positions());
+  const int k = static_cast<int>(ground_truth_cuts.size()) - 1;
+  TSE_CHECK_GE(k, 1);
+
+  GroundTruthRankResult result;
+  result.samples = samples;
+  result.ground_truth_score = ObjectiveFromTable(table, ground_truth_cuts);
+
+  Rng rng(seed);
+  int better = 0;
+  for (int s = 0; s < samples; ++s) {
+    const std::vector<int> scheme = RandomSegmentation(n, k, rng);
+    if (ObjectiveFromTable(table, scheme) < result.ground_truth_score) {
+      ++better;
+    }
+  }
+  result.rank = better + 1;
+  return result;
+}
+
+}  // namespace tsexplain

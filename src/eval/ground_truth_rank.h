@@ -1,0 +1,56 @@
+// Ground-truth-rank evaluation of variance designs (paper section 4.2.2,
+// Figure 6).
+//
+// A variance metric is effective if the ground-truth segmentation scores
+// at (or near) the minimum of the Problem-1 objective. Because the space of
+// K-segmentations is huge, the paper samples 10000 random schemes with the
+// oracle K and ranks the ground truth's objective among them: the smaller
+// the rank, the better the metric.
+
+#ifndef TSEXPLAIN_EVAL_GROUND_TRUTH_RANK_H_
+#define TSEXPLAIN_EVAL_GROUND_TRUTH_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/seg/variance.h"
+#include "src/seg/variance_table.h"
+
+namespace tsexplain {
+
+struct GroundTruthRankResult {
+  /// 1 + number of sampled schemes with a strictly lower objective.
+  int rank = 0;
+  /// Number of schemes actually sampled (paper: 10000).
+  int samples = 0;
+  /// Objective of the ground truth under the metric.
+  double ground_truth_score = 0.0;
+};
+
+/// Samples `samples` random segmentations with the ground truth's K
+/// (uniform distinct interior cuts) and ranks the ground truth among them.
+/// Deterministic in `seed`. The calc's explainer cache makes repeated
+/// scheme evaluations cheap.
+GroundTruthRankResult EvaluateGroundTruthRank(
+    VarianceCalculator& calc, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed);
+
+/// Objective of a scheme from a precomputed table whose candidate positions
+/// are ALL points (positions[i] == i).
+double ObjectiveFromTable(const VarianceTable& table,
+                          const std::vector<int>& cuts);
+
+/// Fast-path variant of EvaluateGroundTruthRank backed by a precomputed
+/// full-resolution VarianceTable: each sampled scheme costs O(K) lookups.
+/// Produces identical results to the calculator path.
+GroundTruthRankResult EvaluateGroundTruthRankWithTable(
+    const VarianceTable& table, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed);
+
+/// Draws one random segmentation of [0, n-1] with k segments: k-1 distinct
+/// interior cuts, uniform over position sets (endpoints added).
+std::vector<int> RandomSegmentation(int n, int k, class Rng& rng);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_EVAL_GROUND_TRUTH_RANK_H_

@@ -1,0 +1,69 @@
+#include "src/eval/metric_comparison.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::vector<double> CompetitionRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<double> ranks(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t better = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (values[j] < values[i]) ++better;
+    }
+    ranks[i] = static_cast<double>(better) + 1.0;
+  }
+  return ranks;
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&values](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average rank.
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t p = i; p <= j; ++p) ranks[order[p]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+MetricComparisonResult CompareVarianceMetrics(
+    SegmentExplainer& explainer, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed) {
+  std::vector<int> positions(static_cast<size_t>(explainer.n()));
+  std::iota(positions.begin(), positions.end(), 0);
+
+  MetricComparisonResult result;
+  std::vector<double> gt_ranks;
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    // Precompute every segment's weighted variance once (the 10000 sampled
+    // schemes then cost O(K) lookups each). All metrics share the
+    // explainer's explanation cache, so CA runs once per segment total.
+    VarianceCalculator calc(explainer, metric);
+    const VarianceTable table = VarianceTable::Compute(calc, positions);
+    // Same seed for every metric: identical sampled schemes, so metric
+    // ranks differ only because the objective differs.
+    const GroundTruthRankResult r = EvaluateGroundTruthRankWithTable(
+        table, ground_truth_cuts, samples, seed);
+    result.per_metric.push_back(r);
+    gt_ranks.push_back(static_cast<double>(r.rank));
+  }
+  result.metric_rank = CompetitionRanks(gt_ranks);
+  return result;
+}
+
+}  // namespace tsexplain

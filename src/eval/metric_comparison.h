@@ -1,0 +1,47 @@
+// Cross-metric comparison harness for Figure 6.
+//
+// For one dataset: compute every variance metric's ground-truth rank, then
+// rank the METRICS against each other (1 = best) by their ground-truth
+// rank, averaging tied ranks (fractional ranking) so incomparable metrics
+// share credit. Figure 6 then averages these per-metric ranks over all
+// datasets of one SNR level.
+
+#ifndef TSEXPLAIN_EVAL_METRIC_COMPARISON_H_
+#define TSEXPLAIN_EVAL_METRIC_COMPARISON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/ground_truth_rank.h"
+#include "src/seg/segment_distance.h"
+#include "src/seg/segment_explainer.h"
+
+namespace tsexplain {
+
+struct MetricComparisonResult {
+  /// Ground-truth rank per metric, aligned with kAllVarianceMetrics.
+  std::vector<GroundTruthRankResult> per_metric;
+  /// Competition rank (1 = best, ties share the better rank -- the paper's
+  /// Figure 6 convention: at SNR 50 every metric "ranks 1st").
+  std::vector<double> metric_rank;
+};
+
+/// Runs the ground-truth-rank evaluation for all eight variance metrics on
+/// one dataset. `explainer` must wrap the dataset's cube; all metrics share
+/// its explanation cache (identical segment queries), so the expensive CA
+/// work is paid once.
+MetricComparisonResult CompareVarianceMetrics(
+    SegmentExplainer& explainer, const std::vector<int>& ground_truth_cuts,
+    int samples, uint64_t seed);
+
+/// Fractional ranking helper: rank[i] of values[i] ascending, ties get the
+/// average of the ranks they span (e.g. values {3, 1, 3} -> {2.5, 1, 2.5}).
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Competition ("1224") ranking: ties share the best rank they span
+/// (e.g. values {3, 1, 3} -> {2, 1, 2}; all-equal -> all 1).
+std::vector<double> CompetitionRanks(const std::vector<double>& values);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_EVAL_METRIC_COMPARISON_H_

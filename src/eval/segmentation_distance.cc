@@ -1,0 +1,102 @@
+#include "src/eval/segmentation_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kUnmatchedCost = 0.5;
+
+std::vector<int> InteriorCuts(const std::vector<int>& cuts) {
+  TSE_CHECK_GE(cuts.size(), 2u);
+  std::vector<int> interior(cuts.begin() + 1, cuts.end() - 1);
+  TSE_CHECK(std::is_sorted(interior.begin(), interior.end()));
+  return interior;
+}
+
+}  // namespace
+
+double SegmentationAlignmentCost(const std::vector<int>& predicted,
+                                 const std::vector<int>& ground_truth,
+                                 int n) {
+  TSE_CHECK_GE(n, 2);
+  const std::vector<int> a = InteriorCuts(predicted);
+  const std::vector<int> b = InteriorCuts(ground_truth);
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 0.0;
+
+  // Levenshtein-style alignment with position-aware substitution cost.
+  std::vector<std::vector<double>> dp(
+      la + 1, std::vector<double>(lb + 1, 0.0));
+  for (size_t i = 1; i <= la; ++i) dp[i][0] = dp[i - 1][0] + kUnmatchedCost;
+  for (size_t j = 1; j <= lb; ++j) dp[0][j] = dp[0][j - 1] + kUnmatchedCost;
+  for (size_t i = 1; i <= la; ++i) {
+    for (size_t j = 1; j <= lb; ++j) {
+      const double sub_cost =
+          static_cast<double>(std::abs(a[i - 1] - b[j - 1])) /
+          static_cast<double>(n);
+      dp[i][j] = std::min({dp[i - 1][j - 1] + sub_cost,
+                           dp[i - 1][j] + kUnmatchedCost,
+                           dp[i][j - 1] + kUnmatchedCost});
+    }
+  }
+  const double denom = static_cast<double>(std::max({la, lb, size_t{1}}));
+  return dp[la][lb] / denom;
+}
+
+double DistancePercent(const std::vector<int>& predicted,
+                       const std::vector<int>& ground_truth, int n) {
+  return 100.0 * SegmentationAlignmentCost(predicted, ground_truth, n);
+}
+
+CutPrecisionRecall EvaluateCutPrecisionRecall(
+    const std::vector<int>& predicted, const std::vector<int>& ground_truth,
+    int tolerance) {
+  TSE_CHECK_GE(tolerance, 0);
+  const std::vector<int> pred = InteriorCuts(predicted);
+  const std::vector<int> truth = InteriorCuts(ground_truth);
+
+  // Greedy nearest-pair matching: collect all candidate pairs within
+  // tolerance, take them closest-first, each side used once.
+  struct Pair {
+    int distance;
+    size_t p;
+    size_t g;
+  };
+  std::vector<Pair> pairs;
+  for (size_t p = 0; p < pred.size(); ++p) {
+    for (size_t g = 0; g < truth.size(); ++g) {
+      const int d = std::abs(pred[p] - truth[g]);
+      if (d <= tolerance) pairs.push_back(Pair{d, p, g});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.p != b.p) return a.p < b.p;
+    return a.g < b.g;
+  });
+  std::vector<bool> p_used(pred.size(), false), g_used(truth.size(), false);
+  CutPrecisionRecall result;
+  for (const Pair& pair : pairs) {
+    if (p_used[pair.p] || g_used[pair.g]) continue;
+    p_used[pair.p] = true;
+    g_used[pair.g] = true;
+    ++result.matched;
+  }
+  result.precision = pred.empty()
+                         ? 1.0
+                         : static_cast<double>(result.matched) /
+                               static_cast<double>(pred.size());
+  result.recall = truth.empty()
+                      ? 1.0
+                      : static_cast<double>(result.matched) /
+                            static_cast<double>(truth.size());
+  return result;
+}
+
+}  // namespace tsexplain

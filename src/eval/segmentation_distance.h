@@ -1,0 +1,50 @@
+// Segmentation-vs-ground-truth quality metric (paper section 7.3).
+//
+// The paper computes "the edit distance between outputs and ground truth
+// ... normalized by K and n", called distance percent (%). The exact
+// formula is not spelled out; we use an optimal monotone alignment of the
+// INTERIOR cut points (dynamic program): matching cut a to cut b costs
+// |a - b| / n, an unmatched cut on either side costs 1/2 (half the maximal
+// normalized match cost), and the total is divided by
+// max(#interior_pred, #interior_gt, 1) and scaled by 100. An exact match
+// scores 0; lower is better -- the shape the paper relies on.
+
+#ifndef TSEXPLAIN_EVAL_SEGMENTATION_DISTANCE_H_
+#define TSEXPLAIN_EVAL_SEGMENTATION_DISTANCE_H_
+
+#include <vector>
+
+namespace tsexplain {
+
+/// Alignment edit distance between the interior cuts of two segmentations
+/// (cut vectors include the endpoints 0 and n-1). Returns the normalized
+/// cost BEFORE the x100 scaling.
+double SegmentationAlignmentCost(const std::vector<int>& predicted,
+                                 const std::vector<int>& ground_truth, int n);
+
+/// distance percent (%) = 100 * SegmentationAlignmentCost.
+double DistancePercent(const std::vector<int>& predicted,
+                       const std::vector<int>& ground_truth, int n);
+
+/// Precision/recall of interior-cut detection with a position tolerance:
+/// a predicted cut is a true positive if some ground-truth cut lies within
+/// `tolerance` positions (greedy one-to-one matching, nearest first).
+/// Complements distance-percent with an intuitive hit-rate reading.
+struct CutPrecisionRecall {
+  double precision = 1.0;  // matched predicted / total predicted
+  double recall = 1.0;     // matched ground truth / total ground truth
+  int matched = 0;
+
+  double F1() const {
+    const double denom = precision + recall;
+    return denom <= 0.0 ? 0.0 : 2.0 * precision * recall / denom;
+  }
+};
+
+CutPrecisionRecall EvaluateCutPrecisionRecall(
+    const std::vector<int>& predicted, const std::vector<int>& ground_truth,
+    int tolerance);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_EVAL_SEGMENTATION_DISTANCE_H_

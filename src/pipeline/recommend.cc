@@ -1,0 +1,77 @@
+#include "src/pipeline/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::vector<ExplainByRecommendation> RecommendExplainBy(
+    const Table& table, AggregateFunction aggregate,
+    const std::string& measure, int m,
+    const std::vector<std::string>& candidates) {
+  TSE_CHECK_GE(m, 1);
+  const int measure_idx =
+      measure.empty() ? -1 : table.schema().MeasureIndex(measure);
+  if (!measure.empty()) {
+    TSE_CHECK_GE(measure_idx, 0) << "unknown measure: " << measure;
+  }
+
+  std::vector<std::string> dims = candidates;
+  if (dims.empty()) dims = table.schema().dimension_names();
+
+  std::vector<ExplainByRecommendation> out;
+  for (const std::string& name : dims) {
+    const AttrId attr = table.schema().DimensionIndex(name);
+    TSE_CHECK_NE(attr, kInvalidAttrId) << "unknown dimension: " << name;
+
+    const std::vector<TimeSeries> slices =
+        GroupByTimeAndDimension(table, aggregate, measure_idx, attr);
+    ExplainByRecommendation rec;
+    rec.dimension = name;
+    rec.cardinality = slices.size();
+    if (slices.empty() || slices[0].size() < 2) {
+      out.push_back(rec);
+      continue;
+    }
+
+    const size_t n = slices[0].size();
+    std::vector<double> gammas(slices.size());
+    double total_score = 0.0;
+    int counted = 0;
+    for (size_t x = 0; x + 1 < n; ++x) {
+      // For SUM-like decomposable aggregates, gamma of value v on the unit
+      // object [x, x+1] is |slice_v[x+1] - slice_v[x]| (absolute-change).
+      double total = 0.0;
+      for (size_t v = 0; v < slices.size(); ++v) {
+        gammas[v] = std::abs(slices[v].values[x + 1] - slices[v].values[x]);
+        total += gammas[v];
+      }
+      if (total <= 1e-12) continue;  // nothing changed at this step
+      // Sum of the m largest gammas.
+      const size_t take = std::min(static_cast<size_t>(m), gammas.size());
+      std::partial_sort(gammas.begin(),
+                        gammas.begin() + static_cast<std::ptrdiff_t>(take),
+                        gammas.end(), std::greater<double>());
+      double top = 0.0;
+      for (size_t r = 0; r < take; ++r) top += gammas[r];
+      total_score += top / total;
+      ++counted;
+    }
+    rec.concentration = counted == 0 ? 0.0 : total_score / counted;
+    out.push_back(rec);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const ExplainByRecommendation& a,
+               const ExplainByRecommendation& b) {
+              if (a.concentration != b.concentration) {
+                return a.concentration > b.concentration;
+              }
+              return a.dimension < b.dimension;
+            });
+  return out;
+}
+
+}  // namespace tsexplain

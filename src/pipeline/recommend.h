@@ -1,0 +1,44 @@
+// Explain-by attribute recommendation (paper section 9 lists "recommending
+// explain-by attributes" as future work; this is our implementation of it).
+//
+// Intuition from the paper's liquor finding: an attribute is a GOOD
+// explain-by candidate when a few of its values concentrate most of the
+// change (BV, Pack), and a poor one when the change smears uniformly over
+// many values (Vendor, Category Name). We score each dimension by its
+// average top-m gamma concentration over the series' unit segments:
+//
+//   score(D) = mean over objects [x, x+1] of
+//                (sum of the m largest gamma(D=v) ) / (sum of all gamma(D=v))
+//
+// Scores live in (0, 1]; higher = more concentrated = more interesting.
+// Degenerate objects with no change are skipped.
+
+#ifndef TSEXPLAIN_PIPELINE_RECOMMEND_H_
+#define TSEXPLAIN_PIPELINE_RECOMMEND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/group_by.h"
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+struct ExplainByRecommendation {
+  std::string dimension;
+  double concentration = 0.0;  // (0, 1]; higher = better candidate
+  size_t cardinality = 0;      // distinct values (context for the user)
+};
+
+/// Scores every dimension of `table` (or `candidates` when non-empty) as an
+/// explain-by attribute for the aggregated series SELECT T, f(measure).
+/// Results are sorted by descending concentration. `m` matches the top-m
+/// the user will ask for (default 3, the paper's setting).
+std::vector<ExplainByRecommendation> RecommendExplainBy(
+    const Table& table, AggregateFunction aggregate,
+    const std::string& measure, int m = 3,
+    const std::vector<std::string>& candidates = {});
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_PIPELINE_RECOMMEND_H_

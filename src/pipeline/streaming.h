@@ -1,0 +1,81 @@
+// Real-time / streaming extension (paper section 8).
+//
+// "TSExplain first gives users the segmentation results of existing time
+// series and meanwhile caches all unit segments' top explanations. When new
+// data arrives, it incrementally computes the top explanations for the new
+// time series, runs the segmentation algorithm based on the existing time
+// series' cutting points and newly arrived data points, and updates the
+// segmentation results."
+//
+// StreamingTSExplain implements exactly that: the first Explain() is a full
+// run; every AppendBucket() extends the cube with new partials (the
+// explainer's caches for old segments remain valid because gamma depends
+// only on the endpoint partials, which never change); subsequent Explain()
+// calls restrict the cut candidates to { previous cuts } + { points
+// appended since the last run }, making each refresh cheap instead of
+// O(n^3) wide. If an appended row introduces a never-seen cell, the
+// registry/cube are rebuilt (rare; documented in DESIGN.md).
+
+#ifndef TSEXPLAIN_PIPELINE_STREAMING_H_
+#define TSEXPLAIN_PIPELINE_STREAMING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+
+/// One incoming record: explain-by dimension values (aligned with the
+/// table's dimension columns) + measures (aligned with measure columns).
+struct StreamRow {
+  std::vector<std::string> dims;
+  std::vector<double> measures;
+};
+
+/// Incremental TSExplain over an internally owned, growing Table.
+class StreamingTSExplain {
+ public:
+  /// Copies `initial` into the internal table and builds the cube.
+  /// Sketch (O2) applies to the first full run only; incremental runs
+  /// already restrict the candidates.
+  StreamingTSExplain(const Table& initial, TSExplainConfig config);
+
+  /// Appends one new time bucket with its rows.
+  void AppendBucket(const std::string& label,
+                    const std::vector<StreamRow>& rows);
+
+  /// Full run on the first call; incremental runs afterwards.
+  TSExplainResult Explain();
+
+  /// Number of time buckets currently covered.
+  int n() const { return static_cast<int>(table_->num_time_buckets()); }
+
+  /// Whether the last AppendBucket forced a full rebuild (new cells).
+  bool last_append_rebuilt() const { return last_append_rebuilt_; }
+
+ private:
+  void BuildEngine();
+  std::vector<bool> ComputeActiveMask() const;
+  TSExplainResult RunWithCandidates(const std::vector<int>& positions);
+
+  std::unique_ptr<Table> table_;
+  TSExplainConfig config_;
+  std::vector<AttrId> explain_by_;
+  int measure_idx_ = -1;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  /// Combined canonical + support-filter mask (empty = all selectable).
+  std::vector<bool> active_mask_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+
+  std::vector<int> last_cuts_;
+  int last_n_ = 0;
+  bool first_run_done_ = false;
+  bool last_append_rebuilt_ = false;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_PIPELINE_STREAMING_H_

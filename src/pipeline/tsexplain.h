@@ -1,0 +1,184 @@
+// TSExplain pipeline facade: the system's primary public API.
+//
+// Wires together every module of Figure 7: (a) cube precomputation,
+// (b) Cascading Analysts (optionally guess-and-verify, O1),
+// (c) K-Segmentation with the NDCG variance (optionally sketched, O2),
+// plus the support filter and the elbow-based optimal-K selection.
+//
+// Typical use:
+//
+//   TSExplainConfig config;
+//   config.aggregate = AggregateFunction::kSum;
+//   config.measure = "total_confirmed_cases";
+//   config.explain_by_names = {"state"};
+//   TSExplain engine(table, config);
+//   TSExplainResult result = engine.Run();
+//   for (const SegmentExplanation& seg : result.segments) { ... }
+
+#ifndef TSEXPLAIN_PIPELINE_TSEXPLAIN_H_
+#define TSEXPLAIN_PIPELINE_TSEXPLAIN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cube/canonical_mask.h"
+#include "src/cube/explanation_cube.h"
+#include "src/cube/support_filter.h"
+#include "src/diff/guess_verify.h"
+#include "src/seg/elbow.h"
+#include "src/seg/kseg_dp.h"
+#include "src/seg/segment_explainer.h"
+#include "src/seg/sketch.h"
+#include "src/seg/variance.h"
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+/// Full pipeline configuration. Defaults mirror the paper's defaults:
+/// m = 3, beta-bar = 3, absolute-change, tse variance, auto-K (elbow,
+/// K <= 20), all optimizations off (VanillaTSExplain).
+struct TSExplainConfig {
+  // --- Query -------------------------------------------------------------
+  AggregateFunction aggregate = AggregateFunction::kSum;
+  /// Measure column name; empty means COUNT(*).
+  std::string measure;
+  /// Explain-by attribute names (must be dimensions of the table).
+  std::vector<std::string> explain_by_names;
+  /// Maximum explanation order beta-bar.
+  int max_order = 3;
+  /// Top-m explanations per segment.
+  int m = 3;
+  DiffMetricKind diff_metric = DiffMetricKind::kAbsoluteChange;
+  VarianceMetric variance_metric = VarianceMetric::kTse;
+  /// Moving-average smoothing window (1 = off).
+  int smooth_window = 1;
+
+  // --- Segmentation ------------------------------------------------------
+  /// Fixed segment count; 0 selects K automatically via the elbow method.
+  int fixed_k = 0;
+  /// Upper bound for the auto-K search (paper: 20).
+  int max_k = kMaxSegments;
+
+  // --- Optimizations -----------------------------------------------------
+  bool use_filter = false;         // support filter ("w filter")
+  double filter_ratio = kDefaultFilterRatio;
+  bool use_guess_verify = false;   // O1
+  int initial_guess = kDefaultInitialGuess;
+  bool use_sketch = false;         // O2
+  SketchParams sketch_params;      // zeros = paper's empirical defaults
+  /// Deduplicate equal-slice conjunctions (hierarchical attributes); on by
+  /// default, matching the paper's epsilon accounting (see canonical_mask.h).
+  bool dedupe_redundant = true;
+  /// Worker threads for the module (c) distance fill (1 = the paper's
+  /// single-threaded setting; results are identical at any thread count).
+  int threads = 1;
+  /// Explanations touching any of these predicates never surface. Entries
+  /// are "attr=value" strings (e.g. "state=unknown") or bare values (which
+  /// exclude the value under every attribute). Analysts use this to mute
+  /// trivial or garbage slices without re-loading data.
+  std::vector<std::string> exclude;
+};
+
+/// One explanation within a segment, rendered for output.
+struct ExplanationItem {
+  ExplId id = kInvalidExplId;
+  std::string description;  // e.g. "state=NY" or "BV=1750 & P=6"
+  double gamma = 0.0;
+  int tau = 0;  // +1 / -1 / 0 change effect
+
+  /// "state=NY (+)" rendering used by the report printers.
+  std::string ToString() const;
+};
+
+/// A segment of the final scheme with its top-m explanations.
+struct SegmentExplanation {
+  int begin = 0;
+  int end = 0;
+  std::string begin_label;
+  std::string end_label;
+  std::vector<ExplanationItem> top;
+  /// Within-segment variance var(P) of this segment under the configured
+  /// metric (paper Eq. 7; range [0, 1]).
+  double variance = 0.0;
+  /// True when this segment's variance is well above the scheme's average:
+  /// its static top-explanation summarizes it poorly and the user should
+  /// inspect it at a finer granularity (paper section 9's "hints for
+  /// segments with higher variance").
+  bool high_variance_hint = false;
+};
+
+/// Latency breakdown matching the paper's Figure 15 categories.
+struct TimingBreakdown {
+  double precompute_ms = 0.0;    // module (a): cube build + gamma fills
+  double cascading_ms = 0.0;     // module (b): CA / guess-and-verify
+  double segmentation_ms = 0.0;  // module (c): distances, variance, DP
+  double TotalMs() const {
+    return precompute_ms + cascading_ms + segmentation_ms;
+  }
+};
+
+/// Full pipeline output.
+struct TSExplainResult {
+  /// Chosen segmentation (cuts include both endpoints).
+  Segmentation segmentation;
+  int chosen_k = 0;
+  /// D(n, K) for K = 1..max_k (K-variance curve; infeasible = +inf).
+  std::vector<double> k_variance_curve;
+  /// Evolving explanations: one entry per segment, in time order.
+  std::vector<SegmentExplanation> segments;
+  TimingBreakdown timing;
+  /// Candidate explanation counts before/after the support filter.
+  size_t epsilon = 0;
+  size_t filtered_epsilon = 0;
+  /// Sketch positions when O2 ran (empty otherwise).
+  std::vector<int> sketch_positions;
+};
+
+/// The TSExplain engine. Owns the registry, cube, and caches; one instance
+/// answers repeated Run() calls (e.g. with different fixed_k) without
+/// re-scanning the relation.
+class TSExplain {
+ public:
+  /// Builds the registry and cube from `table` (module (a) precomputation).
+  TSExplain(const Table& table, TSExplainConfig config);
+
+  /// Runs segmentation + per-segment explanation per the configuration.
+  TSExplainResult Run();
+
+  /// Recomputes the total variance of an arbitrary scheme under this
+  /// engine's metric at unit-object granularity (used for Table 7 quality
+  /// comparisons; cuts must include both endpoints).
+  double EvaluateScheme(const std::vector<int>& cuts);
+
+  /// Component access for tests, benches, and power users ----------------
+  const Table& table() const { return table_; }
+  const ExplanationRegistry& registry() const { return registry_; }
+  const ExplanationCube& cube() const { return *cube_; }
+  SegmentExplainer& explainer() { return *explainer_; }
+  const TSExplainConfig& config() const { return config_; }
+
+  /// Renders the top explanations of an arbitrary segment (two-relations
+  /// diff on its endpoints, paper section 3.1).
+  std::vector<ExplanationItem> ExplainSegment(int begin, int end);
+
+ private:
+  const Table& table_;
+  TSExplainConfig config_;
+  std::vector<AttrId> explain_by_;
+  int measure_idx_ = -1;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  /// Combined selectable mask: canonical (dedupe) AND support filter.
+  /// Empty when neither option is enabled.
+  std::vector<bool> active_mask_;
+  size_t canonical_count_ = 0;
+  size_t active_count_ = 0;
+  std::unique_ptr<SegmentExplainer> explainer_;
+  double build_ms_ = 0.0;  // registry + cube + mask construction time
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_PIPELINE_TSEXPLAIN_H_

@@ -1,0 +1,53 @@
+#include "src/seg/elbow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Number of leading feasible (finite) entries.
+size_t FeasibleLength(const std::vector<double>& curve) {
+  size_t len = 0;
+  while (len < curve.size() && curve[len] != kInf) ++len;
+  return len;
+}
+
+}  // namespace
+
+std::vector<double> KneedleDifferenceCurve(const std::vector<double>& curve) {
+  const size_t len = FeasibleLength(curve);
+  TSE_CHECK_GE(len, 1u);
+  std::vector<double> diff(len, 0.0);
+  if (len == 1) return diff;
+
+  double lo = curve[0], hi = curve[0];
+  for (size_t i = 0; i < len; ++i) {
+    lo = std::min(lo, curve[i]);
+    hi = std::max(hi, curve[i]);
+  }
+  const double range = hi - lo;
+  for (size_t i = 0; i < len; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(len - 1);
+    const double y = range <= 0.0 ? 0.0 : (curve[i] - lo) / range;
+    diff[i] = (1.0 - y) - x;  // flipped curve minus the diagonal
+  }
+  return diff;
+}
+
+int SelectElbowK(const std::vector<double>& curve) {
+  TSE_CHECK(!curve.empty());
+  const std::vector<double> diff = KneedleDifferenceCurve(curve);
+  size_t best = 0;
+  for (size_t i = 1; i < diff.size(); ++i) {
+    if (diff[i] > diff[best]) best = i;
+  }
+  return static_cast<int>(best) + 1;
+}
+
+}  // namespace tsexplain

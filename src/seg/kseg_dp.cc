@@ -1,0 +1,117 @@
+#include "src/seg/kseg_dp.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+KSegmentationDp::KSegmentationDp(const VarianceTable& table, int max_k)
+    : table_(table), max_k_(max_k), m_(table.num_positions()) {
+  TSE_CHECK_GE(max_k, 1);
+  // Cap k at the number of available segments.
+  max_k_ = std::min<int>(max_k_, static_cast<int>(m_) - 1);
+  TSE_CHECK_GE(max_k_, 1);
+
+  const size_t stride = static_cast<size_t>(max_k_) + 1;
+  d_.assign(m_ * stride, kInf);
+  parent_.assign(m_ * stride, -1);
+
+  auto idx = [stride](size_t j, int k) {
+    return j * stride + static_cast<size_t>(k);
+  };
+
+  // With a span cap only nearby predecessors can reach j; precompute the
+  // smallest feasible predecessor index per j (two pointers) so the inner
+  // loop is O(span window), not O(j).
+  std::vector<size_t> min_pred(m_, 0);
+  if (table_.max_span() >= 0) {
+    const auto& pos = table_.positions();
+    size_t lo = 0;
+    for (size_t j = 0; j < m_; ++j) {
+      while (pos[j] - pos[lo] > table_.max_span()) ++lo;
+      min_pred[j] = lo;
+    }
+  }
+
+  // Base: k = 1 means one segment [pos_0, pos_j].
+  for (size_t j = 1; j < m_; ++j) {
+    if (min_pred[j] > 0) continue;  // [pos_0, pos_j] exceeds the span cap
+    d_[idx(j, 1)] = table_.WeightedVar(0, j);
+    parent_[idx(j, 1)] = 0;
+  }
+
+  for (int k = 2; k <= max_k_; ++k) {
+    for (size_t j = static_cast<size_t>(k); j < m_; ++j) {
+      double best = kInf;
+      int32_t best_parent = -1;
+      // Enumerate the last cut j' (Eq. 11).
+      const size_t jp_begin =
+          std::max(min_pred[j], static_cast<size_t>(k - 1));
+      for (size_t jp = jp_begin; jp < j; ++jp) {
+        const double w = table_.WeightedVar(jp, j);
+        if (w == kInf) continue;
+        const double prev = d_[idx(jp, k - 1)];
+        if (prev == kInf) continue;
+        const double candidate = prev + w;
+        if (candidate < best) {
+          best = candidate;
+          best_parent = static_cast<int32_t>(jp);
+        }
+      }
+      d_[idx(j, k)] = best;
+      parent_[idx(j, k)] = best_parent;
+    }
+  }
+}
+
+double KSegmentationDp::TotalVariance(int k) const {
+  TSE_CHECK_GE(k, 1);
+  if (k > max_k_) return kInf;
+  return d_[(m_ - 1) * (static_cast<size_t>(max_k_) + 1) +
+            static_cast<size_t>(k)];
+}
+
+bool KSegmentationDp::Feasible(int k) const {
+  return TotalVariance(k) != kInf;
+}
+
+std::vector<double> KSegmentationDp::Curve() const {
+  std::vector<double> curve(static_cast<size_t>(max_k_));
+  for (int k = 1; k <= max_k_; ++k) {
+    curve[static_cast<size_t>(k - 1)] = TotalVariance(k);
+  }
+  return curve;
+}
+
+Segmentation KSegmentationDp::Reconstruct(int k) const {
+  TSE_CHECK(Feasible(k)) << "no feasible segmentation with k=" << k;
+  const size_t stride = static_cast<size_t>(max_k_) + 1;
+  Segmentation result;
+  result.total_variance = TotalVariance(k);
+
+  std::vector<size_t> indices;
+  size_t j = m_ - 1;
+  for (int level = k; level >= 1; --level) {
+    indices.push_back(j);
+    const int32_t p = parent_[j * stride + static_cast<size_t>(level)];
+    TSE_CHECK_GE(p, 0);
+    j = static_cast<size_t>(p);
+  }
+  TSE_CHECK_EQ(j, 0u);
+  indices.push_back(0);
+  std::reverse(indices.begin(), indices.end());
+
+  result.cuts.reserve(indices.size());
+  for (size_t index : indices) {
+    result.cuts.push_back(table_.positions()[index]);
+  }
+  return result;
+}
+
+}  // namespace tsexplain

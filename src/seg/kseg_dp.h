@@ -1,0 +1,62 @@
+// Dynamic program for K-Segmentation (paper Eq. 11).
+//
+//   D(j, k) = min over j' of [ D(j', k-1) + |P_k| var(P_k) ],
+//   P_k = [p_j', p_j]
+//
+// The DP runs over a candidate-position space (see VarianceTable) and
+// computes D(n, k) for EVERY k up to max_k in one pass, which is exactly
+// what the elbow method needs for free (paper section 6).
+
+#ifndef TSEXPLAIN_SEG_KSEG_DP_H_
+#define TSEXPLAIN_SEG_KSEG_DP_H_
+
+#include <vector>
+
+#include "src/seg/variance_table.h"
+
+namespace tsexplain {
+
+/// A segmentation scheme: cut positions in original point indices,
+/// including both endpoints (so K segments yield K+1 entries), plus its
+/// total objective value.
+struct Segmentation {
+  std::vector<int> cuts;
+  double total_variance = 0.0;
+
+  int num_segments() const { return static_cast<int>(cuts.size()) - 1; }
+};
+
+class KSegmentationDp {
+ public:
+  /// Solves the DP for k = 1..max_k over the table's candidate positions.
+  KSegmentationDp(const VarianceTable& table, int max_k);
+
+  int max_k() const { return max_k_; }
+
+  /// D(n, k): minimal total weighted variance with exactly k segments;
+  /// +infinity when infeasible (e.g. k exceeds candidate count, or the
+  /// span cap makes full coverage impossible).
+  double TotalVariance(int k) const;
+
+  /// Whether exactly k segments can cover the series.
+  bool Feasible(int k) const;
+
+  /// The K-variance curve for k = 1..max_k (index 0 <-> k = 1), with
+  /// infeasible entries at +infinity. Input to the elbow selector.
+  std::vector<double> Curve() const;
+
+  /// Optimal segmentation with exactly k segments. Requires Feasible(k).
+  Segmentation Reconstruct(int k) const;
+
+ private:
+  const VarianceTable& table_;
+  int max_k_;
+  size_t m_;  // number of candidate positions
+  // d_[j * (max_k_+1) + k], parent_ holds the previous candidate index.
+  std::vector<double> d_;
+  std::vector<int32_t> parent_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SEG_KSEG_DP_H_

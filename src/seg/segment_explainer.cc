@@ -1,0 +1,85 @@
+#include "src/seg/segment_explainer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+
+SegmentExplainer::SegmentExplainer(const ExplanationCube& cube,
+                                   const ExplanationRegistry& registry,
+                                   Options options)
+    : cube_(cube),
+      registry_(registry),
+      options_(options),
+      solver_(registry),
+      gamma_scratch_(registry.num_explanations(), 0.0) {
+  TSE_CHECK_GE(options_.m, 1);
+  if (options_.active != nullptr) {
+    TSE_CHECK_EQ(options_.active->size(), registry.num_explanations());
+  }
+}
+
+const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
+  TSE_CHECK_GE(a, 0);
+  TSE_CHECK_LT(a, b);
+  TSE_CHECK_LT(b, n());
+  // Key is independent of n so cached entries stay valid when the cube
+  // grows (streaming extension appends buckets; old partials never change).
+  const uint64_t key =
+      (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  {
+    // Module (a): fill gamma for every (active) candidate cell.
+    ScopedTimer t(&timing_.precompute_ms);
+    const size_t epsilon = registry_.num_explanations();
+    for (size_t e = 0; e < epsilon; ++e) {
+      if (options_.active != nullptr && !(*options_.active)[e]) {
+        gamma_scratch_[e] = 0.0;
+        continue;
+      }
+      gamma_scratch_[e] =
+          cube_.Score(options_.metric, static_cast<ExplId>(e),
+                      static_cast<size_t>(a), static_cast<size_t>(b))
+              .gamma;
+    }
+  }
+
+  TopExplanations result;
+  {
+    // Module (b): Cascading Analysts (optionally guess-and-verify).
+    ScopedTimer t(&timing_.cascading_ms);
+    ++ca_invocations_;
+    if (options_.use_guess_verify) {
+      result = GuessVerifyTopM(solver_, gamma_scratch_, options_.m,
+                               options_.active, options_.initial_guess);
+    } else {
+      result = solver_.TopM(gamma_scratch_, options_.m, options_.active);
+    }
+    // Cache the ideal DCG (Eq. 4) for the distance computations.
+    result.idcg = 0.0;
+    for (size_t r = 0; r < result.gammas.size(); ++r) {
+      result.idcg +=
+          result.gammas[r] / std::log2(static_cast<double>(r) + 2.0);
+    }
+  }
+  auto [inserted_it, inserted] = cache_.emplace(key, std::move(result));
+  TSE_CHECK(inserted);
+  return inserted_it->second;
+}
+
+DiffScore SegmentExplainer::Score(ExplId e, int a, int b) const {
+  if (options_.active != nullptr &&
+      !(*options_.active)[static_cast<size_t>(e)]) {
+    return DiffScore{};
+  }
+  return cube_.Score(options_.metric, e, static_cast<size_t>(a),
+                     static_cast<size_t>(b));
+}
+
+void SegmentExplainer::ClearCache() { cache_.clear(); }
+
+}  // namespace tsexplain

@@ -1,0 +1,80 @@
+// Cached per-segment top-explanation provider.
+//
+// Bridges modules (a) and (b) of the pipeline: for a segment [a, b] it
+// fills the per-cell gamma vector from the cube (module (a)) and runs the
+// Cascading Analysts algorithm (module (b)), caching the result so every
+// segment is explained at most once per query. The K-Segmentation module
+// asks for the same segments repeatedly while computing distances and
+// variances, so this cache is what makes the n^3 phase feasible.
+
+#ifndef TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
+#define TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cube/explanation_cube.h"
+#include "src/diff/cascading_analysts.h"
+#include "src/diff/guess_verify.h"
+
+namespace tsexplain {
+
+/// Wall-clock breakdown mirroring the paper's Figure 15 categories.
+struct ExplainerTiming {
+  double precompute_ms = 0.0;  // module (a): gamma vector fills
+  double cascading_ms = 0.0;   // module (b): CA / guess-and-verify
+};
+
+/// Computes and caches E*_m per segment. Not thread-safe.
+class SegmentExplainer {
+ public:
+  struct Options {
+    int m = 3;                       // paper default
+    DiffMetricKind metric = DiffMetricKind::kAbsoluteChange;
+    bool use_guess_verify = false;   // O1
+    int initial_guess = kDefaultInitialGuess;
+    /// Support-filter mask (nullptr = no filter). Inactive cells score 0
+    /// and are never selected. The pointed-to mask must outlive this
+    /// object.
+    const std::vector<bool>* active = nullptr;
+  };
+
+  SegmentExplainer(const ExplanationCube& cube,
+                   const ExplanationRegistry& registry, Options options);
+
+  /// Top-m non-overlapping explanations of segment [a, b] (0 <= a < b < n).
+  /// The reference stays valid until ClearCache().
+  const TopExplanations& TopFor(int a, int b);
+
+  /// gamma/tau of one explanation on segment [a, b] (O(1) cube lookup,
+  /// not cached). Respects the support filter.
+  DiffScore Score(ExplId e, int a, int b) const;
+
+  /// Resets the cache (used by the streaming pipeline when data changes).
+  void ClearCache();
+
+  int n() const { return static_cast<int>(cube_.n()); }
+  int m() const { return options_.m; }
+  const ExplanationCube& cube() const { return cube_; }
+  const ExplanationRegistry& registry() const { return registry_; }
+  const Options& options() const { return options_; }
+
+  const ExplainerTiming& timing() const { return timing_; }
+  size_t cache_size() const { return cache_.size(); }
+  size_t ca_invocations() const { return ca_invocations_; }
+
+ private:
+  const ExplanationCube& cube_;
+  const ExplanationRegistry& registry_;
+  Options options_;
+  CascadingAnalysts solver_;
+  std::unordered_map<uint64_t, TopExplanations> cache_;
+  std::vector<double> gamma_scratch_;
+  ExplainerTiming timing_;
+  size_t ca_invocations_ = 0;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_

@@ -1,0 +1,66 @@
+#include "src/seg/sketch.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/seg/kseg_dp.h"
+#include "src/seg/variance_table.h"
+
+namespace tsexplain {
+
+SketchParams DeriveSketchParams(int n, SketchParams requested) {
+  TSE_CHECK_GE(n, 3);
+  SketchParams params = requested;
+  if (params.max_segment_len <= 0) {
+    params.max_segment_len =
+        std::max(1, std::min(static_cast<int>(0.05 * n), 20));
+  }
+  if (params.target_size <= 0) {
+    params.target_size = 3 * n / params.max_segment_len;
+  }
+  // Feasibility: K segments of length <= L must cover n-1 unit objects,
+  // and K cannot exceed n-1 segments.
+  params.target_size = std::min(params.target_size, n - 1);
+  while (static_cast<long long>(params.target_size) *
+             params.max_segment_len <
+         n - 1) {
+    ++params.max_segment_len;
+  }
+  return params;
+}
+
+SketchResult SelectSketch(VarianceCalculator& calc, SketchParams requested) {
+  const int n = calc.explainer().n();
+  const SketchParams params = DeriveSketchParams(n, requested);
+
+  SketchResult result;
+  result.max_segment_len = params.max_segment_len;
+  result.target_size = params.target_size;
+
+  if (params.target_size >= n - 1) {
+    // Degenerate: the sketch is all points.
+    result.positions.resize(static_cast<size_t>(n));
+    std::iota(result.positions.begin(), result.positions.end(), 0);
+    return result;
+  }
+
+  // Phase I: length-constrained pipeline over all points.
+  std::vector<int> all_positions(static_cast<size_t>(n));
+  std::iota(all_positions.begin(), all_positions.end(), 0);
+  const VarianceTable table =
+      VarianceTable::Compute(calc, all_positions, params.max_segment_len);
+  KSegmentationDp dp(table, params.target_size);
+
+  // Ask for exactly |S| segments; fall back to the largest feasible K
+  // (short series with a tight cap may not support |S| exactly).
+  int k = std::min(params.target_size, dp.max_k());
+  while (k > 1 && !dp.Feasible(k)) --k;
+  TSE_CHECK(dp.Feasible(k)) << "phase I infeasible even at k=" << k;
+  Segmentation seg = dp.Reconstruct(k);
+
+  result.positions = std::move(seg.cuts);  // includes 0 and n-1
+  return result;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,49 @@
+// Sketching optimization (O2, paper section 5.3.2).
+//
+// Phase I (sketch selection): run the K-Segmentation pipeline over all n
+// points but constrain every segment's length to L = min(0.05 n, 20) and
+// ask for K = |S| = 3n / L segments. The resulting cut points (plus the two
+// endpoints) are the sketch: points that the constrained, cheap pipeline
+// already considers promising cut locations.
+//
+// Phase II: run the full pipeline with the sketch as the candidate-position
+// set (see VarianceTable), reducing every module from O(n^2)/O(n^3) to
+// O(|S|^2)/~O(|S|^3).
+
+#ifndef TSEXPLAIN_SEG_SKETCH_H_
+#define TSEXPLAIN_SEG_SKETCH_H_
+
+#include <vector>
+
+#include "src/seg/variance.h"
+
+namespace tsexplain {
+
+struct SketchParams {
+  /// Maximum phase-I segment length L; <= 0 derives min(0.05 n, 20).
+  int max_segment_len = 0;
+  /// Target sketch size |S|; <= 0 derives 3n / L.
+  int target_size = 0;
+};
+
+struct SketchResult {
+  /// Sorted sketch positions including 0 and n-1.
+  std::vector<int> positions;
+  /// Parameters actually used.
+  int max_segment_len = 0;
+  int target_size = 0;
+};
+
+/// Derives the effective (L, |S|) for a series of n points per the paper's
+/// empirical settings, clamped to feasibility (K*L >= n-1, K <= n-1).
+SketchParams DeriveSketchParams(int n, SketchParams requested = {});
+
+/// Phase I: selects the sketch using the constrained pipeline. `calc`
+/// carries the variance metric and the (cached) segment explainer. When the
+/// derived |S| >= n-1 the sketch degenerates to all points (vanilla).
+SketchResult SelectSketch(VarianceCalculator& calc,
+                          SketchParams requested = {});
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SEG_SKETCH_H_

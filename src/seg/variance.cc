@@ -1,0 +1,49 @@
+#include "src/seg/variance.h"
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+double VarianceCalculator::SegmentVariance(int a, int b) {
+  TSE_CHECK_LT(a, b);
+  const int len = b - a;
+  if (len == 1) return 0.0;
+
+  if (IsAllPairMetric(metric_)) {
+    // Eq. 10: average pairwise distance between unit objects.
+    double sum = 0.0;
+    int pairs = 0;
+    for (int x = a; x < b; ++x) {
+      for (int y = x + 1; y < b; ++y) {
+        sum += SegmentDist(explainer_, metric_, x, x + 1, y, y + 1);
+        ++pairs;
+      }
+    }
+    return pairs == 0 ? 0.0 : sum / pairs;
+  }
+
+  // Eq. 7: average distance from each unit object to the centroid [a, b].
+  double sum = 0.0;
+  for (int x = a; x < b; ++x) {
+    sum += SegmentDist(explainer_, metric_, a, b, x, x + 1);
+  }
+  return sum / len;
+}
+
+double VarianceCalculator::WeightedVariance(int a, int b) {
+  return static_cast<double>(b - a) * SegmentVariance(a, b);
+}
+
+double TotalObjective(VarianceCalculator& calc,
+                      const std::vector<int>& cuts) {
+  TSE_CHECK_GE(cuts.size(), 2u);
+  TSE_CHECK_EQ(cuts.front(), 0);
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    TSE_CHECK_LT(cuts[i], cuts[i + 1]);
+    total += calc.WeightedVariance(cuts[i], cuts[i + 1]);
+  }
+  return total;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,51 @@
+// Within-segment variance var(P) (paper Eq. 7 and Eq. 10).
+//
+// Centroid-structured metrics (tse, dist1, dist2 and squared variants):
+//   var(P) = (1/|P|) * sum over unit objects P_x of dist(P, P_x)
+// where the centroid of a segment is the segment itself (section 4.1.2) and
+// the objects are the size-two segments [p_x, p_{x+1}] it contains
+// (section 4.1.1).
+//
+// All-pair metrics (allpair, Sallpair):
+//   var(P) = average of dist(P_x, P_y) over all unordered object pairs.
+
+#ifndef TSEXPLAIN_SEG_VARIANCE_H_
+#define TSEXPLAIN_SEG_VARIANCE_H_
+
+#include "src/seg/segment_distance.h"
+#include "src/seg/segment_explainer.h"
+
+namespace tsexplain {
+
+/// Computes var(P) and |P|var(P) for segments of one time series under one
+/// variance metric. Stateless apart from the underlying explainer cache;
+/// cheap to construct.
+class VarianceCalculator {
+ public:
+  VarianceCalculator(SegmentExplainer& explainer, VarianceMetric metric)
+      : explainer_(explainer), metric_(metric) {}
+
+  /// var(P) for segment [a, b] (a < b). A unit segment has variance 0
+  /// under centroid metrics (its only object IS the centroid) and 0 under
+  /// all-pair metrics (no pairs).
+  double SegmentVariance(int a, int b);
+
+  /// |P| * var(P) = (b - a) * var([a, b]): the DP's additive weight.
+  double WeightedVariance(int a, int b);
+
+  VarianceMetric metric() const { return metric_; }
+  SegmentExplainer& explainer() { return explainer_; }
+
+ private:
+  SegmentExplainer& explainer_;
+  VarianceMetric metric_;
+};
+
+/// Total objective of a segmentation scheme: sum over segments of
+/// |P_i| var(P_i) (Problem 1). `cuts` are point indices, strictly
+/// increasing, starting at 0 and ending at n-1.
+double TotalObjective(VarianceCalculator& calc, const std::vector<int>& cuts);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SEG_VARIANCE_H_

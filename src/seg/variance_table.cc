@@ -1,0 +1,164 @@
+#include "src/seg/variance_table.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// All-pair (Eq. 10) entries for one start index, using precomputed object
+// pair distances: S(a, b) accumulates via S(a, b-1) + sum of column b-1
+// over rows a..b-2, itself accumulated in `col`, which the caller maintains
+// as C2[a][c] = sum_{x=a..c-1} D[x][c].
+void FillAllPairRow(const std::vector<std::vector<double>>& col_sums,
+                    const std::vector<int>& positions, int max_span,
+                    size_t a, std::vector<double>* row) {
+  const size_t m = positions.size();
+  double pair_sum = 0.0;
+  for (size_t b = a + 1; b < m; ++b) {
+    if (max_span >= 0 && positions[b] - positions[a] > max_span) break;
+    // Objects inside [a, b): x = a .. b-1 -> count = b - a.
+    if (b > a + 1) pair_sum += col_sums[a][b - 1];
+    const size_t objects = b - a;
+    const double pairs =
+        static_cast<double>(objects) * static_cast<double>(objects - 1) /
+        2.0;
+    const double var = pairs == 0.0 ? 0.0 : pair_sum / pairs;
+    row->push_back(static_cast<double>(positions[b] - positions[a]) * var);
+  }
+}
+
+}  // namespace
+
+VarianceTable VarianceTable::Compute(VarianceCalculator& calc,
+                                     const std::vector<int>& positions,
+                                     int max_span, int threads) {
+  TSE_CHECK_GE(threads, 1);
+  TSE_CHECK_GE(positions.size(), 2u);
+  TSE_CHECK_EQ(positions.front(), 0);
+  for (size_t i = 1; i < positions.size(); ++i) {
+    TSE_CHECK_LT(positions[i - 1], positions[i]);
+  }
+  TSE_CHECK_EQ(positions.back(), calc.explainer().n() - 1);
+
+  VarianceTable table;
+  table.positions_ = positions;
+  table.max_span_ = max_span;
+  const size_t m = positions.size();
+  table.rows_.resize(m);
+
+  SegmentExplainer& explainer = calc.explainer();
+  const VarianceMetric metric = calc.metric();
+
+  if (IsAllPairMetric(metric)) {
+    // Eq. 10 over the coarse objects. Materialize the object-pair distance
+    // matrix once (O(M^2) distances) and roll prefix sums so every (i, j)
+    // entry is O(1) instead of O(len^2). Memory is O(M^2); all-pair
+    // metrics are only used on the Figure 6 scale (n ~ 100-400).
+    const size_t num_objects = m - 1;
+    std::vector<std::vector<double>> pair_dist(
+        num_objects, std::vector<double>(num_objects, 0.0));
+    for (size_t x = 0; x < num_objects; ++x) {
+      for (size_t y = x + 1; y < num_objects; ++y) {
+        pair_dist[x][y] =
+            SegmentDist(explainer, metric, positions[x], positions[x + 1],
+                        positions[y], positions[y + 1]);
+      }
+    }
+    // col_sums[a][c] = sum_{x=a..c-1} pair_dist[x][c]; built bottom-up in a.
+    std::vector<std::vector<double>> col_sums(
+        num_objects, std::vector<double>(num_objects, 0.0));
+    for (size_t a = num_objects; a-- > 0;) {
+      for (size_t c = a + 1; c < num_objects; ++c) {
+        col_sums[a][c] =
+            (a + 1 < num_objects ? col_sums[a + 1][c] : 0.0) +
+            pair_dist[a][c];
+      }
+    }
+    for (size_t i = 0; i + 1 < m; ++i) {
+      FillAllPairRow(col_sums, positions, max_span, i, &table.rows_[i]);
+    }
+    return table;
+  }
+
+  // Pre-resolve every unit object's explanation list once; the inner loops
+  // below then never touch the explainer's hash map for objects. (Pointers
+  // into the cache stay valid: the cache is an unordered_map whose
+  // references survive rehashing.)
+  const int n = explainer.n();
+  std::vector<const TopExplanations*> unit_tops(
+      static_cast<size_t>(n - 1));
+  for (int x = 0; x + 1 < n; ++x) {
+    unit_tops[static_cast<size_t>(x)] = &explainer.TopFor(x, x + 1);
+  }
+  // Pre-warm every centroid's list too: CA invocation is stateful, so it
+  // must stay on one thread. Also pin the pointers for the fill loops.
+  std::vector<std::vector<const TopExplanations*>> centroid_tops(m);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    const int a = positions[i];
+    for (size_t j = i + 1; j < m; ++j) {
+      const int b = positions[j];
+      if (max_span >= 0 && b - a > max_span) break;
+      centroid_tops[i].push_back(&explainer.TopFor(a, b));
+    }
+  }
+
+  // Fill rows; everything below only READS the cube and the cached lists,
+  // so rows can fan out across threads.
+  auto fill_row = [&](size_t i) {
+    const int a = positions[i];
+    for (size_t offset = 0; offset < centroid_tops[i].size(); ++offset) {
+      const size_t j = i + 1 + offset;
+      const int b = positions[j];
+      // Eq. 7 with the segment itself as centroid and the FINE unit
+      // segments as objects, regardless of the candidate granularity.
+      const TopExplanations& centroid_top = *centroid_tops[i][offset];
+      double sum = 0.0;
+      for (int x = a; x < b; ++x) {
+        sum += SegmentDistFromTops(explainer, metric, centroid_top, a, b,
+                                   *unit_tops[static_cast<size_t>(x)], x,
+                                   x + 1);
+      }
+      const double var = sum / static_cast<double>(b - a);
+      table.rows_[i].push_back(static_cast<double>(b - a) * var);
+    }
+  };
+
+  if (threads <= 1 || m < 16) {
+    for (size_t i = 0; i + 1 < m; ++i) fill_row(i);
+    return table;
+  }
+  std::atomic<size_t> next_row{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next_row.fetch_add(1);
+        if (i + 1 >= m) return;
+        fill_row(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return table;
+}
+
+double VarianceTable::WeightedVar(size_t i, size_t j) const {
+  TSE_CHECK_LT(i, j);
+  TSE_CHECK_LT(j, positions_.size());
+  const size_t offset = j - i - 1;
+  if (offset >= rows_[i].size()) return kInf;
+  return rows_[i][offset];
+}
+
+size_t VarianceTable::MaxReachable(size_t i) const {
+  TSE_CHECK_LT(i, positions_.size());
+  return i + rows_[i].size();
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,176 @@
+#include "src/table/csv_reader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace {
+
+CsvResult Fail(const std::string& message) {
+  CsvResult result;
+  result.error = message;
+  return result;
+}
+
+// Strips a trailing '\r' (CRLF input).
+void StripCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+CsvResult ReadCsvFromString(const std::string& text,
+                            const CsvOptions& options) {
+  if (options.time_column.empty()) {
+    return Fail("CsvOptions::time_column must be set");
+  }
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) return Fail("empty input");
+  StripCr(&line);
+
+  const std::vector<std::string> header =
+      SplitCsvLine(line, options.delimiter);
+  int time_idx = -1;
+  std::vector<int> measure_idx(header.size(), -1);
+  std::vector<std::string> dimension_names;
+  std::vector<size_t> dimension_cols;
+  std::vector<size_t> measure_cols;
+  std::vector<std::string> measure_names;
+  for (size_t col = 0; col < header.size(); ++col) {
+    const std::string& name = header[col];
+    if (name == options.time_column) {
+      if (time_idx >= 0) return Fail("duplicate time column: " + name);
+      time_idx = static_cast<int>(col);
+      continue;
+    }
+    const bool is_measure =
+        std::find(options.measure_columns.begin(),
+                  options.measure_columns.end(),
+                  name) != options.measure_columns.end();
+    if (is_measure) {
+      measure_cols.push_back(col);
+      measure_names.push_back(name);
+    } else {
+      dimension_cols.push_back(col);
+      dimension_names.push_back(name);
+    }
+  }
+  if (time_idx < 0) {
+    return Fail("time column not found: " + options.time_column);
+  }
+  for (const std::string& want : options.measure_columns) {
+    if (std::find(measure_names.begin(), measure_names.end(), want) ==
+        measure_names.end()) {
+      return Fail("measure column not found: " + want);
+    }
+  }
+
+  // First pass: collect rows as strings (we need the full set of time
+  // labels before we can encode buckets in sorted order).
+  struct RawRow {
+    std::string time;
+    std::vector<std::string> dims;
+    std::vector<double> measures;
+  };
+  std::vector<RawRow> raw_rows;
+  std::map<std::string, TimeId> time_ids;  // ordered -> sorted labels
+  size_t line_number = 1;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    StripCr(&line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields =
+        SplitCsvLine(line, options.delimiter);
+    if (fields.size() != header.size()) {
+      return Fail(StrFormat("line %zu: expected %zu fields, got %zu",
+                            line_number, header.size(), fields.size()));
+    }
+    RawRow row;
+    row.time = fields[static_cast<size_t>(time_idx)];
+    for (size_t col : dimension_cols) row.dims.push_back(fields[col]);
+    for (size_t col : measure_cols) {
+      const std::string& text_value = fields[col];
+      char* end = nullptr;
+      const double value = std::strtod(text_value.c_str(), &end);
+      if (end == text_value.c_str() || *end != '\0') {
+        return Fail(StrFormat("line %zu: '%s' is not a number",
+                              line_number, text_value.c_str()));
+      }
+      row.measures.push_back(value);
+    }
+    time_ids.emplace(row.time, 0);
+    raw_rows.push_back(std::move(row));
+  }
+  if (raw_rows.empty()) return Fail("no data rows");
+
+  CsvResult result;
+  result.table = std::make_unique<Table>(
+      Schema(options.time_column, dimension_names, measure_names));
+  if (options.sort_time) {
+    // std::map iterates keys sorted: register buckets in that order.
+    for (auto& [label, id] : time_ids) {
+      id = result.table->AddTimeBucket(label);
+    }
+  } else {
+    // First-appearance order.
+    for (auto& [label, id] : time_ids) id = kInvalidValueId;
+    for (const RawRow& row : raw_rows) {
+      TimeId& id = time_ids[row.time];
+      if (id == kInvalidValueId) {
+        id = result.table->AddTimeBucket(row.time);
+      }
+    }
+  }
+  for (const RawRow& row : raw_rows) {
+    result.table->AppendRow(time_ids[row.time], row.dims, row.measures);
+  }
+  result.rows = raw_rows.size();
+  return result;
+}
+
+CsvResult ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Fail("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvFromString(buffer.str(), options);
+}
+
+}  // namespace tsexplain

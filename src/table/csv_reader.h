@@ -1,0 +1,58 @@
+// CSV loader: turns a delimited file (or in-memory text) into a Table so
+// downstream users can point TSExplain at their own data.
+//
+// Conventions:
+//  * First line is the header.
+//  * One column is the time dimension (named via options). Rows may appear
+//    in any order; time buckets are created in order of first appearance
+//    unless `sort_time` is set, in which case bucket labels are sorted
+//    lexicographically before encoding (use zero-padded / ISO-8601 labels
+//    for calendar data).
+//  * Columns listed in `measure_columns` parse as doubles; every other
+//    column becomes a dictionary-encoded dimension.
+//  * Supports quoted fields ("a,b" and embedded "" escapes), CRLF line
+//    endings, and a configurable delimiter.
+//
+// Parse problems are reported via CsvResult::error (no exceptions).
+
+#ifndef TSEXPLAIN_TABLE_CSV_READER_H_
+#define TSEXPLAIN_TABLE_CSV_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+struct CsvOptions {
+  std::string time_column;
+  std::vector<std::string> measure_columns;
+  char delimiter = ',';
+  /// Sort time-bucket labels lexicographically before encoding.
+  bool sort_time = true;
+};
+
+struct CsvResult {
+  std::unique_ptr<Table> table;  // null on failure
+  std::string error;             // empty on success
+  size_t rows = 0;
+
+  bool ok() const { return table != nullptr; }
+};
+
+/// Parses CSV text already in memory.
+CsvResult ReadCsvFromString(const std::string& text,
+                            const CsvOptions& options);
+
+/// Reads and parses a CSV file.
+CsvResult ReadCsvFile(const std::string& path, const CsvOptions& options);
+
+/// Splits one CSV record honoring quotes; exposed for tests.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_CSV_READER_H_

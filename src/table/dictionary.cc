@@ -1,0 +1,27 @@
+#include "src/table/dictionary.h"
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+ValueId Dictionary::GetOrInsert(const std::string& value) {
+  auto it = str_to_id_.find(value);
+  if (it != str_to_id_.end()) return it->second;
+  const ValueId id = static_cast<ValueId>(id_to_str_.size());
+  id_to_str_.push_back(value);
+  str_to_id_.emplace(value, id);
+  return id;
+}
+
+ValueId Dictionary::Lookup(const std::string& value) const {
+  auto it = str_to_id_.find(value);
+  return it == str_to_id_.end() ? kInvalidValueId : it->second;
+}
+
+const std::string& Dictionary::ToString(ValueId id) const {
+  TSE_CHECK_GE(id, 0);
+  TSE_CHECK_LT(static_cast<size_t>(id), id_to_str_.size());
+  return id_to_str_[static_cast<size_t>(id)];
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,46 @@
+// Order-of-insertion string dictionary used to encode dimension columns.
+//
+// Every dimension value is mapped to a dense int32 code; the table layer,
+// the explanation registry, and the cube all operate on codes and only
+// translate back to strings when rendering output.
+
+#ifndef TSEXPLAIN_TABLE_DICTIONARY_H_
+#define TSEXPLAIN_TABLE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsexplain {
+
+/// Dense id for a dictionary-encoded dimension value.
+using ValueId = int32_t;
+
+/// Sentinel for "value not present".
+inline constexpr ValueId kInvalidValueId = -1;
+
+/// Bidirectional string <-> dense-id mapping. Ids are assigned in first-seen
+/// order starting at 0.
+class Dictionary {
+ public:
+  /// Returns the id for `value`, inserting it if unseen.
+  ValueId GetOrInsert(const std::string& value);
+
+  /// Returns the id for `value` or kInvalidValueId if absent.
+  ValueId Lookup(const std::string& value) const;
+
+  /// Translates an id back to its string. Requires a valid id.
+  const std::string& ToString(ValueId id) const;
+
+  /// Number of distinct values.
+  size_t size() const { return id_to_str_.size(); }
+
+ private:
+  std::vector<std::string> id_to_str_;
+  std::unordered_map<std::string, ValueId> str_to_id_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_DICTIONARY_H_

@@ -1,0 +1,91 @@
+#include "src/table/group_by.h"
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+bool RowMatches(const Table& table, size_t row,
+                const std::vector<DimPredicate>& conjunction) {
+  for (const DimPredicate& p : conjunction) {
+    if (table.dim(row, p.attr) != p.value) return false;
+  }
+  return true;
+}
+
+double MeasureOrCount(const Table& table, size_t row, int measure_idx) {
+  // COUNT aggregates ignore the measure; callers pass measure_idx = -1.
+  return measure_idx < 0 ? 1.0 : table.measure(row, measure_idx);
+}
+
+}  // namespace
+
+double AggState::Finalize(AggregateFunction f) const {
+  switch (f) {
+    case AggregateFunction::kSum:
+      return sum;
+    case AggregateFunction::kCount:
+      return count;
+    case AggregateFunction::kAvg:
+      return count > 0.0 ? sum / count : 0.0;
+  }
+  TSE_CHECK(false) << "unknown aggregate";
+  return 0.0;
+}
+
+TimeSeries GroupByTime(const Table& table, AggregateFunction f,
+                       int measure_idx,
+                       const std::vector<DimPredicate>& conjunction) {
+  const std::vector<AggState> partials =
+      GroupByTimePartials(table, measure_idx, conjunction);
+  TimeSeries out;
+  out.labels = table.time_labels();
+  out.values.resize(partials.size());
+  for (size_t t = 0; t < partials.size(); ++t) {
+    out.values[t] = partials[t].Finalize(f);
+  }
+  return out;
+}
+
+std::vector<AggState> GroupByTimePartials(
+    const Table& table, int measure_idx,
+    const std::vector<DimPredicate>& conjunction) {
+  if (measure_idx >= 0) {
+    TSE_CHECK_LT(static_cast<size_t>(measure_idx),
+                 table.schema().num_measures());
+  }
+  std::vector<AggState> partials(table.num_time_buckets());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (!conjunction.empty() && !RowMatches(table, row, conjunction)) continue;
+    partials[static_cast<size_t>(table.time(row))].Add(
+        MeasureOrCount(table, row, measure_idx));
+  }
+  return partials;
+}
+
+std::vector<TimeSeries> GroupByTimeAndDimension(const Table& table,
+                                                AggregateFunction f,
+                                                int measure_idx, AttrId dim) {
+  TSE_CHECK_GE(dim, 0);
+  TSE_CHECK_LT(static_cast<size_t>(dim), table.schema().num_dimensions());
+  const size_t cardinality = table.dictionary(dim).size();
+  const size_t n = table.num_time_buckets();
+  std::vector<std::vector<AggState>> partials(
+      cardinality, std::vector<AggState>(n));
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const ValueId v = table.dim(row, dim);
+    partials[static_cast<size_t>(v)][static_cast<size_t>(table.time(row))].Add(
+        MeasureOrCount(table, row, measure_idx));
+  }
+  std::vector<TimeSeries> out(cardinality);
+  for (size_t v = 0; v < cardinality; ++v) {
+    out[v].labels = table.time_labels();
+    out[v].values.resize(n);
+    for (size_t t = 0; t < n; ++t) {
+      out[v].values[t] = partials[v][t].Finalize(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,77 @@
+// Hand-rolled group-by aggregation over a Table.
+//
+// Implements the queries the paper issues against the relation:
+//   SELECT T, f(M) FROM R GROUP BY T                          (Def. 3.6)
+//   SELECT T, f(M) FROM R WHERE <conjunction> GROUP BY T      (sigma_E R)
+//   SELECT T, f(M) FROM R GROUP BY T, D                       (drill-down)
+// Aggregates are decomposable (SUM / COUNT / AVG) and are carried as
+// (sum, count) partials so complements (R - sigma_E R) can be derived
+// without rescanning (paper section 5.2, module (a)).
+
+#ifndef TSEXPLAIN_TABLE_GROUP_BY_H_
+#define TSEXPLAIN_TABLE_GROUP_BY_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/ts/time_series.h"
+
+namespace tsexplain {
+
+/// Aggregate functions supported by the engine. All are decomposable in the
+/// sense of section 5.2: f(R) can be recovered from (sum, count) partials,
+/// and f(R - S) from the partials of R and S.
+enum class AggregateFunction {
+  kSum,
+  kCount,
+  kAvg,
+};
+
+/// Decomposable partial aggregate.
+struct AggState {
+  double sum = 0.0;
+  double count = 0.0;
+
+  void Add(double value) {
+    sum += value;
+    count += 1.0;
+  }
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    count += other.count;
+  }
+  /// Partial for the complement R - S given this = R and `inner` = S.
+  AggState Minus(const AggState& inner) const {
+    return AggState{sum - inner.sum, count - inner.count};
+  }
+  /// Finalizes to the aggregate value. An empty AVG group finalizes to 0.
+  double Finalize(AggregateFunction f) const;
+};
+
+/// Simple conjunction filter over dimension columns.
+struct DimPredicate {
+  AttrId attr;
+  ValueId value;
+};
+
+/// Evaluates SELECT T, f(M) FROM table [WHERE conj] GROUP BY T and returns a
+/// dense series over all time buckets (missing groups finalize as empty).
+TimeSeries GroupByTime(const Table& table, AggregateFunction f,
+                       int measure_idx,
+                       const std::vector<DimPredicate>& conjunction = {});
+
+/// Same as GroupByTime but returns the raw partial aggregates (used by the
+/// explanation cube and by tests that check decomposability).
+std::vector<AggState> GroupByTimePartials(
+    const Table& table, int measure_idx,
+    const std::vector<DimPredicate>& conjunction = {});
+
+/// Drill-down: SELECT T, f(M) FROM table GROUP BY T, D for one dimension D.
+/// Returns one dense series per dictionary value of D, indexed by ValueId.
+std::vector<TimeSeries> GroupByTimeAndDimension(const Table& table,
+                                                AggregateFunction f,
+                                                int measure_idx, AttrId dim);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_GROUP_BY_H_

@@ -1,0 +1,57 @@
+#include "src/table/resample.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::unique_ptr<Table> ResampleTable(
+    const Table& table, int factor,
+    const std::function<std::string(const std::string&, const std::string&)>&
+        label_fn) {
+  TSE_CHECK_GE(factor, 1);
+  const size_t n = table.num_time_buckets();
+  TSE_CHECK_GE(n, 1u);
+
+  auto out = std::make_unique<Table>(table.schema());
+  // Register coarse buckets.
+  std::vector<TimeId> bucket_of(n);
+  for (size_t start = 0; start < n; start += static_cast<size_t>(factor)) {
+    const size_t end =
+        std::min(n - 1, start + static_cast<size_t>(factor) - 1);
+    const std::string& first = table.time_labels()[start];
+    const std::string& last = table.time_labels()[end];
+    std::string label;
+    if (label_fn) {
+      label = label_fn(first, last);
+    } else {
+      label = start == end ? first : first + ".." + last;
+    }
+    const TimeId id = out->AddTimeBucket(label);
+    for (size_t t = start; t <= end; ++t) {
+      bucket_of[t] = id;
+    }
+  }
+
+  // Re-tag rows (dimension values copied verbatim, measures untouched).
+  const size_t num_dims = table.schema().num_dimensions();
+  const size_t num_measures = table.schema().num_measures();
+  std::vector<std::string> dims(num_dims);
+  std::vector<double> measures(num_measures);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t d = 0; d < num_dims; ++d) {
+      dims[d] = table.dictionary(static_cast<AttrId>(d))
+                    .ToString(table.dim(row, static_cast<AttrId>(d)));
+    }
+    for (size_t m = 0; m < num_measures; ++m) {
+      measures[m] = table.measure(row, static_cast<int>(m));
+    }
+    out->AppendRow(bucket_of[static_cast<size_t>(table.time(row))], dims,
+                   measures);
+  }
+  return out;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,31 @@
+// Time-grain resampling: merge consecutive time buckets (e.g. daily ->
+// weekly) before explaining. Coarser grains both denoise fuzzy series and
+// shrink n, which the complexity analysis (section 5.2) shows is the other
+// big cost driver besides epsilon. The measure rows are re-tagged, not
+// re-aggregated, so every aggregate function keeps its exact semantics on
+// the coarser buckets (SUM sums all rows of the week, AVG averages them,
+// COUNT counts them).
+
+#ifndef TSEXPLAIN_TABLE_RESAMPLE_H_
+#define TSEXPLAIN_TABLE_RESAMPLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/table/table.h"
+
+namespace tsexplain {
+
+/// Merges every `factor` consecutive buckets into one. The new bucket's
+/// label is `label_fn(first_old_label, last_old_label)`; by default
+/// "first..last" (or just "first" when the group has one bucket).
+/// Requires factor >= 1; a trailing partial group becomes a final bucket.
+std::unique_ptr<Table> ResampleTable(
+    const Table& table, int factor,
+    const std::function<std::string(const std::string&, const std::string&)>&
+        label_fn = nullptr);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_RESAMPLE_H_

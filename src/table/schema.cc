@@ -1,0 +1,38 @@
+#include "src/table/schema.h"
+
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+Schema::Schema(std::string time_name, std::vector<std::string> dimension_names,
+               std::vector<std::string> measure_names)
+    : time_name_(std::move(time_name)),
+      dimension_names_(std::move(dimension_names)),
+      measure_names_(std::move(measure_names)) {
+  std::unordered_set<std::string> seen;
+  seen.insert(time_name_);
+  for (const auto& name : dimension_names_) {
+    TSE_CHECK(seen.insert(name).second) << "duplicate column: " << name;
+  }
+  for (const auto& name : measure_names_) {
+    TSE_CHECK(seen.insert(name).second) << "duplicate column: " << name;
+  }
+}
+
+AttrId Schema::DimensionIndex(const std::string& name) const {
+  for (size_t i = 0; i < dimension_names_.size(); ++i) {
+    if (dimension_names_[i] == name) return static_cast<AttrId>(i);
+  }
+  return kInvalidAttrId;
+}
+
+int Schema::MeasureIndex(const std::string& name) const {
+  for (size_t i = 0; i < measure_names_.size(); ++i) {
+    if (measure_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tsexplain

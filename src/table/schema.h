@@ -1,0 +1,62 @@
+// Relation schema: named dimension (categorical), measure (double), and one
+// time column. Mirrors the paper's setting (section 3.1.2): a relation R
+// with dimension attributes {D_i}, measure attributes {M_j}, and a
+// time-related ordinal dimension T.
+
+#ifndef TSEXPLAIN_TABLE_SCHEMA_H_
+#define TSEXPLAIN_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsexplain {
+
+/// Index of a dimension attribute within a schema.
+using AttrId = int32_t;
+
+inline constexpr AttrId kInvalidAttrId = -1;
+
+enum class ColumnKind {
+  kDimension,  // categorical, dictionary-encoded
+  kMeasure,    // double
+  kTime,       // ordinal time bucket
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind;
+};
+
+/// Immutable-after-construction schema for a Table.
+class Schema {
+ public:
+  Schema(std::string time_name, std::vector<std::string> dimension_names,
+         std::vector<std::string> measure_names);
+
+  const std::string& time_name() const { return time_name_; }
+  const std::vector<std::string>& dimension_names() const {
+    return dimension_names_;
+  }
+  const std::vector<std::string>& measure_names() const {
+    return measure_names_;
+  }
+
+  size_t num_dimensions() const { return dimension_names_.size(); }
+  size_t num_measures() const { return measure_names_.size(); }
+
+  /// Dimension index by name, or kInvalidAttrId.
+  AttrId DimensionIndex(const std::string& name) const;
+
+  /// Measure index by name, or -1.
+  int MeasureIndex(const std::string& name) const;
+
+ private:
+  std::string time_name_;
+  std::vector<std::string> dimension_names_;
+  std::vector<std::string> measure_names_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_SCHEMA_H_

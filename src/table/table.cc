@@ -1,0 +1,60 @@
+#include "src/table/table.h"
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  dicts_.resize(schema_.num_dimensions());
+  dim_cols_.resize(schema_.num_dimensions());
+  measure_cols_.resize(schema_.num_measures());
+}
+
+TimeId Table::AddTimeBucket(const std::string& label) {
+  if (!time_labels_.empty() && time_labels_.back() == label) {
+    return static_cast<TimeId>(time_labels_.size() - 1);
+  }
+  time_labels_.push_back(label);
+  return static_cast<TimeId>(time_labels_.size() - 1);
+}
+
+void Table::AppendRow(TimeId time, const std::vector<std::string>& dims,
+                      const std::vector<double>& measures) {
+  TSE_CHECK_EQ(dims.size(), schema_.num_dimensions());
+  std::vector<ValueId> encoded(dims.size());
+  for (size_t a = 0; a < dims.size(); ++a) {
+    encoded[a] = dicts_[a].GetOrInsert(dims[a]);
+  }
+  AppendRowEncoded(time, encoded, measures);
+}
+
+void Table::AppendRowEncoded(TimeId time, const std::vector<ValueId>& dims,
+                             const std::vector<double>& measures) {
+  TSE_CHECK_GE(time, 0);
+  TSE_CHECK_LT(static_cast<size_t>(time), time_labels_.size())
+      << "register time buckets with AddTimeBucket before appending rows";
+  TSE_CHECK_EQ(dims.size(), schema_.num_dimensions());
+  TSE_CHECK_EQ(measures.size(), schema_.num_measures());
+  for (size_t a = 0; a < dims.size(); ++a) {
+    TSE_CHECK_GE(dims[a], 0);
+    TSE_CHECK_LT(static_cast<size_t>(dims[a]), dicts_[a].size());
+    dim_cols_[a].push_back(dims[a]);
+  }
+  for (size_t m = 0; m < measures.size(); ++m) {
+    measure_cols_[m].push_back(measures[m]);
+  }
+  time_col_.push_back(time);
+}
+
+ValueId Table::EncodeDimension(AttrId attr, const std::string& value) {
+  TSE_CHECK_GE(attr, 0);
+  TSE_CHECK_LT(static_cast<size_t>(attr), dicts_.size());
+  return dicts_[static_cast<size_t>(attr)].GetOrInsert(value);
+}
+
+std::string Table::PredicateString(AttrId attr, ValueId value) const {
+  return schema_.dimension_names()[static_cast<size_t>(attr)] + "=" +
+         dictionary(attr).ToString(value);
+}
+
+}  // namespace tsexplain

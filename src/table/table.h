@@ -1,0 +1,89 @@
+// In-memory dictionary-encoded columnar relation.
+//
+// A Table stores the relation R of the paper: dimension columns are
+// dictionary-encoded int32, measure columns are double, and the time column
+// is a dense bucket index 0..num_time_buckets-1 with string labels kept in
+// time order. Rows are appended through AppendRow and the table is then
+// consumed read-only by the group-by engine and the explanation cube.
+
+#ifndef TSEXPLAIN_TABLE_TABLE_H_
+#define TSEXPLAIN_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/dictionary.h"
+#include "src/table/schema.h"
+
+namespace tsexplain {
+
+/// Dense index of a time bucket (0-based, in time order).
+using TimeId = int32_t;
+
+/// Columnar relation. Not thread-safe for writes; safe for concurrent reads
+/// after loading finishes.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return time_col_.size(); }
+  size_t num_time_buckets() const { return time_labels_.size(); }
+
+  /// Registers a time bucket label. Buckets must be registered in time
+  /// order; returns the bucket's TimeId. Re-registering the most recent
+  /// label returns the existing id (convenient for row-streams sorted by
+  /// time).
+  TimeId AddTimeBucket(const std::string& label);
+
+  /// Appends one row. `dims` are raw string values aligned with
+  /// schema().dimension_names(); `measures` aligned with measure_names().
+  void AppendRow(TimeId time, const std::vector<std::string>& dims,
+                 const std::vector<double>& measures);
+
+  /// Appends one row with pre-encoded dimension values (fast path for the
+  /// data generators). Values must have been produced by EncodeDimension.
+  void AppendRowEncoded(TimeId time, const std::vector<ValueId>& dims,
+                        const std::vector<double>& measures);
+
+  /// Dictionary-encodes a value of dimension `attr` (inserting if new).
+  ValueId EncodeDimension(AttrId attr, const std::string& value);
+
+  /// Read accessors -------------------------------------------------------
+  TimeId time(size_t row) const { return time_col_[row]; }
+  ValueId dim(size_t row, AttrId attr) const {
+    return dim_cols_[static_cast<size_t>(attr)][row];
+  }
+  double measure(size_t row, int measure_idx) const {
+    return measure_cols_[static_cast<size_t>(measure_idx)][row];
+  }
+  const std::vector<TimeId>& time_column() const { return time_col_; }
+  const std::vector<ValueId>& dim_column(AttrId attr) const {
+    return dim_cols_[static_cast<size_t>(attr)];
+  }
+  const std::vector<double>& measure_column(int measure_idx) const {
+    return measure_cols_[static_cast<size_t>(measure_idx)];
+  }
+
+  const Dictionary& dictionary(AttrId attr) const {
+    return dicts_[static_cast<size_t>(attr)];
+  }
+  const std::vector<std::string>& time_labels() const { return time_labels_; }
+
+  /// Renders `(attr, value)` as "attr=value".
+  std::string PredicateString(AttrId attr, ValueId value) const;
+
+ private:
+  Schema schema_;
+  std::vector<Dictionary> dicts_;           // one per dimension
+  std::vector<std::vector<ValueId>> dim_cols_;
+  std::vector<std::vector<double>> measure_cols_;
+  std::vector<TimeId> time_col_;
+  std::vector<std::string> time_labels_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_TABLE_H_

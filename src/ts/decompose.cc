@@ -1,0 +1,88 @@
+#include "src/ts/decompose.h"
+
+#include <cstddef>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+// Centered moving average of width `period`; for even periods uses the
+// standard 2xMA (average of two adjacent windows). Positions where the
+// window does not fit are filled by copying the nearest computed value.
+std::vector<double> CenteredMa(const std::vector<double>& values,
+                               int period) {
+  const size_t n = values.size();
+  std::vector<double> out(n, 0.0);
+  const int half = period / 2;
+  size_t first = 0, last = 0;
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    bool fits;
+    if (period % 2 == 1) {
+      fits = static_cast<int>(i) >= half && i + half < n;
+      if (fits) {
+        for (int d = -half; d <= half; ++d) sum += values[i + d];
+        out[i] = sum / period;
+      }
+    } else {
+      // 2xMA: average of windows [i-half, i+half-1] and [i-half+1, i+half].
+      fits = static_cast<int>(i) >= half && i + half < n;
+      if (fits) {
+        for (int d = -half; d < half; ++d) sum += values[i + d];
+        double sum2 = 0.0;
+        for (int d = -half + 1; d <= half; ++d) sum2 += values[i + d];
+        out[i] = (sum / period + sum2 / period) / 2.0;
+      }
+    }
+    if (fits) {
+      if (!any) first = i;
+      last = i;
+      any = true;
+    }
+  }
+  TSE_CHECK(any);
+  for (size_t i = 0; i < first; ++i) out[i] = out[first];
+  for (size_t i = last + 1; i < n; ++i) out[i] = out[last];
+  return out;
+}
+
+}  // namespace
+
+Decomposition DecomposeAdditive(const std::vector<double>& values,
+                                int period) {
+  TSE_CHECK_GE(period, 2);
+  TSE_CHECK_GE(values.size(), static_cast<size_t>(2 * period));
+  const size_t n = values.size();
+
+  Decomposition d;
+  d.trend = CenteredMa(values, period);
+
+  // Seasonal indices: phase means of the detrended series.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<int> phase_count(period, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int phase = static_cast<int>(i % period);
+    phase_sum[phase] += values[i] - d.trend[i];
+    ++phase_count[phase];
+  }
+  std::vector<double> phase_mean(period);
+  double grand = 0.0;
+  for (int p = 0; p < period; ++p) {
+    phase_mean[p] = phase_sum[p] / phase_count[p];
+    grand += phase_mean[p];
+  }
+  grand /= period;
+  for (int p = 0; p < period; ++p) phase_mean[p] -= grand;  // center
+
+  d.seasonal.resize(n);
+  d.remainder.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.seasonal[i] = phase_mean[i % period];
+    d.remainder[i] = values[i] - d.trend[i] - d.seasonal[i];
+  }
+  return d;
+}
+
+}  // namespace tsexplain

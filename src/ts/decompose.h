@@ -1,0 +1,34 @@
+// Classical additive seasonal decomposition (paper section 8, "Seasonal
+// Datasets"): y = trend + seasonal + remainder. Users of TSExplain can
+// decompose a seasonal KPI first and explain trend and seasonality
+// separately.
+
+#ifndef TSEXPLAIN_TS_DECOMPOSE_H_
+#define TSEXPLAIN_TS_DECOMPOSE_H_
+
+#include <vector>
+
+namespace tsexplain {
+
+/// Result of an additive decomposition. All three components have the input
+/// length; trend endpoints (where the centered window does not fit) are
+/// filled by edge extension.
+struct Decomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+};
+
+/// Classical additive decomposition with period `period` (>= 2):
+///  1. trend = centered moving average of width `period` (2xMA for even
+///     periods, the textbook construction),
+///  2. seasonal[i] = mean of detrended values at phase i % period, centered
+///     to sum to zero over one period,
+///  3. remainder = y - trend - seasonal.
+/// Requires values.size() >= 2 * period.
+Decomposition DecomposeAdditive(const std::vector<double>& values,
+                                int period);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TS_DECOMPOSE_H_

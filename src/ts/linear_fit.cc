@@ -1,0 +1,109 @@
+#include "src/ts/linear_fit.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+LineFit FitLine(const std::vector<double>& values, size_t begin, size_t end) {
+  TSE_CHECK_LE(begin, end);
+  TSE_CHECK_LT(end, values.size());
+  const size_t n = end - begin + 1;
+  LineFit fit;
+  if (n == 1) {
+    fit.intercept = values[begin];
+    return fit;
+  }
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = begin; i <= end; ++i) {
+    const double x = static_cast<double>(i);
+    const double y = values[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    fit.intercept = sy / dn;
+  } else {
+    fit.slope = (dn * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / dn;
+  }
+  for (size_t i = begin; i <= end; ++i) {
+    const double r = values[i] - (fit.slope * static_cast<double>(i) +
+                                  fit.intercept);
+    fit.sse += r * r;
+  }
+  return fit;
+}
+
+double SegmentSse(const std::vector<double>& values, size_t begin,
+                  size_t end) {
+  return FitLine(values, begin, end).sse;
+}
+
+double InterpolationSse(const std::vector<double>& values, size_t begin,
+                        size_t end) {
+  TSE_CHECK_LE(begin, end);
+  TSE_CHECK_LT(end, values.size());
+  if (end - begin < 2) return 0.0;  // a line through <=2 points is exact
+  const double x0 = static_cast<double>(begin);
+  const double x1 = static_cast<double>(end);
+  const double y0 = values[begin];
+  const double y1 = values[end];
+  const double slope = (y1 - y0) / (x1 - x0);
+  double sse = 0.0;
+  for (size_t i = begin + 1; i < end; ++i) {
+    const double predicted = y0 + slope * (static_cast<double>(i) - x0);
+    const double r = values[i] - predicted;
+    sse += r * r;
+  }
+  return sse;
+}
+
+SseOracle::SseOracle(const std::vector<double>& values)
+    : n_(values.size()),
+      sx_(n_ + 1, 0.0),
+      sxx_(n_ + 1, 0.0),
+      sy_(n_ + 1, 0.0),
+      syy_(n_ + 1, 0.0),
+      sxy_(n_ + 1, 0.0) {
+  for (size_t i = 0; i < n_; ++i) {
+    const double x = static_cast<double>(i);
+    const double y = values[i];
+    sx_[i + 1] = sx_[i] + x;
+    sxx_[i + 1] = sxx_[i] + x * x;
+    sy_[i + 1] = sy_[i] + y;
+    syy_[i + 1] = syy_[i] + y * y;
+    sxy_[i + 1] = sxy_[i] + x * y;
+  }
+}
+
+double SseOracle::Sse(size_t begin, size_t end) const {
+  TSE_CHECK_LE(begin, end);
+  TSE_CHECK_LT(end, n_);
+  const double n = static_cast<double>(end - begin + 1);
+  if (n <= 2.0) return 0.0;
+  const double sx = sx_[end + 1] - sx_[begin];
+  const double sxx = sxx_[end + 1] - sxx_[begin];
+  const double sy = sy_[end + 1] - sy_[begin];
+  const double syy = syy_[end + 1] - syy_[begin];
+  const double sxy = sxy_[end + 1] - sxy_[begin];
+  const double denom = n * sxx - sx * sx;
+  double sse;
+  if (std::abs(denom) < 1e-12) {
+    sse = syy - sy * sy / n;
+  } else {
+    const double slope = (n * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / n;
+    sse = syy + slope * slope * sxx + n * intercept * intercept -
+          2.0 * slope * sxy - 2.0 * intercept * sy +
+          2.0 * slope * intercept * sx;
+  }
+  return sse < 0.0 ? 0.0 : sse;  // clamp tiny negative round-off
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,98 @@
+#include "src/ts/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+std::string TimeSeries::LabelAt(size_t i) const {
+  TSE_CHECK_LT(i, values.size());
+  if (i < labels.size()) return labels[i];
+  return std::to_string(i);
+}
+
+TimeSeries MovingAverage(const TimeSeries& ts, int w) {
+  TSE_CHECK_GE(w, 1);
+  TimeSeries out;
+  out.labels = ts.labels;
+  out.values.resize(ts.size());
+  double window_sum = 0.0;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    window_sum += ts.values[i];
+    if (i >= static_cast<size_t>(w)) window_sum -= ts.values[i - w];
+    const size_t count = std::min(i + 1, static_cast<size_t>(w));
+    out.values[i] = window_sum / static_cast<double>(count);
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  TSE_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  TSE_CHECK(!values.empty());
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+std::vector<double> ZNormalize(const std::vector<double>& values) {
+  const double mean = Mean(values);
+  const double sd = StdDev(values);
+  std::vector<double> out(values.size());
+  if (sd < 1e-12) return out;  // constant -> zeros
+  for (size_t i = 0; i < values.size(); ++i) out[i] = (values[i] - mean) / sd;
+  return out;
+}
+
+double MeasureSnrDb(const std::vector<double>& signal,
+                    const std::vector<double>& noisy) {
+  TSE_CHECK_EQ(signal.size(), noisy.size());
+  TSE_CHECK(!signal.empty());
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+  for (size_t i = 0; i < signal.size(); ++i) {
+    signal_power += signal[i] * signal[i];
+    const double noise = noisy[i] - signal[i];
+    noise_power += noise * noise;
+  }
+  if (noise_power <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal_power / noise_power);
+}
+
+double NoiseSigmaForSnr(double signal_power, double snr_db) {
+  TSE_CHECK_GE(signal_power, 0.0);
+  return std::sqrt(signal_power / std::pow(10.0, snr_db / 10.0));
+}
+
+double SignalPower(const std::vector<double>& values) {
+  TSE_CHECK(!values.empty());
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += v * v;
+  return sum_sq / static_cast<double>(values.size());
+}
+
+std::vector<double> SumSeries(
+    const std::vector<std::vector<double>>& series_list) {
+  TSE_CHECK(!series_list.empty());
+  std::vector<double> out(series_list[0].size(), 0.0);
+  for (const auto& series : series_list) {
+    TSE_CHECK_EQ(series.size(), out.size());
+    for (size_t i = 0; i < series.size(); ++i) out[i] += series[i];
+  }
+  return out;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,72 @@
+// Core time-series value type and basic transforms.
+//
+// An aggregated time series (paper Definition 3.6) is a sequence of points
+// ordered by a time dimension; we store the values densely (one double per
+// time bucket) and keep the human-readable time labels alongside.
+
+#ifndef TSEXPLAIN_TS_TIME_SERIES_H_
+#define TSEXPLAIN_TS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsexplain {
+
+/// Dense aggregated time series: values[i] is the aggregate at time bucket i.
+struct TimeSeries {
+  std::vector<double> values;
+  /// Optional human-readable labels, same length as `values` when present.
+  std::vector<std::string> labels;
+
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> v) : values(std::move(v)) {}
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+  double operator[](size_t i) const { return values[i]; }
+  double& operator[](size_t i) { return values[i]; }
+
+  /// Label for bucket i, or its index as a string when labels are absent.
+  std::string LabelAt(size_t i) const;
+};
+
+/// Centered-right moving average with window `w` (paper section 7.4 smooths
+/// "very fuzzy datasets" before explaining). Uses a trailing window of size
+/// w clipped at the series start so the output has the same length and the
+/// first points are averages of the available prefix.
+TimeSeries MovingAverage(const TimeSeries& ts, int w);
+
+/// Mean of the values. Requires a non-empty series.
+double Mean(const std::vector<double>& values);
+
+/// Population variance of the values. Requires a non-empty series.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Z-normalizes `values` (mean 0, stddev 1). A constant sequence maps to
+/// all zeros.
+std::vector<double> ZNormalize(const std::vector<double>& values);
+
+/// Measures the signal-to-noise ratio in dB between a clean signal and its
+/// noisy version: 10*log10(power(signal)/power(noise)), with
+/// noise = noisy - signal. Returns +inf when the noise power is zero.
+double MeasureSnrDb(const std::vector<double>& signal,
+                    const std::vector<double>& noisy);
+
+/// Returns the noise standard deviation that yields `snr_db` for a signal
+/// with the given power (mean of squared values): sigma = sqrt(P/10^(SNR/10)).
+double NoiseSigmaForSnr(double signal_power, double snr_db);
+
+/// Mean of squared values (signal power).
+double SignalPower(const std::vector<double>& values);
+
+/// Element-wise sum of several series; all must share the same length.
+std::vector<double> SumSeries(
+    const std::vector<std::vector<double>>& series_list);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TS_TIME_SERIES_H_

@@ -1,0 +1,248 @@
+// Unit tests for the Cascading Analysts algorithm: top-m non-overlapping
+// explanations. Validated against exhaustive search on small instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/diff/cascading_analysts.h"
+
+namespace tsexplain {
+namespace {
+
+Table MakeSingleAttrTable(int cardinality) {
+  Table table(Schema("t", {"A"}, {"m"}));
+  table.AddTimeBucket("0");
+  for (int i = 0; i < cardinality; ++i) {
+    table.AppendRow(0, {"v" + std::to_string(i)}, {1.0});
+  }
+  return table;
+}
+
+Table MakeTwoAttrTable() {
+  Table table(Schema("t", {"A", "B"}, {"m"}));
+  table.AddTimeBucket("0");
+  for (const char* a : {"a1", "a2", "a3"}) {
+    for (const char* b : {"b1", "b2"}) {
+      table.AppendRow(0, {a, b}, {1.0});
+    }
+  }
+  return table;
+}
+
+// Exhaustive optimum over all <=m pairwise-non-overlapping subsets.
+double BruteForceNonOverlapping(const ExplanationRegistry& reg,
+                                const std::vector<double>& gamma, int m) {
+  const int n = static_cast<int>(reg.num_explanations());
+  double best = 0.0;
+  std::vector<int> chosen;
+  auto recurse = [&](auto&& self, int start) -> void {
+    if (static_cast<int>(chosen.size()) == m) return;
+    for (int e = start; e < n; ++e) {
+      bool ok = true;
+      for (int c : chosen) {
+        if (reg.explanation(static_cast<ExplId>(c))
+                .OverlapsWith(reg.explanation(static_cast<ExplId>(e)))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      chosen.push_back(e);
+      double total = 0.0;
+      for (int c : chosen) total += gamma[static_cast<size_t>(c)];
+      best = std::max(best, total);
+      self(self, e + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+TEST(CascadingAnalysts, SingleAttributeEqualsTopMByGamma) {
+  const Table t = MakeSingleAttrTable(6);
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  CascadingAnalysts ca(reg);
+  // Values of attr A never overlap, so top-m = m largest gammas.
+  const std::vector<double> gamma{3.0, 9.0, 1.0, 7.0, 5.0, 0.0};
+  const TopExplanations top = ca.TopM(gamma, 3);
+  ASSERT_EQ(top.ids.size(), 3u);
+  EXPECT_EQ(top.gammas, (std::vector<double>{9.0, 7.0, 5.0}));
+  EXPECT_DOUBLE_EQ(top.TotalScore(), 21.0);
+}
+
+TEST(CascadingAnalysts, BestArrayMonotoneAndExact) {
+  const Table t = MakeSingleAttrTable(5);
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  CascadingAnalysts ca(reg);
+  const std::vector<double> gamma{4.0, 2.0, 8.0, 1.0, 6.0};
+  const TopExplanations top = ca.TopM(gamma, 4);
+  ASSERT_EQ(top.best.size(), 5u);
+  EXPECT_DOUBLE_EQ(top.best[0], 0.0);
+  EXPECT_DOUBLE_EQ(top.best[1], 8.0);
+  EXPECT_DOUBLE_EQ(top.best[2], 14.0);
+  EXPECT_DOUBLE_EQ(top.best[3], 18.0);
+  EXPECT_DOUBLE_EQ(top.best[4], 20.0);
+  for (size_t q = 1; q < top.best.size(); ++q) {
+    EXPECT_GE(top.best[q], top.best[q - 1]);
+  }
+}
+
+TEST(CascadingAnalysts, ZeroGammasSelectNothing) {
+  const Table t = MakeSingleAttrTable(4);
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  CascadingAnalysts ca(reg);
+  const TopExplanations top =
+      ca.TopM(std::vector<double>(4, 0.0), 3);
+  EXPECT_TRUE(top.ids.empty());
+  EXPECT_DOUBLE_EQ(top.TotalScore(), 0.0);
+}
+
+TEST(CascadingAnalysts, SelectionIsAlwaysNonOverlapping) {
+  const Table t = MakeTwoAttrTable();
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> gamma(reg.num_explanations());
+    for (auto& g : gamma) g = rng.Uniform(0.0, 10.0);
+    const TopExplanations top = ca.TopM(gamma, 3);
+    ASSERT_LE(top.ids.size(), 3u);
+    for (size_t i = 0; i < top.ids.size(); ++i) {
+      for (size_t j = i + 1; j < top.ids.size(); ++j) {
+        EXPECT_FALSE(reg.explanation(top.ids[i])
+                         .OverlapsWith(reg.explanation(top.ids[j])))
+            << "overlapping pair selected";
+      }
+    }
+    // Returned gammas are the scores of the returned ids, descending.
+    for (size_t i = 0; i < top.ids.size(); ++i) {
+      EXPECT_DOUBLE_EQ(top.gammas[i],
+                       gamma[static_cast<size_t>(top.ids[i])]);
+      if (i > 0) EXPECT_GE(top.gammas[i - 1], top.gammas[i]);
+    }
+    // Total equals Best[m].
+    double sum = 0.0;
+    for (double g : top.gammas) sum += g;
+    EXPECT_NEAR(sum, top.TotalScore(), 1e-9);
+  }
+}
+
+TEST(CascadingAnalysts, MatchesBruteForceOnSingleAttribute) {
+  const Table t = MakeSingleAttrTable(7);
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  CascadingAnalysts ca(reg);
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> gamma(reg.num_explanations());
+    for (auto& g : gamma) g = rng.Uniform(0.0, 5.0);
+    const TopExplanations top = ca.TopM(gamma, 3);
+    EXPECT_NEAR(top.TotalScore(), BruteForceNonOverlapping(reg, gamma, 3),
+                1e-9);
+  }
+}
+
+TEST(CascadingAnalysts, NeverExceedsBruteForceUpperBound) {
+  // With multiple attributes CA restricts to cascades, so its score is at
+  // most the unrestricted optimum and at least the best single cell.
+  const Table t = MakeTwoAttrTable();
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> gamma(reg.num_explanations());
+    for (auto& g : gamma) g = rng.Uniform(0.0, 10.0);
+    const TopExplanations top = ca.TopM(gamma, 3);
+    const double brute = BruteForceNonOverlapping(reg, gamma, 3);
+    EXPECT_LE(top.TotalScore(), brute + 1e-9);
+    const double best_single =
+        *std::max_element(gamma.begin(), gamma.end());
+    EXPECT_GE(top.TotalScore() + 1e-9, best_single);
+  }
+}
+
+TEST(CascadingAnalysts, DrillDownPicksDeepCellsWhenWorthIt) {
+  const Table t = MakeTwoAttrTable();
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  std::vector<double> gamma(reg.num_explanations(), 0.0);
+  // Give all mass to two sibling order-2 cells under different a-values,
+  // which only a drill-down cascade can select together.
+  const ValueId a1 = t.dictionary(0).Lookup("a1");
+  const ValueId a2 = t.dictionary(0).Lookup("a2");
+  const ValueId b1 = t.dictionary(1).Lookup("b1");
+  const ValueId b2 = t.dictionary(1).Lookup("b2");
+  const ExplId cell1 = reg.Lookup(
+      Explanation::FromPredicates({Predicate{0, a1}, Predicate{1, b1}}));
+  const ExplId cell2 = reg.Lookup(
+      Explanation::FromPredicates({Predicate{0, a2}, Predicate{1, b2}}));
+  gamma[static_cast<size_t>(cell1)] = 5.0;
+  gamma[static_cast<size_t>(cell2)] = 4.0;
+  const TopExplanations top = ca.TopM(gamma, 2);
+  ASSERT_EQ(top.ids.size(), 2u);
+  EXPECT_DOUBLE_EQ(top.TotalScore(), 9.0);
+}
+
+TEST(CascadingAnalysts, SelfVersusChildrenTradeoff) {
+  const Table t = MakeTwoAttrTable();
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  const ValueId a1 = t.dictionary(0).Lookup("a1");
+  const ValueId b1 = t.dictionary(1).Lookup("b1");
+  const ValueId b2 = t.dictionary(1).Lookup("b2");
+  const ExplId parent =
+      reg.Lookup(Explanation::FromPredicates({Predicate{0, a1}}));
+  const ExplId child1 = reg.Lookup(
+      Explanation::FromPredicates({Predicate{0, a1}, Predicate{1, b1}}));
+  const ExplId child2 = reg.Lookup(
+      Explanation::FromPredicates({Predicate{0, a1}, Predicate{1, b2}}));
+
+  std::vector<double> gamma(reg.num_explanations(), 0.0);
+  gamma[static_cast<size_t>(parent)] = 10.0;
+  gamma[static_cast<size_t>(child1)] = 6.0;
+  gamma[static_cast<size_t>(child2)] = 6.0;
+
+  // With quota 1 the parent (10) beats one child (6).
+  EXPECT_DOUBLE_EQ(ca.TopM(gamma, 1).TotalScore(), 10.0);
+  // With quota 2 both children (12) beat the parent (10): the parent
+  // overlaps its children, so it cannot combine with them.
+  EXPECT_DOUBLE_EQ(ca.TopM(gamma, 2).TotalScore(), 12.0);
+}
+
+TEST(CascadingAnalysts, SelectableMaskRespected) {
+  const Table t = MakeSingleAttrTable(4);
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  CascadingAnalysts ca(reg);
+  const std::vector<double> gamma{9.0, 8.0, 7.0, 6.0};
+  std::vector<bool> selectable{false, true, false, true};
+  const TopExplanations top = ca.TopM(gamma, 2, &selectable);
+  ASSERT_EQ(top.ids.size(), 2u);
+  EXPECT_DOUBLE_EQ(top.TotalScore(), 14.0);  // 8 + 6
+  for (ExplId id : top.ids) {
+    EXPECT_TRUE(selectable[static_cast<size_t>(id)]);
+  }
+}
+
+TEST(CascadingAnalysts, InstrumentationCountsNodes) {
+  const Table t = MakeTwoAttrTable();
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  std::vector<double> gamma(reg.num_explanations(), 1.0);
+  ca.TopM(gamma, 3);
+  EXPECT_GT(ca.last_nodes_visited(), 0u);
+  // Memoization: each (cell, q) evaluated at most once.
+  EXPECT_LE(ca.last_nodes_visited(), reg.num_explanations() * 3);
+}
+
+TEST(SortByGammaDescTest, DeterministicTieBreak) {
+  const std::vector<double> gamma{5.0, 7.0, 5.0, 1.0};
+  std::vector<ExplId> ids{0, 1, 2, 3};
+  SortByGammaDesc(gamma, &ids);
+  EXPECT_EQ(ids, (std::vector<ExplId>{1, 0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tsexplain

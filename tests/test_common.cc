@@ -1,0 +1,200 @@
+// Unit tests for src/common: RNG, strings, timer, check macros.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/timer.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.06);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.06);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(4.5));
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApproximation) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, SampleDistinctSortedProperties) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int> sample = rng.SampleDistinctSorted(10, 30, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int v : sample) {
+      EXPECT_GE(v, 10);
+      EXPECT_LE(v, 30);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctSortedFullRange) {
+  Rng rng(23);
+  const std::vector<int> sample = rng.SampleDistinctSorted(0, 4, 5);
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Strings, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts{"a", "bb", "", "ccc"};
+  const std::string joined = Join(parts, ",");
+  EXPECT_EQ(joined, "a,bb,,ccc");
+  EXPECT_EQ(Split(joined, ','), parts);
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(Strings, SplitNoSeparator) {
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(Strings, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%d", 3, 14), "3-14");
+  EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abc");  // truncation
+}
+
+TEST(Strings, DayOffsetToDateLeapYear) {
+  // 2020 anchors used by the covid simulator.
+  EXPECT_EQ(DayOffsetToDate(0, 1, 22, true), "1-22");
+  EXPECT_EQ(DayOffsetToDate(9, 1, 22, true), "1-31");
+  EXPECT_EQ(DayOffsetToDate(10, 1, 22, true), "2-1");
+  EXPECT_EQ(DayOffsetToDate(38, 1, 22, true), "2-29");  // leap day exists
+  EXPECT_EQ(DayOffsetToDate(39, 1, 22, true), "3-1");
+  EXPECT_EQ(DayOffsetToDate(52, 1, 22, true), "3-14");
+  EXPECT_EQ(DayOffsetToDate(344, 1, 22, true), "12-31");
+}
+
+TEST(Strings, DayOffsetToDateNonLeap) {
+  EXPECT_EQ(DayOffsetToDate(37, 1, 22, false), "2-28");
+  EXPECT_EQ(DayOffsetToDate(38, 1, 22, false), "3-1");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  const double ms = timer.ElapsedMs();
+  EXPECT_GE(ms, 10.0);
+  EXPECT_LT(ms, 600.0);
+  EXPECT_NEAR(timer.ElapsedSeconds(), timer.ElapsedMs() / 1000.0, 0.01);
+}
+
+TEST(Timer, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double first = sink;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, first);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ TSE_CHECK(1 == 2) << "boom"; }, "boom");
+  EXPECT_DEATH({ TSE_CHECK_GE(1, 2); }, "check failed");
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  TSE_CHECK(true) << "never evaluated";
+  TSE_CHECK_EQ(2 + 2, 4);
+  TSE_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tsexplain

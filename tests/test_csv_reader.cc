@@ -1,0 +1,148 @@
+// Tests for the CSV loader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/table/csv_reader.h"
+#include "src/table/group_by.h"
+
+namespace tsexplain {
+namespace {
+
+constexpr char kBasicCsv[] =
+    "date,state,cases\n"
+    "2020-01-02,NY,10\n"
+    "2020-01-01,NY,5\n"
+    "2020-01-01,CA,3\n"
+    "2020-01-02,CA,4\n";
+
+CsvOptions BasicOptions() {
+  CsvOptions options;
+  options.time_column = "date";
+  options.measure_columns = {"cases"};
+  return options;
+}
+
+TEST(CsvReader, BasicParse) {
+  const CsvResult result = ReadCsvFromString(kBasicCsv, BasicOptions());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rows, 4u);
+  EXPECT_EQ(result.table->num_time_buckets(), 2u);
+  EXPECT_EQ(result.table->schema().num_dimensions(), 1u);
+  EXPECT_EQ(result.table->schema().num_measures(), 1u);
+  // sort_time: 2020-01-01 must be bucket 0 despite appearing second.
+  EXPECT_EQ(result.table->time_labels()[0], "2020-01-01");
+  const TimeSeries totals =
+      GroupByTime(*result.table, AggregateFunction::kSum, 0);
+  EXPECT_EQ(totals.values, (std::vector<double>{8.0, 14.0}));
+}
+
+TEST(CsvReader, FirstAppearanceOrderWhenUnsorted) {
+  CsvOptions options = BasicOptions();
+  options.sort_time = false;
+  const CsvResult result = ReadCsvFromString(kBasicCsv, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.table->time_labels()[0], "2020-01-02");
+}
+
+TEST(CsvReader, QuotedFieldsAndEscapes) {
+  const std::string csv =
+      "t,name,v\n"
+      "0,\"Smith, John\",1\n"
+      "0,\"say \"\"hi\"\"\",2\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(0, 0)),
+            "Smith, John");
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(1, 0)),
+            "say \"hi\"");
+}
+
+TEST(CsvReader, CrlfAndBlankLines) {
+  const std::string csv = "t,d,v\r\n0,a,1\r\n\r\n1,a,2\r\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rows, 2u);
+}
+
+TEST(CsvReader, CustomDelimiter) {
+  const std::string csv = "t;d;v\n0;x;1.5\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  options.delimiter = ';';
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_DOUBLE_EQ(result.table->measure(0, 0), 1.5);
+}
+
+TEST(CsvReader, ErrorsAreReported) {
+  CsvOptions options;
+  options.time_column = "missing";
+  options.measure_columns = {"v"};
+  EXPECT_EQ(ReadCsvFromString(kBasicCsv, options).error,
+            "time column not found: missing");
+
+  options = BasicOptions();
+  options.measure_columns = {"nope"};
+  EXPECT_NE(ReadCsvFromString(kBasicCsv, options).error.find("nope"),
+            std::string::npos);
+
+  const std::string bad_number = "t,d,v\n0,a,abc\n";
+  options = BasicOptions();
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  EXPECT_NE(ReadCsvFromString(bad_number, options).error.find("abc"),
+            std::string::npos);
+
+  const std::string ragged = "t,d,v\n0,a\n";
+  EXPECT_NE(ReadCsvFromString(ragged, options).error.find("expected"),
+            std::string::npos);
+
+  EXPECT_FALSE(ReadCsvFromString("", options).ok());
+  EXPECT_FALSE(ReadCsvFromString("t,d,v\n", options).ok());  // no rows
+}
+
+TEST(CsvReader, CountStarWithNoMeasures) {
+  const std::string csv = "t,d\n0,a\n0,b\n1,a\n";
+  CsvOptions options;
+  options.time_column = "t";
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const TimeSeries counts =
+      GroupByTime(*result.table, AggregateFunction::kCount, -1);
+  EXPECT_EQ(counts.values, (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(CsvReader, SplitCsvLineUnit) {
+  EXPECT_EQ(SplitCsvLine("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine(",,", ','),
+            (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvReader, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/tse_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << kBasicCsv;
+  }
+  const CsvResult result = ReadCsvFile(path, BasicOptions());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rows, 4u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile(path, BasicOptions()).ok());  // gone now
+}
+
+}  // namespace
+}  // namespace tsexplain

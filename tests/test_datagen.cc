@@ -1,0 +1,131 @@
+// Tests for the synthetic data generator (section 4.2.1 semantics).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datagen/synthetic.h"
+#include "src/table/group_by.h"
+#include "src/ts/time_series.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(Synthetic, GroundTruthCutsValid) {
+  SyntheticConfig config;
+  config.seed = 1;
+  const SyntheticDataset ds = GenerateSynthetic(config);
+  ASSERT_GE(ds.ground_truth_cuts.size(), 3u);  // >= 1 interior cut
+  EXPECT_EQ(ds.ground_truth_cuts.front(), 0);
+  EXPECT_EQ(ds.ground_truth_cuts.back(), 99);
+  EXPECT_TRUE(std::is_sorted(ds.ground_truth_cuts.begin(),
+                             ds.ground_truth_cuts.end()));
+  // Paper: K varies 2..10.
+  EXPECT_GE(ds.ground_truth_k(), 2);
+  EXPECT_LE(ds.ground_truth_k(), 10);
+}
+
+TEST(Synthetic, MinimumGapRespected) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SyntheticConfig config;
+    config.seed = seed;
+    const SyntheticDataset ds = GenerateSynthetic(config);
+    for (size_t i = 1; i < ds.ground_truth_cuts.size(); ++i) {
+      EXPECT_GE(ds.ground_truth_cuts[i] - ds.ground_truth_cuts[i - 1],
+                config.min_gap)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Synthetic, AdjacentPiecesFlipTrendDirection) {
+  SyntheticConfig config;
+  config.seed = 3;
+  config.snr_db = 60.0;
+  const SyntheticDataset ds = GenerateSynthetic(config);
+  for (size_t c = 0; c < ds.clean.size(); ++c) {
+    std::vector<int> bounds{0};
+    for (int cut : ds.category_cuts[c]) bounds.push_back(cut);
+    bounds.push_back(99);
+    int prev_sign = 0;
+    for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+      const double delta = ds.clean[c][static_cast<size_t>(bounds[s + 1])] -
+                           ds.clean[c][static_cast<size_t>(bounds[s])];
+      const int sign = delta > 0 ? 1 : -1;
+      if (prev_sign != 0) {
+        EXPECT_NE(sign, prev_sign)
+            << "category " << c << " piece " << s
+            << " does not flip direction";
+      }
+      prev_sign = sign;
+    }
+  }
+}
+
+TEST(Synthetic, NoiseCalibratedToSnr) {
+  for (double snr : {20.0, 35.0, 50.0}) {
+    SyntheticConfig config;
+    config.seed = 5;
+    config.snr_db = snr;
+    const SyntheticDataset ds = GenerateSynthetic(config);
+    for (size_t c = 0; c < ds.clean.size(); ++c) {
+      const double measured = MeasureSnrDb(ds.clean[c], ds.noisy[c]);
+      EXPECT_NEAR(measured, snr, 3.0) << "category " << c;
+    }
+  }
+}
+
+TEST(Synthetic, TableAggregatesToSumOfNoisySeries) {
+  SyntheticConfig config;
+  config.seed = 7;
+  const SyntheticDataset ds = GenerateSynthetic(config);
+  const TimeSeries overall =
+      GroupByTime(*ds.table, AggregateFunction::kSum, 0);
+  const std::vector<double> expected = SumSeries(ds.noisy);
+  ASSERT_EQ(overall.size(), expected.size());
+  for (size_t t = 0; t < expected.size(); ++t) {
+    EXPECT_NEAR(overall.values[t], expected[t], 1e-9);
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticConfig config;
+  config.seed = 11;
+  const SyntheticDataset a = GenerateSynthetic(config);
+  const SyntheticDataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.ground_truth_cuts, b.ground_truth_cuts);
+  EXPECT_EQ(a.noisy, b.noisy);
+  config.seed = 12;
+  const SyntheticDataset c = GenerateSynthetic(config);
+  EXPECT_NE(a.noisy, c.noisy);
+}
+
+TEST(Synthetic, ExplicitInteriorCutCount) {
+  SyntheticConfig config;
+  config.seed = 13;
+  config.num_interior_cuts = 5;
+  const SyntheticDataset ds = GenerateSynthetic(config);
+  EXPECT_EQ(ds.ground_truth_k(), 6);
+}
+
+TEST(Synthetic, PaperSnrGrid) {
+  const std::vector<double> levels = PaperSnrLevels();
+  ASSERT_EQ(levels.size(), 7u);
+  EXPECT_DOUBLE_EQ(levels.front(), 20.0);
+  EXPECT_DOUBLE_EQ(levels.back(), 50.0);
+}
+
+TEST(TableFromCategorySeriesTest, SchemaAndContent) {
+  const std::vector<std::vector<double>> series{{1.0, 2.0}, {3.0, 4.0}};
+  auto table =
+      TableFromCategorySeries(series, {"x", "y"}, {"t0", "t1"});
+  EXPECT_EQ(table->num_rows(), 4u);
+  EXPECT_EQ(table->num_time_buckets(), 2u);
+  EXPECT_EQ(table->schema().DimensionIndex("category"), 0);
+  const TimeSeries overall =
+      GroupByTime(*table, AggregateFunction::kSum, 0);
+  EXPECT_EQ(overall.values, (std::vector<double>{4.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace tsexplain

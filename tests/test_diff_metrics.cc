@@ -1,0 +1,94 @@
+// Unit tests for the difference-metric library (Definitions 3.2 / 3.3).
+
+#include <gtest/gtest.h>
+
+#include "src/diff/diff_metrics.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(AbsoluteChange, MatchesDefinition32) {
+  // Overall difference 100 -> 60 without E: E contributes +40.
+  const DiffScore s = ComputeDiff(DiffMetricKind::kAbsoluteChange,
+                                  /*f_test=*/300.0, /*f_control=*/200.0,
+                                  /*f_test_wo=*/210.0,
+                                  /*f_control_wo=*/150.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 40.0);
+  EXPECT_EQ(s.tau, 1);
+}
+
+TEST(AbsoluteChange, NegativeContributionHasPositiveGamma) {
+  // Including E DECREASES the overall change: tau = -1, gamma = |.|.
+  const DiffScore s = ComputeDiff(DiffMetricKind::kAbsoluteChange, 100.0,
+                                  100.0, 150.0, 90.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 60.0);
+  EXPECT_EQ(s.tau, -1);
+}
+
+TEST(AbsoluteChange, NoContribution) {
+  const DiffScore s = ComputeDiff(DiffMetricKind::kAbsoluteChange, 100.0,
+                                  50.0, 80.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 0.0);
+  EXPECT_EQ(s.tau, 0);
+}
+
+TEST(ChangeEffect, SignMatchesDefinition33) {
+  // tau = sign((f_t - f_c) - (f_t_wo - f_c_wo)).
+  EXPECT_EQ(ComputeDiff(DiffMetricKind::kAbsoluteChange, 10, 0, 0, 0).tau, 1);
+  EXPECT_EQ(ComputeDiff(DiffMetricKind::kAbsoluteChange, 0, 10, 0, 0).tau, -1);
+  EXPECT_EQ(ComputeDiff(DiffMetricKind::kAbsoluteChange, 5, 0, 5, 0).tau, 0);
+}
+
+TEST(RelativeChange, FractionOfOverallChange) {
+  // Delta = 100, contribution = 40 -> relative 0.4.
+  const DiffScore s = ComputeDiff(DiffMetricKind::kRelativeChange, 300.0,
+                                  200.0, 210.0, 150.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 0.4);
+  EXPECT_EQ(s.tau, 1);
+}
+
+TEST(RelativeChange, ZeroOverallChangeScoresZero) {
+  const DiffScore s =
+      ComputeDiff(DiffMetricKind::kRelativeChange, 100.0, 100.0, 80.0, 70.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 0.0);
+}
+
+TEST(RelativeChange, CanExceedOne) {
+  // A slice can contribute more than the net change (others cancel).
+  const DiffScore s = ComputeDiff(DiffMetricKind::kRelativeChange, 110.0,
+                                  100.0, 60.0, 90.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 4.0);  // contribution 40 vs delta 10
+}
+
+TEST(RiskRatio, SliceGrowingFasterThanOverall) {
+  // Overall: 100 -> 110 (10%). Slice base 20 grows by 10 (50%).
+  const DiffScore s = ComputeDiff(DiffMetricKind::kRiskRatio, 110.0, 100.0,
+                                  80.0, 80.0);
+  EXPECT_NEAR(s.gamma, 5.0, 1e-9);
+  EXPECT_EQ(s.tau, 1);
+}
+
+TEST(RiskRatio, CappedAtLimit) {
+  // Tiny overall rate, huge slice rate: capped.
+  const DiffScore s = ComputeDiff(DiffMetricKind::kRiskRatio, 100.0001,
+                                  100.0, 0.0, 99.9999);
+  EXPECT_LE(s.gamma, kRiskRatioCap + 1e-9);
+}
+
+TEST(RiskRatio, DegenerateDenominatorsScoreZero) {
+  EXPECT_DOUBLE_EQ(
+      ComputeDiff(DiffMetricKind::kRiskRatio, 100, 100, 50, 50).gamma, 0.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeDiff(DiffMetricKind::kRiskRatio, 10, 0, 5, 0).gamma, 0.0);
+}
+
+TEST(MetricNames, AllDistinct) {
+  EXPECT_STREQ(DiffMetricName(DiffMetricKind::kAbsoluteChange),
+               "absolute-change");
+  EXPECT_STREQ(DiffMetricName(DiffMetricKind::kRelativeChange),
+               "relative-change");
+  EXPECT_STREQ(DiffMetricName(DiffMetricKind::kRiskRatio), "risk-ratio");
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,121 @@
+// Unit tests for the segment-distance library (Eq. 6, 8, 9 + S-variants).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/datagen/synthetic.h"
+#include "src/seg/segment_distance.h"
+
+namespace tsexplain {
+namespace {
+
+class DistanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Same two-regime construction as the NDCG tests.
+    std::vector<std::vector<double>> series(3, std::vector<double>(11));
+    for (int t = 0; t <= 10; ++t) {
+      series[0][static_cast<size_t>(t)] = t <= 5 ? 100.0 + 20.0 * t : 200.0;
+      series[1][static_cast<size_t>(t)] =
+          t <= 5 ? 50.0 : 50.0 + 15.0 * (t - 5);
+      series[2][static_cast<size_t>(t)] = 80.0;
+    }
+    std::vector<std::string> labels;
+    for (int t = 0; t <= 10; ++t) labels.push_back(std::to_string(t));
+    table_ = TableFromCategorySeries(series, {"a1", "a2", "a3"}, labels);
+    registry_ = ExplanationRegistry::Build(*table_, {0}, 1);
+    cube_ = std::make_unique<ExplanationCube>(*table_, registry_,
+                                              AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer_ =
+        std::make_unique<SegmentExplainer>(*cube_, registry_, options);
+  }
+
+  double Dist(VarianceMetric m, int ca, int cb, int oa, int ob) {
+    return SegmentDist(*explainer_, m, ca, cb, oa, ob);
+  }
+
+  std::unique_ptr<Table> table_;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+};
+
+TEST_F(DistanceTest, TseIsSymmetric) {
+  for (int a = 0; a <= 6; a += 3) {
+    const double d1 = Dist(VarianceMetric::kTse, a, a + 4, 2, 7);
+    const double d2 = Dist(VarianceMetric::kTse, 2, 7, a, a + 4);
+    EXPECT_NEAR(d1, d2, 1e-12);
+  }
+}
+
+TEST_F(DistanceTest, AllMetricsInUnitRange) {
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    for (int a = 0; a < 9; a += 2) {
+      const double d = Dist(metric, a, a + 2, 4, 9);
+      EXPECT_GE(d, 0.0) << VarianceMetricName(metric);
+      EXPECT_LE(d, 1.0) << VarianceMetricName(metric);
+    }
+  }
+}
+
+TEST_F(DistanceTest, IdenticalSegmentsHaveZeroDistance) {
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    EXPECT_NEAR(Dist(metric, 1, 5, 1, 5), 0.0, 1e-12)
+        << VarianceMetricName(metric);
+  }
+}
+
+TEST_F(DistanceTest, CrossRegimeFartherThanWithinRegime) {
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    const double within = Dist(metric, 0, 3, 2, 5);   // both a1-rising
+    const double across = Dist(metric, 0, 4, 6, 10);  // a1 vs a2 regimes
+    EXPECT_LT(within, across) << VarianceMetricName(metric);
+  }
+}
+
+TEST_F(DistanceTest, SquaredVariantNoFartherThanPlain) {
+  // RMS >= arithmetic mean, so 1 - RMS <= 1 - AM: Stse <= tse. Same for
+  // the single-NDCG variants (x^2 <= x on [0, 1] flips it: Sdist >= dist).
+  for (int a = 0; a <= 5; ++a) {
+    const double tse = Dist(VarianceMetric::kTse, a, a + 3, 6, 10);
+    const double stse = Dist(VarianceMetric::kStse, a, a + 3, 6, 10);
+    EXPECT_LE(stse, tse + 1e-12);
+    const double d1 = Dist(VarianceMetric::kDist1, a, a + 3, 6, 10);
+    const double sd1 = Dist(VarianceMetric::kSdist1, a, a + 3, 6, 10);
+    EXPECT_GE(sd1, d1 - 1e-12);
+  }
+}
+
+TEST_F(DistanceTest, Dist1AndDist2AreTheTwoHalvesOfTse) {
+  const double d1 = Dist(VarianceMetric::kDist1, 0, 4, 6, 10);
+  const double d2 = Dist(VarianceMetric::kDist2, 0, 4, 6, 10);
+  const double tse = Dist(VarianceMetric::kTse, 0, 4, 6, 10);
+  EXPECT_NEAR(tse, (d1 + d2) / 2.0, 1e-12);
+}
+
+TEST_F(DistanceTest, MetricTaxonomy) {
+  EXPECT_TRUE(IsAllPairMetric(VarianceMetric::kAllpair));
+  EXPECT_TRUE(IsAllPairMetric(VarianceMetric::kSallpair));
+  EXPECT_FALSE(IsAllPairMetric(VarianceMetric::kTse));
+  EXPECT_TRUE(IsSquaredMetric(VarianceMetric::kStse));
+  EXPECT_TRUE(IsSquaredMetric(VarianceMetric::kSdist2));
+  EXPECT_FALSE(IsSquaredMetric(VarianceMetric::kDist1));
+  EXPECT_EQ(sizeof(kAllVarianceMetrics) / sizeof(kAllVarianceMetrics[0]),
+            8u);
+}
+
+TEST_F(DistanceTest, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    names.insert(VarianceMetricName(metric));
+  }
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(std::string(VarianceMetricName(VarianceMetric::kTse)), "tse");
+}
+
+}  // namespace
+}  // namespace tsexplain

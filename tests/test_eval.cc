@@ -1,0 +1,155 @@
+// Tests for the evaluation harness: distance-percent, ground-truth rank,
+// metric comparison.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/datagen/synthetic.h"
+#include "src/eval/metric_comparison.h"
+#include "src/eval/segmentation_distance.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(DistancePercentTest, ExactMatchScoresZero) {
+  const std::vector<int> cuts{0, 20, 50, 99};
+  EXPECT_DOUBLE_EQ(DistancePercent(cuts, cuts, 100), 0.0);
+}
+
+TEST(DistancePercentTest, SmallShiftSmallScore) {
+  const std::vector<int> gt{0, 50, 99};
+  const std::vector<int> shifted{0, 53, 99};
+  // One interior cut, off by 3 of 100 -> 3%.
+  EXPECT_NEAR(DistancePercent(shifted, gt, 100), 3.0, 1e-9);
+}
+
+TEST(DistancePercentTest, GrossMismatchScoresHigh) {
+  const std::vector<int> gt{0, 10, 20, 99};
+  const std::vector<int> far{0, 80, 90, 99};
+  EXPECT_GT(DistancePercent(far, gt, 100), 30.0);
+}
+
+TEST(DistancePercentTest, MissingCutCostsHalf) {
+  const std::vector<int> gt{0, 30, 60, 99};   // two interior cuts
+  const std::vector<int> pred{0, 30, 99};     // one matching, one missing
+  // Match 30<->30 costs 0, delete 60 costs 0.5, normalized by 2 -> 25%.
+  EXPECT_NEAR(DistancePercent(pred, gt, 100), 25.0, 1e-9);
+}
+
+TEST(DistancePercentTest, ExtraCutCostsHalf) {
+  const std::vector<int> gt{0, 30, 99};
+  const std::vector<int> pred{0, 30, 60, 99};
+  EXPECT_NEAR(DistancePercent(pred, gt, 100), 25.0, 1e-9);
+}
+
+TEST(DistancePercentTest, NoInteriorCutsBothSides) {
+  EXPECT_DOUBLE_EQ(DistancePercent({0, 99}, {0, 99}, 100), 0.0);
+}
+
+TEST(DistancePercentTest, AlignmentPrefersMatchingOverDeleting) {
+  // Aligning 48 to 50 (0.02) is cheaper than delete+insert (1.0).
+  const std::vector<int> gt{0, 50, 99};
+  const std::vector<int> pred{0, 48, 99};
+  EXPECT_NEAR(DistancePercent(pred, gt, 100), 2.0, 1e-9);
+}
+
+TEST(FractionalRanksTest, SimpleOrdering) {
+  EXPECT_EQ(FractionalRanks({30.0, 10.0, 20.0}),
+            (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(FractionalRanksTest, TiesShareAverageRank) {
+  EXPECT_EQ(FractionalRanks({3.0, 1.0, 3.0}),
+            (std::vector<double>{2.5, 1.0, 2.5}));
+  EXPECT_EQ(FractionalRanks({5.0, 5.0, 5.0, 5.0}),
+            (std::vector<double>{2.5, 2.5, 2.5, 2.5}));
+}
+
+TEST(RandomSegmentationTest, ValidSchemes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int> cuts = RandomSegmentation(100, 5, rng);
+    ASSERT_EQ(cuts.size(), 6u);
+    EXPECT_EQ(cuts.front(), 0);
+    EXPECT_EQ(cuts.back(), 99);
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      EXPECT_LT(cuts[i - 1], cuts[i]);
+    }
+  }
+}
+
+class GroundTruthRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.length = 100;
+    config.snr_db = 50.0;
+    config.seed = 21;
+    config.num_interior_cuts = 3;
+    ds_ = GenerateSynthetic(config);
+    registry_ = ExplanationRegistry::Build(*ds_.table, {0}, 1);
+    cube_ = std::make_unique<ExplanationCube>(*ds_.table, registry_,
+                                              AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer_ =
+        std::make_unique<SegmentExplainer>(*cube_, registry_, options);
+  }
+
+  SyntheticDataset ds_;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+};
+
+TEST_F(GroundTruthRankTest, CleanDataRanksGroundTruthFirst) {
+  VarianceCalculator calc(*explainer_, VarianceMetric::kTse);
+  const GroundTruthRankResult r =
+      EvaluateGroundTruthRank(calc, ds_.ground_truth_cuts, 500, 77);
+  // Figure 6 at SNR = 50: ground truth achieves the lowest score.
+  EXPECT_EQ(r.rank, 1);
+  EXPECT_EQ(r.samples, 500);
+  EXPECT_GE(r.ground_truth_score, 0.0);
+}
+
+TEST_F(GroundTruthRankTest, DeterministicInSeed) {
+  VarianceCalculator calc(*explainer_, VarianceMetric::kTse);
+  const auto a =
+      EvaluateGroundTruthRank(calc, ds_.ground_truth_cuts, 200, 5);
+  const auto b =
+      EvaluateGroundTruthRank(calc, ds_.ground_truth_cuts, 200, 5);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_DOUBLE_EQ(a.ground_truth_score, b.ground_truth_score);
+}
+
+TEST_F(GroundTruthRankTest, CompareMetricsProducesEightRanks) {
+  const MetricComparisonResult result =
+      CompareVarianceMetrics(*explainer_, ds_.ground_truth_cuts, 200, 9);
+  ASSERT_EQ(result.per_metric.size(), 8u);
+  ASSERT_EQ(result.metric_rank.size(), 8u);
+  for (double r : result.metric_rank) {
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 8.0);
+  }
+  // On clean data every metric tends to put the ground truth at rank 1
+  // (paper Figure 6 at SNR 50: all metrics rank 1st, i.e. they tie); tse
+  // must never rank WORSE than any alternative here.
+  EXPECT_EQ(result.per_metric[0].rank, 1);
+  for (size_t i = 1; i < result.metric_rank.size(); ++i) {
+    EXPECT_LE(result.metric_rank[0], result.metric_rank[i] + 1e-9);
+  }
+}
+
+TEST(CompetitionRanksTest, TiesShareTheBestRank) {
+  EXPECT_EQ(CompetitionRanks({3.0, 1.0, 3.0}),
+            (std::vector<double>{2.0, 1.0, 2.0}));
+  EXPECT_EQ(CompetitionRanks({5.0, 5.0, 5.0}),
+            (std::vector<double>{1.0, 1.0, 1.0}));
+  EXPECT_EQ(CompetitionRanks({10.0, 20.0, 30.0}),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace tsexplain

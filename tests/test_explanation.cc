@@ -1,0 +1,102 @@
+// Unit tests for the Explanation value type (Definition 3.1 semantics).
+
+#include <gtest/gtest.h>
+
+#include "src/diff/explanation.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(Explanation, CanonicalSortByAttribute) {
+  const Explanation e = Explanation::FromPredicates(
+      {Predicate{2, 5}, Predicate{0, 1}, Predicate{1, 9}});
+  ASSERT_EQ(e.order(), 3);
+  EXPECT_EQ(e.predicates()[0].attr, 0);
+  EXPECT_EQ(e.predicates()[1].attr, 1);
+  EXPECT_EQ(e.predicates()[2].attr, 2);
+}
+
+TEST(Explanation, RootProperties) {
+  const Explanation root;
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.order(), 0);
+}
+
+TEST(ExplanationDeathTest, DuplicateAttributeRejected) {
+  EXPECT_DEATH(
+      Explanation::FromPredicates({Predicate{0, 1}, Predicate{0, 2}}),
+      "constrains one attribute twice");
+}
+
+TEST(Explanation, TryGetValue) {
+  const Explanation e =
+      Explanation::FromPredicates({Predicate{1, 7}, Predicate{3, 2}});
+  ValueId v = -99;
+  EXPECT_TRUE(e.TryGetValue(1, &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(e.TryGetValue(2, &v));
+}
+
+TEST(Explanation, ExtendAndWithoutAttr) {
+  const Explanation e = Explanation::FromPredicates({Predicate{1, 7}});
+  const Explanation extended = e.Extend(Predicate{0, 3});
+  EXPECT_EQ(extended.order(), 2);
+  EXPECT_EQ(extended.predicates()[0].attr, 0);  // re-canonicalized
+  const Explanation back = extended.WithoutAttr(0);
+  EXPECT_TRUE(back == e);
+}
+
+TEST(ExplanationDeathTest, ExtendExistingAttrRejected) {
+  const Explanation e = Explanation::FromPredicates({Predicate{1, 7}});
+  EXPECT_DEATH(e.Extend(Predicate{1, 8}), "already constrained");
+}
+
+TEST(ExplanationDeathTest, WithoutMissingAttrRejected) {
+  const Explanation e = Explanation::FromPredicates({Predicate{1, 7}});
+  EXPECT_DEATH(e.WithoutAttr(0), "not present");
+}
+
+TEST(Explanation, OverlapSemantics) {
+  const auto ab = Explanation::FromPredicates({Predicate{0, 1}, Predicate{1, 1}});
+  const auto a2 = Explanation::FromPredicates({Predicate{0, 2}});
+  const auto b1 = Explanation::FromPredicates({Predicate{1, 1}});
+  const auto c1 = Explanation::FromPredicates({Predicate{2, 1}});
+
+  // Shared attribute with different values -> never co-satisfiable.
+  EXPECT_FALSE(ab.OverlapsWith(a2));
+  EXPECT_FALSE(a2.OverlapsWith(ab));  // symmetric
+  // Shared attribute with the same value -> overlapping.
+  EXPECT_TRUE(ab.OverlapsWith(b1));
+  // No shared attribute -> some record could satisfy both.
+  EXPECT_TRUE(a2.OverlapsWith(c1));
+  // Root overlaps everything.
+  EXPECT_TRUE(Explanation().OverlapsWith(ab));
+  // Identical explanations overlap.
+  EXPECT_TRUE(ab.OverlapsWith(ab));
+}
+
+TEST(Explanation, HashStableAndDiscriminating) {
+  const auto a = Explanation::FromPredicates({Predicate{0, 1}});
+  const auto a_again = Explanation::FromPredicates({Predicate{0, 1}});
+  const auto b = Explanation::FromPredicates({Predicate{0, 2}});
+  const auto swapped = Explanation::FromPredicates({Predicate{1, 0}});
+  EXPECT_EQ(a.Hash(), a_again.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), swapped.Hash());  // (attr,val) vs (val,attr)
+  EXPECT_NE(a.Hash(), Explanation().Hash());
+}
+
+TEST(Explanation, ToStringRendering) {
+  Table table(Schema("t", {"state", "age"}, {}));
+  table.AddTimeBucket("0");
+  table.AppendRow(0, {"WA", "50+"}, {});
+  const ValueId wa = table.dictionary(0).Lookup("WA");
+  const ValueId age = table.dictionary(1).Lookup("50+");
+  const auto e = Explanation::FromPredicates(
+      {Predicate{1, age}, Predicate{0, wa}});
+  EXPECT_EQ(e.ToString(table), "state=WA & age=50+");
+  EXPECT_EQ(Explanation().ToString(table), "<all data>");
+}
+
+}  // namespace
+}  // namespace tsexplain

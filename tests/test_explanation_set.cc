@@ -1,0 +1,112 @@
+// Tests for explanation-list similarity utilities and the optimal-PLA
+// ablation baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/bottom_up.h"
+#include "src/baselines/optimal_pla.h"
+#include "src/common/rng.h"
+#include "src/diff/explanation_set.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(ExplanationSet, SameRanked) {
+  EXPECT_TRUE(SameRankedExplanations({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(SameRankedExplanations({1, 2, 3}, {1, 3, 2}));
+  EXPECT_FALSE(SameRankedExplanations({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(SameRankedExplanations({}, {}));
+}
+
+TEST(ExplanationSet, Jaccard) {
+  EXPECT_DOUBLE_EQ(ExplanationJaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(ExplanationJaccard({1, 2, 3}, {3, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(ExplanationJaccard({1, 2}, {2, 3}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ExplanationJaccard({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(ExplanationJaccard({}, {}), 1.0);
+}
+
+TEST(ExplanationSet, RankWeightedOverlapProperties) {
+  // Identical lists -> 1; disjoint -> 0; reordering costs something.
+  EXPECT_DOUBLE_EQ(RankWeightedOverlap({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RankWeightedOverlap({1, 2}, {3, 4}), 0.0);
+  const double reordered = RankWeightedOverlap({1, 2, 3}, {3, 2, 1});
+  EXPECT_GT(reordered, 0.5);
+  EXPECT_LT(reordered, 1.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(RankWeightedOverlap({1, 2}, {2, 3}),
+                   RankWeightedOverlap({2, 3}, {1, 2}));
+  // Range on random lists.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ExplId> a, b;
+    for (int i = 0; i < 3; ++i) {
+      a.push_back(static_cast<ExplId>(rng.UniformInt(0, 9)));
+      b.push_back(static_cast<ExplId>(rng.UniformInt(0, 9)));
+    }
+    const double v = RankWeightedOverlap(a, b);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(ExplanationSet, SchemeDiversity) {
+  EXPECT_DOUBLE_EQ(SchemeExplanationDiversity({{1, 2}, {1, 2}, {3}}), 0.5);
+  EXPECT_DOUBLE_EQ(SchemeExplanationDiversity({{1}, {2}, {3}}), 1.0);
+  EXPECT_DOUBLE_EQ(SchemeExplanationDiversity({{1}, {1}, {1}}), 0.0);
+  EXPECT_DOUBLE_EQ(SchemeExplanationDiversity({{1, 2}}), 1.0);
+  EXPECT_DOUBLE_EQ(SchemeExplanationDiversity({}), 1.0);
+}
+
+// --- optimal PLA ---------------------------------------------------------
+
+std::vector<double> PiecewiseLinear(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(60);
+  double level = 0.0;
+  for (int t = 1; t < 60; ++t) {
+    const double slope = t <= 20 ? 2.0 : (t <= 40 ? -1.5 : 3.0);
+    level += slope;
+    v[static_cast<size_t>(t)] = level + rng.Gaussian(0.0, 0.2);
+  }
+  return v;
+}
+
+TEST(OptimalPla, FindsExactBreakpointsOnCleanData) {
+  std::vector<double> v(60);
+  double level = 0.0;
+  for (int t = 1; t < 60; ++t) {
+    level += t <= 20 ? 2.0 : (t <= 40 ? -1.5 : 3.0);
+    v[static_cast<size_t>(t)] = level;
+  }
+  EXPECT_EQ(OptimalPlaSegment(v, 3), (std::vector<int>{0, 20, 40, 59}));
+}
+
+TEST(OptimalPla, NeverWorseThanBottomUp) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::vector<double> v = PiecewiseLinear(seed);
+    for (int k : {2, 3, 5}) {
+      const double optimal = PlaTotalSse(v, OptimalPlaSegment(v, k));
+      const double greedy = PlaTotalSse(v, BottomUpSegment(v, k));
+      EXPECT_LE(optimal, greedy + 1e-9) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(OptimalPla, MoreSegmentsNeverIncreaseError) {
+  const std::vector<double> v = PiecewiseLinear(4);
+  double prev = PlaTotalSse(v, OptimalPlaSegment(v, 1));
+  for (int k = 2; k <= 8; ++k) {
+    const double current = PlaTotalSse(v, OptimalPlaSegment(v, k));
+    EXPECT_LE(current, prev + 1e-9);
+    prev = current;
+  }
+}
+
+TEST(OptimalPla, ClampsOversizedK) {
+  const std::vector<double> v{1.0, 2.0, 7.0, 3.0};
+  EXPECT_EQ(OptimalPlaSegment(v, 99).size(), 4u);  // n-1 = 3 segments
+}
+
+}  // namespace
+}  // namespace tsexplain

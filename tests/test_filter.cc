@@ -1,0 +1,67 @@
+// Unit tests for the support filter ("w filter" optimization).
+
+#include <gtest/gtest.h>
+
+#include "src/cube/support_filter.h"
+
+namespace tsexplain {
+namespace {
+
+Table MakeTable() {
+  Table table(Schema("t", {"cat"}, {"v"}));
+  table.AddTimeBucket("0");
+  table.AddTimeBucket("1");
+  // big: dominates; tiny: < 0.1% of overall everywhere; zero: no support.
+  table.AppendRow(0, {"big"}, {1000.0});
+  table.AppendRow(0, {"tiny"}, {0.5});
+  table.AppendRow(0, {"zero"}, {0.0});
+  table.AppendRow(1, {"big"}, {2000.0});
+  table.AppendRow(1, {"tiny"}, {0.5});
+  table.AppendRow(1, {"zero"}, {0.0});
+  return table;
+}
+
+TEST(SupportFilter, DropsLowSupportSlices) {
+  const Table t = MakeTable();
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  const ExplanationCube cube(t, reg, AggregateFunction::kSum, 0);
+  const auto active = ComputeSupportFilter(cube, 0.001);
+
+  const auto id_of = [&](const char* name) {
+    return reg.Lookup(Explanation::FromPredicates(
+        {Predicate{0, t.dictionary(0).Lookup(name)}}));
+  };
+  EXPECT_TRUE(active[static_cast<size_t>(id_of("big"))]);
+  EXPECT_FALSE(active[static_cast<size_t>(id_of("tiny"))]);
+  EXPECT_FALSE(active[static_cast<size_t>(id_of("zero"))]);
+  EXPECT_EQ(CountActive(active), 1u);
+}
+
+TEST(SupportFilter, RatioZeroKeepsAnythingNonZero) {
+  const Table t = MakeTable();
+  const auto reg = ExplanationRegistry::Build(t, {0}, 1);
+  const ExplanationCube cube(t, reg, AggregateFunction::kSum, 0);
+  const auto active = ComputeSupportFilter(cube, 0.0);
+  EXPECT_EQ(CountActive(active), 2u);  // zero-slice still dropped
+}
+
+TEST(SupportFilter, OnePointAboveThresholdSuffices) {
+  Table table(Schema("t", {"cat"}, {"v"}));
+  table.AddTimeBucket("0");
+  table.AddTimeBucket("1");
+  table.AppendRow(0, {"base"}, {1000.0});
+  table.AppendRow(1, {"base"}, {1000.0});
+  table.AppendRow(0, {"spiky"}, {0.01});
+  table.AppendRow(1, {"spiky"}, {500.0});  // spike grants support
+  const auto reg = ExplanationRegistry::Build(table, {0}, 1);
+  const ExplanationCube cube(table, reg, AggregateFunction::kSum, 0);
+  const auto active = ComputeSupportFilter(cube, 0.001);
+  EXPECT_EQ(CountActive(active), 2u);
+}
+
+TEST(SupportFilter, DefaultRatioConstant) {
+  EXPECT_DOUBLE_EQ(kDefaultFilterRatio, 0.001);
+}
+
+}  // namespace
+}  // namespace tsexplain

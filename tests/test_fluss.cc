@@ -1,0 +1,107 @@
+// Tests for the FLUSS semantic segmentation baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/fluss.h"
+#include "src/common/rng.h"
+
+namespace tsexplain {
+namespace {
+
+// Series with an obvious regime change at `boundary`: slow sine before,
+// fast sine after.
+std::vector<double> TwoRegimeSeries(int n, int boundary, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double freq = t < boundary ? 0.15 : 0.9;
+    v[static_cast<size_t>(t)] =
+        std::sin(t * freq) + 0.05 * rng.NextGaussian();
+  }
+  return v;
+}
+
+TEST(ArcCurveTest, ManualArcCounting) {
+  // Hand-built matrix profile index: arcs 0<->3 and 1<->4 over 5 windows.
+  MatrixProfile mp;
+  mp.profile = {0, 0, 0, 0, 0};
+  mp.index = {3, 4, -1, 0, 1};
+  const std::vector<double> ac = ArcCurve(mp);
+  ASSERT_EQ(ac.size(), 5u);
+  // Arc (0,3) covers 1,2; arc (1,4) covers 2,3; each counted from both
+  // endpoints -> doubled.
+  EXPECT_DOUBLE_EQ(ac[0], 0.0);
+  EXPECT_DOUBLE_EQ(ac[1], 2.0);
+  EXPECT_DOUBLE_EQ(ac[2], 4.0);
+  EXPECT_DOUBLE_EQ(ac[3], 2.0);
+  EXPECT_DOUBLE_EQ(ac[4], 0.0);
+}
+
+TEST(CorrectedArcCurveTest, RangeAndEdgePinning) {
+  const std::vector<double> v = TwoRegimeSeries(300, 150, 3);
+  const int w = 10;
+  const MatrixProfile mp = ComputeMatrixProfile(v, w);
+  const std::vector<double> cac = CorrectedArcCurve(mp, w);
+  for (double c : cac) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  for (size_t i = 0; i < static_cast<size_t>(5 * w); ++i) {
+    EXPECT_DOUBLE_EQ(cac[i], 1.0);
+    EXPECT_DOUBLE_EQ(cac[cac.size() - 1 - i], 1.0);
+  }
+}
+
+TEST(CorrectedArcCurveTest, DipsAtRegimeBoundary) {
+  const std::vector<double> v = TwoRegimeSeries(400, 200, 5);
+  const int w = 12;
+  const MatrixProfile mp = ComputeMatrixProfile(v, w);
+  const std::vector<double> cac = CorrectedArcCurve(mp, w);
+  // Minimum of the CAC should be near the true boundary.
+  size_t argmin = 0;
+  for (size_t i = 1; i < cac.size(); ++i) {
+    if (cac[i] < cac[argmin]) argmin = i;
+  }
+  EXPECT_NEAR(static_cast<double>(argmin), 200.0, 30.0);
+}
+
+TEST(ExtractRegimesTest, ExclusionZoneEnforced) {
+  std::vector<double> cac(200, 1.0);
+  cac[50] = 0.1;
+  cac[55] = 0.12;  // within the zone of 50: must be skipped
+  cac[120] = 0.2;
+  const std::vector<int> regimes = ExtractRegimes(cac, 3, 20);
+  ASSERT_EQ(regimes.size(), 2u);  // third minimum unavailable
+  EXPECT_EQ(regimes[0], 50);
+  EXPECT_EQ(regimes[1], 120);
+}
+
+TEST(ExtractRegimesTest, StopsWhenNothingBelowCeiling) {
+  const std::vector<double> cac(100, 1.0);
+  EXPECT_TRUE(ExtractRegimes(cac, 5, 10).empty());
+}
+
+TEST(FlussSegmentTest, FindsTheBoundary) {
+  const std::vector<double> v = TwoRegimeSeries(400, 200, 11);
+  const std::vector<int> cuts = FlussSegment(v, 2, 12);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_EQ(cuts.front(), 0);
+  EXPECT_EQ(cuts.back(), 399);
+  EXPECT_NEAR(static_cast<double>(cuts[1]), 200.0, 30.0);
+}
+
+TEST(FlussSegmentTest, KOneReturnsEndpointsOnly) {
+  const std::vector<double> v = TwoRegimeSeries(100, 50, 13);
+  EXPECT_EQ(FlussSegment(v, 1, 10), (std::vector<int>{0, 99}));
+}
+
+TEST(FlussSegmentTest, OversizedWindowDegradesGracefully) {
+  const std::vector<double> v = TwoRegimeSeries(30, 15, 17);
+  const std::vector<int> cuts = FlussSegment(v, 3, 40);
+  EXPECT_EQ(cuts, (std::vector<int>{0, 29}));
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,128 @@
+// Unit tests for the hand-rolled group-by aggregation engine.
+
+#include <gtest/gtest.h>
+
+#include "src/table/group_by.h"
+
+namespace tsexplain {
+namespace {
+
+// Three days, two states, measure = cases.
+Table MakeTable() {
+  Table table(Schema("date", {"state", "county"}, {"cases"}));
+  table.AddTimeBucket("d0");
+  table.AddTimeBucket("d1");
+  table.AddTimeBucket("d2");
+  table.AppendRow(0, {"NY", "a"}, {10.0});
+  table.AppendRow(0, {"NY", "b"}, {30.0});
+  table.AppendRow(0, {"CA", "c"}, {5.0});
+  table.AppendRow(1, {"NY", "a"}, {20.0});
+  table.AppendRow(1, {"CA", "c"}, {8.0});
+  table.AppendRow(2, {"CA", "c"}, {13.0});
+  return table;
+}
+
+TEST(GroupBy, SumOverTime) {
+  const Table t = MakeTable();
+  const TimeSeries ts = GroupByTime(t, AggregateFunction::kSum, 0);
+  EXPECT_EQ(ts.values, (std::vector<double>{45.0, 28.0, 13.0}));
+  EXPECT_EQ(ts.labels, (std::vector<std::string>{"d0", "d1", "d2"}));
+}
+
+TEST(GroupBy, CountOverTime) {
+  const Table t = MakeTable();
+  const TimeSeries ts = GroupByTime(t, AggregateFunction::kCount, -1);
+  EXPECT_EQ(ts.values, (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+TEST(GroupBy, AvgOverTime) {
+  const Table t = MakeTable();
+  const TimeSeries ts = GroupByTime(t, AggregateFunction::kAvg, 0);
+  EXPECT_DOUBLE_EQ(ts.values[0], 15.0);
+  EXPECT_DOUBLE_EQ(ts.values[1], 14.0);
+  EXPECT_DOUBLE_EQ(ts.values[2], 13.0);
+}
+
+TEST(GroupBy, ConjunctionFilter) {
+  const Table t = MakeTable();
+  const ValueId ny = t.dictionary(0).Lookup("NY");
+  const TimeSeries ts = GroupByTime(t, AggregateFunction::kSum, 0,
+                                    {DimPredicate{0, ny}});
+  EXPECT_EQ(ts.values, (std::vector<double>{40.0, 20.0, 0.0}));
+}
+
+TEST(GroupBy, TwoPredicateConjunction) {
+  const Table t = MakeTable();
+  const ValueId ny = t.dictionary(0).Lookup("NY");
+  const ValueId a = t.dictionary(1).Lookup("a");
+  const TimeSeries ts = GroupByTime(
+      t, AggregateFunction::kSum, 0,
+      {DimPredicate{0, ny}, DimPredicate{1, a}});
+  EXPECT_EQ(ts.values, (std::vector<double>{10.0, 20.0, 0.0}));
+}
+
+TEST(GroupBy, EmptyAvgGroupFinalizesToZero) {
+  const Table t = MakeTable();
+  const ValueId ny = t.dictionary(0).Lookup("NY");
+  const TimeSeries ts = GroupByTime(t, AggregateFunction::kAvg, 0,
+                                    {DimPredicate{0, ny}});
+  EXPECT_DOUBLE_EQ(ts.values[2], 0.0);  // NY has no rows on d2
+}
+
+TEST(GroupBy, PartialsDecompose) {
+  // f(R - sigma_E R) must be recoverable from partials: the heart of the
+  // paper's O(1) diff scores.
+  const Table t = MakeTable();
+  const ValueId ny = t.dictionary(0).Lookup("NY");
+  const ValueId ca = t.dictionary(0).Lookup("CA");
+  const auto all = GroupByTimePartials(t, 0);
+  const auto ny_part = GroupByTimePartials(t, 0, {DimPredicate{0, ny}});
+  const auto ca_part = GroupByTimePartials(t, 0, {DimPredicate{0, ca}});
+  for (size_t i = 0; i < all.size(); ++i) {
+    const AggState complement = all[i].Minus(ny_part[i]);
+    EXPECT_DOUBLE_EQ(complement.sum, ca_part[i].sum);
+    EXPECT_DOUBLE_EQ(complement.count, ca_part[i].count);
+    // Merge is the inverse of Minus.
+    AggState merged = ny_part[i];
+    merged.Merge(ca_part[i]);
+    EXPECT_DOUBLE_EQ(merged.sum, all[i].sum);
+  }
+}
+
+TEST(GroupBy, ByTimeAndDimension) {
+  const Table t = MakeTable();
+  const auto per_state =
+      GroupByTimeAndDimension(t, AggregateFunction::kSum, 0, 0);
+  ASSERT_EQ(per_state.size(), 2u);  // NY, CA
+  const ValueId ny = t.dictionary(0).Lookup("NY");
+  const ValueId ca = t.dictionary(0).Lookup("CA");
+  EXPECT_EQ(per_state[static_cast<size_t>(ny)].values,
+            (std::vector<double>{40.0, 20.0, 0.0}));
+  EXPECT_EQ(per_state[static_cast<size_t>(ca)].values,
+            (std::vector<double>{5.0, 8.0, 13.0}));
+}
+
+TEST(GroupBy, DimensionSlicesSumToOverall) {
+  const Table t = MakeTable();
+  const TimeSeries overall = GroupByTime(t, AggregateFunction::kSum, 0);
+  const auto per_state =
+      GroupByTimeAndDimension(t, AggregateFunction::kSum, 0, 0);
+  for (size_t i = 0; i < overall.size(); ++i) {
+    double sum = 0.0;
+    for (const TimeSeries& slice : per_state) sum += slice.values[i];
+    EXPECT_DOUBLE_EQ(sum, overall.values[i]);
+  }
+}
+
+TEST(AggStateTest, FinalizeSemantics) {
+  AggState s;
+  s.Add(2.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggregateFunction::kSum), 6.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggregateFunction::kCount), 2.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggregateFunction::kAvg), 3.0);
+  EXPECT_DOUBLE_EQ(AggState{}.Finalize(AggregateFunction::kAvg), 0.0);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,120 @@
+// Unit tests for guess-and-verify (O1): must return EXACTLY the plain CA
+// result (Eq. 12 is a sufficient optimality condition).
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/diff/guess_verify.h"
+
+namespace tsexplain {
+namespace {
+
+Table MakeTable(int a_card, int b_card) {
+  Table table(Schema("t", {"A", "B"}, {"m"}));
+  table.AddTimeBucket("0");
+  for (int a = 0; a < a_card; ++a) {
+    for (int b = 0; b < b_card; ++b) {
+      table.AppendRow(0, {"a" + std::to_string(a), "b" + std::to_string(b)},
+                      {1.0});
+    }
+  }
+  return table;
+}
+
+TEST(GuessVerify, MatchesPlainCaOnRandomInstances) {
+  const Table t = MakeTable(8, 6);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts plain(reg);
+  CascadingAnalysts optimized(reg);
+  Rng rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> gamma(reg.num_explanations());
+    for (auto& g : gamma) g = rng.Uniform(0.0, 100.0);
+    const TopExplanations expected = plain.TopM(gamma, 3);
+    // Tiny initial guess to force several verification rounds.
+    const TopExplanations actual =
+        GuessVerifyTopM(optimized, gamma, 3, nullptr, /*initial_guess=*/2);
+    EXPECT_NEAR(actual.TotalScore(), expected.TotalScore(), 1e-9)
+        << "trial " << trial;
+    EXPECT_EQ(actual.ids, expected.ids) << "trial " << trial;
+  }
+}
+
+TEST(GuessVerify, HeavyTailTerminatesEarly) {
+  // One dominant explanation and a sea of negligible ones: the first guess
+  // must already verify.
+  const Table t = MakeTable(20, 5);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  std::vector<double> gamma(reg.num_explanations(), 0.001);
+  gamma[0] = 1000.0;
+  gamma[1] = 900.0;
+  gamma[2] = 800.0;
+  GuessVerifyStats stats;
+  const TopExplanations top =
+      GuessVerifyTopM(ca, gamma, 3, nullptr, 30, &stats);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_GT(top.TotalScore(), 0.0);
+}
+
+TEST(GuessVerify, UniformScoresForceGrowth) {
+  // Near-uniform positive scores make Eq. 12 hard to satisfy with a tiny
+  // prefix, forcing doubling rounds.
+  const Table t = MakeTable(10, 6);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  Rng rng(7);
+  std::vector<double> gamma(reg.num_explanations());
+  for (auto& g : gamma) g = 10.0 + rng.Uniform(0.0, 0.01);
+  GuessVerifyStats stats;
+  const TopExplanations viaGv =
+      GuessVerifyTopM(ca, gamma, 3, nullptr, /*initial_guess=*/2, &stats);
+  EXPECT_GT(stats.iterations, 1);
+  CascadingAnalysts plain(reg);
+  EXPECT_NEAR(viaGv.TotalScore(), plain.TopM(gamma, 3).TotalScore(), 1e-9);
+}
+
+TEST(GuessVerify, RespectsSelectableMask) {
+  const Table t = MakeTable(6, 4);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  Rng rng(3);
+  std::vector<double> gamma(reg.num_explanations());
+  for (auto& g : gamma) g = rng.Uniform(0.0, 10.0);
+  std::vector<bool> mask(reg.num_explanations(), false);
+  for (size_t e = 0; e < mask.size(); e += 2) mask[e] = true;
+
+  CascadingAnalysts plain(reg);
+  const TopExplanations expected = plain.TopM(gamma, 3, &mask);
+  const TopExplanations actual = GuessVerifyTopM(ca, gamma, 3, &mask, 4);
+  EXPECT_NEAR(actual.TotalScore(), expected.TotalScore(), 1e-9);
+  for (ExplId id : actual.ids) {
+    EXPECT_TRUE(mask[static_cast<size_t>(id)]);
+  }
+}
+
+TEST(GuessVerify, AllZeroScoresReturnEmpty) {
+  const Table t = MakeTable(4, 3);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  GuessVerifyStats stats;
+  const TopExplanations top = GuessVerifyTopM(
+      ca, std::vector<double>(reg.num_explanations(), 0.0), 3, nullptr, 30,
+      &stats);
+  EXPECT_TRUE(top.ids.empty());
+  EXPECT_DOUBLE_EQ(top.TotalScore(), 0.0);
+}
+
+TEST(GuessVerify, GuessLargerThanCandidatesIsExact) {
+  const Table t = MakeTable(3, 2);
+  const auto reg = ExplanationRegistry::Build(t, {0, 1}, 2);
+  CascadingAnalysts ca(reg);
+  std::vector<double> gamma(reg.num_explanations(), 1.0);
+  GuessVerifyStats stats;
+  GuessVerifyTopM(ca, gamma, 2, nullptr, 10000, &stats);
+  EXPECT_TRUE(stats.exact_fallback);
+  EXPECT_EQ(stats.iterations, 1);
+}
+
+}  // namespace
+}  // namespace tsexplain

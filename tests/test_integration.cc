@@ -1,0 +1,183 @@
+// Cross-module integration tests: full pipeline on the real-world
+// simulators, mirroring the paper's case studies at test scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/datagen/covid_sim.h"
+#include "src/datagen/deaths_sim.h"
+#include "src/datagen/liquor_sim.h"
+#include "src/datagen/sp500_sim.h"
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+namespace {
+
+bool AnySegmentHasTopExplanation(const TSExplainResult& result,
+                                 const std::string& needle, int max_rank) {
+  for (const SegmentExplanation& seg : result.segments) {
+    for (size_t r = 0;
+         r < std::min(seg.top.size(), static_cast<size_t>(max_rank));
+         ++r) {
+      if (seg.top[r].description.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(Integration, CovidTotalCaseStudy) {
+  const auto table = MakeCovidTable();
+  TSExplainConfig config;
+  config.measure = "total_confirmed_cases";
+  config.explain_by_names = {"state"};
+  config.max_order = 1;
+  config.use_filter = true;
+  config.use_guess_verify = true;
+  config.use_sketch = true;
+  TSExplain engine(*table, config);
+  const TSExplainResult result = engine.Run();
+
+  // Paper picks K = 6; the simulator should land in a similar band.
+  EXPECT_GE(result.chosen_k, 3);
+  EXPECT_LE(result.chosen_k, 10);
+  EXPECT_EQ(result.epsilon, 58u);
+
+  // Narrative: NY leads some early segment, CA some late segment.
+  EXPECT_TRUE(AnySegmentHasTopExplanation(result, "state=NY", 3));
+  EXPECT_TRUE(AnySegmentHasTopExplanation(result, "state=CA", 3));
+
+  // The early segments must NOT be led by CA, the late ones not by WA.
+  const SegmentExplanation& last = result.segments.back();
+  for (const ExplanationItem& item : last.top) {
+    EXPECT_NE(item.description, "state=WA");
+  }
+}
+
+TEST(Integration, CovidDailyWithSmoothing) {
+  const auto table = MakeCovidTable();
+  TSExplainConfig config;
+  config.measure = "daily_confirmed_cases";
+  config.explain_by_names = {"state"};
+  config.max_order = 1;
+  config.smooth_window = 7;
+  config.use_filter = true;
+  config.use_sketch = true;
+  config.use_guess_verify = true;
+  TSExplain engine(*table, config);
+  const TSExplainResult result = engine.Run();
+  EXPECT_GE(result.chosen_k, 3);
+  EXPECT_LE(result.chosen_k, 12);
+  // Daily series has +/- effects: at least one explanation with tau = -1
+  // must appear somewhere (declines matter, Table 3).
+  bool any_negative = false;
+  for (const auto& seg : result.segments) {
+    for (const auto& item : seg.top) {
+      if (item.tau < 0) any_negative = true;
+    }
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(Integration, Sp500CaseStudy) {
+  const auto table = MakeSp500Table();
+  TSExplainConfig config;
+  config.measure = "weighted_price";
+  config.explain_by_names = {"category", "subcategory", "stock"};
+  config.max_order = 3;
+  config.use_filter = true;
+  config.use_guess_verify = true;
+  config.use_sketch = true;
+  TSExplain engine(*table, config);
+  const TSExplainResult result = engine.Run();
+
+  EXPECT_EQ(result.epsilon, 610u);  // Table 6 after dedup
+  EXPECT_GE(result.chosen_k, 3);
+  EXPECT_LE(result.chosen_k, 8);
+  // Technology must surface as a top explanation somewhere (Table 4 has
+  // it in every segment).
+  EXPECT_TRUE(AnySegmentHasTopExplanation(result, "technology", 3));
+}
+
+TEST(Integration, LiquorCaseStudyAllOptimizations) {
+  const auto table = MakeLiquorTable();
+  TSExplainConfig config;
+  config.measure = "bottles_sold";
+  config.explain_by_names = {"BV", "P", "CN", "VN"};
+  config.max_order = 3;
+  config.smooth_window = 5;  // the paper smooths fuzzy datasets first
+  config.use_filter = true;
+  config.use_guess_verify = true;
+  config.use_sketch = true;
+  TSExplain engine(*table, config);
+  const TSExplainResult result = engine.Run();
+
+  EXPECT_GE(result.chosen_k, 3);
+  EXPECT_LE(result.chosen_k, 12);
+  // The paper's headline: results are all about BV and P, not CN/VN.
+  int bv_or_p = 0, cn_or_vn = 0;
+  for (const auto& seg : result.segments) {
+    for (const auto& item : seg.top) {
+      if (item.description.find("BV=") != std::string::npos ||
+          item.description.find("P=") != std::string::npos) {
+        ++bv_or_p;
+      }
+      if (item.description.find("CN=") != std::string::npos ||
+          item.description.find("VN=") != std::string::npos) {
+        ++cn_or_vn;
+      }
+    }
+  }
+  EXPECT_GT(bv_or_p, cn_or_vn);
+  // BV=1000's closure crash must surface somewhere.
+  EXPECT_TRUE(AnySegmentHasTopExplanation(result, "BV=1000", 3));
+}
+
+TEST(Integration, DeathsTimeVaryingAttribute) {
+  const auto table = MakeDeathsTable();
+  TSExplainConfig config;
+  config.measure = "deaths";
+  config.explain_by_names = {"vaccinated", "age-group"};
+  config.max_order = 2;
+  TSExplain engine(*table, config);
+  const TSExplainResult result = engine.Run();
+  ASSERT_GE(result.segments.size(), 2u);
+
+  // Figure 18: early segments dominated by vaccinated=NO, late segments
+  // by age-group=50+.
+  const SegmentExplanation& first = result.segments.front();
+  ASSERT_FALSE(first.top.empty());
+  EXPECT_NE(first.top[0].description.find("vaccinated=NO"),
+            std::string::npos);
+  const SegmentExplanation& last = result.segments.back();
+  ASSERT_FALSE(last.top.empty());
+  bool elder_top = false;
+  for (size_t r = 0; r < std::min<size_t>(2, last.top.size()); ++r) {
+    if (last.top[r].description.find("age-group=50+") !=
+        std::string::npos) {
+      elder_top = true;
+    }
+  }
+  EXPECT_TRUE(elder_top);
+}
+
+TEST(Integration, RepeatedRunsAreIdenticalAndCached) {
+  const auto table = MakeCovidTable();
+  TSExplainConfig config;
+  config.measure = "total_confirmed_cases";
+  config.explain_by_names = {"state"};
+  config.use_sketch = true;
+  TSExplain engine(*table, config);
+  const TSExplainResult first = engine.Run();
+  const size_t ca_after_first = engine.explainer().ca_invocations();
+  const TSExplainResult second = engine.Run();
+  EXPECT_EQ(first.segmentation.cuts, second.segmentation.cuts);
+  // Second run reuses the explanation cache; hardly any new CA calls.
+  EXPECT_LE(engine.explainer().ca_invocations(), ca_after_first + 8);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,152 @@
+// Unit tests for the K-Segmentation dynamic program (Eq. 11), validated
+// against exhaustive enumeration of segmentation schemes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/datagen/synthetic.h"
+#include "src/seg/kseg_dp.h"
+
+namespace tsexplain {
+namespace {
+
+class KsegDpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three clean regimes over 13 points: boundaries at 4 and 8.
+    std::vector<std::vector<double>> series(3, std::vector<double>(13));
+    for (int t = 0; t < 13; ++t) {
+      series[0][static_cast<size_t>(t)] =
+          t <= 4 ? 100.0 + 25.0 * t : 200.0;
+      series[1][static_cast<size_t>(t)] =
+          (t > 4 && t <= 8) ? 50.0 + 20.0 * (t - 4) : (t <= 4 ? 50.0 : 130.0);
+      series[2][static_cast<size_t>(t)] =
+          t > 8 ? 70.0 + 30.0 * (t - 8) : 70.0;
+    }
+    std::vector<std::string> labels;
+    for (int t = 0; t < 13; ++t) labels.push_back(std::to_string(t));
+    table_ = TableFromCategorySeries(series, {"a1", "a2", "a3"}, labels);
+    registry_ = ExplanationRegistry::Build(*table_, {0}, 1);
+    cube_ = std::make_unique<ExplanationCube>(*table_, registry_,
+                                              AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer_ =
+        std::make_unique<SegmentExplainer>(*cube_, registry_, options);
+    calc_ = std::make_unique<VarianceCalculator>(*explainer_,
+                                                 VarianceMetric::kTse);
+    std::vector<int> positions;
+    for (int i = 0; i < 13; ++i) positions.push_back(i);
+    table_var_ = std::make_unique<VarianceTable>(
+        VarianceTable::Compute(*calc_, positions));
+  }
+
+  // Exhaustive minimum over all k-segmentations of [0, n-1].
+  double BruteForce(int k) {
+    const int n = explainer_->n();
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<int> cuts;
+    auto recurse = [&](auto&& self, int start, int remaining) -> void {
+      if (remaining == 1) {
+        std::vector<int> scheme{0};
+        scheme.insert(scheme.end(), cuts.begin(), cuts.end());
+        scheme.push_back(n - 1);
+        best = std::min(best, TotalObjective(*calc_, scheme));
+        return;
+      }
+      for (int c = start; c <= n - remaining; ++c) {
+        cuts.push_back(c);
+        self(self, c + 1, remaining - 1);
+        cuts.pop_back();
+      }
+    };
+    recurse(recurse, 1, k);
+    return best;
+  }
+
+  std::unique_ptr<Table> table_;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+  std::unique_ptr<VarianceCalculator> calc_;
+  std::unique_ptr<VarianceTable> table_var_;
+};
+
+TEST_F(KsegDpTest, MatchesBruteForceForAllK) {
+  KSegmentationDp dp(*table_var_, 4);
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(dp.TotalVariance(k), BruteForce(k), 1e-9) << "k=" << k;
+  }
+}
+
+TEST_F(KsegDpTest, CurveIsMonotoneNonIncreasing) {
+  KSegmentationDp dp(*table_var_, 8);
+  const std::vector<double> curve = dp.Curve();
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+  }
+}
+
+TEST_F(KsegDpTest, RecoversTheTrueBoundaries) {
+  KSegmentationDp dp(*table_var_, 3);
+  const Segmentation seg = dp.Reconstruct(3);
+  EXPECT_EQ(seg.cuts, (std::vector<int>{0, 4, 8, 12}));
+}
+
+TEST_F(KsegDpTest, ReconstructionIsConsistentWithObjective) {
+  KSegmentationDp dp(*table_var_, 5);
+  for (int k = 1; k <= 5; ++k) {
+    const Segmentation seg = dp.Reconstruct(k);
+    EXPECT_EQ(seg.num_segments(), k);
+    EXPECT_EQ(seg.cuts.front(), 0);
+    EXPECT_EQ(seg.cuts.back(), 12);
+    EXPECT_TRUE(std::is_sorted(seg.cuts.begin(), seg.cuts.end()));
+    EXPECT_NEAR(seg.total_variance, TotalObjective(*calc_, seg.cuts), 1e-9);
+    EXPECT_NEAR(seg.total_variance, dp.TotalVariance(k), 1e-12);
+  }
+}
+
+TEST_F(KsegDpTest, MaxSegmentsVarianceIsZero) {
+  KSegmentationDp dp(*table_var_, 12);
+  // K = n - 1: every segment is a unit object -> total variance 0 (paper
+  // section 6: "when K = n-1, the total variance reaches ... zero").
+  EXPECT_NEAR(dp.TotalVariance(12), 0.0, 1e-12);
+}
+
+TEST_F(KsegDpTest, KGreaterThanPossibleIsClamped) {
+  KSegmentationDp dp(*table_var_, 50);
+  EXPECT_EQ(dp.max_k(), 12);  // at most n-1 segments
+}
+
+TEST_F(KsegDpTest, SpanCapMakesLongSegmentsInfeasible) {
+  std::vector<int> positions;
+  for (int i = 0; i < 13; ++i) positions.push_back(i);
+  const VarianceTable capped =
+      VarianceTable::Compute(*calc_, positions, /*max_span=*/4);
+  KSegmentationDp dp(capped, 12);
+  // One segment of span 12 violates the cap.
+  EXPECT_FALSE(dp.Feasible(1));
+  EXPECT_FALSE(dp.Feasible(2));  // 2 x 4 < 12
+  EXPECT_TRUE(dp.Feasible(3));   // 3 x 4 = 12 exactly
+  const Segmentation seg = dp.Reconstruct(3);
+  for (size_t i = 0; i + 1 < seg.cuts.size(); ++i) {
+    EXPECT_LE(seg.cuts[i + 1] - seg.cuts[i], 4);
+  }
+}
+
+TEST_F(KsegDpTest, CoarseCandidatesRestrictCuts) {
+  const std::vector<int> coarse{0, 3, 4, 9, 12};
+  const VarianceTable table = VarianceTable::Compute(*calc_, coarse);
+  KSegmentationDp dp(table, 3);
+  const Segmentation seg = dp.Reconstruct(3);
+  for (int cut : seg.cuts) {
+    EXPECT_TRUE(std::find(coarse.begin(), coarse.end(), cut) !=
+                coarse.end());
+  }
+}
+
+}  // namespace
+}  // namespace tsexplain

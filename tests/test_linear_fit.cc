@@ -1,0 +1,97 @@
+// Unit tests for src/ts/linear_fit: exact fits, oracle-vs-direct equality.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ts/linear_fit.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(FitLine, ExactOnStraightLine) {
+  std::vector<double> v(20);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 3.0 * static_cast<double>(i) + 7.0;
+  }
+  const LineFit fit = FitLine(v, 2, 15);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-9);
+}
+
+TEST(FitLine, SinglePoint) {
+  const std::vector<double> v{5.0, 6.0, 7.0};
+  const LineFit fit = FitLine(v, 1, 1);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 6.0);
+  EXPECT_DOUBLE_EQ(fit.sse, 0.0);
+}
+
+TEST(FitLine, ConstantSegment) {
+  const std::vector<double> v{4.0, 4.0, 4.0, 4.0};
+  const LineFit fit = FitLine(v, 0, 3);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-12);
+}
+
+TEST(FitLine, KnownResidual) {
+  // Points (0,0), (1,1), (2,0): best line is y = 1/3, SSE = 2/3... actually
+  // least squares: slope 0, intercept 1/3, SSE = (1/9 + 4/9 + 1/9) = 6/9.
+  const std::vector<double> v{0.0, 1.0, 0.0};
+  const LineFit fit = FitLine(v, 0, 2);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(fit.sse, 2.0 / 3.0, 1e-9);
+}
+
+TEST(InterpolationSse, ZeroOnLineAndShortSegments) {
+  std::vector<double> line(10);
+  for (size_t i = 0; i < line.size(); ++i) {
+    line[i] = 2.0 * static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(InterpolationSse(line, 0, 9), 0.0);
+  EXPECT_DOUBLE_EQ(InterpolationSse(line, 3, 4), 0.0);  // two points
+}
+
+TEST(InterpolationSse, AtLeastLeastSquaresSse) {
+  Rng rng(5);
+  std::vector<double> v(30);
+  for (auto& x : v) x = rng.Uniform(0.0, 10.0);
+  for (size_t a = 0; a < v.size(); a += 3) {
+    for (size_t b = a + 2; b < v.size(); b += 4) {
+      EXPECT_GE(InterpolationSse(v, a, b) + 1e-9, SegmentSse(v, a, b));
+    }
+  }
+}
+
+TEST(SseOracle, MatchesDirectFitEverywhere) {
+  Rng rng(9);
+  std::vector<double> v(40);
+  for (auto& x : v) x = rng.Uniform(-5.0, 5.0);
+  const SseOracle oracle(v);
+  for (size_t a = 0; a < v.size(); ++a) {
+    for (size_t b = a; b < v.size(); ++b) {
+      EXPECT_NEAR(oracle.Sse(a, b), SegmentSse(v, a, b), 1e-6)
+          << "segment [" << a << ", " << b << "]";
+    }
+  }
+}
+
+TEST(SseOracle, NonNegative) {
+  Rng rng(10);
+  std::vector<double> v(60);
+  for (auto& x : v) x = rng.Uniform(1e6, 1e6 + 1.0);  // catastrophic range
+  const SseOracle oracle(v);
+  for (size_t a = 0; a + 4 < v.size(); a += 2) {
+    EXPECT_GE(oracle.Sse(a, a + 4), 0.0);
+  }
+}
+
+TEST(SseOracle, SizeReported) {
+  const SseOracle oracle(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(oracle.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,96 @@
+// Tests for the STOMP matrix profile, validated against brute force.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/matrix_profile.h"
+#include "src/common/rng.h"
+
+namespace tsexplain {
+namespace {
+
+std::vector<double> RandomWalk(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  double level = 0.0;
+  for (auto& x : v) {
+    level += rng.Gaussian(0.0, 1.0);
+    x = level;
+  }
+  return v;
+}
+
+TEST(MatrixProfileTest, MatchesBruteForce) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<double> v = RandomWalk(80, seed);
+    for (int w : {4, 8, 16}) {
+      const MatrixProfile fast = ComputeMatrixProfile(v, w);
+      const MatrixProfile brute = ComputeMatrixProfileBruteForce(v, w);
+      ASSERT_EQ(fast.size(), brute.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_NEAR(fast.profile[i], brute.profile[i], 1e-6)
+            << "seed " << seed << " w " << w << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(MatrixProfileTest, PlantedMotifFound) {
+  Rng rng(42);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.Uniform(-1.0, 1.0);
+  // Plant the same pattern at 20 and 150.
+  for (int t = 0; t < 12; ++t) {
+    const double pattern = std::sin(t * 0.7) * 5.0;
+    v[20 + static_cast<size_t>(t)] = pattern;
+    v[150 + static_cast<size_t>(t)] = pattern;
+  }
+  const MatrixProfile mp = ComputeMatrixProfile(v, 12);
+  EXPECT_LT(mp.profile[20], 0.5);
+  EXPECT_EQ(mp.index[20], 150);
+  EXPECT_EQ(mp.index[150], 20);
+}
+
+TEST(MatrixProfileTest, ExclusionZoneBlocksTrivialMatches) {
+  const std::vector<double> v = RandomWalk(60, 7);
+  const MatrixProfile mp = ComputeMatrixProfile(v, 8);
+  const int zone = (8 + 3) / 4;  // ceil(w/4)
+  for (size_t i = 0; i < mp.size(); ++i) {
+    if (mp.index[i] >= 0) {
+      EXPECT_GT(std::abs(static_cast<int>(i) - mp.index[i]), zone);
+    }
+  }
+}
+
+TEST(MatrixProfileTest, ConstantSubsequences) {
+  // Two constant windows are distance 0; constant vs varying is sqrt(w).
+  std::vector<double> v(40, 1.0);
+  for (size_t i = 20; i < 40; ++i) {
+    v[i] = std::sin(static_cast<double>(i));
+  }
+  const int w = 6;
+  const MatrixProfile mp = ComputeMatrixProfile(v, w);
+  // Window 0 and window 5 are both constant -> profile ~0.
+  EXPECT_NEAR(mp.profile[0], 0.0, 1e-9);
+  EXPECT_NEAR(ZNormalizedDistance(v, 0, 25, w),
+              std::sqrt(static_cast<double>(w)), 1e-9);
+}
+
+TEST(MatrixProfileTest, ZnormDistanceIsShiftScaleInvariant) {
+  std::vector<double> v(40);
+  for (int t = 0; t < 12; ++t) {
+    v[static_cast<size_t>(t)] = std::sin(t * 0.5);
+    // Same shape at offset 20, scaled by 7 and shifted by 100.
+    v[20 + static_cast<size_t>(t)] = 7.0 * std::sin(t * 0.5) + 100.0;
+  }
+  EXPECT_NEAR(ZNormalizedDistance(v, 0, 20, 12), 0.0, 1e-6);
+}
+
+TEST(MatrixProfileTest, SizeIsNMinusWPlusOne) {
+  const std::vector<double> v = RandomWalk(50, 9);
+  EXPECT_EQ(ComputeMatrixProfile(v, 10).size(), 41u);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,117 @@
+// Unit tests for the NDCG-based explanation similarity (Eq. 3-5, Table 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/datagen/synthetic.h"
+#include "src/seg/ndcg.h"
+
+namespace tsexplain {
+namespace {
+
+// Two-phase relation: a1 rises then flattens; a2 flat then rises; a3 flat.
+// Phase boundary at t = 5, n = 11.
+class NdcgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::vector<double>> series(3, std::vector<double>(11));
+    for (int t = 0; t <= 10; ++t) {
+      series[0][static_cast<size_t>(t)] = t <= 5 ? 100.0 + 20.0 * t : 200.0;
+      series[1][static_cast<size_t>(t)] =
+          t <= 5 ? 50.0 : 50.0 + 15.0 * (t - 5);
+      series[2][static_cast<size_t>(t)] = 80.0;
+    }
+    std::vector<std::string> labels;
+    for (int t = 0; t <= 10; ++t) labels.push_back(std::to_string(t));
+    table_ = TableFromCategorySeries(series, {"a1", "a2", "a3"}, labels);
+    registry_ = ExplanationRegistry::Build(*table_, {0}, 1);
+    cube_ = std::make_unique<ExplanationCube>(*table_, registry_,
+                                              AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer_ =
+        std::make_unique<SegmentExplainer>(*cube_, registry_, options);
+  }
+
+  std::unique_ptr<Table> table_;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+};
+
+TEST_F(NdcgTest, DcgDiscountsByLogRank) {
+  const double dcg = Dcg({4.0, 2.0, 1.0});
+  EXPECT_NEAR(dcg, 4.0 / std::log2(2.0) + 2.0 / std::log2(3.0) +
+                       1.0 / std::log2(4.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(Dcg({}), 0.0);
+}
+
+TEST_F(NdcgTest, SelfExplanationIsPerfect) {
+  EXPECT_DOUBLE_EQ(NdcgExplains(*explainer_, 0, 5, 0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgExplains(*explainer_, 2, 9, 2, 9), 1.0);
+}
+
+TEST_F(NdcgTest, SameRegimeSegmentsExplainEachOtherWell) {
+  // [0,2] and [3,5] are both "a1 rising" segments.
+  EXPECT_GT(NdcgExplains(*explainer_, 0, 2, 3, 5), 0.9);
+  EXPECT_GT(NdcgExplains(*explainer_, 3, 5, 0, 2), 0.9);
+}
+
+TEST_F(NdcgTest, CrossRegimeSegmentsExplainEachOtherPoorly) {
+  // [0,4] is a1-driven; [6,10] is a2-driven.
+  EXPECT_LT(NdcgExplains(*explainer_, 0, 4, 6, 10), 0.2);
+  EXPECT_LT(NdcgExplains(*explainer_, 6, 10, 0, 4), 0.2);
+}
+
+TEST_F(NdcgTest, ResultAlwaysInUnitInterval) {
+  for (int a = 0; a < 10; a += 2) {
+    for (int b = a + 1; b <= 10; b += 3) {
+      for (int c = 0; c < 10; c += 3) {
+        for (int d = c + 1; d <= 10; d += 2) {
+          const double v = NdcgExplains(*explainer_, a, b, c, d);
+          EXPECT_GE(v, 0.0);
+          EXPECT_LE(v, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(NdcgTest, FlatTargetIsTriviallyExplained) {
+  // Build a completely flat relation: no explanation carries any score.
+  std::vector<std::vector<double>> flat(2, std::vector<double>(6, 42.0));
+  auto table = TableFromCategorySeries(
+      flat, {"x", "y"}, {"0", "1", "2", "3", "4", "5"});
+  auto reg = ExplanationRegistry::Build(*table, {0}, 1);
+  ExplanationCube cube(*table, reg, AggregateFunction::kSum, 0);
+  SegmentExplainer::Options options;
+  options.m = 3;
+  SegmentExplainer flat_explainer(cube, reg, options);
+  EXPECT_DOUBLE_EQ(NdcgExplains(flat_explainer, 0, 3, 3, 5), 1.0);
+}
+
+TEST_F(NdcgTest, RectificationZeroesOppositeEffects) {
+  // Build a segment pair where a1 rises in one and falls in the other.
+  std::vector<std::vector<double>> series(2, std::vector<double>(9));
+  for (int t = 0; t <= 8; ++t) {
+    series[0][static_cast<size_t>(t)] =
+        t <= 4 ? 100.0 + 30.0 * t : 220.0 - 30.0 * (t - 4);
+    series[1][static_cast<size_t>(t)] = 500.0;  // large flat anchor
+  }
+  std::vector<std::string> labels;
+  for (int t = 0; t <= 8; ++t) labels.push_back(std::to_string(t));
+  auto table = TableFromCategorySeries(series, {"a1", "anchor"}, labels);
+  auto reg = ExplanationRegistry::Build(*table, {0}, 1);
+  ExplanationCube cube(*table, reg, AggregateFunction::kSum, 0);
+  SegmentExplainer::Options options;
+  options.m = 3;
+  SegmentExplainer ex(cube, reg, options);
+  // Both halves are "explained by a1", but with opposite tau: rectified
+  // relevance zeroes the contribution, driving NDCG to ~0.
+  EXPECT_LT(NdcgExplains(ex, 0, 4, 4, 8), 0.05);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,74 @@
+// Tests for the NNSegment baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/nnsegment.h"
+#include "src/common/rng.h"
+
+namespace tsexplain {
+namespace {
+
+std::vector<double> TwoRegimeSeries(int n, int boundary, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double freq = t < boundary ? 0.15 : 0.9;
+    v[static_cast<size_t>(t)] =
+        std::sin(t * freq) + 0.05 * rng.NextGaussian();
+  }
+  return v;
+}
+
+TEST(NnCrossScoreTest, ScoresInUnitRange) {
+  const std::vector<double> v = TwoRegimeSeries(200, 100, 1);
+  const std::vector<double> score = NnCrossScore(v, 10);
+  for (double s : score) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(NnCrossScoreTest, EdgesPinnedToOne) {
+  const std::vector<double> v = TwoRegimeSeries(150, 75, 2);
+  const int w = 12;
+  const std::vector<double> score = NnCrossScore(v, w);
+  for (int i = 0; i < w; ++i) {
+    EXPECT_DOUBLE_EQ(score[static_cast<size_t>(i)], 1.0);
+    EXPECT_DOUBLE_EQ(score[score.size() - 1 - static_cast<size_t>(i)], 1.0);
+  }
+}
+
+TEST(NnCrossScoreTest, MinimumNearBoundary) {
+  const std::vector<double> v = TwoRegimeSeries(400, 200, 3);
+  const std::vector<double> score = NnCrossScore(v, 12);
+  size_t argmin = 0;
+  for (size_t i = 1; i < score.size(); ++i) {
+    if (score[i] < score[argmin]) argmin = i;
+  }
+  EXPECT_NEAR(static_cast<double>(argmin), 200.0, 40.0);
+}
+
+TEST(NnSegmentTest, FindsTheBoundary) {
+  const std::vector<double> v = TwoRegimeSeries(400, 200, 5);
+  const std::vector<int> cuts = NnSegment(v, 2, 12);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(cuts[1]), 200.0, 40.0);
+}
+
+TEST(NnSegmentTest, TrivialCases) {
+  const std::vector<double> v = TwoRegimeSeries(80, 40, 7);
+  EXPECT_EQ(NnSegment(v, 1, 10), (std::vector<int>{0, 79}));
+  EXPECT_EQ(NnSegment(v, 3, 100), (std::vector<int>{0, 79}));
+}
+
+TEST(NnSegmentTest, RespectsRequestedCountUpperBound) {
+  const std::vector<double> v = TwoRegimeSeries(300, 150, 9);
+  const std::vector<int> cuts = NnSegment(v, 4, 10);
+  EXPECT_LE(cuts.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+}
+
+}  // namespace
+}  // namespace tsexplain

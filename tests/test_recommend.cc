@@ -1,0 +1,116 @@
+// Tests for the explain-by recommendation extension (paper section 9) and
+// the high-variance segment hints.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/liquor_sim.h"
+#include "src/pipeline/recommend.h"
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(Recommend, ConcentratedDimensionBeatsDiffuseOne) {
+  // Dimension "driver" has one value carrying all change; dimension
+  // "noise" spreads the same change over 10 values uniformly.
+  Table table(Schema("t", {"driver", "noise"}, {"v"}));
+  for (int t = 0; t < 20; ++t) table.AddTimeBucket(std::to_string(t));
+  for (int t = 0; t < 20; ++t) {
+    for (int k = 0; k < 10; ++k) {
+      // Every (driver=hot, noise=k) row grows; "hot" concentrates it.
+      table.AppendRow(t, {"hot", "n" + std::to_string(k)},
+                      {10.0 + 2.0 * t});
+      table.AppendRow(t, {"cold" + std::to_string(k), "steady"}, {5.0});
+    }
+  }
+  const auto recs =
+      RecommendExplainBy(table, AggregateFunction::kSum, "v");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].dimension, "driver");
+  EXPECT_GT(recs[0].concentration, recs[1].concentration);
+  EXPECT_GT(recs[0].concentration, 0.9);  // one value explains everything
+}
+
+TEST(Recommend, LiquorPrefersBvAndPackOverVendors) {
+  // The paper's observation: results are about BV and P, not CN/VN --
+  // the recommender should surface the same preference a priori.
+  const auto table = MakeLiquorTable();
+  const auto recs =
+      RecommendExplainBy(*table, AggregateFunction::kSum, "bottles_sold");
+  ASSERT_EQ(recs.size(), 4u);
+  double bv = 0, p = 0, cn = 0, vn = 0;
+  for (const auto& rec : recs) {
+    if (rec.dimension == "BV") bv = rec.concentration;
+    if (rec.dimension == "P") p = rec.concentration;
+    if (rec.dimension == "CN") cn = rec.concentration;
+    if (rec.dimension == "VN") vn = rec.concentration;
+  }
+  EXPECT_GT(bv, cn);
+  EXPECT_GT(bv, vn);
+  EXPECT_GT(p, cn);
+  EXPECT_GT(p, vn);
+}
+
+TEST(Recommend, ScoresInUnitIntervalAndSorted) {
+  const auto table = MakeLiquorTable();
+  const auto recs =
+      RecommendExplainBy(*table, AggregateFunction::kSum, "bottles_sold");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_GT(recs[i].concentration, 0.0);
+    EXPECT_LE(recs[i].concentration, 1.0);
+    EXPECT_GT(recs[i].cardinality, 0u);
+    if (i > 0) {
+      EXPECT_GE(recs[i - 1].concentration, recs[i].concentration);
+    }
+  }
+}
+
+TEST(Recommend, CandidateSubsetRespected) {
+  const auto table = MakeLiquorTable();
+  const auto recs = RecommendExplainBy(
+      *table, AggregateFunction::kSum, "bottles_sold", 3, {"BV", "VN"});
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_TRUE(recs[0].dimension == "BV" || recs[0].dimension == "VN");
+}
+
+TEST(RecommendDeathTest, UnknownNamesRejected) {
+  const auto table = MakeLiquorTable();
+  EXPECT_DEATH(RecommendExplainBy(*table, AggregateFunction::kSum, "bogus"),
+               "unknown measure");
+  EXPECT_DEATH(RecommendExplainBy(*table, AggregateFunction::kSum,
+                                  "bottles_sold", 3, {"bogus"}),
+               "unknown dimension");
+}
+
+TEST(VarianceHints, IncohesiveSegmentFlagged) {
+  // Force K = 1 over a series with two clearly different regimes: the
+  // single segment must carry a high-variance hint.
+  Table table(Schema("t", {"cat"}, {"v"}));
+  for (int t = 0; t < 30; ++t) table.AddTimeBucket(std::to_string(t));
+  for (int t = 0; t < 30; ++t) {
+    table.AppendRow(t, {"a"}, {t < 15 ? 100.0 + 10.0 * t : 250.0});
+    table.AppendRow(t, {"b"}, {t < 15 ? 50.0 : 50.0 + 12.0 * (t - 15)});
+  }
+  TSExplainConfig config;
+  config.measure = "v";
+  config.explain_by_names = {"cat"};
+  config.fixed_k = 1;
+  TSExplain engine(table, config);
+  const TSExplainResult one = engine.Run();
+  ASSERT_EQ(one.segments.size(), 1u);
+  EXPECT_GT(one.segments[0].variance, 0.1);
+  EXPECT_TRUE(one.segments[0].high_variance_hint);
+
+  // With K = 2 at the regime boundary both segments are cohesive.
+  config.fixed_k = 2;
+  TSExplain engine2(table, config);
+  const TSExplainResult two = engine2.Run();
+  ASSERT_EQ(two.segments.size(), 2u);
+  for (const SegmentExplanation& seg : two.segments) {
+    EXPECT_FALSE(seg.high_variance_hint);
+    EXPECT_LT(seg.variance, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace tsexplain

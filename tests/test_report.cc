@@ -1,0 +1,118 @@
+// Tests for the text/JSON report renderers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/datagen/synthetic.h"
+#include "src/pipeline/report.h"
+
+namespace tsexplain {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig sconfig;
+    sconfig.length = 40;
+    sconfig.seed = 3;
+    sconfig.num_interior_cuts = 2;
+    sconfig.snr_db = 45.0;
+    ds_ = GenerateSynthetic(sconfig);
+    TSExplainConfig config;
+    config.measure = "value";
+    config.explain_by_names = {"category"};
+    config.max_order = 1;
+    config.fixed_k = 3;
+    engine_ = std::make_unique<TSExplain>(*ds_.table, config);
+    result_ = engine_->Run();
+  }
+
+  SyntheticDataset ds_;
+  std::unique_ptr<TSExplain> engine_;
+  TSExplainResult result_;
+};
+
+TEST_F(ReportTest, TextReportMentionsKeyFacts) {
+  const std::string report = RenderTextReport(*engine_, result_);
+  EXPECT_NE(report.find("K = 3"), std::string::npos);
+  EXPECT_NE(report.find("top-1"), std::string::npos);
+  EXPECT_NE(report.find("category="), std::string::npos);
+  EXPECT_NE(report.find("timing:"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonHasStableSchema) {
+  const std::string json = RenderJsonReport(*engine_, result_);
+  for (const char* field :
+       {"\"k\":", "\"total_variance\":", "\"cuts\":", "\"segments\":",
+        "\"explanations\":", "\"trendline\":", "\"k_variance_curve\":",
+        "\"timing_ms\":", "\"time_labels\":", "\"overall\":",
+        "\"high_variance_hint\":", "\"effect\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST_F(ReportTest, JsonIsStructurallyBalanced) {
+  const std::string json = RenderJsonReport(*engine_, result_);
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(ReportTest, CompactModeHasNoNewlines) {
+  ReportOptions options;
+  options.pretty = false;
+  const std::string json = RenderJsonReport(*engine_, result_, options);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST_F(ReportTest, TrendlinesCanBeDisabled) {
+  ReportOptions options;
+  options.include_trendlines = false;
+  options.include_k_curve = false;
+  const std::string json = RenderJsonReport(*engine_, result_, options);
+  EXPECT_EQ(json.find("\"trendline\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"k_variance_curve\":"), std::string::npos);
+}
+
+TEST_F(ReportTest, TrendlineLengthMatchesSegment) {
+  const std::string json = RenderJsonReport(*engine_, result_);
+  // Spot-check: first segment's trendline has end - begin + 1 numbers.
+  const auto& seg = result_.segments.front();
+  if (!seg.top.empty()) {
+    const size_t pos = json.find("\"trendline\":");
+    ASSERT_NE(pos, std::string::npos);
+    const size_t open = json.find('[', pos);
+    const size_t close = json.find(']', open);
+    const std::string body = json.substr(open + 1, close - open - 1);
+    size_t commas = 0;
+    for (char c : body) {
+      if (c == ',') ++commas;
+    }
+    EXPECT_EQ(static_cast<int>(commas) + 1, seg.end - seg.begin + 1);
+  }
+}
+
+TEST(JsonEscapeTest, AllSpecialsHandled) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,155 @@
+// Tests for time-grain resampling and explanation exclusion lists.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/synthetic.h"
+#include "src/pipeline/tsexplain.h"
+#include "src/table/group_by.h"
+#include "src/table/resample.h"
+
+namespace tsexplain {
+namespace {
+
+Table MakeDailyTable() {
+  Table table(Schema("day", {"cat"}, {"v"}));
+  for (int t = 0; t < 10; ++t) {
+    table.AddTimeBucket("d" + std::to_string(t));
+  }
+  for (int t = 0; t < 10; ++t) {
+    table.AppendRow(t, {"a"}, {static_cast<double>(t)});
+    table.AppendRow(t, {"b"}, {10.0});
+  }
+  return table;
+}
+
+TEST(Resample, SumsArePreservedPerGroup) {
+  const Table daily = MakeDailyTable();
+  const auto weekly = ResampleTable(daily, 3);
+  // 10 buckets / 3 -> groups {0,1,2}, {3,4,5}, {6,7,8}, {9}.
+  EXPECT_EQ(weekly->num_time_buckets(), 4u);
+  const TimeSeries total = GroupByTime(*weekly, AggregateFunction::kSum, 0);
+  EXPECT_DOUBLE_EQ(total.values[0], 0 + 1 + 2 + 30.0);
+  EXPECT_DOUBLE_EQ(total.values[1], 3 + 4 + 5 + 30.0);
+  EXPECT_DOUBLE_EQ(total.values[3], 9 + 10.0);
+}
+
+TEST(Resample, CountAndAvgSemanticsSurvive) {
+  const Table daily = MakeDailyTable();
+  const auto weekly = ResampleTable(daily, 5);
+  const TimeSeries counts =
+      GroupByTime(*weekly, AggregateFunction::kCount, -1);
+  EXPECT_DOUBLE_EQ(counts.values[0], 10.0);  // 5 days x 2 rows
+  const TimeSeries avg = GroupByTime(*weekly, AggregateFunction::kAvg, 0);
+  EXPECT_DOUBLE_EQ(avg.values[0], (0 + 1 + 2 + 3 + 4 + 50.0) / 10.0);
+}
+
+TEST(Resample, DefaultLabelsAndCustomLabels) {
+  const Table daily = MakeDailyTable();
+  const auto weekly = ResampleTable(daily, 3);
+  EXPECT_EQ(weekly->time_labels()[0], "d0..d2");
+  EXPECT_EQ(weekly->time_labels()[3], "d9");  // singleton group
+  const auto custom = ResampleTable(
+      daily, 3, [](const std::string& first, const std::string&) {
+        return "week of " + first;
+      });
+  EXPECT_EQ(custom->time_labels()[0], "week of d0");
+}
+
+TEST(Resample, FactorOneIsIdentity) {
+  const Table daily = MakeDailyTable();
+  const auto same = ResampleTable(daily, 1);
+  EXPECT_EQ(same->num_time_buckets(), daily.num_time_buckets());
+  EXPECT_EQ(same->num_rows(), daily.num_rows());
+  EXPECT_EQ(same->time_labels(), daily.time_labels());
+}
+
+TEST(Resample, PipelineRunsOnCoarseGrain) {
+  SyntheticConfig sconfig;
+  sconfig.length = 90;
+  sconfig.seed = 3;
+  sconfig.num_interior_cuts = 2;
+  const SyntheticDataset ds = GenerateSynthetic(sconfig);
+  const auto coarse = ResampleTable(*ds.table, 3);
+  TSExplainConfig config;
+  config.measure = "value";
+  config.explain_by_names = {"category"};
+  config.max_order = 1;
+  TSExplain engine(*coarse, config);
+  const TSExplainResult result = engine.Run();
+  EXPECT_EQ(result.segmentation.cuts.back(), 29);  // 90 / 3 buckets
+}
+
+TEST(Exclude, BareValueMutesEveryAttribute) {
+  const Table daily = MakeDailyTable();
+  TSExplainConfig config;
+  config.measure = "v";
+  config.explain_by_names = {"cat"};
+  config.exclude = {"a"};  // category "a" is the only mover
+  TSExplain engine(daily, config);
+  const TSExplainResult result = engine.Run();
+  for (const SegmentExplanation& seg : result.segments) {
+    for (const ExplanationItem& item : seg.top) {
+      EXPECT_EQ(item.description.find("cat=a"), std::string::npos);
+    }
+  }
+}
+
+TEST(Exclude, QualifiedFormOnlyMutesThatAttribute) {
+  // Extra flat rows keep x=hot / y=cold and x=mild / y=hot slices
+  // DISTINCT, so hierarchy dedup cannot collapse them.
+  Table table(Schema("t", {"x", "y"}, {"v"}));
+  for (int t = 0; t < 8; ++t) table.AddTimeBucket(std::to_string(t));
+  for (int t = 0; t < 8; ++t) {
+    table.AppendRow(t, {"hot", "cold"}, {10.0 + 5.0 * t});
+    table.AppendRow(t, {"hot", "warm"}, {7.0});
+    table.AppendRow(t, {"mild", "hot"}, {20.0 + 4.0 * t});
+    table.AppendRow(t, {"cool", "hot"}, {5.0});
+  }
+  TSExplainConfig config;
+  config.measure = "v";
+  config.explain_by_names = {"x", "y"};
+  config.max_order = 1;
+  config.exclude = {"x=hot"};
+  TSExplain engine(table, config);
+  const auto items = engine.ExplainSegment(0, 7);
+  bool saw_y_hot = false;
+  for (const auto& item : items) {
+    EXPECT_NE(item.description, "x=hot");
+    if (item.description == "y=hot") saw_y_hot = true;
+  }
+  EXPECT_TRUE(saw_y_hot);
+}
+
+TEST(Exclude, ConjunctionsContainingBannedPredicateAreMuted) {
+  Table table(Schema("t", {"x", "y"}, {"v"}));
+  for (int t = 0; t < 8; ++t) table.AddTimeBucket(std::to_string(t));
+  for (int t = 0; t < 8; ++t) {
+    table.AppendRow(t, {"hot", "p"}, {10.0 + 6.0 * t});
+    table.AppendRow(t, {"cold", "q"}, {10.0});
+  }
+  TSExplainConfig config;
+  config.measure = "v";
+  config.explain_by_names = {"x", "y"};
+  config.max_order = 2;
+  config.exclude = {"x=hot"};
+  TSExplain engine(table, config);
+  const auto items = engine.ExplainSegment(0, 7);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.description.find("x=hot"), std::string::npos)
+        << item.description;
+  }
+}
+
+TEST(Exclude, CountsReflectExclusion) {
+  const Table daily = MakeDailyTable();
+  TSExplainConfig config;
+  config.measure = "v";
+  config.explain_by_names = {"cat"};
+  config.exclude = {"cat=a"};
+  TSExplain engine(daily, config);
+  const TSExplainResult result = engine.Run();
+  EXPECT_EQ(result.filtered_epsilon, 1u);  // only cat=b stays selectable
+}
+
+}  // namespace
+}  // namespace tsexplain

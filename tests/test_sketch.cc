@@ -1,0 +1,107 @@
+// Unit tests for the sketching optimization (O2, section 5.3.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datagen/synthetic.h"
+#include "src/seg/sketch.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(SketchParamsTest, PaperDefaults) {
+  // n = 400: L = min(0.05*400, 20) = 20, |S| = 3*400/20 = 60.
+  const SketchParams p = DeriveSketchParams(400);
+  EXPECT_EQ(p.max_segment_len, 20);
+  EXPECT_EQ(p.target_size, 60);
+}
+
+TEST(SketchParamsTest, SmallNUsesFivePercent) {
+  // n = 100: L = min(5, 20) = 5, |S| = 60.
+  const SketchParams p = DeriveSketchParams(100);
+  EXPECT_EQ(p.max_segment_len, 5);
+  EXPECT_EQ(p.target_size, 60);
+}
+
+TEST(SketchParamsTest, FeasibilityEnforced) {
+  const SketchParams p = DeriveSketchParams(50);
+  // Requested or derived (L, K) must satisfy K*L >= n-1 and K <= n-1.
+  EXPECT_LE(p.target_size, 49);
+  EXPECT_GE(static_cast<long long>(p.target_size) * p.max_segment_len, 49);
+}
+
+TEST(SketchParamsTest, ExplicitOverridesRespected) {
+  SketchParams requested;
+  requested.max_segment_len = 10;
+  requested.target_size = 40;
+  const SketchParams p = DeriveSketchParams(300, requested);
+  EXPECT_EQ(p.max_segment_len, 10);
+  EXPECT_EQ(p.target_size, 40);
+}
+
+class SketchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.length = 120;
+    config.snr_db = 45.0;
+    config.seed = 99;
+    ds_ = GenerateSynthetic(config);
+    registry_ = ExplanationRegistry::Build(*ds_.table, {0}, 1);
+    cube_ = std::make_unique<ExplanationCube>(*ds_.table, registry_,
+                                              AggregateFunction::kSum, 0);
+    SegmentExplainer::Options options;
+    options.m = 3;
+    explainer_ =
+        std::make_unique<SegmentExplainer>(*cube_, registry_, options);
+    calc_ = std::make_unique<VarianceCalculator>(*explainer_,
+                                                 VarianceMetric::kTse);
+  }
+
+  SyntheticDataset ds_;
+  ExplanationRegistry registry_;
+  std::unique_ptr<ExplanationCube> cube_;
+  std::unique_ptr<SegmentExplainer> explainer_;
+  std::unique_ptr<VarianceCalculator> calc_;
+};
+
+TEST_F(SketchTest, PositionsAreValidAndSized) {
+  const SketchResult sketch = SelectSketch(*calc_);
+  ASSERT_GE(sketch.positions.size(), 2u);
+  EXPECT_EQ(sketch.positions.front(), 0);
+  EXPECT_EQ(sketch.positions.back(), 119);
+  EXPECT_TRUE(std::is_sorted(sketch.positions.begin(),
+                             sketch.positions.end()));
+  // K segments -> K+1 positions; much smaller than n.
+  EXPECT_EQ(static_cast<int>(sketch.positions.size()),
+            sketch.target_size + 1);
+  EXPECT_LT(sketch.positions.size(), 120u);
+  // Adjacent positions at most L apart (phase I constraint).
+  for (size_t i = 1; i < sketch.positions.size(); ++i) {
+    EXPECT_LE(sketch.positions[i] - sketch.positions[i - 1],
+              sketch.max_segment_len);
+  }
+}
+
+TEST_F(SketchTest, SketchKeepsGroundTruthCutsNearby) {
+  // Every ground-truth cut should have a sketch position within a small
+  // tolerance (the sketch must not erase true boundaries).
+  const SketchResult sketch = SelectSketch(*calc_);
+  for (size_t i = 1; i + 1 < ds_.ground_truth_cuts.size(); ++i) {
+    const int cut = ds_.ground_truth_cuts[i];
+    int best = 1 << 30;
+    for (int p : sketch.positions) best = std::min(best, std::abs(p - cut));
+    EXPECT_LE(best, 3) << "ground-truth cut " << cut;
+  }
+}
+
+TEST_F(SketchTest, DegenerateTargetTakesAllPoints) {
+  SketchParams params;
+  params.max_segment_len = 1;  // forces |S| = 3n >= n-1
+  const SketchResult sketch = SelectSketch(*calc_, params);
+  EXPECT_EQ(sketch.positions.size(), 120u);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,111 @@
+// Unit tests for src/table: dictionary, schema, table storage.
+
+#include <gtest/gtest.h>
+
+#include "src/table/dictionary.h"
+#include "src/table/schema.h"
+#include "src/table/table.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(Dictionary, InsertionOrderIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrInsert("NY"), 0);
+  EXPECT_EQ(dict.GetOrInsert("CA"), 1);
+  EXPECT_EQ(dict.GetOrInsert("NY"), 0);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(Dictionary, LookupMissing) {
+  Dictionary dict;
+  dict.GetOrInsert("x");
+  EXPECT_EQ(dict.Lookup("x"), 0);
+  EXPECT_EQ(dict.Lookup("y"), kInvalidValueId);
+}
+
+TEST(Dictionary, RoundTrip) {
+  Dictionary dict;
+  const ValueId id = dict.GetOrInsert("hello world");
+  EXPECT_EQ(dict.ToString(id), "hello world");
+}
+
+TEST(Schema, Accessors) {
+  const Schema schema("date", {"state", "county"}, {"cases", "deaths"});
+  EXPECT_EQ(schema.time_name(), "date");
+  EXPECT_EQ(schema.num_dimensions(), 2u);
+  EXPECT_EQ(schema.num_measures(), 2u);
+  EXPECT_EQ(schema.DimensionIndex("county"), 1);
+  EXPECT_EQ(schema.DimensionIndex("bogus"), kInvalidAttrId);
+  EXPECT_EQ(schema.MeasureIndex("deaths"), 1);
+  EXPECT_EQ(schema.MeasureIndex("bogus"), -1);
+}
+
+TEST(SchemaDeathTest, RejectsDuplicateColumns) {
+  EXPECT_DEATH(Schema("t", {"a", "a"}, {}), "duplicate column");
+  EXPECT_DEATH(Schema("t", {"a"}, {"a"}), "duplicate column");
+}
+
+Table MakeSmallTable() {
+  Table table(Schema("date", {"state"}, {"cases"}));
+  table.AddTimeBucket("d0");
+  table.AddTimeBucket("d1");
+  table.AppendRow(0, {"NY"}, {10.0});
+  table.AppendRow(0, {"CA"}, {5.0});
+  table.AppendRow(1, {"NY"}, {20.0});
+  return table;
+}
+
+TEST(Table, RowStorageRoundTrip) {
+  const Table table = MakeSmallTable();
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_time_buckets(), 2u);
+  EXPECT_EQ(table.time(2), 1);
+  EXPECT_EQ(table.dictionary(0).ToString(table.dim(2, 0)), "NY");
+  EXPECT_DOUBLE_EQ(table.measure(1, 0), 5.0);
+}
+
+TEST(Table, RepeatedTailTimeBucketReturnsSameId) {
+  Table table(Schema("t", {"d"}, {}));
+  EXPECT_EQ(table.AddTimeBucket("a"), 0);
+  EXPECT_EQ(table.AddTimeBucket("a"), 0);
+  EXPECT_EQ(table.AddTimeBucket("b"), 1);
+}
+
+TEST(Table, EncodedAppendFastPath) {
+  Table table(Schema("t", {"d"}, {"m"}));
+  table.AddTimeBucket("0");
+  const ValueId v = table.EncodeDimension(0, "x");
+  table.AppendRowEncoded(0, {v}, {1.5});
+  EXPECT_EQ(table.dim(0, 0), v);
+  EXPECT_DOUBLE_EQ(table.measure(0, 0), 1.5);
+}
+
+TEST(Table, PredicateString) {
+  const Table table = MakeSmallTable();
+  EXPECT_EQ(table.PredicateString(0, table.dim(0, 0)), "state=NY");
+}
+
+TEST(Table, ColumnAccessors) {
+  const Table table = MakeSmallTable();
+  EXPECT_EQ(table.time_column().size(), 3u);
+  EXPECT_EQ(table.dim_column(0).size(), 3u);
+  EXPECT_EQ(table.measure_column(0).size(), 3u);
+  EXPECT_EQ(table.time_labels(),
+            (std::vector<std::string>{"d0", "d1"}));
+}
+
+TEST(TableDeathTest, AppendBeforeTimeBucketAborts) {
+  Table table(Schema("t", {"d"}, {}));
+  EXPECT_DEATH(table.AppendRow(0, {"x"}, {}), "register time buckets");
+}
+
+TEST(TableDeathTest, WrongArityAborts) {
+  Table table(Schema("t", {"d"}, {"m"}));
+  table.AddTimeBucket("0");
+  EXPECT_DEATH(table.AppendRow(0, {"x", "y"}, {1.0}), "check failed");
+  EXPECT_DEATH(table.AppendRow(0, {"x"}, {}), "check failed");
+}
+
+}  // namespace
+}  // namespace tsexplain

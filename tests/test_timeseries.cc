@@ -1,0 +1,121 @@
+// Unit tests for src/ts/time_series.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/ts/time_series.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(TimeSeries, LabelFallsBackToIndex) {
+  TimeSeries ts({1.0, 2.0, 3.0});
+  EXPECT_EQ(ts.LabelAt(1), "1");
+  ts.labels = {"a", "b", "c"};
+  EXPECT_EQ(ts.LabelAt(1), "b");
+}
+
+TEST(TimeSeries, SizeAndIndexing) {
+  TimeSeries ts({5.0, 7.0});
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts[1], 7.0);
+  ts[1] = 9.0;
+  EXPECT_DOUBLE_EQ(ts[1], 9.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  TimeSeries ts({3.0, 1.0, 4.0, 1.0, 5.0});
+  const TimeSeries out = MovingAverage(ts, 1);
+  EXPECT_EQ(out.values, ts.values);
+}
+
+TEST(MovingAverage, ConstantSeriesUnchanged) {
+  TimeSeries ts(std::vector<double>(10, 2.5));
+  const TimeSeries out = MovingAverage(ts, 4);
+  for (double v : out.values) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(MovingAverage, TrailingWindowValues) {
+  TimeSeries ts({1.0, 2.0, 3.0, 4.0});
+  const TimeSeries out = MovingAverage(ts, 2);
+  // Prefix is averaged over the available window.
+  EXPECT_DOUBLE_EQ(out.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.values[1], 1.5);
+  EXPECT_DOUBLE_EQ(out.values[2], 2.5);
+  EXPECT_DOUBLE_EQ(out.values[3], 3.5);
+}
+
+TEST(MovingAverage, PreservesLabels) {
+  TimeSeries ts({1.0, 2.0});
+  ts.labels = {"x", "y"};
+  EXPECT_EQ(MovingAverage(ts, 2).labels, ts.labels);
+}
+
+TEST(Stats, MeanVarianceStdDev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 42.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+}
+
+TEST(ZNormalize, MeanZeroUnitStd) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> z = ZNormalize(v);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-12);
+}
+
+TEST(ZNormalize, ConstantMapsToZeros) {
+  const std::vector<double> z = ZNormalize({3.0, 3.0, 3.0});
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Snr, SigmaRoundTrip) {
+  // Build a clean signal, add noise at a target SNR, measure it back.
+  Rng rng(123);
+  std::vector<double> clean(4000);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    clean[i] = 100.0 + 20.0 * std::sin(static_cast<double>(i) / 25.0);
+  }
+  for (double target : {20.0, 35.0, 50.0}) {
+    const double sigma = NoiseSigmaForSnr(SignalPower(clean), target);
+    std::vector<double> noisy(clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+      noisy[i] = clean[i] + rng.Gaussian(0.0, sigma);
+    }
+    EXPECT_NEAR(MeasureSnrDb(clean, noisy), target, 1.0)
+        << "target SNR " << target;
+  }
+}
+
+TEST(Snr, NoNoiseIsInfinite) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isinf(MeasureSnrDb(v, v)));
+}
+
+TEST(Snr, LowerSnrMeansMoreNoise) {
+  const double power = 10000.0;
+  EXPECT_GT(NoiseSigmaForSnr(power, 20.0), NoiseSigmaForSnr(power, 40.0));
+}
+
+TEST(SumSeries, AddsElementwise) {
+  const std::vector<std::vector<double>> parts{{1.0, 2.0}, {10.0, 20.0},
+                                               {100.0, 200.0}};
+  EXPECT_EQ(SumSeries(parts), (std::vector<double>{111.0, 222.0}));
+}
+
+TEST(SignalPowerTest, MeanSquare) {
+  EXPECT_DOUBLE_EQ(SignalPower({3.0, 4.0}), 12.5);
+}
+
+}  // namespace
+}  // namespace tsexplain

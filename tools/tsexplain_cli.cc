@@ -1,0 +1,236 @@
+// tsexplain: command-line front end. Load a CSV, run the pipeline, print a
+// text report or export JSON.
+//
+//   tsexplain --csv sales.csv --time date --measure units \
+//             --explain-by region,product [options]
+//
+// Options:
+//   --csv PATH            input file (required)
+//   --time NAME           time column (required)
+//   --measure NAME        measure column (omit for COUNT(*))
+//   --agg sum|count|avg   aggregate function (default sum)
+//   --explain-by A,B,C    explain-by dimensions (default: recommend + all)
+//   --order N             max conjunction order (default 3)
+//   --m N                 top-m explanations per segment (default 3)
+//   --k N                 fixed segment count (default: elbow)
+//   --smooth N            moving-average window (default 1 = off)
+//   --fast                enable filter + guess-and-verify + sketching
+//   --threads N           module (c) worker threads (default 1)
+//   --json                emit JSON instead of the text report
+//   --recommend           only print explain-by attribute recommendations
+//   --diff FROM,TO        two-snapshot mode: explain the difference between
+//                         the FROM and TO time buckets and exit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/diff/snapshot_diff.h"
+#include "src/pipeline/recommend.h"
+#include "src/pipeline/report.h"
+#include "src/pipeline/tsexplain.h"
+#include "src/table/csv_reader.h"
+
+namespace {
+
+using namespace tsexplain;
+
+struct CliOptions {
+  std::string csv_path;
+  std::string time_column;
+  std::string measure;
+  std::string aggregate = "sum";
+  std::vector<std::string> explain_by;
+  int order = 3;
+  int m = 3;
+  int k = 0;
+  int smooth = 1;
+  int threads = 1;
+  bool fast = false;
+  bool json = false;
+  bool recommend_only = false;
+  std::string diff;  // "FROM,TO" labels, empty = segmentation mode
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --csv PATH --time NAME [--measure NAME] "
+               "[--agg sum|count|avg] [--explain-by A,B,C] [--order N] "
+               "[--m N] [--k N] [--smooth N] [--fast] [--json] "
+               "[--recommend]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      options->csv_path = v;
+    } else if (arg == "--time") {
+      const char* v = next();
+      if (!v) return false;
+      options->time_column = v;
+    } else if (arg == "--measure") {
+      const char* v = next();
+      if (!v) return false;
+      options->measure = v;
+    } else if (arg == "--agg") {
+      const char* v = next();
+      if (!v) return false;
+      options->aggregate = v;
+    } else if (arg == "--explain-by") {
+      const char* v = next();
+      if (!v) return false;
+      options->explain_by = Split(v, ',');
+    } else if (arg == "--order") {
+      const char* v = next();
+      if (!v) return false;
+      options->order = std::atoi(v);
+    } else if (arg == "--m") {
+      const char* v = next();
+      if (!v) return false;
+      options->m = std::atoi(v);
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      options->k = std::atoi(v);
+    } else if (arg == "--smooth") {
+      const char* v = next();
+      if (!v) return false;
+      options->smooth = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      options->threads = std::atoi(v);
+    } else if (arg == "--fast") {
+      options->fast = true;
+    } else if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--recommend") {
+      options->recommend_only = true;
+    } else if (arg == "--diff") {
+      const char* v = next();
+      if (!v) return false;
+      options->diff = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->csv_path.empty() && !options->time_column.empty();
+}
+
+AggregateFunction ParseAggregate(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "sum") return AggregateFunction::kSum;
+  if (name == "count") return AggregateFunction::kCount;
+  if (name == "avg") return AggregateFunction::kAvg;
+  *ok = false;
+  return AggregateFunction::kSum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+  bool agg_ok = false;
+  const AggregateFunction aggregate =
+      ParseAggregate(options.aggregate, &agg_ok);
+  if (!agg_ok) {
+    std::fprintf(stderr, "unknown aggregate: %s\n",
+                 options.aggregate.c_str());
+    return 2;
+  }
+
+  CsvOptions csv_options;
+  csv_options.time_column = options.time_column;
+  if (!options.measure.empty()) {
+    csv_options.measure_columns = {options.measure};
+  }
+  const CsvResult loaded = ReadCsvFile(options.csv_path, csv_options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %zu rows, %zu time buckets\n", loaded.rows,
+               loaded.table->num_time_buckets());
+
+  if (!options.diff.empty()) {
+    const std::vector<std::string> endpoints = Split(options.diff, ',');
+    if (endpoints.size() != 2) {
+      std::fprintf(stderr, "--diff expects FROM,TO\n");
+      return 2;
+    }
+    SnapshotDiffOptions diff_options;
+    diff_options.aggregate = aggregate;
+    diff_options.measure = options.measure;
+    diff_options.explain_by = options.explain_by;
+    diff_options.max_order = options.order;
+    diff_options.m = options.m;
+    const SnapshotDiffResult diff =
+        SnapshotDiff(*loaded.table, endpoints[0], endpoints[1],
+                     diff_options);
+    std::printf("%s: %.6g -> %s: %.6g (delta %.6g)\n", endpoints[0].c_str(),
+                diff.control_total, endpoints[1].c_str(), diff.test_total,
+                diff.test_total - diff.control_total);
+    for (size_t r = 0; r < diff.top.size(); ++r) {
+      const auto& item = diff.top[r];
+      std::printf("  top-%zu  %-40s gamma=%-10.6g (%s)  %.6g -> %.6g\n",
+                  r + 1, item.description.c_str(), item.gamma,
+                  item.tau > 0 ? "+" : (item.tau < 0 ? "-" : "="),
+                  item.control_value, item.test_value);
+    }
+    return 0;
+  }
+
+  const auto recommendations = RecommendExplainBy(
+      *loaded.table, aggregate, options.measure, options.m);
+  if (options.recommend_only || options.explain_by.empty()) {
+    std::fprintf(stderr, "explain-by recommendations (concentration):\n");
+    for (const auto& rec : recommendations) {
+      std::fprintf(stderr, "    %-24s %.3f  (%zu values)\n",
+                   rec.dimension.c_str(), rec.concentration,
+                   rec.cardinality);
+    }
+    if (options.recommend_only) return 0;
+  }
+
+  TSExplainConfig config;
+  config.aggregate = aggregate;
+  config.measure = options.measure;
+  config.explain_by_names = options.explain_by;
+  if (config.explain_by_names.empty()) {
+    // Default: every dimension, best-recommended first.
+    for (const auto& rec : recommendations) {
+      config.explain_by_names.push_back(rec.dimension);
+    }
+  }
+  config.max_order = options.order;
+  config.m = options.m;
+  config.fixed_k = options.k;
+  config.smooth_window = options.smooth;
+  config.threads = options.threads;
+  if (options.fast) {
+    config.use_filter = true;
+    config.use_guess_verify = true;
+    config.use_sketch = true;
+  }
+
+  TSExplain engine(*loaded.table, config);
+  const TSExplainResult result = engine.Run();
+  if (options.json) {
+    std::printf("%s\n", RenderJsonReport(engine, result).c_str());
+  } else {
+    std::printf("%s", RenderTextReport(engine, result).c_str());
+  }
+  return 0;
+}
