@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/datagen/synthetic.h"
 #include "src/pipeline/streaming.h"
@@ -72,6 +73,8 @@ void RunStreaming() {
     }
   }
   const double refresh_ms = refresh_total / refreshes;
+  bench::EmitResult("ext_streaming.initial", initial_ms);
+  bench::EmitResult("ext_streaming.refresh_avg", refresh_ms);
   std::printf("  initial run (n=250):   %s\n",
               bench::FormatMs(initial_ms).c_str());
   std::printf("  incremental refresh:   %s (avg of %d refreshes while "
@@ -97,6 +100,7 @@ void RunThreads() {
     const TSExplainResult result = engine.Run();
     const double ms = timer.ElapsedMs();
     if (threads == 1) single_ms = ms;
+    bench::EmitResult(StrFormat("ext_streaming.threads%d", threads), ms);
     std::printf("  threads=%d: %s  (K*=%d, variance %.3f)\n", threads,
                 bench::FormatMs(ms).c_str(), result.chosen_k,
                 result.segmentation.total_variance);

@@ -157,6 +157,7 @@ void Run() {
               opt_pla_avg[50], tse_avg[50]);
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("fig10.synthetic_accuracy.total", timer.ElapsedMs());
 }
 
 }  // namespace

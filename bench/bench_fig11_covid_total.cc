@@ -74,6 +74,7 @@ void Run() {
   }
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("fig11.covid_total.total", timer.ElapsedMs());
 }
 
 }  // namespace

@@ -42,6 +42,7 @@ void Run() {
               (ny_surge && ny_decline) ? "PASS" : "FAIL");
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("fig12.covid_daily.total", timer.ElapsedMs());
 }
 
 }  // namespace

@@ -57,6 +57,7 @@ void Run() {
               result.epsilon);
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("fig13.sp500.total", timer.ElapsedMs());
 }
 
 }  // namespace

@@ -61,6 +61,7 @@ void Run() {
               result.epsilon, result.filtered_epsilon);
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("fig14.liquor.total", timer.ElapsedMs());
 }
 
 }  // namespace

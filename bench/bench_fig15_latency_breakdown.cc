@@ -39,6 +39,9 @@ void Run() {
                   bench::FormatMs(result.timing.segmentation_ms).c_str(),
                   bench::FormatMs(result.timing.TotalMs()).c_str(),
                   bench::FormatMs(wall).c_str());
+      bench::EmitResult("fig15." + bench::ResultSlug(w.name) + "." +
+                            bench::ResultSlug(bench::PresetName(preset)),
+                        result.timing.TotalMs());
       if (preset == bench::OptPreset::kVanilla) {
         vanilla_total = result.timing.TotalMs();
       }

@@ -46,6 +46,8 @@ void Run() {
     const TSExplainResult opt_result = opt_engine.Run();
     const double opt_ms = opt_timer.ElapsedMs();
     const int k = opt_result.chosen_k;
+    bench::EmitResult("fig16." + bench::ResultSlug(w.name) + ".optimized",
+                      opt_ms);
 
     TSExplainConfig vanilla = w.config;
     bench::ApplyPreset(bench::OptPreset::kVanilla, &vanilla);
@@ -54,6 +56,8 @@ void Run() {
     TSExplain vanilla_engine(*w.table, vanilla);
     vanilla_engine.Run();
     const double vanilla_ms = vanilla_timer.ElapsedMs();
+    bench::EmitResult("fig16." + bench::ResultSlug(w.name) + ".vanilla",
+                      vanilla_ms);
 
     // Baselines segment the (smoothed) aggregated series, then explain
     // each of their segments with the CA module (fresh engine so cache

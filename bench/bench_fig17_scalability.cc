@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/datagen/synthetic.h"
 #include "src/pipeline/tsexplain.h"
@@ -80,6 +81,7 @@ void Run() {
       } else {
         vanilla_ms.push_back(ms);
         vanilla_cell = bench::FormatMs(ms);
+        bench::EmitResult(StrFormat("fig17.len%d.vanilla", length), ms);
       }
     }
     if (optimized_alive) {
@@ -89,6 +91,7 @@ void Run() {
       } else {
         optimized_ms.push_back(ms);
         optimized_cell = bench::FormatMs(ms);
+        bench::EmitResult(StrFormat("fig17.len%d.optimized", length), ms);
       }
     }
     std::printf("  %-8d %18s %18s\n", length, vanilla_cell.c_str(),

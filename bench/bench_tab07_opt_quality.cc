@@ -62,6 +62,7 @@ void Run() {
               all_close ? "PASS" : "FAIL");
   std::printf("  total time: %s\n",
               bench::FormatMs(timer.ElapsedMs()).c_str());
+  bench::EmitResult("tab07.opt_quality.total", timer.ElapsedMs());
 }
 
 }  // namespace

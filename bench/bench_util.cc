@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -105,6 +106,28 @@ void PrintSubHeader(const std::string& title) {
 }
 
 std::string FormatMs(double ms) { return StrFormat("%8.1f ms", ms); }
+
+std::string ResultSlug(const std::string& text) {
+  std::string slug;
+  slug.reserve(text.size());
+  bool last_was_sep = true;  // also trims leading separators
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      slug.push_back('_');
+      last_was_sep = true;
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+void EmitResult(const std::string& name, double ms) {
+  std::printf("BENCH_RESULT %s %.3f\n", name.c_str(), ms);
+}
 
 void PrintAsciiChart(const TimeSeries& ts, const std::vector<int>& cuts,
                      int height, int width) {

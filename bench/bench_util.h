@@ -47,6 +47,18 @@ void PrintSubHeader(const std::string& title);
 /// Fixed-width milliseconds, e.g. "  175.3 ms".
 std::string FormatMs(double ms);
 
+/// Lowercases and folds non-alphanumerics to '_' so workload titles can be
+/// embedded in EmitResult names ("S&P 500" -> "s_p_500").
+std::string ResultSlug(const std::string& text);
+
+/// Prints a stable machine-readable timing line on stdout:
+///   BENCH_RESULT <name> <ms>
+/// tools/run_benches.sh harvests these into the BENCH_*.json `results`
+/// array, so headline figure timings are tracked across PRs in addition to
+/// whole-binary wall-clock. Names must not contain whitespace; use
+/// dot-separated segments like "fig16.liquor.optimized".
+void EmitResult(const std::string& name, double ms);
+
 /// Renders the aggregated series as an ASCII chart with '|' markers at the
 /// cut positions.
 void PrintAsciiChart(const TimeSeries& ts, const std::vector<int>& cuts,

@@ -72,7 +72,8 @@ struct TSExplainConfig {
   /// default, matching the paper's epsilon accounting (see canonical_mask.h).
   bool dedupe_redundant = true;
   /// Worker threads for the module (c) distance fill (1 = the paper's
-  /// single-threaded setting; results are identical at any thread count).
+  /// single-threaded setting; results are identical at any thread count —
+  /// asserted bit-exactly by tests/test_pipeline_determinism.cc).
   int threads = 1;
   /// Explanations touching any of these predicates never surface. Entries
   /// are "attr=value" strings (e.g. "state=unknown") or bare values (which

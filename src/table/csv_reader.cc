@@ -68,7 +68,6 @@ CsvResult ReadCsvFromString(const std::string& text,
   const std::vector<std::string> header =
       SplitCsvLine(line, options.delimiter);
   int time_idx = -1;
-  std::vector<int> measure_idx(header.size(), -1);
   std::vector<std::string> dimension_names;
   std::vector<size_t> dimension_cols;
   std::vector<size_t> measure_cols;

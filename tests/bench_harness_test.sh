@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# ctest-driven test for tools/run_benches.sh (registered as bench_harness).
+# Uses stub bench binaries so it runs in milliseconds; validates the JSON
+# shape, BENCH_RESULT harvesting, exit-status propagation, and skip logic.
+#
+# Usage: bench_harness_test.sh /path/to/repo/tools/run_benches.sh
+set -u
+
+HARNESS=${1:?usage: bench_harness_test.sh /path/to/run_benches.sh}
+case "$HARNESS" in
+  /*) ;;
+  *) HARNESS=$(pwd)/$HARNESS ;;  # the test cd's away; keep relative paths working
+esac
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK" || exit 1
+
+mkdir -p fakebuild
+cat >fakebuild/bench_ok <<'EOF'
+#!/bin/sh
+echo "some human-readable table"
+echo "BENCH_RESULT fig99.demo.total 12.345"
+echo "BENCH_RESULT fig99.demo.optimized 3.210"
+EOF
+cat >fakebuild/bench_fails <<'EOF'
+#!/bin/sh
+echo "about to fail"
+exit 3
+EOF
+chmod +x fakebuild/bench_ok fakebuild/bench_fails
+
+failures=0
+check() {  # check NAME CONDITION...
+  local name=$1; shift
+  if ! "$@"; then
+    echo "FAIL [$name]" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Happy path: explicit bench list, JSON written, results harvested.
+"$HARNESS" -b fakebuild -o out.json bench_ok >/dev/null 2>&1
+check happy_exit test $? -eq 0
+check json_written test -s out.json
+check json_valid sh -c "python3 -m json.tool out.json >/dev/null"
+check wall_clock grep -q '"wall_clock_s"' out.json
+check harvested_name grep -q '"fig99.demo.total"' out.json
+check harvested_ms grep -q '"ms": 12.345' out.json
+check log_saved test -s out.d/bench_ok.log
+
+# A failing bench: recorded with its exit status, harness exits non-zero.
+"$HARNESS" -b fakebuild -o fail.json bench_fails >/dev/null 2>&1
+check fail_propagates test $? -ne 0
+check fail_json_valid sh -c "python3 -m json.tool fail.json >/dev/null"
+check fail_status grep -q '"exit_status": 3' fail.json
+
+# Unknown bench names are skipped; with nothing runnable it errors.
+"$HARNESS" -b fakebuild -o none.json bench_does_not_exist >/dev/null 2>&1
+check nothing_runnable test $? -ne 0
+
+# An explicitly requested bench that is missing fails loudly even when the
+# other requested benches run (perf data must not vanish silently).
+"$HARNESS" -b fakebuild -o part.json bench_ok bench_does_not_exist >/dev/null 2>&1
+check explicit_missing_fails test $? -ne 0
+check explicit_missing_still_records grep -q '"bench": "bench_ok"' part.json
+
+# --help prints the full header including the results-array description.
+"$HARNESS" --help 2>/dev/null | grep -q "results" || {
+  echo "FAIL [help_complete]" >&2; failures=$((failures + 1)); }
+
+# Missing build dir is a clean error.
+"$HARNESS" -b no_such_dir -o x.json >/dev/null 2>&1
+check missing_dir test $? -ne 0
+
+if [ "$failures" -ne 0 ]; then
+  echo "bench_harness: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "bench_harness: all checks passed"

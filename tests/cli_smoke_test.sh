@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# ctest-driven smoke test for the tsexplain CLI (registered as `cli_smoke`).
+#
+# Contract under test:
+#   - unknown flags        -> usage on stderr, non-zero exit
+#   - missing required args-> usage on stderr, non-zero exit
+#   - missing input file   -> error + usage on stderr, non-zero exit
+#   - malformed int flags  -> diagnostic on stderr, non-zero exit
+#   - --help               -> usage on stdout, exit 0
+#   - a well-formed run    -> exit 0 and a report on stdout
+#
+# Usage: cli_smoke_test.sh /path/to/tsexplain
+set -u
+
+CLI=${1:?usage: cli_smoke_test.sh /path/to/tsexplain}
+TMPDIR_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+failures=0
+
+# expect_fail NAME -- ARGS...: run, require non-zero exit + usage on stderr.
+expect_fail() {
+  local name=$1; shift; shift  # drop NAME and "--"
+  local stderr_file="$TMPDIR_SMOKE/$name.err"
+  if "$CLI" "$@" >/dev/null 2>"$stderr_file"; then
+    echo "FAIL [$name]: expected non-zero exit for: $*" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! grep -q "usage:" "$stderr_file"; then
+    echo "FAIL [$name]: expected usage text on stderr for: $*" >&2
+    cat "$stderr_file" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+expect_fail unknown_flag      -- --definitely-not-a-flag
+expect_fail no_args           --
+expect_fail missing_time      -- --csv whatever.csv
+expect_fail missing_csv       -- --time date
+expect_fail missing_input     -- --csv "$TMPDIR_SMOKE/does_not_exist.csv" --time date
+expect_fail bad_int_flag      -- --csv x.csv --time t --k twelve
+expect_fail trailing_value    -- --csv x.csv --time t --m
+expect_fail negative_threads  -- --csv x.csv --time t --threads -2
+expect_fail zero_m            -- --csv x.csv --time t --m 0
+expect_fail negative_order    -- --csv x.csv --time t --order -1
+
+# --help: usage on stdout, exit 0.
+if ! "$CLI" --help >"$TMPDIR_SMOKE/help.out" 2>/dev/null; then
+  echo "FAIL [help]: --help must exit 0" >&2
+  failures=$((failures + 1))
+elif ! grep -q "usage:" "$TMPDIR_SMOKE/help.out"; then
+  echo "FAIL [help]: --help must print usage on stdout" >&2
+  failures=$((failures + 1))
+fi
+
+# Happy path: tiny CSV through the full pipeline.
+CSV="$TMPDIR_SMOKE/ok.csv"
+{
+  echo "date,region,sales"
+  for t in 0 1 2 3 4 5 6 7 8 9; do
+    echo "$t,east,$((10 + t))"
+    echo "$t,west,$((20 - t))"
+  done
+} >"$CSV"
+if ! "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
+    --k 2 >"$TMPDIR_SMOKE/ok.out" 2>"$TMPDIR_SMOKE/ok.err"; then
+  echo "FAIL [happy_path]: well-formed invocation must exit 0" >&2
+  cat "$TMPDIR_SMOKE/ok.err" >&2
+  failures=$((failures + 1))
+elif ! [ -s "$TMPDIR_SMOKE/ok.out" ]; then
+  echo "FAIL [happy_path]: expected a report on stdout" >&2
+  failures=$((failures + 1))
+fi
+
+# JSON mode on the same input.
+if ! "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
+    --k 2 --json 2>/dev/null | grep -q "{"; then
+  echo "FAIL [json]: --json must emit JSON on stdout" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "cli_smoke: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "cli_smoke: all checks passed"

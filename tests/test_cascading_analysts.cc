@@ -122,7 +122,9 @@ TEST(CascadingAnalysts, SelectionIsAlwaysNonOverlapping) {
     for (size_t i = 0; i < top.ids.size(); ++i) {
       EXPECT_DOUBLE_EQ(top.gammas[i],
                        gamma[static_cast<size_t>(top.ids[i])]);
-      if (i > 0) EXPECT_GE(top.gammas[i - 1], top.gammas[i]);
+      if (i > 0) {
+        EXPECT_GE(top.gammas[i - 1], top.gammas[i]);
+      }
     }
     // Total equals Best[m].
     double sum = 0.0;

@@ -122,6 +122,78 @@ TEST(CsvReader, CountStarWithNoMeasures) {
   EXPECT_EQ(counts.values, (std::vector<double>{2.0, 1.0}));
 }
 
+TEST(CsvReader, CrlfWithQuotedCommaFields) {
+  const std::string csv =
+      "t,d,v\r\n"
+      "0,\"x, y\",3\r\n"
+      "1,\"x, y\",4\r\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rows, 2u);
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(0, 0)),
+            "x, y");
+}
+
+TEST(CsvReader, EmptyTrailingDimensionField) {
+  // Trailing comma = empty final field; must count as a field (not a
+  // ragged-row error) and produce an empty-string dimension value.
+  const std::string csv =
+      "t,v,d\n"
+      "0,1,\n"
+      "1,2,x\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.rows, 2u);
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(0, 0)),
+            "");
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(1, 0)),
+            "x");
+}
+
+TEST(CsvReader, QuotedEmptyTrailingField) {
+  const std::string csv = "t,v,d\n0,1,\"\"\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(0, 0)),
+            "");
+}
+
+TEST(CsvReader, EmptyTrailingMeasureFieldIsAReportedError) {
+  // An empty measure cell must surface as a parse error with the line
+  // number, not crash or silently read 0.
+  const std::string csv = "t,d,v\n0,a,\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("not a number"), std::string::npos)
+      << result.error;
+}
+
+TEST(CsvReader, CrlfEmptyTrailingFieldCombination) {
+  // CRLF + trailing comma: the '\r' strip must happen before field
+  // splitting so the final empty field is "" and not "\r".
+  const std::string csv = "t,v,d\r\n0,1,\r\n";
+  CsvOptions options;
+  options.time_column = "t";
+  options.measure_columns = {"v"};
+  const CsvResult result = ReadCsvFromString(csv, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.table->dictionary(0).ToString(result.table->dim(0, 0)),
+            "");
+}
+
 TEST(CsvReader, SplitCsvLineUnit) {
   EXPECT_EQ(SplitCsvLine("a,b,c", ','),
             (std::vector<std::string>{"a", "b", "c"}));

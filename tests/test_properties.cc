@@ -67,10 +67,10 @@ TEST_P(SnrSweep, RecoversGroundTruthWithinTolerance) {
 
 INSTANTIATE_TEST_SUITE_P(PaperSnrGrid, SnrSweep,
                          ::testing::Values(20.0, 30.0, 40.0, 50.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "Snr" +
                                   std::to_string(static_cast<int>(
-                                      info.param));
+                                      param_info.param));
                          });
 
 // ---------------------------------------------------------------------
@@ -110,7 +110,7 @@ TEST_P(VarianceMetricSweep, PipelineRunsAndIsWellFormed) {
 INSTANTIATE_TEST_SUITE_P(
     AllEightMetrics, VarianceMetricSweep,
     ::testing::ValuesIn(kAllVarianceMetrics),
-    [](const auto& info) { return VarianceMetricName(info.param); });
+    [](const auto& param_info) { return VarianceMetricName(param_info.param); });
 
 // ---------------------------------------------------------------------
 // Sweep 3: diff metric x aggregate function combinations all run.
@@ -157,9 +157,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(AggregateFunction::kSum,
                                          AggregateFunction::kCount,
                                          AggregateFunction::kAvg)),
-    [](const auto& info) {
-      const DiffMetricKind metric = std::get<0>(info.param);
-      const AggregateFunction agg = std::get<1>(info.param);
+    [](const auto& param_info) {
+      const DiffMetricKind metric = std::get<0>(param_info.param);
+      const AggregateFunction agg = std::get<1>(param_info.param);
       std::string name = DiffMetricName(metric);
       std::replace(name.begin(), name.end(), '-', '_');
       name += agg == AggregateFunction::kSum
@@ -197,10 +197,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllEight, OptimizationSweep,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Bool()),
-    [](const auto& info) {
-      const bool filter = std::get<0>(info.param);
-      const bool o1 = std::get<1>(info.param);
-      const bool o2 = std::get<2>(info.param);
+    [](const auto& param_info) {
+      const bool filter = std::get<0>(param_info.param);
+      const bool o1 = std::get<1>(param_info.param);
+      const bool o2 = std::get<2>(param_info.param);
       return std::string(filter ? "filter" : "nofilter") +
              (o1 ? "_o1" : "_noo1") + (o2 ? "_o2" : "_noo2");
     });

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Bench harness: run the paper-figure bench binaries and record per-bench
+# wall-clock timings as JSON, so the repo's perf trajectory is machine
+# readable across PRs.
+#
+# Usage:
+#   tools/run_benches.sh [-b BUILD_DIR] [-o OUT.json] [--all] [BENCH...]
+#
+#   -b BUILD_DIR   where the bench binaries live (default: build)
+#   -o OUT.json    output path (default: BENCH_<UTC timestamp>.json in CWD)
+#   --all          run every bench_* binary found in BUILD_DIR
+#   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
+#
+# Default set (no --all, no names): bench_micro_core + bench_fig16_end_to_end
+# — the core microbenchmarks plus the end-to-end latency figure.
+#
+# Each bench's stdout/stderr goes to <OUT>.d/<bench>.log; the JSON records
+# wall-clock seconds, exit status, and log path per bench, plus every
+# "BENCH_RESULT <name> <ms>" line the binaries emit (see
+# bench/bench_util.h:EmitResult) as a per-figure `results` array.
+set -u
+
+BUILD_DIR=build
+OUT=""
+ALL=0
+BENCHES=()
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -b) BUILD_DIR=${2:?-b needs a directory}; shift 2 ;;
+    -o) OUT=${2:?-o needs a path}; shift 2 ;;
+    --all) ALL=1; shift ;;
+    -h|--help) awk 'NR > 1 { if (!/^#/) exit; sub(/^# ?/, ""); print }' "$0"; exit 0 ;;
+    -*) echo "unknown flag: $1" >&2; exit 2 ;;
+    *) BENCHES+=("$1"); shift ;;
+  esac
+done
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run the tier-1 cmake build first)" >&2
+  exit 1
+fi
+
+STAMP=$(date -u +%Y%m%dT%H%M%SZ)
+[ -n "$OUT" ] || OUT="BENCH_${STAMP}.json"
+LOG_DIR="${OUT%.json}.d"
+mkdir -p "$LOG_DIR"
+
+# Benches named explicitly on the command line must exist: a typo'd or
+# no-longer-building bench has to fail loudly, or the perf trajectory
+# silently loses data. Only the implicit default/--all sets may skip.
+EXPLICIT=0
+[ "$ALL" -eq 0 ] && [ ${#BENCHES[@]} -gt 0 ] && EXPLICIT=1
+if [ "$ALL" -eq 1 ]; then
+  BENCHES=()
+  for bin in "$BUILD_DIR"/bench_*; do
+    [ -x "$bin" ] && BENCHES+=("$(basename "$bin")")
+  done
+elif [ ${#BENCHES[@]} -eq 0 ]; then
+  BENCHES=(bench_micro_core bench_fig16_end_to_end)
+fi
+
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  echo "error: no bench binaries found in $BUILD_DIR" >&2
+  exit 1
+fi
+
+host=$(uname -srm)
+entries=""
+overall=0
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    if [ "$EXPLICIT" -eq 1 ]; then
+      echo "error: requested bench '$bench' is not built in $BUILD_DIR" >&2
+      overall=1
+    else
+      echo "skip: $bench (not built)" >&2
+    fi
+    continue
+  fi
+  log="$LOG_DIR/$bench.log"
+  echo "running $bench ..." >&2
+  start_ns=$(date +%s%N)
+  "$bin" >"$log" 2>&1
+  status=$?
+  end_ns=$(date +%s%N)
+  secs=$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+  [ $status -eq 0 ] || overall=1
+  echo "  $bench: ${secs}s (exit $status)" >&2
+  results=$(awk '$1 == "BENCH_RESULT" && NF == 3 {
+    printf "%s{\"name\": \"%s\", \"ms\": %s}", sep, $2, $3; sep = ", "
+  }' "$log")
+  [ -n "$entries" ] && entries="$entries,"
+  entries="$entries
+    {\"bench\": \"$bench\", \"wall_clock_s\": $secs, \"exit_status\": $status, \"log\": \"$log\", \"results\": [$results]}"
+done
+
+if [ -z "$entries" ]; then
+  echo "error: none of the requested benches are built in $BUILD_DIR" >&2
+  exit 1
+fi
+
+cat >"$OUT" <<EOF
+{
+  "schema": "tsexplain-bench-v1",
+  "timestamp_utc": "$STAMP",
+  "host": "$host",
+  "build_dir": "$BUILD_DIR",
+  "benches": [$entries
+  ]
+}
+EOF
+echo "wrote $OUT" >&2
+exit $overall

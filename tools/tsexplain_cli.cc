@@ -1,7 +1,7 @@
 // tsexplain: command-line front end. Load a CSV, run the pipeline, print a
 // text report or export JSON.
 //
-//   tsexplain --csv sales.csv --time date --measure units \
+//   tsexplain --csv sales.csv --time date --measure units
 //             --explain-by region,product [options]
 //
 // Options:
@@ -21,7 +21,10 @@
 //   --diff FROM,TO        two-snapshot mode: explain the difference between
 //                         the FROM and TO time buckets and exit
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -54,21 +57,46 @@ struct CliOptions {
   std::string diff;  // "FROM,TO" labels, empty = segmentation mode
 };
 
-int Usage(const char* argv0) {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s --csv PATH --time NAME [--measure NAME] "
                "[--agg sum|count|avg] [--explain-by A,B,C] [--order N] "
-               "[--m N] [--k N] [--smooth N] [--fast] [--json] "
-               "[--recommend]\n",
+               "[--m N] [--k N] [--smooth N] [--threads N] [--fast] "
+               "[--json] [--recommend] [--diff FROM,TO] [--help]\n",
                argv0);
+}
+
+int Usage(const char* argv0) {
+  PrintUsage(stderr, argv0);
   return 2;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
+// Strict base-10 integer parse; rejects "12abc", "", and out-of-range.
+bool ParseInt(const char* text, int* out) {
+  if (!text || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || *end != '\0' || value < INT_MIN || value > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options, bool* want_help) {
+  *want_help = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_int = [&](const char* flag, int* out) {
+      const char* v = next();
+      if (v && ParseInt(v, out)) return true;
+      std::fprintf(stderr, "%s expects an integer, got: %s\n", flag,
+                   v ? v : "(nothing)");
+      return false;
     };
     if (arg == "--csv") {
       const char* v = next();
@@ -91,25 +119,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (!v) return false;
       options->explain_by = Split(v, ',');
     } else if (arg == "--order") {
-      const char* v = next();
-      if (!v) return false;
-      options->order = std::atoi(v);
+      if (!next_int("--order", &options->order)) return false;
     } else if (arg == "--m") {
-      const char* v = next();
-      if (!v) return false;
-      options->m = std::atoi(v);
+      if (!next_int("--m", &options->m)) return false;
     } else if (arg == "--k") {
-      const char* v = next();
-      if (!v) return false;
-      options->k = std::atoi(v);
+      if (!next_int("--k", &options->k)) return false;
     } else if (arg == "--smooth") {
-      const char* v = next();
-      if (!v) return false;
-      options->smooth = std::atoi(v);
+      if (!next_int("--smooth", &options->smooth)) return false;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (!v) return false;
-      options->threads = std::atoi(v);
+      if (!next_int("--threads", &options->threads)) return false;
     } else if (arg == "--fast") {
       options->fast = true;
     } else if (arg == "--json") {
@@ -120,12 +138,37 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->diff = v;
+    } else if (arg == "--help" || arg == "-h") {
+      *want_help = true;
+      return true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
     }
   }
-  return !options->csv_path.empty() && !options->time_column.empty();
+  if (options->csv_path.empty() || options->time_column.empty()) {
+    std::fprintf(stderr, "--csv and --time are required\n");
+    return false;
+  }
+  // Domain checks: out-of-range values must fail here with usage, not
+  // abort later on an internal TSE_CHECK inside the library.
+  struct Bound {
+    const char* flag;
+    int value;
+    int min;
+  };
+  for (const Bound& b : {Bound{"--order", options->order, 1},
+                         Bound{"--m", options->m, 1},
+                         Bound{"--k", options->k, 0},
+                         Bound{"--smooth", options->smooth, 1},
+                         Bound{"--threads", options->threads, 1}}) {
+    if (b.value < b.min) {
+      std::fprintf(stderr, "%s must be >= %d, got %d\n", b.flag, b.min,
+                   b.value);
+      return false;
+    }
+  }
+  return true;
 }
 
 AggregateFunction ParseAggregate(const std::string& name, bool* ok) {
@@ -141,7 +184,12 @@ AggregateFunction ParseAggregate(const std::string& name, bool* ok) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+  bool want_help = false;
+  if (!ParseArgs(argc, argv, &options, &want_help)) return Usage(argv[0]);
+  if (want_help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
+  }
   bool agg_ok = false;
   const AggregateFunction aggregate =
       ParseAggregate(options.aggregate, &agg_ok);
@@ -159,6 +207,7 @@ int main(int argc, char** argv) {
   const CsvResult loaded = ReadCsvFile(options.csv_path, csv_options);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+    PrintUsage(stderr, argv[0]);
     return 1;
   }
   std::fprintf(stderr, "loaded %zu rows, %zu time buckets\n", loaded.rows,
