@@ -1,0 +1,162 @@
+// Service-layer throughput: what the explanation service buys over the
+// one-cold-query-per-process CLI workflow.
+//
+// Three measurements on the covid-daily workload (plus k-variants that
+// share one hot engine):
+//   service.cold.per_query_ms   — first-touch queries: engine build + full
+//                                 pipeline run per distinct query key
+//   service.hot.per_query_ms    — the same queries again: pure cache hits
+//   service.concurrent.per_query_ms
+//                               — 8 client threads, mixed hot/cold traffic
+//                                 against a fresh service
+//   service.hot.speedup_x       — cold / hot per-query time; the ISSUE
+//                                 acceptance bar is >= 10x
+//
+// Emits BENCH_RESULT lines for tools/run_benches.sh (values in ms except
+// the explicitly-suffixed speedup ratio).
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+#include "src/service/explain_service.h"
+
+namespace tsexplain {
+namespace {
+
+std::vector<ExplainRequest> MakeQueryMix(const TSExplainConfig& base) {
+  // Distinct query keys: k variants (one shared engine) + m / smoothing
+  // variants (their own engines). Mirrors an analyst sweeping parameters.
+  std::vector<ExplainRequest> requests;
+  for (int k : {0, 3, 4, 5, 6}) {
+    ExplainRequest request;
+    request.dataset = "covid_daily";
+    request.config = base;
+    request.config.fixed_k = k;
+    requests.push_back(request);
+  }
+  for (int m : {1, 5}) {
+    ExplainRequest request;
+    request.dataset = "covid_daily";
+    request.config = base;
+    request.config.m = m;
+    requests.push_back(request);
+  }
+  ExplainRequest unsmoothed;
+  unsmoothed.dataset = "covid_daily";
+  unsmoothed.config = base;
+  unsmoothed.config.smooth_window = 1;  // base smooths with window 7
+  requests.push_back(unsmoothed);
+  return requests;
+}
+
+void Run() {
+  bench::PrintHeader("Service layer: cold vs cache-hit vs concurrent");
+
+  bench::Workload workload = bench::MakeCovidDailyWorkload();
+  const TSExplainConfig base_config = workload.config;
+  ExplainService service;
+  {
+    std::string error;
+    if (!service.registry().RegisterTable(
+            "covid_daily",
+            std::shared_ptr<const Table>(std::move(workload.table)),
+            "<simulated>", &error)) {
+      std::fprintf(stderr, "register failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+  const std::vector<ExplainRequest> mix = MakeQueryMix(base_config);
+
+  // --- Cold: every query key is a first touch --------------------------
+  Timer cold_timer;
+  for (const ExplainRequest& request : mix) {
+    const ExplainResponse response = service.Explain(request);
+    if (!response.ok || response.cache_hit) {
+      std::fprintf(stderr, "cold query failed: %s\n",
+                   response.error.c_str());
+      std::exit(1);
+    }
+  }
+  const double cold_ms =
+      cold_timer.ElapsedMs() / static_cast<double>(mix.size());
+  bench::EmitResult("service.cold.per_query_ms", cold_ms);
+
+  // --- Hot: identical queries served from the result cache -------------
+  constexpr int kHotRounds = 200;
+  Timer hot_timer;
+  for (int round = 0; round < kHotRounds; ++round) {
+    for (const ExplainRequest& request : mix) {
+      const ExplainResponse response = service.Explain(request);
+      if (!response.ok || !response.cache_hit) {
+        std::fprintf(stderr, "expected a cache hit\n");
+        std::exit(1);
+      }
+    }
+  }
+  const double hot_ms = hot_timer.ElapsedMs() /
+                        static_cast<double>(kHotRounds * mix.size());
+  bench::EmitResult("service.hot.per_query_ms", hot_ms);
+  bench::EmitResult("service.hot.speedup_x", cold_ms / hot_ms);
+
+  // --- Concurrent: 8 clients, mixed hot + cold (fresh service) ---------
+  ExplainService concurrent_service;
+  {
+    bench::Workload w = bench::MakeCovidDailyWorkload();
+    std::string error;
+    concurrent_service.registry().RegisterTable(
+        "covid_daily", std::shared_ptr<const Table>(std::move(w.table)),
+        "<simulated>", &error);
+  }
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 50;
+  Timer concurrent_timer;
+  std::vector<std::future<void>> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::async(std::launch::async, [&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const ExplainResponse response = concurrent_service.Explain(
+            mix[static_cast<size_t>(c + q) % mix.size()]);
+        if (!response.ok) {
+          std::fprintf(stderr, "concurrent query failed: %s\n",
+                       response.error.c_str());
+          std::exit(1);
+        }
+      }
+    }));
+  }
+  for (std::future<void>& client : clients) client.wait();
+  const double concurrent_ms =
+      concurrent_timer.ElapsedMs() /
+      static_cast<double>(kClients * kQueriesPerClient);
+  bench::EmitResult("service.concurrent.per_query_ms", concurrent_ms);
+
+  const ServiceStats stats = concurrent_service.Stats();
+  std::printf(
+      "\ncold %.3f ms/query, hot %.3f ms/query (%.0fx), concurrent "
+      "%.4f ms/query\n",
+      cold_ms, hot_ms, cold_ms / hot_ms, concurrent_ms);
+  std::printf(
+      "concurrent cache: %zu misses, %zu hits, %zu coalesced over %d "
+      "queries (%zu hot engines)\n",
+      stats.cache.misses, stats.cache.hits, stats.cache.coalesced,
+      kClients * kQueriesPerClient, stats.hot_engines);
+  if (cold_ms / hot_ms < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit speedup %.1fx below the 10x bar\n",
+                 cold_ms / hot_ms);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() {
+  tsexplain::Run();
+  return 0;
+}

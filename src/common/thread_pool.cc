@@ -1,0 +1,113 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  TSE_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TSE_CHECK(!shutdown_) << "Submit after ThreadPool shutdown";
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, int parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (parallelism <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state outlives the call only until the last helper
+  // observes the drained counter; helpers hold the shared_ptr so a helper
+  // scheduled after this function returned still touches valid memory.
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->total = n;
+
+  auto drain = [state, &fn]() {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1);
+      if (i >= state->total) return;
+      fn(i);
+      if (state->done.fetch_add(1) + 1 == state->total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers run the same drain loop (the lambda copies `state` by
+  // shared_ptr and holds `fn` by reference — safe: the caller blocks
+  // below until every index completed, and a helper only dereferences fn
+  // while indices remain. Late helpers see the counter drained and exit.)
+  const int helpers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(parallelism - 1),
+                                        n - 1));
+  for (int h = 0; h < helpers; ++h) Submit(drain);
+
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load() == state->total;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(ResolveThreadCount(0));
+  return pool;
+}
+
+}  // namespace tsexplain

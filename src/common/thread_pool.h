@@ -1,0 +1,77 @@
+// Reusable fixed-size worker pool shared by the pipeline's data-parallel
+// fills and the explanation service's query executor.
+//
+// Two usage patterns:
+//
+//  * Submit(fn): enqueue an independent task; the returned future resolves
+//    when it finishes. Used by the service executor for per-query futures.
+//
+//  * ParallelFor(n, parallelism, fn): run fn(0..n-1) with at most
+//    `parallelism` concurrent executors. The CALLER participates in the
+//    work loop, so the call completes even when every pool worker is busy
+//    or the helper tasks are still queued — a caller that is itself a pool
+//    task can therefore issue nested ParallelFor without deadlock. Helper
+//    tasks that get scheduled after the loop drained simply return. Index
+//    assignment is dynamic (atomic counter) but each index is processed
+//    exactly once, so any per-index-deterministic fn yields bit-identical
+//    results at every parallelism level.
+//
+// Tasks must not throw (the library is exception-free on hot paths).
+
+#ifndef TSEXPLAIN_COMMON_THREAD_POOL_H_
+#define TSEXPLAIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsexplain {
+
+/// Resolves a user-facing thread-count knob: n >= 1 passes through, 0 (or
+/// negative) means "auto" = std::thread::hardware_concurrency(), with a
+/// floor of 1 when the hardware cannot be probed.
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; use ResolveThreadCount for the
+  /// 0 = auto convention).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task; the future resolves after it runs.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [0, n) using the caller plus up to
+  /// `parallelism - 1` pool helpers. Returns once every index completed.
+  /// `parallelism <= 1` (or tiny n) runs inline on the caller.
+  void ParallelFor(size_t n, int parallelism,
+                   const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware, lazily constructed. The
+  /// pipeline's distance fill and the service share it so worker threads
+  /// are a bounded resource no matter how many engines/queries are live.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_COMMON_THREAD_POOL_H_

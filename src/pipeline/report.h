@@ -1,42 +1,25 @@
-// Result rendering: human-readable text reports and machine-readable JSON
-// exports of a TSExplainResult (the library-level equivalent of the
-// paper's demo UI [6], which charts segments + per-segment explanation
-// trendlines).
+// Result rendering: human-readable text reports and Vega-Lite chart specs
+// for a TSExplainResult (the library-level equivalent of the paper's demo
+// UI [6], which charts segments + per-segment explanation trendlines).
+//
+// The machine-readable JSON export lives in report_json.h (shared with the
+// NDJSON server); this header re-exports it so existing includers keep
+// working.
 
 #ifndef TSEXPLAIN_PIPELINE_REPORT_H_
 #define TSEXPLAIN_PIPELINE_REPORT_H_
 
 #include <string>
 
+#include "src/pipeline/report_json.h"
 #include "src/pipeline/tsexplain.h"
 
 namespace tsexplain {
-
-struct ReportOptions {
-  /// Include each explanation's slice trendline (per final segment) in the
-  /// JSON export, as the demo UI charts them.
-  bool include_trendlines = true;
-  /// Include the K-variance curve (for elbow plots).
-  bool include_k_curve = true;
-  /// Pretty-print the JSON with two-space indentation.
-  bool pretty = true;
-};
 
 /// Plain-text report: segmentation summary, per-segment top explanations
 /// with change effects, high-variance hints, and timing.
 std::string RenderTextReport(const TSExplain& engine,
                              const TSExplainResult& result);
-
-/// JSON document with the full result: segments (labels, cuts, variance,
-/// hint), explanations (description, gamma, tau, optional trendline),
-/// the overall series, the K-variance curve, and the timing breakdown.
-/// Stable field names; see tests for the schema.
-std::string RenderJsonReport(const TSExplain& engine,
-                             const TSExplainResult& result,
-                             const ReportOptions& options = {});
-
-/// Escapes a string for embedding in JSON (quotes, control characters).
-std::string JsonEscape(const std::string& raw);
 
 /// Vega-Lite chart specification replicating the paper's Figure-2 style
 /// visualization: the overall series in grey, vertical rules at the cut

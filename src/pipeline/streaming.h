@@ -52,6 +52,13 @@ class StreamingTSExplain {
   /// Number of time buckets currently covered.
   int n() const { return static_cast<int>(table_->num_time_buckets()); }
 
+  /// The live cube (overall/slice series for report serialization; see
+  /// report_json.h's cube-level RenderJsonReport overload).
+  const ExplanationCube& cube() const { return *cube_; }
+
+  /// The internally owned, growing table (schema lookups for appends).
+  const Table& table() const { return *table_; }
+
   /// Whether the last AppendBucket forced a full rebuild (new cells).
   bool last_append_rebuilt() const { return last_append_rebuilt_; }
 

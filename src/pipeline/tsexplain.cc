@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 
 namespace tsexplain {
@@ -31,6 +32,17 @@ int ResolveMeasure(const Table& table, const std::string& name) {
 }
 
 }  // namespace
+
+SegmentationSpec SegmentationSpec::FromConfig(const TSExplainConfig& config) {
+  SegmentationSpec spec;
+  spec.fixed_k = config.fixed_k;
+  spec.max_k = config.max_k;
+  spec.variance_metric = config.variance_metric;
+  spec.use_sketch = config.use_sketch;
+  spec.sketch_params = config.sketch_params;
+  spec.threads = config.threads;
+  return spec;
+}
 
 std::string ExplanationItem::ToString() const {
   const char* effect = tau > 0 ? "+" : (tau < 0 ? "-" : "=");
@@ -100,6 +112,10 @@ TSExplain::TSExplain(const Table& table, TSExplainConfig config)
 }
 
 TSExplainResult TSExplain::Run() {
+  return Run(SegmentationSpec::FromConfig(config_));
+}
+
+TSExplainResult TSExplain::Run(const SegmentationSpec& spec) {
   Timer total_timer;
   const ExplainerTiming timing_before = explainer_->timing();
 
@@ -108,12 +124,12 @@ TSExplainResult TSExplain::Run() {
   result.filtered_epsilon = active_count_;
 
   const int n = explainer_->n();
-  VarianceCalculator calc(*explainer_, config_.variance_metric);
+  VarianceCalculator calc(*explainer_, spec.variance_metric);
 
   // Candidate cut positions: all points, or the sketch (O2).
   std::vector<int> positions;
-  if (config_.use_sketch) {
-    SketchResult sketch = SelectSketch(calc, config_.sketch_params);
+  if (spec.use_sketch) {
+    SketchResult sketch = SelectSketch(calc, spec.sketch_params);
     result.sketch_positions = sketch.positions;
     positions = std::move(sketch.positions);
   } else {
@@ -124,14 +140,13 @@ TSExplainResult TSExplain::Run() {
   // Module (c): weighted variance table + DP over the candidates.
   const VarianceTable table =
       VarianceTable::Compute(calc, positions, /*max_span=*/-1,
-                             config_.threads);
-  const int dp_max_k =
-      config_.fixed_k > 0 ? config_.fixed_k : config_.max_k;
+                             ResolveThreadCount(spec.threads));
+  const int dp_max_k = spec.fixed_k > 0 ? spec.fixed_k : spec.max_k;
   KSegmentationDp dp(table, dp_max_k);
   result.k_variance_curve = dp.Curve();
 
-  if (config_.fixed_k > 0) {
-    int k = std::min(config_.fixed_k, dp.max_k());
+  if (spec.fixed_k > 0) {
+    int k = std::min(spec.fixed_k, dp.max_k());
     while (k > 1 && !dp.Feasible(k)) --k;
     result.chosen_k = k;
   } else {

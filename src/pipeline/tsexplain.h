@@ -72,8 +72,9 @@ struct TSExplainConfig {
   /// default, matching the paper's epsilon accounting (see canonical_mask.h).
   bool dedupe_redundant = true;
   /// Worker threads for the module (c) distance fill (1 = the paper's
-  /// single-threaded setting; results are identical at any thread count —
-  /// asserted bit-exactly by tests/test_pipeline_determinism.cc).
+  /// single-threaded setting; 0 = auto, i.e. hardware concurrency; results
+  /// are identical at any thread count — asserted bit-exactly by
+  /// tests/test_pipeline_determinism.cc).
   int threads = 1;
   /// Explanations touching any of these predicates never surface. Entries
   /// are "attr=value" strings (e.g. "state=unknown") or bare values (which
@@ -108,6 +109,27 @@ struct SegmentExplanation {
   /// inspect it at a finer granularity (paper section 9's "hints for
   /// segments with higher variance").
   bool high_variance_hint = false;
+};
+
+/// The segmentation-only knobs of a query: everything module (c) reads
+/// beyond the engine state (registry, cube, explainer caches). One hot
+/// TSExplain instance answers Run(spec) for any spec — the explanation
+/// service exploits this to share engines across queries that differ only
+/// in K, variance metric, sketching, or thread count.
+struct SegmentationSpec {
+  /// Fixed segment count; 0 selects K automatically via the elbow method.
+  int fixed_k = 0;
+  /// Upper bound for the auto-K search (paper: 20).
+  int max_k = kMaxSegments;
+  VarianceMetric variance_metric = VarianceMetric::kTse;
+  bool use_sketch = false;  // O2
+  SketchParams sketch_params;
+  /// Worker threads for the module (c) distance fill (results are
+  /// identical at any thread count; 0 = auto).
+  int threads = 1;
+
+  /// The spec a TSExplainConfig describes.
+  static SegmentationSpec FromConfig(const TSExplainConfig& config);
 };
 
 /// Latency breakdown matching the paper's Figure 15 categories.
@@ -147,6 +169,11 @@ class TSExplain {
 
   /// Runs segmentation + per-segment explanation per the configuration.
   TSExplainResult Run();
+
+  /// Same, but with the segmentation knobs overridden: the engine state
+  /// (cube, caches, masks) is untouched, so one instance serves arbitrary
+  /// spec variations of its query without re-scanning the relation.
+  TSExplainResult Run(const SegmentationSpec& spec);
 
   /// Recomputes the total variance of an arbitrary scheme under this
   /// engine's metric at unit-object granularity (used for Table 7 quality

@@ -1,9 +1,7 @@
 #include "src/seg/variance_table.h"
 
-#include <atomic>
-#include <thread>
-
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace tsexplain {
 namespace {
@@ -132,19 +130,11 @@ VarianceTable VarianceTable::Compute(VarianceCalculator& calc,
     for (size_t i = 0; i + 1 < m; ++i) fill_row(i);
     return table;
   }
-  std::atomic<size_t> next_row{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const size_t i = next_row.fetch_add(1);
-        if (i + 1 >= m) return;
-        fill_row(i);
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  // Fan the row fill out over the shared pool instead of spawning fresh
+  // threads per run: each row writes only its own table.rows_[i] slot, so
+  // assignment order is irrelevant and the result stays bit-identical to
+  // the sequential fill (tests/test_pipeline_determinism.cc).
+  ThreadPool::Shared().ParallelFor(m - 1, threads, fill_row);
   return table;
 }
 

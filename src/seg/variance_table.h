@@ -40,7 +40,8 @@ class VarianceTable {
   /// `threads` > 1 parallelizes the centroid-metric fill: the explanation
   /// cache is pre-warmed single-threaded (CA is stateful), then the
   /// distance sums -- pure reads of the cube and the cached lists -- fan
-  /// out across rows. Results are bit-identical to the sequential fill.
+  /// out across rows on the shared ThreadPool (see common/thread_pool.h).
+  /// Results are bit-identical to the sequential fill.
   static VarianceTable Compute(VarianceCalculator& calc,
                                const std::vector<int>& positions,
                                int max_span = -1, int threads = 1);

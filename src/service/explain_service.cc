@@ -1,0 +1,382 @@
+#include "src/service/explain_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/common/timer.h"
+#include "src/service/query_key.h"
+
+namespace tsexplain {
+namespace {
+
+// Schema-level validation: everything that would otherwise trip a
+// TSE_CHECK inside the engine must be rejected here with an error string.
+// Also fills an empty explain-by list with the recommended ordering
+// (mirrors the CLI's default).
+//
+// The explain-by list is rewritten to its CANONICAL spelling (sorted,
+// deduplicated) — the same normalization the cache key applies. Results
+// can depend on attribute order (ties in the top-m break by attribute
+// position), so the engine must be built from exactly the spelling the
+// key describes or differently-ordered queries would alias one cache
+// entry to first-arrival results. Service semantics are therefore
+// explain-by-order invariant by construction.
+bool ValidateAndNormalize(const Table& table, TSExplainConfig* config,
+                          std::string* error) {
+  if (table.num_time_buckets() < 3) {
+    *error = "dataset needs at least three time buckets to segment";
+    return false;
+  }
+  if (!config->measure.empty() &&
+      table.schema().MeasureIndex(config->measure) < 0) {
+    *error = "unknown measure: " + config->measure;
+    return false;
+  }
+  if (config->explain_by_names.empty()) {
+    for (const auto& rec :
+         RecommendExplainBy(table, config->aggregate, config->measure,
+                            config->m > 0 ? config->m : 3)) {
+      config->explain_by_names.push_back(rec.dimension);
+    }
+    if (config->explain_by_names.empty()) {
+      *error = "dataset has no dimensions to explain by";
+      return false;
+    }
+  }
+  std::sort(config->explain_by_names.begin(),
+            config->explain_by_names.end());
+  config->explain_by_names.erase(
+      std::unique(config->explain_by_names.begin(),
+                  config->explain_by_names.end()),
+      config->explain_by_names.end());
+  for (const std::string& name : config->explain_by_names) {
+    if (table.schema().DimensionIndex(name) == kInvalidAttrId) {
+      *error = "unknown explain-by dimension: " + name;
+      return false;
+    }
+  }
+  struct Bound {
+    const char* field;
+    int value;
+    int min;
+  };
+  for (const Bound& b :
+       {Bound{"order", config->max_order, 1}, Bound{"m", config->m, 1},
+        Bound{"k", config->fixed_k, 0}, Bound{"max_k", config->max_k, 1},
+        Bound{"smooth", config->smooth_window, 1},
+        Bound{"threads", config->threads, 0},
+        Bound{"initial_guess", config->initial_guess, 1}}) {
+    if (b.value < b.min) {
+      *error = StrFormat("%s must be >= %d, got %d", b.field, b.min,
+                         b.value);
+      return false;
+    }
+  }
+  if (config->use_filter &&
+      (config->filter_ratio <= 0.0 || config->filter_ratio > 1.0)) {
+    *error = "filter_ratio must be in (0, 1]";
+    return false;
+  }
+  return true;
+}
+
+std::string ReportSuffix(bool trendlines, bool k_curve) {
+  return StrFormat("|rep=t%dc%d", trendlines ? 1 : 0, k_curve ? 1 : 0);
+}
+
+ReportOptions WireReportOptions(bool trendlines, bool k_curve) {
+  ReportOptions options;
+  options.include_trendlines = trendlines;
+  options.include_k_curve = k_curve;
+  options.pretty = false;
+  return options;
+}
+
+ExplainResponse ErrorResponse(const char* code, std::string message) {
+  ExplainResponse response;
+  response.ok = false;
+  response.error_code = code;
+  response.error = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+ExplainService::ExplainService(ServiceOptions options)
+    : cache_(options.cache_capacity_bytes, options.cache_shards) {}
+
+bool ExplainService::DropDataset(const std::string& name) {
+  if (!registry_.Drop(name)) return false;
+  // Open sessions keep their own table copy and session/<id>/ keys; only
+  // the dataset-level entries go.
+  cache_.InvalidatePrefix(DatasetKeyPrefix(name));
+  return true;
+}
+
+ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
+  Timer timer;
+  const DatasetRegistry::TableRef ref = registry_.GetRef(request.dataset);
+  if (!ref.table) {
+    return ErrorResponse(error_code::kNotFound,
+                         "unknown dataset: " + request.dataset);
+  }
+  TSExplainConfig config = request.config;
+  std::string validation_error;
+  if (!ValidateAndNormalize(*ref.table, &config, &validation_error)) {
+    return ErrorResponse(error_code::kInvalidQuery, validation_error);
+  }
+
+  const CanonicalQuery canonical =
+      CanonicalizeQuery(request.dataset, config);
+  // The registration uid fences drop + re-register races: a computation
+  // against the old table can only ever land under the old uid's key,
+  // which no post-re-register request asks for (it ages out via LRU).
+  const std::string cache_key =
+      canonical.query_key +
+      StrFormat("|uid=%llu", static_cast<unsigned long long>(ref.uid)) +
+      ReportSuffix(request.include_trendlines, request.include_k_curve);
+
+  std::string compute_error;
+  bool was_hit = false;
+  const ResultCache::ValuePtr value = cache_.GetOrCompute(
+      cache_key,
+      [&]() -> ResultCache::ValuePtr {
+        std::string engine_error;
+        EngineHandle handle = registry_.GetOrBuildEngine(
+            request.dataset, canonical.engine_key, config,
+            ref.table.get(), &engine_error);
+        if (!handle.ok()) {
+          compute_error = engine_error;
+          return nullptr;
+        }
+        const SegmentationSpec spec = SegmentationSpec::FromConfig(config);
+        auto cached = std::make_shared<CachedResult>();
+        {
+          // Run mutates the engine's explanation caches; serialize per
+          // engine. Distinct engines still run fully in parallel.
+          std::lock_guard<std::mutex> lock(*handle.mu);
+          cached->result =
+              std::make_shared<TSExplainResult>(handle.engine->Run(spec));
+          cached->json = RenderJsonReport(
+              handle.engine->cube(), *cached->result,
+              WireReportOptions(request.include_trendlines,
+                                request.include_k_curve));
+        }
+        return cached;
+      },
+      &was_hit);
+
+  if (!value) {
+    // The dataset vanished between validation and engine build (raced
+    // with a drop), or a coalesced leader failed.
+    return ErrorResponse(error_code::kInternal,
+                         compute_error.empty() ? "computation failed"
+                                               : compute_error);
+  }
+  ExplainResponse response;
+  response.ok = true;
+  response.query_key = cache_key;
+  response.cache_hit = was_hit;
+  response.result = value->result;
+  response.json = value->json;
+  response.latency_ms = timer.ElapsedMs();
+  return response;
+}
+
+ExplainService::RecommendResponse ExplainService::Recommend(
+    const std::string& dataset, AggregateFunction aggregate,
+    const std::string& measure, int m) {
+  RecommendResponse response;
+  const std::shared_ptr<const Table> table = registry_.Get(dataset);
+  if (!table) {
+    response.error_code = error_code::kNotFound;
+    response.error = "unknown dataset: " + dataset;
+    return response;
+  }
+  if (!measure.empty() && table->schema().MeasureIndex(measure) < 0) {
+    response.error_code = error_code::kInvalidQuery;
+    response.error = "unknown measure: " + measure;
+    return response;
+  }
+  if (m < 1) {
+    response.error_code = error_code::kInvalidQuery;
+    response.error = StrFormat("m must be >= 1, got %d", m);
+    return response;
+  }
+  response.ok = true;
+  response.recommendations = RecommendExplainBy(*table, aggregate, measure, m);
+  return response;
+}
+
+uint64_t ExplainService::OpenSession(const std::string& dataset,
+                                     const TSExplainConfig& config,
+                                     std::string* error) {
+  const std::shared_ptr<const Table> table = registry_.Get(dataset);
+  if (!table) {
+    *error = "unknown dataset: " + dataset;
+    return 0;
+  }
+  TSExplainConfig normalized = config;
+  if (!ValidateAndNormalize(*table, &normalized, error)) return 0;
+
+  auto session = std::make_shared<Session>();
+  session->dataset = dataset;
+  session->config = normalized;
+  // StreamingTSExplain copies the table: the session's view grows
+  // independently of the immutable registered dataset.
+  session->engine =
+      std::make_unique<StreamingTSExplain>(*table, normalized);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  session->id = next_session_id_++;
+  sessions_.emplace(session->id, session);
+  return session->id;
+}
+
+std::shared_ptr<ExplainService::Session> ExplainService::FindSession(
+    uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool ExplainService::Append(uint64_t session_id, const std::string& label,
+                            const std::vector<StreamRow>& rows,
+                            std::string* error) {
+  const std::shared_ptr<Session> session = FindSession(session_id);
+  if (!session) {
+    *error = StrFormat("unknown session: %llu",
+                       static_cast<unsigned long long>(session_id));
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  const Schema& schema = session->engine->table().schema();
+  for (const StreamRow& row : rows) {
+    if (row.dims.size() != schema.num_dimensions() ||
+        row.measures.size() != schema.num_measures()) {
+      *error = StrFormat(
+          "row shape mismatch: expected %zu dims + %zu measures, got %zu + "
+          "%zu",
+          schema.num_dimensions(), schema.num_measures(), row.dims.size(),
+          row.measures.size());
+      return false;
+    }
+  }
+  session->engine->AppendBucket(label, rows);
+  // New data makes this session's cached explanations stale — and ONLY
+  // this session's: the prefix scopes the invalidation, so dataset-level
+  // cache entries and other sessions are untouched (tested).
+  cache_.InvalidatePrefix(StrFormat(
+      "session/%llu/", static_cast<unsigned long long>(session_id)));
+  return true;
+}
+
+ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
+                                               bool include_trendlines,
+                                               bool include_k_curve) {
+  Timer timer;
+  const std::shared_ptr<Session> session = FindSession(session_id);
+  if (!session) {
+    return ErrorResponse(
+        error_code::kNotFound,
+        StrFormat("unknown session: %llu",
+                  static_cast<unsigned long long>(session_id)));
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->engine->n() < 3) {
+    return ErrorResponse(error_code::kInvalidQuery,
+                         "session needs at least three time buckets");
+  }
+  // The key embeds the current length: an explain after an append can
+  // never alias a pre-append entry even if an invalidation is lost.
+  const std::string cache_key =
+      StrFormat("session/%llu/n%d",
+                static_cast<unsigned long long>(session_id),
+                session->engine->n()) +
+      ReportSuffix(include_trendlines, include_k_curve);
+  bool was_hit = false;
+  const ResultCache::ValuePtr value = cache_.GetOrCompute(
+      cache_key,
+      [&]() -> ResultCache::ValuePtr {
+        auto cached = std::make_shared<CachedResult>();
+        cached->result = std::make_shared<TSExplainResult>(
+            session->engine->Explain());
+        cached->json = RenderJsonReport(
+            session->engine->cube(), *cached->result,
+            WireReportOptions(include_trendlines, include_k_curve));
+        return cached;
+      },
+      &was_hit);
+  ExplainResponse response;
+  response.ok = true;
+  response.query_key = cache_key;
+  response.cache_hit = was_hit;
+  response.result = value->result;
+  response.json = value->json;
+  response.latency_ms = timer.ElapsedMs();
+  return response;
+}
+
+bool ExplainService::CloseSession(uint64_t session_id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return false;
+    session = it->second;
+    sessions_.erase(it);
+  }
+  cache_.InvalidatePrefix(StrFormat(
+      "session/%llu/", static_cast<unsigned long long>(session_id)));
+  return true;
+}
+
+int ExplainService::SessionLength(uint64_t session_id) const {
+  const std::shared_ptr<Session> session = FindSession(session_id);
+  if (!session) return -1;
+  std::lock_guard<std::mutex> lock(session->mu);
+  return session->engine->n();
+}
+
+bool ExplainService::SessionLastAppendRebuilt(uint64_t session_id) const {
+  const std::shared_ptr<Session> session = FindSession(session_id);
+  if (!session) return false;
+  std::lock_guard<std::mutex> lock(session->mu);
+  return session->engine->last_append_rebuilt();
+}
+
+ServiceStats ExplainService::Stats() const {
+  ServiceStats stats;
+  stats.datasets = registry_.List().size();
+  stats.hot_engines = registry_.NumEngines();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    stats.open_sessions = sessions_.size();
+  }
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+std::future<ExplainResponse> ServiceExecutor::SubmitExplain(
+    ExplainRequest request) {
+  auto promise = std::make_shared<std::promise<ExplainResponse>>();
+  std::future<ExplainResponse> future = promise->get_future();
+  ExplainService* service = &service_;
+  pool_.Submit([service, promise, request = std::move(request)] {
+    promise->set_value(service->Explain(request));
+  });
+  return future;
+}
+
+std::future<ExplainResponse> ServiceExecutor::SubmitSessionExplain(
+    uint64_t session_id) {
+  auto promise = std::make_shared<std::promise<ExplainResponse>>();
+  std::future<ExplainResponse> future = promise->get_future();
+  ExplainService* service = &service_;
+  pool_.Submit([service, promise, session_id] {
+    promise->set_value(service->ExplainSession(session_id));
+  });
+  return future;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,172 @@
+// The embeddable explanation service (paper section 8's interactive /
+// real-time vision): amortizes dataset loading and cube construction
+// across queries, deduplicates concurrent identical queries, and serves
+// results from a sharded LRU cache.
+//
+// Layering:
+//   DatasetRegistry  — named immutable tables + hot engines (per engine
+//                      key), built once and reused.
+//   CanonicalizeQuery— stable cache/engine keys (query_key.h).
+//   ResultCache      — sharded LRU + single-flight (result_cache.h).
+//   ExplainService   — validation, the explain/recommend entry points,
+//                      and streaming sessions wrapping StreamingTSExplain.
+//   ServiceExecutor  — per-query futures on a shared ThreadPool.
+//
+// All entry points are thread-safe; responses carry error codes instead
+// of aborting, so a malformed query can never take the server down (the
+// service validates every schema-dependent field before touching engine
+// code, whose TSE_CHECKs abort on violated invariants).
+//
+// Results are REPRODUCIBLE: a cached or concurrently-served response is
+// bit-identical to running TSExplain::Run on the same table serially
+// (asserted by tests/test_service.cc), because engines are shared, Run is
+// serialized per engine, and the JSON is rendered exactly once.
+
+#ifndef TSEXPLAIN_SERVICE_EXPLAIN_SERVICE_H_
+#define TSEXPLAIN_SERVICE_EXPLAIN_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/pipeline/recommend.h"
+#include "src/pipeline/report_json.h"
+#include "src/pipeline/streaming.h"
+#include "src/service/dataset_registry.h"
+#include "src/service/result_cache.h"
+
+namespace tsexplain {
+
+/// Stable machine-readable error codes (docs/SERVICE.md).
+namespace error_code {
+inline constexpr char kParseError[] = "parse_error";
+inline constexpr char kUnknownOp[] = "unknown_op";
+inline constexpr char kBadRequest[] = "bad_request";
+inline constexpr char kNotFound[] = "not_found";
+inline constexpr char kInvalidQuery[] = "invalid_query";
+inline constexpr char kInternal[] = "internal";
+}  // namespace error_code
+
+struct ServiceOptions {
+  size_t cache_capacity_bytes = 64ull << 20;  // 64 MiB
+  int cache_shards = 8;
+};
+
+struct ExplainRequest {
+  std::string dataset;
+  TSExplainConfig config;
+  /// Report shape (part of the cache key). The wire JSON is always
+  /// compact; trendlines are opt-in to keep hot responses small.
+  bool include_trendlines = false;
+  bool include_k_curve = true;
+};
+
+struct ExplainResponse {
+  bool ok = false;
+  std::string error_code;  // one of error_code::k* when !ok
+  std::string error;       // human-readable detail
+  std::string query_key;   // canonical key (diagnostics; empty when !ok)
+  bool cache_hit = false;  // served without running the pipeline here
+  std::shared_ptr<const TSExplainResult> result;
+  std::string json;        // RenderJsonReport output (compact)
+  double latency_ms = 0.0;
+};
+
+struct ServiceStats {
+  size_t datasets = 0;
+  size_t hot_engines = 0;
+  size_t open_sessions = 0;
+  ResultCache::Stats cache;
+};
+
+class ExplainService {
+ public:
+  explicit ExplainService(ServiceOptions options = {});
+
+  /// Dataset management (thin veneer over the registry).
+  DatasetRegistry& registry() { return registry_; }
+
+  /// Drops a dataset AND its cached results, so re-registering the same
+  /// name with different data can never serve stale entries. Always
+  /// prefer this over registry().Drop() when a ResultCache is in play.
+  bool DropDataset(const std::string& name);
+
+  /// Synchronous query. Validation errors, unknown datasets, etc. come
+  /// back as error responses; only violated internal invariants abort.
+  ExplainResponse Explain(const ExplainRequest& request);
+
+  /// Explain-by attribute recommendation (no caching: it is cheap and
+  /// dataset-append-sensitive).
+  struct RecommendResponse {
+    bool ok = false;
+    std::string error_code;
+    std::string error;
+    std::vector<ExplainByRecommendation> recommendations;
+  };
+  RecommendResponse Recommend(const std::string& dataset,
+                              AggregateFunction aggregate,
+                              const std::string& measure, int m);
+
+  /// Streaming sessions: append-then-re-explain over one growing table
+  /// (wraps StreamingTSExplain). Session cache entries live under the key
+  /// prefix "session/<id>/" so appends invalidate exactly that session.
+  uint64_t OpenSession(const std::string& dataset,
+                       const TSExplainConfig& config, std::string* error);
+  bool Append(uint64_t session_id, const std::string& label,
+              const std::vector<StreamRow>& rows, std::string* error);
+  ExplainResponse ExplainSession(uint64_t session_id,
+                                 bool include_trendlines = false,
+                                 bool include_k_curve = true);
+  bool CloseSession(uint64_t session_id);
+  /// Number of time buckets in the session; -1 when unknown.
+  int SessionLength(uint64_t session_id) const;
+  /// Whether the session's last append forced a full engine rebuild.
+  bool SessionLastAppendRebuilt(uint64_t session_id) const;
+
+  ServiceStats Stats() const;
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    std::string dataset;
+    TSExplainConfig config;
+    std::unique_ptr<StreamingTSExplain> engine;
+    mutable std::mutex mu;  // serializes Append / Explain on this session
+  };
+
+  std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+
+  DatasetRegistry registry_;
+  ResultCache cache_;
+
+  mutable std::mutex sessions_mu_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+/// Per-query futures on a shared ThreadPool: the serving layer submits
+/// requests and multiplexes completions without a thread per client.
+class ServiceExecutor {
+ public:
+  explicit ServiceExecutor(ExplainService& service,
+                           ThreadPool& pool = ThreadPool::Shared())
+      : service_(service), pool_(pool) {}
+
+  std::future<ExplainResponse> SubmitExplain(ExplainRequest request);
+  std::future<ExplainResponse> SubmitSessionExplain(uint64_t session_id);
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ExplainService& service_;
+  ThreadPool& pool_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_EXPLAIN_SERVICE_H_

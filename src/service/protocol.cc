@@ -1,0 +1,548 @@
+#include "src/service/protocol.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/seg/segment_distance.h"
+
+namespace tsexplain {
+namespace {
+
+// Response envelope helpers ------------------------------------------------
+
+// Echoes the request id (number or string; null when absent/invalid).
+void EmitId(JsonWriter& json, const JsonValue* request) {
+  json.Key("id");
+  const JsonValue* id = request ? request->Find("id") : nullptr;
+  if (id && id->IsNumber()) {
+    const double d = id->AsDouble();
+    // Integral ids in the exactly-representable range echo as integers;
+    // anything else (fractional, huge, inf) echoes through Number, which
+    // never performs an out-of-range double->int cast (UB).
+    if (d >= -9.0e15 && d <= 9.0e15 &&
+        d == static_cast<double>(static_cast<long long>(d))) {
+      json.Int(static_cast<long long>(d));
+    } else {
+      json.Number(d);
+    }
+  } else if (id && id->IsString()) {
+    json.String(id->AsString());
+  } else {
+    json.Null();
+  }
+}
+
+std::string MakeError(const JsonValue* request, const std::string& op,
+                      const std::string& code, const std::string& message) {
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject();
+  EmitId(json, request);
+  json.Key("ok");
+  json.Bool(false);
+  if (!op.empty()) {
+    json.Key("op");
+    json.String(op);
+  }
+  json.Key("error");
+  json.BeginObject();
+  json.Key("code");
+  json.String(code);
+  json.Key("message");
+  json.String(message);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+// Begins the {"id":..,"ok":true,"op":..} envelope; the caller adds
+// op-specific fields and calls EndObject.
+void BeginOk(JsonWriter& json, const JsonValue& request,
+             const std::string& op) {
+  json.BeginObject();
+  EmitId(json, &request);
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("op");
+  json.String(op);
+}
+
+bool ParseAggregate(const std::string& name, AggregateFunction* out) {
+  if (name == "sum") {
+    *out = AggregateFunction::kSum;
+  } else if (name == "count") {
+    *out = AggregateFunction::kCount;
+  } else if (name == "avg") {
+    *out = AggregateFunction::kAvg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseDiffMetric(const std::string& name, DiffMetricKind* out) {
+  if (name == "abs") {
+    *out = DiffMetricKind::kAbsoluteChange;
+  } else if (name == "rel") {
+    *out = DiffMetricKind::kRelativeChange;
+  } else if (name == "rr") {
+    *out = DiffMetricKind::kRiskRatio;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseVarianceMetric(const std::string& name, VarianceMetric* out) {
+  for (VarianceMetric metric : kAllVarianceMetrics) {
+    if (name == VarianceMetricName(metric)) {
+      *out = metric;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Session id field: a positive integer (bounded so the double->uint64
+// cast below is always defined; fractional ids are rejected rather than
+// silently truncated onto someone else's session).
+bool ParseSessionId(const JsonValue& request, uint64_t* out,
+                    std::string* error) {
+  const JsonValue* v = request.Find("session");
+  const double d = v && v->IsNumber() ? v->AsDouble() : 0.0;
+  if (d < 1 || d > 9.0e15 ||
+      d != static_cast<double>(static_cast<uint64_t>(d))) {
+    *error = "missing or invalid 'session' (positive integer expected)";
+    return false;
+  }
+  *out = static_cast<uint64_t>(d);
+  return true;
+}
+
+}  // namespace
+
+bool ParseQueryConfig(const JsonValue& request, TSExplainConfig* config,
+                      std::string* error) {
+  const std::string agg = request.GetString("agg", "sum");
+  if (!ParseAggregate(agg, &config->aggregate)) {
+    *error = "unknown aggregate: " + agg;
+    return false;
+  }
+  config->measure = request.GetString("measure");
+  if (request.Find("explain_by")) {
+    bool ok = false;
+    config->explain_by_names = request.GetStringArray("explain_by", &ok);
+    if (!ok) {
+      *error = "'explain_by' must be an array of strings";
+      return false;
+    }
+  }
+  config->max_order = request.GetInt("order", config->max_order);
+  config->m = request.GetInt("m", config->m);
+  config->fixed_k = request.GetInt("k", config->fixed_k);
+  config->max_k = request.GetInt("max_k", config->max_k);
+  config->smooth_window = request.GetInt("smooth", config->smooth_window);
+  config->threads = request.GetInt("threads", config->threads);
+  const std::string diff = request.GetString("diff_metric", "abs");
+  if (!ParseDiffMetric(diff, &config->diff_metric)) {
+    *error = "unknown diff_metric: " + diff;
+    return false;
+  }
+  const std::string variance = request.GetString("variance_metric", "tse");
+  if (!ParseVarianceMetric(variance, &config->variance_metric)) {
+    *error = "unknown variance_metric: " + variance;
+    return false;
+  }
+  if (request.GetBool("fast")) {
+    config->use_filter = true;
+    config->use_guess_verify = true;
+    config->use_sketch = true;
+  }
+  config->use_filter = request.GetBool("filter", config->use_filter);
+  config->filter_ratio =
+      request.GetDouble("filter_ratio", config->filter_ratio);
+  config->use_guess_verify =
+      request.GetBool("guess_verify", config->use_guess_verify);
+  config->initial_guess =
+      request.GetInt("initial_guess", config->initial_guess);
+  config->use_sketch = request.GetBool("sketch", config->use_sketch);
+  config->dedupe_redundant =
+      request.GetBool("dedupe", config->dedupe_redundant);
+  if (request.Find("exclude")) {
+    bool ok = false;
+    config->exclude = request.GetStringArray("exclude", &ok);
+    if (!ok) {
+      *error = "'exclude' must be an array of strings";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProtocolHandler::IsBarrierOp(const std::string& op) {
+  return !(op == "explain" || op == "explain_session" ||
+           op == "recommend" || op == "list_datasets");
+}
+
+std::string ProtocolHandler::OpOf(const JsonValue& request) {
+  return request.GetString("op");
+}
+
+std::string ProtocolHandler::MakeParseError(
+    const std::string& message) const {
+  return MakeError(nullptr, "", error_code::kParseError, message);
+}
+
+std::string ProtocolHandler::Handle(const JsonValue& request) {
+  if (!request.IsObject()) {
+    return MakeError(&request, "", error_code::kBadRequest,
+                     "request must be a JSON object");
+  }
+  const std::string op = OpOf(request);
+
+  if (op == "register") {
+    const std::string name = request.GetString("name");
+    if (name.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'name'");
+    }
+    CsvOptions options;
+    options.time_column = request.GetString("time_column");
+    if (options.time_column.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'time_column'");
+    }
+    bool measures_ok = true;
+    if (request.Find("measures")) {
+      options.measure_columns =
+          request.GetStringArray("measures", &measures_ok);
+    }
+    if (!measures_ok) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "'measures' must be an array of strings");
+    }
+    options.sort_time = request.GetBool("sort_time", true);
+    const std::string path = request.GetString("csv_path");
+    const std::string inline_csv = request.GetString("csv");
+    if (path.empty() == inline_csv.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "exactly one of 'csv_path' or 'csv' is required");
+    }
+    std::string error;
+    DatasetInfo info;  // from registration, not a racy Get() re-lookup
+    const bool ok =
+        path.empty()
+            ? service_.registry().RegisterCsvText(name, inline_csv, options,
+                                                  &error, &info)
+            : service_.registry().RegisterCsvFile(name, path, options,
+                                                  &error, &info);
+    if (!ok) {
+      return MakeError(&request, op, error_code::kBadRequest, error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("dataset");
+    json.String(name);
+    json.Key("rows");
+    json.Int(static_cast<long long>(info.rows));
+    json.Key("time_buckets");
+    json.Int(static_cast<long long>(info.time_buckets));
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "list_datasets") {
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("datasets");
+    json.BeginArray();
+    for (const DatasetInfo& info : service_.registry().List()) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(info.name);
+      json.Key("source");
+      json.String(info.source);
+      json.Key("rows");
+      json.Int(static_cast<long long>(info.rows));
+      json.Key("time_buckets");
+      json.Int(static_cast<long long>(info.time_buckets));
+      json.Key("dimensions");
+      json.BeginArray();
+      for (const std::string& dim : info.dimensions) json.String(dim);
+      json.EndArray();
+      json.Key("measures");
+      json.BeginArray();
+      for (const std::string& measure : info.measures) {
+        json.String(measure);
+      }
+      json.EndArray();
+      json.Key("hot_engines");
+      json.Int(static_cast<long long>(info.hot_engines));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "drop_dataset") {
+    const std::string name = request.GetString("name");
+    // Service-level drop: also invalidates the dataset's cached results,
+    // so a later re-register under the same name starts clean.
+    if (!service_.DropDataset(name)) {
+      return MakeError(&request, op, error_code::kNotFound,
+                       "unknown dataset: " + name);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("dataset");
+    json.String(name);
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "explain") {
+    ExplainRequest explain;
+    explain.dataset = request.GetString("dataset");
+    if (explain.dataset.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'dataset'");
+    }
+    std::string parse_error;
+    if (!ParseQueryConfig(request, &explain.config, &parse_error)) {
+      return MakeError(&request, op, error_code::kBadRequest, parse_error);
+    }
+    explain.include_trendlines = request.GetBool("trendlines", false);
+    explain.include_k_curve = request.GetBool("k_curve", true);
+    const ExplainResponse response = service_.Explain(explain);
+    if (!response.ok) {
+      return MakeError(&request, op, response.error_code, response.error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("dataset");
+    json.String(explain.dataset);
+    json.Key("cache_hit");
+    json.Bool(response.cache_hit);
+    json.Key("latency_ms");
+    json.Number(response.latency_ms);
+    json.Key("result");
+    json.Raw(response.json);
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "recommend") {
+    const std::string dataset = request.GetString("dataset");
+    if (dataset.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'dataset'");
+    }
+    AggregateFunction aggregate = AggregateFunction::kSum;
+    const std::string agg = request.GetString("agg", "sum");
+    if (!ParseAggregate(agg, &aggregate)) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "unknown aggregate: " + agg);
+    }
+    const ExplainService::RecommendResponse response = service_.Recommend(
+        dataset, aggregate, request.GetString("measure"),
+        request.GetInt("m", 3));
+    if (!response.ok) {
+      return MakeError(&request, op, response.error_code, response.error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("dataset");
+    json.String(dataset);
+    json.Key("recommendations");
+    json.BeginArray();
+    for (const ExplainByRecommendation& rec : response.recommendations) {
+      json.BeginObject();
+      json.Key("dimension");
+      json.String(rec.dimension);
+      json.Key("concentration");
+      json.Number(rec.concentration);
+      json.Key("cardinality");
+      json.Int(static_cast<long long>(rec.cardinality));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "open_session") {
+    const std::string dataset = request.GetString("dataset");
+    if (dataset.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'dataset'");
+    }
+    TSExplainConfig config;
+    std::string parse_error;
+    if (!ParseQueryConfig(request, &config, &parse_error)) {
+      return MakeError(&request, op, error_code::kBadRequest, parse_error);
+    }
+    std::string error;
+    const uint64_t session = service_.OpenSession(dataset, config, &error);
+    if (session == 0) {
+      return MakeError(&request, op, error_code::kInvalidQuery, error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+    json.Key("n");
+    json.Int(service_.SessionLength(session));
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "append") {
+    uint64_t session = 0;
+    std::string error;
+    if (!ParseSessionId(request, &session, &error)) {
+      return MakeError(&request, op, error_code::kBadRequest, error);
+    }
+    const std::string label = request.GetString("label");
+    if (label.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'label'");
+    }
+    const JsonValue* rows_json = request.Find("rows");
+    if (!rows_json || !rows_json->IsArray()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "'rows' must be an array");
+    }
+    std::vector<StreamRow> rows;
+    rows.reserve(rows_json->array().size());
+    for (const JsonValue& row_json : rows_json->array()) {
+      StreamRow row;
+      bool dims_ok = false;
+      row.dims = row_json.GetStringArray("dims", &dims_ok);
+      const JsonValue* measures = row_json.Find("measures");
+      if (!row_json.IsObject() || !dims_ok || !measures ||
+          !measures->IsArray()) {
+        return MakeError(&request, op, error_code::kBadRequest,
+                         "each row needs 'dims' (strings) and 'measures' "
+                         "(numbers)");
+      }
+      for (const JsonValue& m : measures->array()) {
+        if (!m.IsNumber()) {
+          return MakeError(&request, op, error_code::kBadRequest,
+                           "'measures' entries must be numbers");
+        }
+        row.measures.push_back(m.AsDouble());
+      }
+      rows.push_back(std::move(row));
+    }
+    if (!service_.Append(session, label, rows, &error)) {
+      const bool unknown = error.rfind("unknown session", 0) == 0;
+      return MakeError(&request, op,
+                       unknown ? error_code::kNotFound
+                               : error_code::kBadRequest,
+                       error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+    json.Key("n");
+    json.Int(service_.SessionLength(session));
+    json.Key("rebuilt");
+    json.Bool(service_.SessionLastAppendRebuilt(session));
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "explain_session") {
+    uint64_t session = 0;
+    std::string error;
+    if (!ParseSessionId(request, &session, &error)) {
+      return MakeError(&request, op, error_code::kBadRequest, error);
+    }
+    const ExplainResponse response = service_.ExplainSession(
+        session, request.GetBool("trendlines", false),
+        request.GetBool("k_curve", true));
+    if (!response.ok) {
+      return MakeError(&request, op, response.error_code, response.error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+    json.Key("n");
+    json.Int(service_.SessionLength(session));
+    json.Key("cache_hit");
+    json.Bool(response.cache_hit);
+    json.Key("latency_ms");
+    json.Number(response.latency_ms);
+    json.Key("result");
+    json.Raw(response.json);
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "close_session") {
+    uint64_t session = 0;
+    std::string error;
+    if (!ParseSessionId(request, &session, &error)) {
+      return MakeError(&request, op, error_code::kBadRequest, error);
+    }
+    if (!service_.CloseSession(session)) {
+      return MakeError(&request, op, error_code::kNotFound,
+                       StrFormat("unknown session: %llu",
+                                 static_cast<unsigned long long>(session)));
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "stats") {
+    const ServiceStats stats = service_.Stats();
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("datasets");
+    json.Int(static_cast<long long>(stats.datasets));
+    json.Key("hot_engines");
+    json.Int(static_cast<long long>(stats.hot_engines));
+    json.Key("open_sessions");
+    json.Int(static_cast<long long>(stats.open_sessions));
+    json.Key("cache");
+    json.BeginObject();
+    json.Key("hits");
+    json.Int(static_cast<long long>(stats.cache.hits));
+    json.Key("misses");
+    json.Int(static_cast<long long>(stats.cache.misses));
+    json.Key("coalesced");
+    json.Int(static_cast<long long>(stats.cache.coalesced));
+    json.Key("evictions");
+    json.Int(static_cast<long long>(stats.cache.evictions));
+    json.Key("invalidations");
+    json.Int(static_cast<long long>(stats.cache.invalidations));
+    json.Key("entries");
+    json.Int(static_cast<long long>(stats.cache.entries));
+    json.Key("bytes_used");
+    json.Int(static_cast<long long>(stats.cache.bytes_used));
+    json.Key("capacity_bytes");
+    json.Int(static_cast<long long>(stats.cache.capacity_bytes));
+    json.EndObject();
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "shutdown") {
+    // The transport watches for this op and stops reading afterwards.
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.EndObject();
+    return json.str();
+  }
+
+  return MakeError(&request, op, error_code::kUnknownOp,
+                   op.empty() ? "missing 'op'" : "unknown op: " + op);
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,56 @@
+// NDJSON protocol: one JSON request object per line in, one JSON response
+// object per line out (docs/SERVICE.md documents every op and schema).
+//
+// The handler is a pure request->response function over an ExplainService
+// and is therefore safe to call from many threads at once; the transport
+// (tools/tsexplain_serve.cc) decides which ops run inline (mutations, to
+// preserve submission order) and which fan out to the executor pool
+// (reads). Responses echo the request's "id" so clients can match
+// out-of-order completions.
+
+#ifndef TSEXPLAIN_SERVICE_PROTOCOL_H_
+#define TSEXPLAIN_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/service/explain_service.h"
+
+namespace tsexplain {
+
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(ExplainService& service) : service_(service) {}
+
+  /// Handles one parsed request object; returns the response line
+  /// (compact JSON, no trailing newline). Unknown ops and missing fields
+  /// come back as ok:false responses, never as aborts.
+  std::string Handle(const JsonValue& request);
+
+  /// Response for a line that failed to parse as JSON.
+  std::string MakeParseError(const std::string& message) const;
+
+  /// Ops the transport must run inline as ordering barriers (after
+  /// draining previously dispatched reads) instead of fanning out to the
+  /// pool: every state mutation (register, sessions, shutdown) plus
+  /// "stats", whose counters are only meaningful once earlier requests
+  /// have settled. Unknown ops return true — an unrecognized request is
+  /// answered inline, cheaply.
+  static bool IsBarrierOp(const std::string& op);
+
+  /// Extracts "op" from a request object ("" when absent).
+  static std::string OpOf(const JsonValue& request);
+
+ private:
+  ExplainService& service_;
+};
+
+/// Parses the shared query fields of `explain` / `open_session` requests
+/// into a TSExplainConfig. Returns false + error on a malformed field
+/// (bad aggregate/metric names, wrong types). Exposed for tests.
+bool ParseQueryConfig(const JsonValue& request, TSExplainConfig* config,
+                      std::string* error);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_PROTOCOL_H_

@@ -1,0 +1,97 @@
+#include "src/service/query_key.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/seg/segment_distance.h"
+
+namespace tsexplain {
+namespace {
+
+const char* AggregateName(AggregateFunction aggregate) {
+  switch (aggregate) {
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kCount:
+      return "count";
+    case AggregateFunction::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+// Sorted, deduplicated, comma-joined list. Entries are escaped so names
+// containing the field separators cannot collide with the key framing
+// ("a,b" as one attribute vs "a","b" as two).
+std::string CanonicalList(std::vector<std::string> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  std::vector<std::string> escaped;
+  escaped.reserve(items.size());
+  for (const std::string& item : items) {
+    std::string e;
+    e.reserve(item.size());
+    for (char c : item) {
+      if (c == '\\' || c == ',' || c == '|' || c == '=') e.push_back('\\');
+      e.push_back(c);
+    }
+    escaped.push_back(std::move(e));
+  }
+  return Join(escaped, ",");
+}
+
+std::string EscapeName(const std::string& name) {
+  std::vector<std::string> one = {name};
+  return CanonicalList(std::move(one));
+}
+
+}  // namespace
+
+std::string DatasetKeyPrefix(const std::string& dataset) {
+  return "v1|ds=" + EscapeName(dataset) + "|";
+}
+
+CanonicalQuery CanonicalizeQuery(const std::string& dataset,
+                                 const TSExplainConfig& config) {
+  CanonicalQuery out;
+
+  std::string engine = DatasetKeyPrefix(dataset);
+  engine += StrFormat("agg=%s", AggregateName(config.aggregate));
+  engine += "|measure=" + EscapeName(config.measure);
+  engine += "|by=" + CanonicalList(config.explain_by_names);
+  engine += StrFormat("|order=%d|m=%d", config.max_order, config.m);
+  // DiffMetricName from diff_metrics.h ("absolute-change", ...).
+  engine += StrFormat("|diff=%s", DiffMetricName(config.diff_metric));
+  // smooth_window <= 1 is "off" however it was spelled.
+  engine += StrFormat("|smooth=%d", std::max(1, config.smooth_window));
+  engine += StrFormat("|dedupe=%d", config.dedupe_redundant ? 1 : 0);
+  if (config.use_filter) {
+    engine += StrFormat("|filter=%.17g", config.filter_ratio);
+  }
+  if (config.use_guess_verify) {
+    engine += StrFormat("|o1=%d", config.initial_guess);
+  }
+  if (!config.exclude.empty()) {
+    engine += "|excl=" + CanonicalList(config.exclude);
+  }
+  out.engine_key = std::move(engine);
+
+  std::string query = out.engine_key;
+  if (config.fixed_k > 0) {
+    query += StrFormat("|k=%d", config.fixed_k);
+  } else {
+    query += StrFormat("|k=auto%d", config.max_k);
+  }
+  query += StrFormat("|var=%s", VarianceMetricName(config.variance_metric));
+  if (config.use_sketch) {
+    // <= 0 params mean "derive the paper defaults"; fold every
+    // non-positive spelling onto 0 so they hash alike.
+    query += StrFormat("|o2=%d,%d",
+                       std::max(0, config.sketch_params.max_segment_len),
+                       std::max(0, config.sketch_params.target_size));
+  }
+  out.query_key = std::move(query);
+  return out;
+}
+
+}  // namespace tsexplain

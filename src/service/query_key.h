@@ -1,0 +1,50 @@
+// Query canonicalization: maps a (dataset name, TSExplainConfig) pair to
+// stable cache keys, so semantically identical queries share one cache
+// entry and one hot engine no matter how the caller spelled them.
+//
+// Normalizations applied (each is covered by tests/test_query_key.cc):
+//  * explain-by attribute order is irrelevant -> sorted + deduplicated;
+//  * exclude-list order is irrelevant -> sorted + deduplicated;
+//  * `threads` never affects results (bit-identical at any thread count)
+//    -> dropped entirely;
+//  * option payloads only count when their switch is on: filter_ratio
+//    without use_filter, initial_guess without use_guess_verify, and
+//    sketch_params without use_sketch are all normalized away, so a config
+//    with a dangling payload equals the plain default config;
+//  * max_k only matters when fixed_k == 0 (auto-K) -> dropped otherwise.
+//
+// Two keys come out:
+//  * engine_key: the fields baked into a TSExplain instance at
+//    construction (aggregate .. exclude). Queries with equal engine keys
+//    share one hot engine in the DatasetRegistry.
+//  * query_key: engine_key + the SegmentationSpec fields (fixed_k, max_k,
+//    variance metric, sketch). The ResultCache keys on this.
+
+#ifndef TSEXPLAIN_SERVICE_QUERY_KEY_H_
+#define TSEXPLAIN_SERVICE_QUERY_KEY_H_
+
+#include <string>
+
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+
+struct CanonicalQuery {
+  std::string engine_key;
+  std::string query_key;
+};
+
+/// Canonicalizes `config` against dataset `dataset`. The dataset name is
+/// embedded verbatim (names are registry-unique identifiers, not user
+/// text). The config is taken as-is: unknown attribute names still
+/// canonicalize (validation against a schema is the service's job).
+CanonicalQuery CanonicalizeQuery(const std::string& dataset,
+                                 const TSExplainConfig& config);
+
+/// The common prefix of every key CanonicalizeQuery produces for
+/// `dataset` — dropping a dataset invalidates cache entries under it.
+std::string DatasetKeyPrefix(const std::string& dataset);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_QUERY_KEY_H_

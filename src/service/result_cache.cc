@@ -1,0 +1,185 @@
+#include "src/service/result_cache.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tsexplain {
+namespace {
+
+// FNV-1a: stable across platforms (std::hash<string> is not guaranteed to
+// be), so shard placement is reproducible in tests.
+size_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t CachedResult::CostBytes() const {
+  size_t cost = sizeof(CachedResult) + json.capacity();
+  if (result) {
+    cost += sizeof(TSExplainResult);
+    cost += result->segmentation.cuts.capacity() * sizeof(int);
+    cost += result->k_variance_curve.capacity() * sizeof(double);
+    cost += result->sketch_positions.capacity() * sizeof(int);
+    for (const SegmentExplanation& seg : result->segments) {
+      cost += sizeof(SegmentExplanation);
+      cost += seg.begin_label.capacity() + seg.end_label.capacity();
+      for (const ExplanationItem& item : seg.top) {
+        cost += sizeof(ExplanationItem) + item.description.capacity();
+      }
+    }
+  }
+  return cost;
+}
+
+ResultCache::ResultCache(size_t capacity_bytes, int num_shards) {
+  TSE_CHECK_GE(num_shards, 1);
+  const size_t shards = RoundUpPow2(static_cast<size_t>(num_shards));
+  shard_mask_ = shards - 1;
+  capacity_per_shard_ = std::max<size_t>(1, capacity_bytes / shards);
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) & shard_mask_];
+}
+
+void ResultCache::InsertLocked(Shard& shard, const std::string& key,
+                               const ValuePtr& value) {
+  const size_t cost = value->CostBytes();
+  if (cost > capacity_per_shard_) return;  // would evict everything: skip
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Raced with another insert of the same key (e.g. a flight finishing
+    // right after an Invalidate + re-compute). Replace in place.
+    shard.bytes_used -= it->second.cost;
+    shard.lru.erase(it->second.lru_pos);
+    shard.entries.erase(it);
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.value = value;
+  entry.cost = cost;
+  entry.lru_pos = shard.lru.begin();
+  shard.entries.emplace(key, std::move(entry));
+  shard.bytes_used += cost;
+  while (shard.bytes_used > capacity_per_shard_ && !shard.lru.empty()) {
+    const std::string& victim = shard.lru.back();
+    auto vit = shard.entries.find(victim);
+    TSE_CHECK(vit != shard.entries.end());
+    shard.bytes_used -= vit->second.cost;
+    shard.entries.erase(vit);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
+                                                const ComputeFn& compute,
+                                                bool* was_hit) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Touch: move to the LRU front.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      ++shard.hits;
+      if (was_hit) *was_hit = true;
+      return it->second.value;
+    }
+    auto fit = shard.inflight.find(key);
+    if (fit != shard.inflight.end()) {
+      flight = fit->second;
+      ++shard.coalesced;
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->future = flight->promise.get_future().share();
+      shard.inflight.emplace(key, flight);
+      leader = true;
+      ++shard.misses;
+    }
+  }
+
+  if (!leader) {
+    if (was_hit) *was_hit = true;  // another thread's work served us
+    return flight->future.get();
+  }
+
+  if (was_hit) *was_hit = false;
+  ValuePtr value = compute();  // outside the lock: may be seconds long
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
+    if (value) InsertLocked(shard, key, value);
+  }
+  flight->promise.set_value(value);
+  return value;
+}
+
+void ResultCache::Invalidate(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.bytes_used -= it->second.cost;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+  ++shard.invalidations;
+}
+
+size_t ResultCache::InvalidatePrefix(const std::string& prefix) {
+  size_t removed = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard.bytes_used -= it->second.cost;
+        shard.lru.erase(it->second.lru_pos);
+        it = shard.entries.erase(it);
+        ++shard.invalidations;
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  stats.capacity_bytes = capacity_per_shard_ * shards_.size();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.coalesced += shard.coalesced;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.entries += shard.entries.size();
+    stats.bytes_used += shard.bytes_used;
+  }
+  return stats;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,122 @@
+// Sharded LRU result cache with single-flight computation deduplication.
+//
+// Keys are canonical query keys (see query_key.h); values are immutable
+// computed results shared out by shared_ptr, so eviction never invalidates
+// a response a client is still reading. Each shard has its own mutex, LRU
+// list, and byte accounting; a key's shard is a hash of the key, so
+// unrelated queries do not contend.
+//
+// Single-flight: when N threads ask for the same missing key
+// concurrently, exactly one (the leader) runs the compute function; the
+// rest block on a shared_future and receive the leader's value. The
+// compute runs OUTSIDE the shard lock, so long computations never block
+// unrelated cache traffic. A compute returning nullptr signals
+// "failed, do not cache": waiters get the nullptr too, and the next
+// request starts a fresh flight.
+
+#ifndef TSEXPLAIN_SERVICE_RESULT_CACHE_H_
+#define TSEXPLAIN_SERVICE_RESULT_CACHE_H_
+
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pipeline/tsexplain.h"
+
+namespace tsexplain {
+
+/// One cached explanation outcome: the structured result plus its
+/// pre-rendered wire JSON (byte-identical for every consumer).
+struct CachedResult {
+  std::shared_ptr<const TSExplainResult> result;
+  std::string json;
+
+  /// Approximate heap footprint used for capacity accounting. The JSON
+  /// string dominates; the structured result is charged per segment /
+  /// explanation / curve entry.
+  size_t CostBytes() const;
+};
+
+class ResultCache {
+ public:
+  using ValuePtr = std::shared_ptr<const CachedResult>;
+  /// Must not throw; returns nullptr on failure (not cached).
+  using ComputeFn = std::function<ValuePtr()>;
+
+  struct Stats {
+    size_t hits = 0;         // served from a completed entry
+    size_t misses = 0;       // led a computation
+    size_t coalesced = 0;    // waited on another thread's computation
+    size_t evictions = 0;    // entries removed to respect capacity
+    size_t invalidations = 0;
+    size_t entries = 0;      // current resident entries
+    size_t bytes_used = 0;   // current resident cost
+    size_t capacity_bytes = 0;
+  };
+
+  /// `capacity_bytes` bounds the sum of entry costs; `num_shards` >= 1
+  /// (rounded up to a power of two).
+  explicit ResultCache(size_t capacity_bytes, int num_shards = 8);
+
+  /// Returns the cached value for `key`, computing it single-flight on a
+  /// miss. `was_hit` (optional) reports whether this call avoided running
+  /// `compute` itself (fresh hit or coalesced onto a concurrent flight).
+  ValuePtr GetOrCompute(const std::string& key, const ComputeFn& compute,
+                        bool* was_hit = nullptr);
+
+  /// Drops one key (no-op when absent). In-flight computations are not
+  /// interrupted, but their value will land AFTER the invalidation and
+  /// may be re-evicted by a later invalidation only; callers that need
+  /// strict fencing should invalidate after the flight completes (the
+  /// service's session mutex provides exactly that ordering).
+  void Invalidate(const std::string& key);
+
+  /// Drops every resident entry whose key starts with `prefix`; returns
+  /// the number removed. Used by streaming sessions ("session/<id>/...")
+  /// and dataset eviction ("...|ds=<name>|...") — rare operations, so the
+  /// full scan is acceptable.
+  size_t InvalidatePrefix(const std::string& prefix);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ValuePtr value;
+    size_t cost = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct Flight {
+    std::promise<ValuePtr> promise;
+    std::shared_future<ValuePtr> future;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = most recently used
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight;
+    size_t bytes_used = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t coalesced = 0;
+    size_t evictions = 0;
+    size_t invalidations = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  // Inserts under the shard lock, evicting LRU entries over capacity.
+  void InsertLocked(Shard& shard, const std::string& key,
+                    const ValuePtr& value);
+
+  size_t capacity_per_shard_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_RESULT_CACHE_H_

@@ -73,6 +73,13 @@ elif ! [ -s "$TMPDIR_SMOKE/ok.out" ]; then
   failures=$((failures + 1))
 fi
 
+# --threads 0 means "auto" and must succeed (0 used to be rejected).
+if ! "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
+    --k 2 --threads 0 >/dev/null 2>&1; then
+  echo "FAIL [threads_auto]: --threads 0 must be accepted as auto" >&2
+  failures=$((failures + 1))
+fi
+
 # JSON mode on the same input.
 if ! "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
     --k 2 --json 2>/dev/null | grep -q "{"; then

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# ctest-driven end-to-end smoke test for tsexplain_serve in pipe mode
+# (registered as `server_smoke`).
+#
+# Contract under test (see docs/SERVICE.md):
+#   - register (inline CSV + csv_path) -> ok with row/bucket counts
+#   - list_datasets                    -> contains the registered names
+#   - explain                          -> ok, result object, cache_hit
+#                                         false cold / true hot
+#   - concurrent identical explains    -> all ok, exactly one computation
+#                                         (stats misses stay at 1)
+#   - open_session/append/explain_session -> session grows, re-explains
+#   - error paths: parse_error, unknown_op, not_found, bad_request —
+#     all as responses, never as a crash
+#   - shutdown op ends the server with exit 0
+#
+# Usage: server_smoke_test.sh /path/to/tsexplain_serve
+set -u
+
+SERVE=${1:?usage: server_smoke_test.sh /path/to/tsexplain_serve}
+TMPDIR_SMOKE=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+failures=0
+fail() {
+  echo "FAIL [$1]: $2" >&2
+  failures=$((failures + 1))
+}
+
+# A line-per-response lookup: response_for ID FILE -> the line echoing id.
+response_for() {
+  grep -F "\"id\":$1," "$2"
+}
+
+# --- Input fixtures --------------------------------------------------------
+CSV="$TMPDIR_SMOKE/sales.csv"
+{
+  echo "date,region,sales"
+  for t in 0 1 2 3 4 5 6 7 8 9; do
+    echo "$t,east,$((10 + t))"
+    echo "$t,west,$((20 - t))"
+  done
+} >"$CSV"
+
+REQ="$TMPDIR_SMOKE/requests.ndjson"
+EXPLAIN_FIELDS='"dataset":"sales","measure":"sales","explain_by":["region"],"k":2'
+{
+  echo "{\"op\":\"register\",\"id\":1,\"name\":\"sales\",\"csv_path\":\"$CSV\",\"time_column\":\"date\",\"measures\":[\"sales\"]}"
+  echo '{"op":"list_datasets","id":2}'
+  echo "{\"op\":\"explain\",\"id\":3,$EXPLAIN_FIELDS}"
+  # Identical concurrent explains: single-flight must collapse them.
+  for id in 4 5 6 7; do
+    echo "{\"op\":\"explain\",\"id\":$id,$EXPLAIN_FIELDS}"
+  done
+  echo '{"op":"open_session","id":8,"dataset":"sales","measure":"sales","explain_by":["region"],"k":2}'
+  echo '{"op":"append","id":9,"session":1,"label":"zz","rows":[{"dims":["east"],"measures":[30]},{"dims":["west"],"measures":[11]}]}'
+  echo '{"op":"explain_session","id":10,"session":1}'
+  echo '{"op":"recommend","id":11,"dataset":"sales","measure":"sales"}'
+  echo '{"op":"explain","id":12,"dataset":"ghost"}'
+  echo '{"op":"bogus","id":13}'
+  echo 'this is not json'
+  echo '{"op":"append","id":14,"session":1,"label":"bad","rows":[{"dims":["east","oops"],"measures":[1]}]}'
+  echo '{"op":"stats","id":15}'
+  echo '{"op":"shutdown","id":16}'
+} >"$REQ"
+
+OUT="$TMPDIR_SMOKE/responses.ndjson"
+if ! "$SERVE" <"$REQ" >"$OUT" 2>"$TMPDIR_SMOKE/serve.err"; then
+  fail server_exit "server exited non-zero"
+  cat "$TMPDIR_SMOKE/serve.err" >&2
+fi
+
+# Every request (16 ids + 1 parse error) got exactly one response line.
+lines=$(wc -l <"$OUT")
+[ "$lines" -eq 17 ] || fail response_count "expected 17 responses, got $lines"
+
+response_for 1 "$OUT" | grep -q '"ok":true' || fail register "$(response_for 1 "$OUT")"
+response_for 1 "$OUT" | grep -q '"time_buckets":10' || fail register_shape "$(response_for 1 "$OUT")"
+response_for 2 "$OUT" | grep -q '"name":"sales"' || fail list "$(response_for 2 "$OUT")"
+response_for 3 "$OUT" | grep -q '"ok":true' || fail explain "$(response_for 3 "$OUT")"
+response_for 3 "$OUT" | grep -q '"result":{' || fail explain_result "$(response_for 3 "$OUT")"
+response_for 3 "$OUT" | grep -q '"k":2' || fail explain_k "$(response_for 3 "$OUT")"
+
+# ids 3..7 are identical: all must succeed; the LAST finisher must have
+# been served without computing (either a plain hit or coalesced).
+for id in 4 5 6 7; do
+  response_for $id "$OUT" | grep -q '"ok":true' || fail "explain_$id" "$(response_for $id "$OUT")"
+done
+
+response_for 8 "$OUT" | grep -q '"session":1' || fail open_session "$(response_for 8 "$OUT")"
+response_for 9 "$OUT" | grep -q '"n":11' || fail append "$(response_for 9 "$OUT")"
+response_for 10 "$OUT" | grep -q '"ok":true' || fail explain_session "$(response_for 10 "$OUT")"
+response_for 10 "$OUT" | grep -q '"n":11' || fail session_grew "$(response_for 10 "$OUT")"
+response_for 11 "$OUT" | grep -q '"dimension":"region"' || fail recommend "$(response_for 11 "$OUT")"
+response_for 12 "$OUT" | grep -q '"code":"not_found"' || fail not_found "$(response_for 12 "$OUT")"
+response_for 13 "$OUT" | grep -q '"code":"unknown_op"' || fail unknown_op "$(response_for 13 "$OUT")"
+grep -q '"code":"parse_error"' "$OUT" || fail parse_error "no parse_error response"
+response_for 14 "$OUT" | grep -q '"code":"bad_request"' || fail bad_append "$(response_for 14 "$OUT")"
+
+# Single-flight proof: 5 identical explains, exactly 1 dataset-query miss
+# (+1 for the session explain), the rest hits/coalesced.
+STATS=$(response_for 15 "$OUT")
+echo "$STATS" | grep -q '"misses":2' || fail single_flight "$STATS"
+echo "$STATS" | grep -q '"datasets":1' || fail stats_datasets "$STATS"
+echo "$STATS" | grep -q '"open_sessions":1' || fail stats_sessions "$STATS"
+response_for 16 "$OUT" | grep -q '"op":"shutdown"' || fail shutdown "$(response_for 16 "$OUT")"
+
+if [ "$failures" -ne 0 ]; then
+  echo "--- responses ---" >&2
+  cat "$OUT" >&2
+  echo "server_smoke: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "server_smoke: all checks passed"

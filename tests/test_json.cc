@@ -1,0 +1,129 @@
+// Coverage for the minimal JSON parser behind the NDJSON protocol.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/json.h"
+
+namespace tsexplain {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << text << ": " << error;
+  return value;
+}
+
+void ExpectRejected(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson(text, &value, &error)) << text;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_TRUE(Parse("null").IsNull());
+  EXPECT_EQ(Parse("true").AsBool(), true);
+  EXPECT_EQ(Parse("false").AsBool(), false);
+  EXPECT_EQ(Parse("42").AsInt(), 42);
+  EXPECT_EQ(Parse("-3.5e2").AsDouble(), -350.0);
+  EXPECT_EQ(Parse("0").AsInt(), 0);
+  EXPECT_EQ(Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\/d\n\t")").AsString(), "a\"b\\c/d\n\t");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(Parse("\"A\xc3\xa9\"").AsString(), "A\xc3\xa9");
+  // \u escapes: BMP (U+00E9, U+20AC) and a surrogate pair (U+1F600).
+  EXPECT_EQ(Parse("\"\\u00e9\\u20ac\"").AsString(),
+            "\xc3\xa9\xe2\x82\xac");
+  EXPECT_EQ(Parse("\"\\ud83d\\ude00\"").AsString(), "\xf0\x9f\x98\x80");
+  ExpectRejected(R"("\ud83d")");   // lone high surrogate
+  ExpectRejected(R"("\ude00")");   // lone low surrogate
+  ExpectRejected(R"("\u12g4")");   // bad hex digit
+  ExpectRejected(R"("\q")");       // bad escape
+  ExpectRejected("\"unterminated");
+  ExpectRejected("\"ctrl\x01char\"");
+}
+
+TEST(JsonTest, ArraysAndObjects) {
+  const JsonValue arr = Parse(R"([1, "two", [3], {"four": 4}, null])");
+  ASSERT_TRUE(arr.IsArray());
+  ASSERT_EQ(arr.array().size(), 5u);
+  EXPECT_EQ(arr.array()[0].AsInt(), 1);
+  EXPECT_EQ(arr.array()[1].AsString(), "two");
+  EXPECT_EQ(arr.array()[2].array()[0].AsInt(), 3);
+  EXPECT_EQ(arr.array()[3].GetInt("four"), 4);
+  EXPECT_TRUE(arr.array()[4].IsNull());
+  EXPECT_TRUE(Parse("[]").array().empty());
+  EXPECT_TRUE(Parse("{}").members().empty());
+
+  const JsonValue obj = Parse(
+      R"({"op":"explain","id":7,"flag":true,"list":["a","b"],"x":1.5})");
+  EXPECT_EQ(obj.GetString("op"), "explain");
+  EXPECT_EQ(obj.GetInt("id"), 7);
+  EXPECT_TRUE(obj.GetBool("flag"));
+  EXPECT_EQ(obj.GetDouble("x"), 1.5);
+  bool ok = false;
+  EXPECT_EQ(obj.GetStringArray("list", &ok),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(ok);
+  obj.GetStringArray("id", &ok);  // wrong type
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.GetInt("missing", -1), -1);
+  EXPECT_EQ(obj.GetString("id", "fb"), "fb");  // type mismatch -> fallback
+}
+
+TEST(JsonTest, OutOfRangeNumbersFallBackInsteadOfUb) {
+  // double->int casts of out-of-range values are UB; AsInt must reject
+  // them (untrusted wire input) rather than cast.
+  EXPECT_EQ(Parse("1e300").AsInt(-7), -7);
+  EXPECT_EQ(Parse("-1e300").AsInt(-7), -7);
+  EXPECT_EQ(Parse("1e999").AsInt(-7), -7);  // strtod yields +inf
+  EXPECT_EQ(Parse("2147483647").AsInt(), 2147483647);
+  EXPECT_EQ(Parse("-2147483648").AsInt(), -2147483648);
+  EXPECT_EQ(Parse("2147483648").AsInt(-7), -7);  // INT_MAX + 1
+  const JsonValue obj = Parse(R"({"k":1e300})");
+  EXPECT_EQ(obj.GetInt("k", 3), 3);  // falls back to the caller's default
+}
+
+TEST(JsonTest, MalformedDocuments) {
+  ExpectRejected("");
+  ExpectRejected("{");
+  ExpectRejected("[1,]");
+  ExpectRejected("{\"a\":}");
+  ExpectRejected("{\"a\" 1}");
+  ExpectRejected("{a:1}");
+  ExpectRejected("1 2");          // trailing garbage
+  ExpectRejected("01");           // leading zero
+  ExpectRejected("1.");           // dangling decimal point
+  ExpectRejected("1e");           // dangling exponent
+  ExpectRejected("nul");
+  ExpectRejected("+1");
+}
+
+TEST(JsonTest, DepthGuard) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  ExpectRejected(deep);
+  std::string fine;
+  for (int i = 0; i < 30; ++i) fine += "[";
+  fine += "1";
+  for (int i = 0; i < 30; ++i) fine += "]";
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(fine, &value, &error)) << error;
+}
+
+TEST(JsonTest, WhitespaceTolerance) {
+  const JsonValue value = Parse("  {\r\n\t\"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(value.Find("a")->array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tsexplain

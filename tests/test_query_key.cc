@@ -1,0 +1,157 @@
+// Canonicalization contract of src/service/query_key.h: semantically
+// identical queries collapse to one key; semantically different queries
+// never do.
+
+#include <gtest/gtest.h>
+
+#include "src/service/query_key.h"
+
+namespace tsexplain {
+namespace {
+
+TSExplainConfig BaseConfig() {
+  TSExplainConfig config;
+  config.measure = "value";
+  config.explain_by_names = {"state", "county"};
+  return config;
+}
+
+TEST(QueryKey, ExplainByOrderInsensitive) {
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.explain_by_names = {"county", "state"};
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+  EXPECT_EQ(CanonicalizeQuery("ds", a).engine_key,
+            CanonicalizeQuery("ds", b).engine_key);
+}
+
+TEST(QueryKey, ExplainByDuplicatesCollapse) {
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.explain_by_names = {"state", "county", "state"};
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+}
+
+TEST(QueryKey, ExcludeOrderInsensitive) {
+  TSExplainConfig a = BaseConfig();
+  a.exclude = {"state=NY", "county=Kings"};
+  TSExplainConfig b = BaseConfig();
+  b.exclude = {"county=Kings", "state=NY"};
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+  TSExplainConfig c = BaseConfig();
+  c.exclude = {"state=NY"};
+  EXPECT_NE(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", c).query_key);
+}
+
+TEST(QueryKey, DefaultVsExplicitFlagsMatch) {
+  // An explicitly-spelled default equals the default-constructed config.
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.max_order = 3;
+  b.m = 3;
+  b.smooth_window = 1;
+  b.fixed_k = 0;
+  b.max_k = kMaxSegments;
+  b.diff_metric = DiffMetricKind::kAbsoluteChange;
+  b.variance_metric = VarianceMetric::kTse;
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+}
+
+TEST(QueryKey, DanglingOptionPayloadsNormalizedAway) {
+  // filter_ratio / initial_guess / sketch_params only matter when their
+  // switch is on.
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.filter_ratio = 0.5;
+  b.initial_guess = 99;
+  b.sketch_params.max_segment_len = 7;
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+
+  TSExplainConfig c = b;
+  c.use_filter = true;
+  EXPECT_NE(CanonicalizeQuery("ds", b).query_key,
+            CanonicalizeQuery("ds", c).query_key);
+  TSExplainConfig d = b;
+  d.use_sketch = true;
+  EXPECT_NE(CanonicalizeQuery("ds", b).query_key,
+            CanonicalizeQuery("ds", d).query_key);
+}
+
+TEST(QueryKey, ThreadsNeverAffectTheKey) {
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.threads = 8;
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+}
+
+TEST(QueryKey, MaxKIgnoredUnderFixedK) {
+  TSExplainConfig a = BaseConfig();
+  a.fixed_k = 5;
+  a.max_k = 20;
+  TSExplainConfig b = BaseConfig();
+  b.fixed_k = 5;
+  b.max_k = 10;
+  EXPECT_EQ(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+  // ... but respected in auto-K mode.
+  a.fixed_k = b.fixed_k = 0;
+  EXPECT_NE(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+}
+
+TEST(QueryKey, SegmentationKnobsStayOutOfTheEngineKey) {
+  TSExplainConfig a = BaseConfig();
+  TSExplainConfig b = BaseConfig();
+  b.fixed_k = 7;
+  b.variance_metric = VarianceMetric::kDist1;
+  b.use_sketch = true;
+  const CanonicalQuery qa = CanonicalizeQuery("ds", a);
+  const CanonicalQuery qb = CanonicalizeQuery("ds", b);
+  EXPECT_EQ(qa.engine_key, qb.engine_key);  // same hot engine
+  EXPECT_NE(qa.query_key, qb.query_key);    // distinct cache entries
+}
+
+TEST(QueryKey, DistinctSemanticsDistinctKeys) {
+  const TSExplainConfig base = BaseConfig();
+  const std::string base_key = CanonicalizeQuery("ds", base).query_key;
+
+  TSExplainConfig other = base;
+  other.aggregate = AggregateFunction::kAvg;
+  EXPECT_NE(base_key, CanonicalizeQuery("ds", other).query_key);
+  other = base;
+  other.measure = "deaths";
+  EXPECT_NE(base_key, CanonicalizeQuery("ds", other).query_key);
+  other = base;
+  other.m = 5;
+  EXPECT_NE(base_key, CanonicalizeQuery("ds", other).query_key);
+  other = base;
+  other.smooth_window = 7;
+  EXPECT_NE(base_key, CanonicalizeQuery("ds", other).query_key);
+  other = base;
+  other.dedupe_redundant = false;
+  EXPECT_NE(base_key, CanonicalizeQuery("ds", other).query_key);
+  EXPECT_NE(base_key, CanonicalizeQuery("other_ds", base).query_key);
+}
+
+TEST(QueryKey, SeparatorCharactersInNamesCannotCollide) {
+  // One attribute named "a,b" vs two attributes "a" and "b".
+  TSExplainConfig a = BaseConfig();
+  a.explain_by_names = {"a,b"};
+  TSExplainConfig b = BaseConfig();
+  b.explain_by_names = {"a", "b"};
+  EXPECT_NE(CanonicalizeQuery("ds", a).query_key,
+            CanonicalizeQuery("ds", b).query_key);
+  // Dataset names embedding the field framing cannot forge other fields.
+  EXPECT_NE(CanonicalizeQuery("x|measure=hack", BaseConfig()).query_key,
+            CanonicalizeQuery("x", BaseConfig()).query_key);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,180 @@
+// ResultCache contract: LRU eviction + byte accounting, invalidation
+// scoping, and single-flight deduplication under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/result_cache.h"
+
+namespace tsexplain {
+namespace {
+
+// A value whose CostBytes is dominated by a JSON payload of known size.
+ResultCache::ValuePtr MakeValue(const std::string& payload) {
+  auto value = std::make_shared<CachedResult>();
+  value->json = payload;
+  return value;
+}
+
+size_t CostOf(const std::string& payload) {
+  return MakeValue(payload)->CostBytes();
+}
+
+TEST(ResultCache, HitAfterMiss) {
+  ResultCache cache(1 << 20, /*num_shards=*/1);
+  bool hit = true;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return MakeValue("payload");
+  };
+  ResultCache::ValuePtr first = cache.GetOrCompute("k", compute, &hit);
+  EXPECT_FALSE(hit);
+  ResultCache::ValuePtr second = cache.GetOrCompute("k", compute, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());  // literally the same object
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes_used, CostOf("payload"));
+}
+
+TEST(ResultCache, LruEvictionAndAccounting) {
+  const std::string payload(1000, 'x');
+  const size_t cost = CostOf(payload);
+  // Room for exactly three entries.
+  ResultCache cache(3 * cost, /*num_shards=*/1);
+  auto compute = [&] { return MakeValue(payload); };
+  bool hit = false;
+  cache.GetOrCompute("a", compute, &hit);
+  cache.GetOrCompute("b", compute, &hit);
+  cache.GetOrCompute("c", compute, &hit);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().bytes_used, 3 * cost);
+
+  // Touch "a" so "b" is the LRU victim when "d" lands.
+  cache.GetOrCompute("a", compute, &hit);
+  EXPECT_TRUE(hit);
+  cache.GetOrCompute("d", compute, &hit);
+  EXPECT_FALSE(hit);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.bytes_used, 3 * cost);  // accounting stays exact
+
+  cache.GetOrCompute("a", compute, &hit);
+  EXPECT_TRUE(hit);  // survived (was MRU)
+  cache.GetOrCompute("b", compute, &hit);
+  EXPECT_FALSE(hit);  // evicted
+}
+
+TEST(ResultCache, OversizedValueIsServedButNotCached) {
+  ResultCache cache(64, /*num_shards=*/1);
+  bool hit = true;
+  const ResultCache::ValuePtr value =
+      cache.GetOrCompute("big", [] { return MakeValue(std::string(1000, 'x')); }, &hit);
+  ASSERT_NE(value, nullptr);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST(ResultCache, InvalidateRemovesOnlyTheKey) {
+  ResultCache cache(1 << 20, 1);
+  auto compute = [] { return MakeValue("p"); };
+  bool hit = false;
+  cache.GetOrCompute("keep", compute, &hit);
+  cache.GetOrCompute("drop", compute, &hit);
+  cache.Invalidate("drop");
+  cache.Invalidate("never-existed");  // no-op
+  cache.GetOrCompute("keep", compute, &hit);
+  EXPECT_TRUE(hit);
+  cache.GetOrCompute("drop", compute, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCache, InvalidatePrefixScopes) {
+  // Many shards: the scan must cover all of them.
+  ResultCache cache(1 << 20, 8);
+  auto compute = [] { return MakeValue("p"); };
+  bool hit = false;
+  for (int i = 0; i < 16; ++i) {
+    cache.GetOrCompute("session/7/q" + std::to_string(i), compute, &hit);
+    cache.GetOrCompute("session/8/q" + std::to_string(i), compute, &hit);
+  }
+  EXPECT_EQ(cache.InvalidatePrefix("session/7/"), 16u);
+  for (int i = 0; i < 16; ++i) {
+    cache.GetOrCompute("session/8/q" + std::to_string(i), compute, &hit);
+    EXPECT_TRUE(hit);
+    cache.GetOrCompute("session/7/q" + std::to_string(i), compute, &hit);
+    EXPECT_FALSE(hit);
+  }
+}
+
+TEST(ResultCache, FailedComputeIsNotCached) {
+  ResultCache cache(1 << 20, 1);
+  bool hit = true;
+  const ResultCache::ValuePtr failed =
+      cache.GetOrCompute("k", [] { return ResultCache::ValuePtr(); }, &hit);
+  EXPECT_EQ(failed, nullptr);
+  EXPECT_FALSE(hit);
+  // The next request retries instead of serving the failure.
+  const ResultCache::ValuePtr ok =
+      cache.GetOrCompute("k", [] { return MakeValue("p"); }, &hit);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(hit);
+}
+
+TEST(ResultCache, SingleFlightUnderConcurrentIdenticalQueries) {
+  ResultCache cache(1 << 20, 8);
+  std::atomic<int> computes{0};
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> non_hits(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string key = "query-" + std::to_string(round);
+        bool hit = false;
+        const ResultCache::ValuePtr value = cache.GetOrCompute(
+            key,
+            [&] {
+              computes.fetch_add(1);
+              // Give other threads time to pile onto this flight.
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              return MakeValue("value-" + key);
+            },
+            &hit);
+        ASSERT_NE(value, nullptr);
+        EXPECT_EQ(value->json, "value-" + key);
+        if (!hit) ++non_hits[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Exactly one computation per distinct key, no matter how many threads
+  // raced; and never two flights for the same key at once.
+  EXPECT_EQ(computes.load(), kRounds);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<size_t>(kRounds));
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<size_t>(kThreads * kRounds - kRounds));
+  int total_non_hits = 0;
+  for (int count : non_hits) total_non_hits += count;
+  EXPECT_EQ(total_non_hits, kRounds);
+}
+
+}  // namespace
+}  // namespace tsexplain

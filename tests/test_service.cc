@@ -1,0 +1,588 @@
+// End-to-end coverage of the explanation service (src/service/): dataset
+// registry, cached + concurrent explains bit-identical to direct
+// TSExplain::Run, single-flight behavior at the service level, streaming
+// sessions with scoped cache invalidation, and the executor futures.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/datagen/synthetic.h"
+#include "src/service/explain_service.h"
+#include "src/service/protocol.h"
+
+namespace tsexplain {
+namespace {
+
+std::shared_ptr<const Table> MakeTable(uint64_t seed, int length = 72) {
+  SyntheticConfig config;
+  config.length = length;
+  config.num_categories = 4;
+  config.snr_db = 30.0;
+  config.num_interior_cuts = 3;
+  config.seed = seed;
+  SyntheticDataset ds = GenerateSynthetic(config);
+  return std::shared_ptr<const Table>(std::move(ds.table));
+}
+
+TSExplainConfig BaseConfig() {
+  TSExplainConfig config;
+  config.measure = "value";
+  config.explain_by_names = {"category"};
+  config.max_order = 1;
+  return config;
+}
+
+void ExpectIdenticalResults(const TSExplainResult& a,
+                            const TSExplainResult& b) {
+  EXPECT_EQ(a.segmentation.cuts, b.segmentation.cuts);
+  EXPECT_EQ(a.chosen_k, b.chosen_k);
+  EXPECT_EQ(a.k_variance_curve, b.k_variance_curve);
+  EXPECT_EQ(a.epsilon, b.epsilon);
+  EXPECT_EQ(a.filtered_epsilon, b.filtered_epsilon);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t s = 0; s < a.segments.size(); ++s) {
+    EXPECT_EQ(a.segments[s].begin, b.segments[s].begin);
+    EXPECT_EQ(a.segments[s].end, b.segments[s].end);
+    EXPECT_EQ(a.segments[s].variance, b.segments[s].variance);
+    ASSERT_EQ(a.segments[s].top.size(), b.segments[s].top.size());
+    for (size_t r = 0; r < a.segments[s].top.size(); ++r) {
+      EXPECT_EQ(a.segments[s].top[r].id, b.segments[s].top[r].id);
+      EXPECT_EQ(a.segments[s].top[r].gamma, b.segments[s].top[r].gamma);
+      EXPECT_EQ(a.segments[s].top[r].tau, b.segments[s].top[r].tau);
+    }
+  }
+}
+
+TEST(DatasetRegistryTest, RegisterLookupDropAndDuplicates) {
+  DatasetRegistry registry;
+  std::string error;
+  ASSERT_TRUE(registry.RegisterTable("a", MakeTable(1), "<table>", &error));
+  EXPECT_FALSE(registry.RegisterTable("a", MakeTable(2), "<table>", &error));
+  EXPECT_NE(error.find("already registered"), std::string::npos);
+  EXPECT_NE(registry.Get("a"), nullptr);
+  EXPECT_EQ(registry.Get("missing"), nullptr);
+
+  const std::vector<DatasetInfo> list = registry.List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].name, "a");
+  EXPECT_EQ(list[0].dimensions, std::vector<std::string>{"category"});
+
+  EXPECT_TRUE(registry.Drop("a"));
+  EXPECT_FALSE(registry.Drop("a"));
+  EXPECT_EQ(registry.Get("a"), nullptr);
+}
+
+TEST(DatasetRegistryTest, CsvTextRegistration) {
+  DatasetRegistry registry;
+  CsvOptions options;
+  options.time_column = "date";
+  options.measure_columns = {"sales"};
+  std::string error;
+  ASSERT_TRUE(registry.RegisterCsvText(
+      "sales", "date,region,sales\n0,east,1\n1,east,2\n2,east,3\n", options,
+      &error))
+      << error;
+  EXPECT_EQ(registry.Get("sales")->num_time_buckets(), 3u);
+  EXPECT_FALSE(registry.RegisterCsvText("bad", "nope", options, &error));
+}
+
+TEST(DatasetRegistryTest, EngineReuseAcrossSegmentationKnobs) {
+  DatasetRegistry registry;
+  std::string error;
+  ASSERT_TRUE(
+      registry.RegisterTable("ds", MakeTable(3), "<table>", &error));
+  TSExplainConfig config = BaseConfig();
+  const DatasetRegistry::TableRef ref = registry.GetRef("ds");
+  ASSERT_NE(ref.table, nullptr);
+  EXPECT_GT(ref.uid, 0u);
+  EngineHandle h1 = registry.GetOrBuildEngine("ds", "engine-key", config,
+                                              ref.table.get(), &error);
+  ASSERT_TRUE(h1.ok());
+  config.fixed_k = 4;  // same engine key: segmentation-only change
+  EngineHandle h2 = registry.GetOrBuildEngine("ds", "engine-key", config,
+                                              ref.table.get(), &error);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1.engine.get(), h2.engine.get());
+  EXPECT_EQ(registry.NumEngines(), 1u);
+  EngineHandle h3 = registry.GetOrBuildEngine("ds", "other-key", config,
+                                              ref.table.get(), &error);
+  ASSERT_TRUE(h3.ok());
+  EXPECT_NE(h1.engine.get(), h3.engine.get());
+  EXPECT_EQ(registry.NumEngines(), 2u);
+
+  // Dropping the dataset is safe while handles are out.
+  EXPECT_TRUE(registry.Drop("ds"));
+  EngineHandle h4 = registry.GetOrBuildEngine("ds", "engine-key", config,
+                                              ref.table.get(), &error);
+  EXPECT_FALSE(h4.ok());
+
+  // Re-register under the same name: a fresh uid, and an engine build
+  // that still carries the OLD table pointer is refused (the config was
+  // never validated against the new schema).
+  ASSERT_TRUE(
+      registry.RegisterTable("ds", MakeTable(43), "<table>", &error));
+  EXPECT_NE(registry.GetRef("ds").uid, ref.uid);
+  EngineHandle h5 = registry.GetOrBuildEngine("ds", "engine-key", config,
+                                              ref.table.get(), &error);
+  EXPECT_FALSE(h5.ok());
+  EXPECT_NE(error.find("changed during query"), std::string::npos);
+  std::lock_guard<std::mutex> lock(*h1.mu);
+  const TSExplainResult still_works = h1.engine->Run();
+  EXPECT_GT(still_works.chosen_k, 0);
+}
+
+TEST(ExplainServiceTest, DropDatasetInvalidatesItsCachedResults) {
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(29),
+                                               "<table>", &error));
+  ASSERT_TRUE(service.registry().RegisterTable("other", MakeTable(31),
+                                               "<table>", &error));
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = BaseConfig();
+  const ExplainResponse v1 = service.Explain(request);
+  ASSERT_TRUE(v1.ok);
+  ExplainRequest other_request;
+  other_request.dataset = "other";
+  other_request.config = BaseConfig();
+  ASSERT_TRUE(service.Explain(other_request).ok);
+
+  // Drop + re-register the same name with DIFFERENT data: the old cached
+  // result must not survive as a hit.
+  EXPECT_TRUE(service.DropDataset("ds"));
+  EXPECT_FALSE(service.DropDataset("ds"));
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(37),
+                                               "<table>", &error));
+  const ExplainResponse v2 = service.Explain(request);
+  ASSERT_TRUE(v2.ok);
+  EXPECT_FALSE(v2.cache_hit);
+  // Unrelated datasets keep their entries.
+  EXPECT_TRUE(service.Explain(other_request).cache_hit);
+}
+
+TEST(ExplainServiceTest, ErrorResponsesInsteadOfAborts) {
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(5),
+                                               "<table>", &error));
+  ExplainRequest request;
+  request.dataset = "nope";
+  request.config = BaseConfig();
+  EXPECT_EQ(service.Explain(request).error_code, error_code::kNotFound);
+
+  request.dataset = "ds";
+  request.config.measure = "no_such_measure";
+  EXPECT_EQ(service.Explain(request).error_code,
+            error_code::kInvalidQuery);
+
+  request.config = BaseConfig();
+  request.config.explain_by_names = {"no_such_dim"};
+  EXPECT_EQ(service.Explain(request).error_code,
+            error_code::kInvalidQuery);
+
+  request.config = BaseConfig();
+  request.config.m = 0;
+  EXPECT_EQ(service.Explain(request).error_code,
+            error_code::kInvalidQuery);
+}
+
+TEST(ExplainServiceTest, CachedExplainMatchesDirectRunBitExactly) {
+  const std::shared_ptr<const Table> table = MakeTable(7);
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterTable("ds", table, "<table>", &error));
+
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = BaseConfig();
+
+  const ExplainResponse cold = service.Explain(request);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  const ExplainResponse hot = service.Explain(request);
+  ASSERT_TRUE(hot.ok);
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_EQ(hot.json, cold.json);
+  EXPECT_EQ(hot.result.get(), cold.result.get());
+
+  TSExplain direct(*table, request.config);
+  ExpectIdenticalResults(*cold.result, direct.Run());
+}
+
+TEST(ExplainServiceTest, ExplainByOrderInvariantAndMatchesCanonicalRun) {
+  // Results can depend on explain-by attribute order (top-m ties break by
+  // attribute position), so the service must build its engine from the
+  // SAME canonical spelling the cache key uses: both spellings get one
+  // entry, and that entry equals a direct run with the sorted order.
+  ExplainService service;
+  std::string csv = "date,region,channel,sales\n";
+  for (int t = 0; t < 12; ++t) {
+    for (const char* region : {"east", "west"}) {
+      for (const char* channel : {"web", "store"}) {
+        csv += std::to_string(t) + "," + region + "," + channel + "," +
+               std::to_string((t * 7 + (region[0] + channel[0]) % 13) %
+                              23) +
+               "\n";
+      }
+    }
+  }
+  CsvOptions options;
+  options.time_column = "date";
+  options.measure_columns = {"sales"};
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterCsvText("sales", csv, options, &error))
+      << error;
+
+  ExplainRequest forward;
+  forward.dataset = "sales";
+  forward.config.measure = "sales";
+  forward.config.explain_by_names = {"region", "channel"};
+  forward.config.max_order = 2;
+  forward.config.fixed_k = 3;
+  ExplainRequest backward = forward;
+  backward.config.explain_by_names = {"channel", "region"};
+
+  const ExplainResponse first = service.Explain(forward);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  const ExplainResponse second = service.Explain(backward);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cache_hit);  // same canonical query
+  EXPECT_EQ(second.json, first.json);
+
+  // The shared entry equals a direct run with the canonical (sorted)
+  // spelling — NOT first-arrival spelling luck.
+  TSExplainConfig canonical = forward.config;
+  canonical.explain_by_names = {"channel", "region"};  // sorted
+  TSExplain direct(*service.registry().Get("sales"), canonical);
+  ExpectIdenticalResults(*first.result, direct.Run());
+}
+
+TEST(ExplainServiceTest, ConcurrentMixedQueriesBitIdenticalToSerial) {
+  // The ISSUE acceptance check: >= 4 client threads, mixed cached and
+  // uncached queries, all responses bit-identical to serial
+  // TSExplain::Run on the same table.
+  const std::shared_ptr<const Table> table = MakeTable(11);
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterTable("ds", table, "<table>", &error));
+
+  // Six query variants: same engine for the k-variants, distinct engines
+  // for the m/metric variants.
+  std::vector<TSExplainConfig> variants;
+  for (int k : {0, 3, 5}) {
+    TSExplainConfig config = BaseConfig();
+    config.fixed_k = k;
+    variants.push_back(config);
+  }
+  {
+    TSExplainConfig config = BaseConfig();
+    config.m = 2;
+    variants.push_back(config);
+    config = BaseConfig();
+    config.diff_metric = DiffMetricKind::kRelativeChange;
+    variants.push_back(config);
+    config = BaseConfig();
+    config.threads = 4;  // same key as variants[0]: results identical
+    variants.push_back(config);
+  }
+
+  // Serial ground truth through the raw pipeline.
+  std::vector<TSExplainResult> expected;
+  expected.reserve(variants.size());
+  for (const TSExplainConfig& config : variants) {
+    TSExplain engine(*table, config);
+    expected.push_back(engine.Run());
+  }
+
+  // Warm a subset so the concurrent phase mixes cache hits and misses.
+  for (size_t v = 0; v < 2; ++v) {
+    ExplainRequest request;
+    request.dataset = "ds";
+    request.config = variants[v];
+    ASSERT_TRUE(service.Explain(request).ok);
+  }
+
+  // Gather responses on worker threads; assert on the main thread (gtest
+  // assertions are not guaranteed thread-safe).
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::pair<size_t, ExplainResponse>>> collected(
+      kThreads);
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t v =
+            (static_cast<size_t>(t) + static_cast<size_t>(round)) %
+            variants.size();
+        ExplainRequest request;
+        request.dataset = "ds";
+        request.config = variants[v];
+        collected[static_cast<size_t>(t)].emplace_back(
+            v, service.Explain(request));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const auto& per_thread : collected) {
+    ASSERT_EQ(per_thread.size(), static_cast<size_t>(kRounds));
+    for (const auto& [v, response] : per_thread) {
+      ASSERT_TRUE(response.ok) << response.error;
+      ExpectIdenticalResults(*response.result, expected[v]);
+    }
+  }
+
+  // The cache served most of the traffic: at most one computation per
+  // distinct query key (5 distinct keys among 6 variants).
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache.misses, 5u);
+  EXPECT_GE(stats.cache.hits + stats.cache.coalesced,
+            static_cast<size_t>(kThreads * kRounds + 2 - 5));
+  // The k-variants shared one hot engine; m/diff-metric got their own.
+  EXPECT_EQ(stats.hot_engines, 3u);
+}
+
+TEST(ExplainServiceTest, ExecutorFuturesDeliver) {
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(13),
+                                               "<table>", &error));
+  ServiceExecutor executor(service);
+  std::vector<std::future<ExplainResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    ExplainRequest request;
+    request.dataset = "ds";
+    request.config = BaseConfig();
+    request.config.fixed_k = 2 + (i % 3);
+    futures.push_back(executor.SubmitExplain(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const ExplainResponse response = future.get();
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_FALSE(response.json.empty());
+  }
+}
+
+TEST(ExplainServiceTest, SessionAppendInvalidatesOnlyThatSession) {
+  const std::shared_ptr<const Table> table = MakeTable(17, 48);
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterTable("ds", table, "<table>", &error));
+
+  const TSExplainConfig config = BaseConfig();
+  const uint64_t s1 = service.OpenSession("ds", config, &error);
+  ASSERT_NE(s1, 0u) << error;
+  const uint64_t s2 = service.OpenSession("ds", config, &error);
+  ASSERT_NE(s2, 0u) << error;
+
+  // Also warm a dataset-level cache entry: it must survive appends.
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = config;
+  ASSERT_TRUE(service.Explain(request).ok);
+
+  ExplainResponse r1 = service.ExplainSession(s1);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(service.ExplainSession(s1).cache_hit);
+  ExplainResponse r2 = service.ExplainSession(s2);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_TRUE(service.ExplainSession(s2).cache_hit);
+
+  // Append one bucket to session 1 (category values already known, so no
+  // rebuild) — only session 1's cache entries drop.
+  std::vector<StreamRow> rows;
+  for (int c = 1; c <= 4; ++c) {
+    StreamRow row;
+    row.dims = {"a" + std::to_string(c)};
+    row.measures = {42.0 + c};
+    rows.push_back(row);
+  }
+  ASSERT_TRUE(service.Append(s1, "t_new", rows, &error)) << error;
+  EXPECT_EQ(service.SessionLength(s1), 49);
+  EXPECT_EQ(service.SessionLength(s2), 48);
+
+  const ExplainResponse after = service.ExplainSession(s1);
+  ASSERT_TRUE(after.ok);
+  EXPECT_FALSE(after.cache_hit);  // invalidated by the append
+  EXPECT_TRUE(service.ExplainSession(s2).cache_hit);   // other session kept
+  EXPECT_TRUE(service.Explain(request).cache_hit);     // dataset kept
+
+  // Row-shape validation surfaces as an error, not an abort.
+  StreamRow bad;
+  bad.dims = {"a1", "extra"};
+  bad.measures = {1.0};
+  EXPECT_FALSE(service.Append(s1, "t_bad", {bad}, &error));
+  EXPECT_NE(error.find("row shape mismatch"), std::string::npos);
+
+  EXPECT_TRUE(service.CloseSession(s1));
+  EXPECT_FALSE(service.CloseSession(s1));
+  EXPECT_EQ(service.SessionLength(s1), -1);
+}
+
+TEST(ExplainServiceTest, SessionExplainMatchesStreamingEngine) {
+  const std::shared_ptr<const Table> table = MakeTable(19, 48);
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterTable("ds", table, "<table>", &error));
+  const TSExplainConfig config = BaseConfig();
+  const uint64_t session = service.OpenSession("ds", config, &error);
+  ASSERT_NE(session, 0u);
+
+  StreamingTSExplain reference(*table, config);
+
+  std::vector<StreamRow> rows;
+  for (int c = 1; c <= 4; ++c) {
+    StreamRow row;
+    row.dims = {"a" + std::to_string(c)};
+    row.measures = {10.0 * c};
+    rows.push_back(row);
+  }
+
+  const ExplainResponse first = service.ExplainSession(session);
+  ASSERT_TRUE(first.ok);
+  ExpectIdenticalResults(*first.result, reference.Explain());
+
+  ASSERT_TRUE(service.Append(session, "t_a", rows, &error)) << error;
+  reference.AppendBucket("t_a", rows);
+  const ExplainResponse second = service.ExplainSession(session);
+  ASSERT_TRUE(second.ok);
+  ExpectIdenticalResults(*second.result, reference.Explain());
+}
+
+TEST(ProtocolTest, ParseQueryConfigRoundTrip) {
+  JsonValue request;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"op":"explain","dataset":"ds","measure":"value",
+          "explain_by":["category"],"k":4,"order":2,"m":5,
+          "agg":"avg","smooth":3,"fast":true,"exclude":["category=cat0"],
+          "diff_metric":"rel","variance_metric":"dist1"})",
+      &request, &error))
+      << error;
+  TSExplainConfig config;
+  ASSERT_TRUE(ParseQueryConfig(request, &config, &error)) << error;
+  EXPECT_EQ(config.measure, "value");
+  EXPECT_EQ(config.explain_by_names,
+            std::vector<std::string>{"category"});
+  EXPECT_EQ(config.fixed_k, 4);
+  EXPECT_EQ(config.max_order, 2);
+  EXPECT_EQ(config.m, 5);
+  EXPECT_EQ(config.aggregate, AggregateFunction::kAvg);
+  EXPECT_EQ(config.smooth_window, 3);
+  EXPECT_TRUE(config.use_filter);
+  EXPECT_TRUE(config.use_guess_verify);
+  EXPECT_TRUE(config.use_sketch);
+  EXPECT_EQ(config.exclude, std::vector<std::string>{"category=cat0"});
+  EXPECT_EQ(config.diff_metric, DiffMetricKind::kRelativeChange);
+  EXPECT_EQ(config.variance_metric, VarianceMetric::kDist1);
+
+  JsonValue bad;
+  ASSERT_TRUE(ParseJson(R"({"agg":"median"})", &bad, &error));
+  EXPECT_FALSE(ParseQueryConfig(bad, &config, &error));
+  ASSERT_TRUE(ParseJson(R"({"explain_by":[1,2]})", &bad, &error));
+  EXPECT_FALSE(ParseQueryConfig(bad, &config, &error));
+
+  // Hostile numeric fields must not UB-cast; out-of-range ints keep the
+  // config defaults (and thus pass or fail validation downstream, never
+  // crash the server).
+  JsonValue huge;
+  TSExplainConfig defaults;
+  ASSERT_TRUE(ParseJson(R"({"k":1e300,"m":-1e300,"order":1e999})", &huge,
+                        &error));
+  TSExplainConfig parsed;
+  ASSERT_TRUE(ParseQueryConfig(huge, &parsed, &error));
+  EXPECT_EQ(parsed.fixed_k, defaults.fixed_k);
+  EXPECT_EQ(parsed.m, defaults.m);
+  EXPECT_EQ(parsed.max_order, defaults.max_order);
+}
+
+TEST(ProtocolTest, HandlerEndToEnd) {
+  ExplainService service;
+  ProtocolHandler handler(service);
+  std::string error;
+
+  auto handle = [&](const std::string& line) {
+    JsonValue request;
+    std::string parse_error;
+    EXPECT_TRUE(ParseJson(line, &request, &parse_error)) << parse_error;
+    return handler.Handle(request);
+  };
+
+  // register (inline CSV) -> list -> explain -> cache hit -> stats.
+  std::string csv = "date,region,sales\\n";
+  for (int t = 0; t < 10; ++t) {
+    csv += std::to_string(t) + ",east," + std::to_string(10 + t) + "\\n";
+    csv += std::to_string(t) + ",west," + std::to_string(20 - t) + "\\n";
+  }
+  const std::string reg = handle(
+      R"({"op":"register","id":1,"name":"sales","csv":")" + csv +
+      R"(","time_column":"date","measures":["sales"]})");
+  EXPECT_NE(reg.find("\"ok\":true"), std::string::npos) << reg;
+  EXPECT_NE(reg.find("\"time_buckets\":10"), std::string::npos) << reg;
+
+  const std::string list = handle(R"({"op":"list_datasets","id":2})");
+  EXPECT_NE(list.find("\"name\":\"sales\""), std::string::npos) << list;
+
+  const std::string explain_line =
+      R"({"op":"explain","id":3,"dataset":"sales","measure":"sales",
+          "explain_by":["region"],"k":2})";
+  const std::string cold = handle(explain_line);
+  EXPECT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("\"cache_hit\":false"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("\"result\":{"), std::string::npos) << cold;
+  const std::string hot = handle(explain_line);
+  EXPECT_NE(hot.find("\"cache_hit\":true"), std::string::npos) << hot;
+
+  const std::string stats = handle(R"({"op":"stats","id":4})");
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos) << stats;
+
+  // Errors carry stable codes and echo the id.
+  const std::string unknown = handle(R"({"op":"nope","id":"x"})");
+  EXPECT_NE(unknown.find("\"code\":\"unknown_op\""), std::string::npos);
+  EXPECT_NE(unknown.find("\"id\":\"x\""), std::string::npos);
+  const std::string missing =
+      handle(R"({"op":"explain","id":5,"dataset":"ghost"})");
+  EXPECT_NE(missing.find("\"code\":\"not_found\""), std::string::npos);
+  EXPECT_EQ(handler.MakeParseError("bad").find(
+                "{\"id\":null,\"ok\":false"),
+            0u);
+
+  // Session lifecycle through the protocol.
+  const std::string open = handle(
+      R"({"op":"open_session","id":6,"dataset":"sales",
+          "measure":"sales","explain_by":["region"],"k":2})");
+  EXPECT_NE(open.find("\"session\":1"), std::string::npos) << open;
+  const std::string append = handle(
+      R"({"op":"append","id":7,"session":1,"label":"zz",
+          "rows":[{"dims":["east"],"measures":[30]},
+                  {"dims":["west"],"measures":[11]}]})");
+  EXPECT_NE(append.find("\"n\":11"), std::string::npos) << append;
+  const std::string session_explain =
+      handle(R"({"op":"explain_session","id":8,"session":1})");
+  EXPECT_NE(session_explain.find("\"ok\":true"), std::string::npos)
+      << session_explain;
+  const std::string close =
+      handle(R"({"op":"close_session","id":9,"session":1})");
+  EXPECT_NE(close.find("\"ok\":true"), std::string::npos);
+  const std::string gone =
+      handle(R"({"op":"explain_session","id":10,"session":1})");
+  EXPECT_NE(gone.find("\"code\":\"not_found\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -1,0 +1,92 @@
+// ThreadPool contract: Submit futures, ParallelFor completeness, nested
+// ParallelFor from inside pool tasks (the deadlock-freedom property the
+// pipeline + service rely on), and determinism of the fill pattern.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace tsexplain {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);   // auto
+  EXPECT_GE(ResolveThreadCount(-3), 1);  // negative folds to auto
+}
+
+TEST(ThreadPoolTest, SubmitRunsEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(513);
+  for (auto& t : touched) t.store(0);
+  pool.ParallelFor(513, 4, [&](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWhenSequential) {
+  ThreadPool pool(2);
+  std::vector<int> order;
+  pool.ParallelFor(8, 1, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // no synchronization needed
+  });
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromPoolTasksDoesNotDeadlock) {
+  // Saturate a small pool with tasks that each run their own ParallelFor:
+  // every caller participates in its own loop, so this terminates even
+  // though all workers are busy with the outer tasks.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> outer;
+  outer.reserve(8);
+  for (int task = 0; task < 8; ++task) {
+    outer.push_back(pool.Submit([&pool, &total] {
+      pool.ParallelFor(64, 4, [&total](size_t) { total.fetch_add(1); });
+    }));
+  }
+  for (auto& future : outer) future.wait();
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPoolTest, ParallelForResultsIndependentOfParallelism) {
+  // The fill pattern the pipeline uses: each index writes only its slot.
+  auto fill = [](int parallelism) {
+    ThreadPool pool(4);
+    std::vector<double> out(200, 0.0);
+    pool.ParallelFor(out.size(), parallelism, [&out](size_t i) {
+      double v = 1.0;
+      for (size_t k = 0; k < i % 17; ++k) v *= 1.0 + 1.0 / (1.0 + k);
+      out[i] = v;
+    });
+    return out;
+  };
+  const std::vector<double> seq = fill(1);
+  EXPECT_EQ(seq, fill(2));
+  EXPECT_EQ(seq, fill(8));
+  EXPECT_EQ(seq, fill(64));  // more workers than the pool: still fine
+}
+
+}  // namespace
+}  // namespace tsexplain

@@ -12,7 +12,8 @@
 #   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
 #
 # Default set (no --all, no names): bench_micro_core + bench_fig16_end_to_end
-# — the core microbenchmarks plus the end-to-end latency figure.
+# + bench_service — the core microbenchmarks, the end-to-end latency
+# figure, and the service-layer cold/hot/concurrent throughput.
 #
 # Each bench's stdout/stderr goes to <OUT>.d/<bench>.log; the JSON records
 # wall-clock seconds, exit status, and log path per bench, plus every
@@ -57,7 +58,7 @@ if [ "$ALL" -eq 1 ]; then
     [ -x "$bin" ] && BENCHES+=("$(basename "$bin")")
   done
 elif [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(bench_micro_core bench_fig16_end_to_end)
+  BENCHES=(bench_micro_core bench_fig16_end_to_end bench_service)
 fi
 
 if [ ${#BENCHES[@]} -eq 0 ]; then

@@ -15,7 +15,8 @@
 //   --k N                 fixed segment count (default: elbow)
 //   --smooth N            moving-average window (default 1 = off)
 //   --fast                enable filter + guess-and-verify + sketching
-//   --threads N           module (c) worker threads (default 1)
+//   --threads N           module (c) worker threads (default 1; 0 = auto,
+//                         i.e. one per hardware thread)
 //   --json                emit JSON instead of the text report
 //   --recommend           only print explain-by attribute recommendations
 //   --diff FROM,TO        two-snapshot mode: explain the difference between
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/diff/snapshot_diff.h"
 #include "src/pipeline/recommend.h"
 #include "src/pipeline/report.h"
@@ -62,7 +64,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "usage: %s --csv PATH --time NAME [--measure NAME] "
                "[--agg sum|count|avg] [--explain-by A,B,C] [--order N] "
                "[--m N] [--k N] [--smooth N] [--threads N] [--fast] "
-               "[--json] [--recommend] [--diff FROM,TO] [--help]\n",
+               "[--json] [--recommend] [--diff FROM,TO] [--help]\n"
+               "  --threads N   module (c) worker threads; 0 = auto (one "
+               "per hardware thread)\n",
                argv0);
 }
 
@@ -157,11 +161,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* want_help) {
     int value;
     int min;
   };
+  // --threads 0 means "auto" (resolved below); only negatives are invalid.
   for (const Bound& b : {Bound{"--order", options->order, 1},
                          Bound{"--m", options->m, 1},
                          Bound{"--k", options->k, 0},
                          Bound{"--smooth", options->smooth, 1},
-                         Bound{"--threads", options->threads, 1}}) {
+                         Bound{"--threads", options->threads, 0}}) {
     if (b.value < b.min) {
       std::fprintf(stderr, "%s must be >= %d, got %d\n", b.flag, b.min,
                    b.value);
@@ -267,7 +272,7 @@ int main(int argc, char** argv) {
   config.m = options.m;
   config.fixed_k = options.k;
   config.smooth_window = options.smooth;
-  config.threads = options.threads;
+  config.threads = ResolveThreadCount(options.threads);
   if (options.fast) {
     config.use_filter = true;
     config.use_guess_verify = true;

@@ -1,0 +1,395 @@
+// tsexplain_serve: concurrent NDJSON explanation server.
+//
+// Speaks the protocol of docs/SERVICE.md: one JSON request per line in,
+// one JSON response per line out, responses tagged with the request's
+// "id" (they may complete out of order). Two transports:
+//
+//   * pipe mode (default): requests on stdin, responses on stdout. Fully
+//     scriptable — this is what tests/server_smoke_test.sh drives in CI.
+//   * TCP mode (--port N): accepts connections on 127.0.0.1:N, one
+//     NDJSON stream per connection, one handler thread per connection.
+//
+// Concurrency model: read ops (explain, explain_session, recommend,
+// list_datasets) fan out to the shared thread pool, so slow cold queries
+// never block cache hits behind them; identical concurrent queries
+// collapse to one computation (single-flight) inside the service. Barrier
+// ops (register, sessions, drop_dataset, stats, shutdown) first wait for
+// every dispatched read, then run inline on the reader thread — mutations
+// and stats therefore observe a settled state in submission order.
+//
+// Options:
+//   --port N          TCP mode on 127.0.0.1:N (default: pipe mode)
+//   --cache-mb N      result cache capacity in MiB (default 64)
+//   --preload NAME=PATH  register a CSV at startup (repeatable; uses
+//                     --time/--measure below)
+//   --time NAME       time column for --preload datasets
+//   --measure NAME    measure column for --preload datasets (optional)
+//   --serial          handle every op inline (deterministic ordering;
+//                     debugging aid)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/json.h"
+#include "src/common/thread_pool.h"
+#include "src/service/explain_service.h"
+#include "src/service/protocol.h"
+
+namespace {
+
+using namespace tsexplain;
+
+struct ServeOptions {
+  int port = -1;  // -1 = pipe mode
+  size_t cache_mb = 64;
+  std::vector<std::string> preloads;  // NAME=PATH
+  std::string time_column;
+  std::string measure;
+  bool serial = false;
+};
+
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [--port N] [--cache-mb N] [--preload NAME=PATH] "
+               "[--time NAME] [--measure NAME] [--serial] [--help]\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, ServeOptions* options,
+               bool* want_help) {
+  *want_help = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      options->port = std::atoi(v);
+      if (options->port <= 0 || options->port > 65535) {
+        std::fprintf(stderr, "--port expects 1..65535\n");
+        return false;
+      }
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) {
+        std::fprintf(stderr, "--cache-mb expects a positive integer\n");
+        return false;
+      }
+      options->cache_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--preload") {
+      const char* v = next();
+      if (!v || std::strchr(v, '=') == nullptr) {
+        std::fprintf(stderr, "--preload expects NAME=PATH\n");
+        return false;
+      }
+      options->preloads.push_back(v);
+    } else if (arg == "--time") {
+      const char* v = next();
+      if (!v) return false;
+      options->time_column = v;
+    } else if (arg == "--measure") {
+      const char* v = next();
+      if (!v) return false;
+      options->measure = v;
+    } else if (arg == "--serial") {
+      options->serial = true;
+    } else if (arg == "--help" || arg == "-h") {
+      *want_help = true;
+      return true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serializes response lines onto one output stream.
+class LineWriter {
+ public:
+  explicit LineWriter(std::FILE* out) : out_(out) {}
+  explicit LineWriter(int fd) : fd_(fd) {}
+
+  void Write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (out_) {
+      std::fputs(line.c_str(), out_);
+      std::fputc('\n', out_);
+      std::fflush(out_);
+      return;
+    }
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::write(fd_, framed.data() + off, framed.size() - off);
+      if (n <= 0) return;  // client went away; drop the rest
+      off += static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;
+  int fd_ = -1;
+};
+
+/// Parse-and-dispatch for one NDJSON stream; shared by both transports,
+/// so the barrier/fan-out semantics cannot drift between them.
+class RequestDispatcher {
+ public:
+  RequestDispatcher(ProtocolHandler& handler, ThreadPool& pool,
+                    bool serial, LineWriter& writer)
+      : handler_(handler), pool_(pool), serial_(serial), writer_(writer) {}
+
+  ~RequestDispatcher() { Drain(); }
+
+  /// Handles one request line (with or without a trailing CR). Returns
+  /// true when the line was a shutdown op.
+  bool HandleLine(std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) return false;
+    JsonValue request;
+    std::string parse_error;
+    if (!ParseJson(line, &request, &parse_error)) {
+      writer_.Write(handler_.MakeParseError(parse_error));
+      return false;
+    }
+    const std::string op = ProtocolHandler::OpOf(request);
+    if (serial_ || ProtocolHandler::IsBarrierOp(op)) {
+      // Barrier: earlier dispatched reads finish first, so mutations and
+      // stats observe a settled state, in submission order.
+      Drain();
+      writer_.Write(handler_.Handle(request));
+      return op == "shutdown";
+    }
+    // Reads fan out; the response carries the echoed id. Completed
+    // futures are pruned as we go so a read-only stream stays O(live).
+    PruneCompleted();
+    auto shared_request = std::make_shared<JsonValue>(std::move(request));
+    pending_.push_back(
+        pool_.Submit([this, shared_request] {
+          writer_.Write(handler_.Handle(*shared_request));
+        }));
+    return false;
+  }
+
+  /// Waits for every dispatched request to finish.
+  void Drain() {
+    for (std::future<void>& f : pending_) f.wait();
+    pending_.clear();
+  }
+
+ private:
+  void PruneCompleted() {
+    pending_.erase(
+        std::remove_if(pending_.begin(), pending_.end(),
+                       [](std::future<void>& f) {
+                         return f.wait_for(std::chrono::seconds(0)) ==
+                                std::future_status::ready;
+                       }),
+        pending_.end());
+  }
+
+  ProtocolHandler& handler_;
+  ThreadPool& pool_;
+  bool serial_;
+  LineWriter& writer_;
+  std::vector<std::future<void>> pending_;
+};
+
+int RunPipeMode(ProtocolHandler& handler, ThreadPool& pool, bool serial) {
+  LineWriter writer(stdout);
+  RequestDispatcher dispatcher(handler, pool, serial, writer);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (dispatcher.HandleLine(std::move(line))) break;
+    line.clear();
+  }
+  return 0;
+}
+
+/// Live TCP connections, so a shutdown op can unblock every reader (a
+/// connection idle in read() would otherwise keep the join below waiting
+/// forever).
+class ConnectionSet {
+ public:
+  void Add(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.push_back(fd);
+  }
+  void Remove(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+  }
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> fds_;
+};
+
+int RunTcpMode(ProtocolHandler& handler, ThreadPool& pool, bool serial,
+               int port) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "tsexplain_serve: listening on 127.0.0.1:%d\n",
+               port);
+
+  std::atomic<bool> stop{false};
+  ConnectionSet live;
+  // Each entry carries a finished flag so the accept loop can reap done
+  // connection threads as it goes — a long-lived server with churning
+  // clients must not accumulate one unjoined thread per past connection.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+  std::vector<Connection> connections;
+  auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->finished->load()) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (!stop.load()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    if (stop.load()) {
+      ::close(fd);
+      break;
+    }
+    reap_finished();
+    live.Add(fd);
+    auto finished = std::make_shared<std::atomic<bool>>(false);
+    Connection connection;
+    connection.finished = finished;
+    connection.thread = std::thread([fd, listener, &handler, &pool, serial,
+                                     &stop, &live, finished] {
+      std::string buffer;
+      LineWriter writer(fd);
+      RequestDispatcher dispatcher(handler, pool, serial, writer);
+      char chunk[4096];
+      bool done = false;
+      while (!done) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (size_t nl = buffer.find('\n', start);
+             nl != std::string::npos && !done;
+             start = nl + 1, nl = buffer.find('\n', start)) {
+          if (dispatcher.HandleLine(buffer.substr(start, nl - start))) {
+            stop.store(true);
+            done = true;
+            // Unblock accept AND every other connection's read().
+            ::shutdown(listener, SHUT_RDWR);
+            live.ShutdownAll();
+          }
+        }
+        buffer.erase(0, start);
+      }
+      dispatcher.Drain();
+      live.Remove(fd);
+      ::close(fd);
+      finished->store(true);
+    });
+    connections.push_back(std::move(connection));
+  }
+  ::close(listener);
+  for (Connection& connection : connections) connection.thread.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  bool want_help = false;
+  if (!ParseArgs(argc, argv, &options, &want_help)) {
+    PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  if (want_help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
+  }
+
+  ServiceOptions service_options;
+  service_options.cache_capacity_bytes = options.cache_mb << 20;
+  ExplainService service(service_options);
+
+  for (const std::string& preload : options.preloads) {
+    const size_t eq = preload.find('=');
+    const std::string name = preload.substr(0, eq);
+    const std::string path = preload.substr(eq + 1);
+    if (options.time_column.empty()) {
+      std::fprintf(stderr, "--preload requires --time\n");
+      return 2;
+    }
+    CsvOptions csv;
+    csv.time_column = options.time_column;
+    if (!options.measure.empty()) {
+      csv.measure_columns = {options.measure};
+    }
+    std::string error;
+    if (!service.registry().RegisterCsvFile(name, path, csv, &error)) {
+      std::fprintf(stderr, "preload %s failed: %s\n", name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "preloaded %s from %s\n", name.c_str(),
+                 path.c_str());
+  }
+
+  ProtocolHandler handler(service);
+  ThreadPool& pool = ThreadPool::Shared();
+  if (options.port > 0) {
+    return RunTcpMode(handler, pool, options.serial, options.port);
+  }
+  return RunPipeMode(handler, pool, options.serial);
+}
