@@ -29,7 +29,7 @@ double BudgetSeconds() {
 }
 
 // Returns average latency (ms), or a negative value if over budget.
-double RunVariant(int length, bool optimized, double budget_s) {
+double RunVariant(int length, bool optimized, int threads, double budget_s) {
   double total_ms = 0.0;
   for (int i = 0; i < kSeriesPerLength; ++i) {
     SyntheticConfig sconfig;
@@ -45,6 +45,7 @@ double RunVariant(int length, bool optimized, double budget_s) {
     config.measure = "value";
     config.explain_by_names = {"category"};
     config.max_order = 1;
+    config.threads = threads;
     if (optimized) {
       config.use_filter = true;
       config.use_guess_verify = true;
@@ -66,16 +67,21 @@ void Run() {
   const double budget_s = BudgetSeconds();
   std::printf("  per-run time budget: %.0f s (paper terminates at 100 s)\n\n",
               budget_s);
-  std::printf("  %-8s %18s %18s\n", "length", "VanillaTSExplain",
-              "TSExplain(O1+O2)");
+  std::printf("  %-8s %18s %18s %18s\n", "length", "VanillaTSExplain",
+              "TSExplain(O1+O2)", "O1+O2 threads=8");
 
-  bool vanilla_alive = true, optimized_alive = true;
+  // The threads=8 column exercises the parallel core (cube build, TopFor
+  // pre-warm fan-out, distance fill); results are bit-identical to
+  // threads=1, only the wall clock changes (on multi-core hosts).
+  bool vanilla_alive = true, optimized_alive = true, parallel_alive = true;
   std::vector<double> vanilla_ms, optimized_ms;
   for (int length : kLengths) {
     std::string vanilla_cell = "terminated";
     std::string optimized_cell = "terminated";
+    std::string parallel_cell = "terminated";
     if (vanilla_alive) {
-      const double ms = RunVariant(length, /*optimized=*/false, budget_s);
+      const double ms =
+          RunVariant(length, /*optimized=*/false, /*threads=*/1, budget_s);
       if (ms < 0) {
         vanilla_alive = false;
       } else {
@@ -85,7 +91,8 @@ void Run() {
       }
     }
     if (optimized_alive) {
-      const double ms = RunVariant(length, /*optimized=*/true, budget_s);
+      const double ms =
+          RunVariant(length, /*optimized=*/true, /*threads=*/1, budget_s);
       if (ms < 0) {
         optimized_alive = false;
       } else {
@@ -94,9 +101,20 @@ void Run() {
         bench::EmitResult(StrFormat("fig17.len%d.optimized", length), ms);
       }
     }
-    std::printf("  %-8d %18s %18s\n", length, vanilla_cell.c_str(),
-                optimized_cell.c_str());
-    if (!vanilla_alive && !optimized_alive) break;
+    if (parallel_alive) {
+      const double ms =
+          RunVariant(length, /*optimized=*/true, /*threads=*/8, budget_s);
+      if (ms < 0) {
+        parallel_alive = false;
+      } else {
+        parallel_cell = bench::FormatMs(ms);
+        bench::EmitResult(StrFormat("fig17.len%d.optimized_t8", length),
+                          ms);
+      }
+    }
+    std::printf("  %-8d %18s %18s %18s\n", length, vanilla_cell.c_str(),
+                optimized_cell.c_str(), parallel_cell.c_str());
+    if (!vanilla_alive && !optimized_alive && !parallel_alive) break;
   }
 
   // Shape: the optimized pipeline must scale to strictly longer series

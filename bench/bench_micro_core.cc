@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <numeric>
 
@@ -148,6 +149,80 @@ void BM_CubeScoreLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CubeScoreLookup);
+
+// Module (a) for one segment on the Liquor cube (the large-epsilon
+// workload): the legacy per-candidate Score loop vs the batched SoA sweep
+// (ExplanationCube::ScoreAll). Same arithmetic, same results; the batch
+// hoists the overall finalization and walks contiguous memory.
+struct LiquorCubeFixture {
+  std::unique_ptr<Table> table;
+  ExplanationRegistry registry;
+  std::unique_ptr<ExplanationCube> cube;
+
+  LiquorCubeFixture() : table(MakeLiquorTable()) {
+    registry = ExplanationRegistry::Build(*table, {0, 1, 2, 3}, 3);
+    cube = std::make_unique<ExplanationCube>(*table, registry,
+                                             AggregateFunction::kSum, 0);
+  }
+};
+
+void BM_ScorePerCandidate(benchmark::State& state) {
+  LiquorCubeFixture fixture;
+  const size_t epsilon = fixture.registry.num_explanations();
+  const size_t n = fixture.cube->n();
+  std::vector<double> gammas(epsilon);
+  size_t t = 0;
+  for (auto _ : state) {
+    const size_t a = t % (n / 2);
+    const size_t b = n / 2 + t % (n / 2);
+    for (size_t e = 0; e < epsilon; ++e) {
+      gammas[e] = fixture.cube
+                      ->Score(DiffMetricKind::kAbsoluteChange,
+                              static_cast<ExplId>(e), a, b)
+                      .gamma;
+    }
+    benchmark::DoNotOptimize(gammas.data());
+    ++t;
+  }
+  state.counters["epsilon"] = static_cast<double>(epsilon);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(epsilon));
+}
+BENCHMARK(BM_ScorePerCandidate)->Unit(benchmark::kMicrosecond);
+
+void BM_ScoreAllBatch(benchmark::State& state) {
+  LiquorCubeFixture fixture;
+  const size_t epsilon = fixture.registry.num_explanations();
+  const size_t n = fixture.cube->n();
+  std::vector<double> gammas(epsilon);
+  size_t t = 0;
+  for (auto _ : state) {
+    fixture.cube->ScoreAll(DiffMetricKind::kAbsoluteChange, t % (n / 2),
+                           n / 2 + t % (n / 2), nullptr, &gammas);
+    benchmark::DoNotOptimize(gammas.data());
+    ++t;
+  }
+  state.counters["epsilon"] = static_cast<double>(epsilon);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(epsilon));
+}
+BENCHMARK(BM_ScoreAllBatch)->Unit(benchmark::kMicrosecond);
+
+// Cube construction, serial vs the time-partitioned parallel scan (arg =
+// thread count). Results are bit-identical at any thread count.
+void BM_CubeBuildThreads(benchmark::State& state) {
+  const auto table = MakeLiquorTable();
+  const auto registry = ExplanationRegistry::Build(*table, {0, 1, 2, 3}, 3);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ExplanationCube cube(*table, registry, AggregateFunction::kSum, 0,
+                         threads);
+    benchmark::DoNotOptimize(&cube);
+  }
+  state.counters["rows"] = static_cast<double>(table->num_rows());
+}
+BENCHMARK(BM_CubeBuildThreads)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MatrixProfile(benchmark::State& state) {
   Rng rng(5);

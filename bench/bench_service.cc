@@ -57,7 +57,11 @@ void Run() {
   bench::PrintHeader("Service layer: cold vs cache-hit vs concurrent");
 
   bench::Workload workload = bench::MakeCovidDailyWorkload();
-  const TSExplainConfig base_config = workload.config;
+  TSExplainConfig base_config = workload.config;
+  // Cold queries exercise the parallel core end to end (cube build, TopFor
+  // pre-warm, distance fill); 0 = auto = hardware concurrency. Threads are
+  // not part of the query key and results are thread-count invariant.
+  base_config.threads = 0;
   ExplainService service;
   {
     std::string error;

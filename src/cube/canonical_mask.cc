@@ -8,19 +8,23 @@
 namespace tsexplain {
 namespace {
 
-// FNV-1a over the raw bytes of the slice's finalized (sum, count) stream.
-uint64_t HashSlice(const ExplanationCube& cube, ExplId e) {
-  uint64_t h = 1469598103934665603ULL;
-  auto mix_double = [&h](double d) {
-    uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (bits >> (byte * 8)) & 0xffULL;
-      h *= 1099511628211ULL;
-    }
-  };
+// FNV-1a over the raw bytes of every slice's finalized value stream, all
+// slices at once: the cube stores partials time-major, so advancing t in
+// the outer loop and e in the inner one sweeps contiguous memory instead of
+// striding through the whole cube once per slice.
+std::vector<uint64_t> HashAllSlices(const ExplanationCube& cube) {
+  const size_t epsilon = cube.num_explanations();
+  std::vector<uint64_t> h(epsilon, 1469598103934665603ULL);
   for (size_t t = 0; t < cube.n(); ++t) {
-    mix_double(cube.SliceValue(e, t));
+    for (size_t e = 0; e < epsilon; ++e) {
+      const double d = cube.SliceValue(static_cast<ExplId>(e), t);
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      for (int byte = 0; byte < 8; ++byte) {
+        h[e] ^= (bits >> (byte * 8)) & 0xffULL;
+        h[e] *= 1099511628211ULL;
+      }
+    }
   }
   return h;
 }
@@ -41,11 +45,11 @@ std::vector<bool> ComputeCanonicalMask(const ExplanationCube& cube,
   std::vector<bool> canonical(epsilon, true);
 
   // Bucket by hash; within a bucket, compare pairwise (buckets are tiny).
+  const std::vector<uint64_t> hashes = HashAllSlices(cube);
   std::unordered_map<uint64_t, std::vector<ExplId>> buckets;
   buckets.reserve(epsilon);
   for (size_t e = 0; e < epsilon; ++e) {
-    buckets[HashSlice(cube, static_cast<ExplId>(e))].push_back(
-        static_cast<ExplId>(e));
+    buckets[hashes[e]].push_back(static_cast<ExplId>(e));
   }
 
   for (auto& [hash, members] : buckets) {

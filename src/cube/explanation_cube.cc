@@ -1,8 +1,11 @@
 #include "src/cube/explanation_cube.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace tsexplain {
 namespace {
@@ -22,72 +25,132 @@ std::vector<uint32_t> SubsetMasks(size_t num_attrs, int max_order) {
 
 ExplanationCube::ExplanationCube(const Table& table,
                                  const ExplanationRegistry& registry,
-                                 AggregateFunction f, int measure_idx)
-    : f_(f), time_labels_(table.time_labels()) {
+                                 AggregateFunction f, int measure_idx,
+                                 int threads)
+    : f_(f),
+      num_explanations_(registry.num_explanations()),
+      time_labels_(table.time_labels()) {
   if (measure_idx >= 0) {
     TSE_CHECK_LT(static_cast<size_t>(measure_idx),
                  table.schema().num_measures());
   }
   const size_t n = table.num_time_buckets();
+  const size_t epsilon = num_explanations_;
   overall_.assign(n, AggState{});
-  slices_.assign(registry.num_explanations(), std::vector<AggState>(n));
+  slice_sums_.assign(n * epsilon, 0.0);
+  slice_counts_.assign(n * epsilon, 0.0);
 
   const std::vector<AttrId>& explain_by = registry.explain_by();
   const std::vector<uint32_t> masks =
       SubsetMasks(explain_by.size(), registry.max_order());
 
-  // Rows with the same explain-by value tuple hit the same cells; memoize
-  // the subset -> cell-id resolution per distinct tuple (relations have far
-  // fewer distinct tuples than rows). Keyed by the exact tuple to rule out
-  // hash collisions.
-  struct TupleEntry {
-    std::vector<ValueId> tuple;
-    std::vector<ExplId> cells;
-  };
-  std::unordered_map<uint64_t, std::vector<TupleEntry>> tuple_cells;
-  std::vector<Predicate> preds;
-  std::vector<ValueId> tuple(explain_by.size());
-  preds.reserve(static_cast<size_t>(registry.max_order()));
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    const size_t t = static_cast<size_t>(table.time(row));
-    const double value =
-        measure_idx < 0 ? 1.0 : table.measure(row, measure_idx);
-    overall_[t].Add(value);
-
-    uint64_t tuple_hash = 1469598103934665603ULL;
-    for (size_t idx = 0; idx < explain_by.size(); ++idx) {
-      tuple[idx] = table.dim(row, explain_by[idx]);
-      tuple_hash ^=
-          static_cast<uint64_t>(static_cast<uint32_t>(tuple[idx]));
-      tuple_hash *= 1099511628211ULL;
-    }
-    std::vector<TupleEntry>& bucket = tuple_cells[tuple_hash];
-    TupleEntry* entry = nullptr;
-    for (TupleEntry& candidate : bucket) {
-      if (candidate.tuple == tuple) {
-        entry = &candidate;
-        break;
+  // Pass 1 (serial, cheap): resolve each row's cell list. Rows with the
+  // same explain-by value tuple hit the same cells; the subset -> cell-id
+  // resolution (the expensive registry lookups) happens once per DISTINCT
+  // tuple, exactly as in the serial scan -- workers never duplicate it.
+  // Keyed by the exact tuple to rule out hash collisions. This pass also
+  // buckets rows by time (stable counting sort, preserving row order).
+  const size_t num_rows = table.num_rows();
+  TSE_CHECK_LT(num_rows, static_cast<size_t>(UINT32_MAX));
+  std::vector<std::vector<ExplId>> cell_lists;  // one per distinct tuple
+  std::vector<uint32_t> row_cells(num_rows);    // row -> cell_lists index
+  std::vector<size_t> bucket_start(n + 1, 0);
+  std::vector<size_t> rows_by_time(num_rows);
+  {
+    struct TupleEntry {
+      std::vector<ValueId> tuple;
+      uint32_t list = 0;
+    };
+    std::unordered_map<uint64_t, std::vector<TupleEntry>> tuple_cells;
+    std::vector<Predicate> preds;
+    std::vector<ValueId> tuple(explain_by.size());
+    preds.reserve(static_cast<size_t>(registry.max_order()));
+    for (size_t row = 0; row < num_rows; ++row) {
+      ++bucket_start[static_cast<size_t>(table.time(row)) + 1];
+      uint64_t tuple_hash = 1469598103934665603ULL;
+      for (size_t idx = 0; idx < explain_by.size(); ++idx) {
+        tuple[idx] = table.dim(row, explain_by[idx]);
+        tuple_hash ^=
+            static_cast<uint64_t>(static_cast<uint32_t>(tuple[idx]));
+        tuple_hash *= 1099511628211ULL;
       }
-    }
-    if (entry == nullptr) {
-      bucket.push_back(TupleEntry{tuple, {}});
-      entry = &bucket.back();
-      entry->cells.reserve(masks.size());
-      for (uint32_t mask : masks) {
-        preds.clear();
-        for (size_t idx = 0; idx < explain_by.size(); ++idx) {
-          if (mask & (1u << idx)) {
-            preds.push_back(Predicate{explain_by[idx], tuple[idx]});
-          }
+      std::vector<TupleEntry>& bucket = tuple_cells[tuple_hash];
+      TupleEntry* entry = nullptr;
+      for (TupleEntry& candidate : bucket) {
+        if (candidate.tuple == tuple) {
+          entry = &candidate;
+          break;
         }
-        const ExplId id = registry.Lookup(Explanation::FromPredicates(preds));
-        TSE_CHECK_NE(id, kInvalidExplId);
-        entry->cells.push_back(id);
+      }
+      if (entry == nullptr) {
+        std::vector<ExplId> cells;
+        cells.reserve(masks.size());
+        for (uint32_t mask : masks) {
+          preds.clear();
+          for (size_t idx = 0; idx < explain_by.size(); ++idx) {
+            if (mask & (1u << idx)) {
+              preds.push_back(Predicate{explain_by[idx], tuple[idx]});
+            }
+          }
+          const ExplId id =
+              registry.Lookup(Explanation::FromPredicates(preds));
+          TSE_CHECK_NE(id, kInvalidExplId);
+          cells.push_back(id);
+        }
+        bucket.push_back(
+            TupleEntry{tuple, static_cast<uint32_t>(cell_lists.size())});
+        entry = &bucket.back();
+        cell_lists.push_back(std::move(cells));
+      }
+      row_cells[row] = entry->list;
+    }
+    for (size_t t = 0; t < n; ++t) bucket_start[t + 1] += bucket_start[t];
+    std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (size_t row = 0; row < num_rows; ++row) {
+      rows_by_time[cursor[static_cast<size_t>(table.time(row))]++] = row;
+    }
+  }
+
+  // Pass 2: accumulate. Workers own DISJOINT time ranges, so every
+  // (cell, t) partial accumulates its rows in the exact same ascending row
+  // order at any thread count -- the parallel build is bit-identical to
+  // the serial one, with no merge step and no per-worker cube copies.
+  auto accumulate_buckets = [&](size_t t_lo, size_t t_hi) {
+    for (size_t t = t_lo; t < t_hi; ++t) {
+      double* sums = slice_sums_.data() + t * epsilon;
+      double* counts = slice_counts_.data() + t * epsilon;
+      for (size_t pos = bucket_start[t]; pos < bucket_start[t + 1]; ++pos) {
+        const size_t row = rows_by_time[pos];
+        const double value =
+            measure_idx < 0 ? 1.0 : table.measure(row, measure_idx);
+        overall_[t].Add(value);
+        for (ExplId id : cell_lists[row_cells[row]]) {
+          sums[static_cast<size_t>(id)] += value;
+          counts[static_cast<size_t>(id)] += 1.0;
+        }
       }
     }
-    for (ExplId id : entry->cells) {
-      slices_[static_cast<size_t>(id)][t].Add(value);
-    }
+  };
+
+  if (threads <= 1 || n < 2 || num_rows < 4096) {
+    accumulate_buckets(0, n);
+  } else {
+    // Over-partition relative to the thread count so dynamic assignment
+    // balances skewed buckets; task boundaries cannot affect the result
+    // (disjoint time ranges, fixed within-bucket order).
+    const size_t num_tasks =
+        std::min(n, static_cast<size_t>(threads) * 4);
+    ThreadPool::Shared().ParallelFor(num_tasks, threads, [&](size_t task) {
+      accumulate_buckets(n * task / num_tasks, n * (task + 1) / num_tasks);
+    });
+  }
+  RefreshOverallCache();
+}
+
+void ExplanationCube::RefreshOverallCache() {
+  overall_fin_.resize(overall_.size());
+  for (size_t t = 0; t < overall_.size(); ++t) {
+    overall_fin_[t] = overall_[t].Finalize(f_);
   }
 }
 
@@ -95,25 +158,62 @@ DiffScore ExplanationCube::Score(DiffMetricKind kind, ExplId e,
                                  size_t t_control, size_t t_test) const {
   TSE_CHECK_LT(t_control, n());
   TSE_CHECK_LT(t_test, n());
-  const std::vector<AggState>& slice = slices_[static_cast<size_t>(e)];
   const AggState& ot = overall_[t_test];
   const AggState& oc = overall_[t_control];
-  return ComputeDiff(kind, ot.Finalize(f_), oc.Finalize(f_),
-                     ot.Minus(slice[t_test]).Finalize(f_),
-                     oc.Minus(slice[t_control]).Finalize(f_));
+  const size_t it = t_test * num_explanations_ + static_cast<size_t>(e);
+  const size_t ic = t_control * num_explanations_ + static_cast<size_t>(e);
+  const double f_test_wo =
+      AggState{ot.sum - slice_sums_[it], ot.count - slice_counts_[it]}
+          .Finalize(f_);
+  const double f_control_wo =
+      AggState{oc.sum - slice_sums_[ic], oc.count - slice_counts_[ic]}
+          .Finalize(f_);
+  return ComputeDiff(kind, overall_fin_[t_test], overall_fin_[t_control],
+                     f_test_wo, f_control_wo);
+}
+
+void ExplanationCube::ScoreAll(DiffMetricKind kind, size_t t_control,
+                               size_t t_test,
+                               const std::vector<bool>* active,
+                               std::vector<double>* gammas) const {
+  TSE_CHECK_LT(t_control, n());
+  TSE_CHECK_LT(t_test, n());
+  const size_t epsilon = num_explanations_;
+  TSE_CHECK_EQ(gammas->size(), epsilon);
+  if (active != nullptr) TSE_CHECK_EQ(active->size(), epsilon);
+  const AggState ot = overall_[t_test];
+  const AggState oc = overall_[t_control];
+  const double f_test = overall_fin_[t_test];
+  const double f_control = overall_fin_[t_control];
+  const double* ts = slice_sums_.data() + t_test * epsilon;
+  const double* tc = slice_counts_.data() + t_test * epsilon;
+  const double* cs = slice_sums_.data() + t_control * epsilon;
+  const double* cc = slice_counts_.data() + t_control * epsilon;
+  double* out = gammas->data();
+  for (size_t e = 0; e < epsilon; ++e) {
+    if (active != nullptr && !(*active)[e]) {
+      out[e] = 0.0;
+      continue;
+    }
+    const double f_test_wo =
+        AggState{ot.sum - ts[e], ot.count - tc[e]}.Finalize(f_);
+    const double f_control_wo =
+        AggState{oc.sum - cs[e], oc.count - cc[e]}.Finalize(f_);
+    out[e] = ComputeDiff(kind, f_test, f_control, f_test_wo, f_control_wo)
+                 .gamma;
+  }
 }
 
 TimeSeries ExplanationCube::OverallSeries() const {
   TimeSeries out;
   out.labels = time_labels_;
-  out.values.resize(n());
-  for (size_t t = 0; t < n(); ++t) out.values[t] = Overall(t);
+  out.values = overall_fin_;
   return out;
 }
 
 TimeSeries ExplanationCube::SliceSeries(ExplId e) const {
   TSE_CHECK_GE(e, 0);
-  TSE_CHECK_LT(static_cast<size_t>(e), slices_.size());
+  TSE_CHECK_LT(static_cast<size_t>(e), num_explanations_);
   TimeSeries out;
   out.labels = time_labels_;
   out.values.resize(n());
@@ -147,16 +247,62 @@ void ExplanationCube::SmoothInPlace(int w) {
   TSE_CHECK_GE(w, 1);
   if (w == 1) return;
   SmoothPartials(&overall_, w);
-  for (auto& slice : slices_) SmoothPartials(&slice, w);
+  // Slice smoothing sweeps time-major: one epsilon-wide window accumulator
+  // advances over contiguous rows, performing the exact same per-slice
+  // arithmetic sequence as smoothing each slice on its own (bit-identical),
+  // without the strided per-slice walks the SoA layout would otherwise pay.
+  const size_t n = this->n();
+  const size_t epsilon = num_explanations_;
+  std::vector<double> win_sum(epsilon, 0.0);
+  std::vector<double> win_count(epsilon, 0.0);
+  std::vector<double> out_sums(n * epsilon);
+  std::vector<double> out_counts(n * epsilon);
+  for (size_t t = 0; t < n; ++t) {
+    const double* in_s = slice_sums_.data() + t * epsilon;
+    const double* in_c = slice_counts_.data() + t * epsilon;
+    double* out_s = out_sums.data() + t * epsilon;
+    double* out_c = out_counts.data() + t * epsilon;
+    const double denom =
+        static_cast<double>(std::min(t + 1, static_cast<size_t>(w)));
+    if (t >= static_cast<size_t>(w)) {
+      const double* old_s =
+          slice_sums_.data() + (t - static_cast<size_t>(w)) * epsilon;
+      const double* old_c =
+          slice_counts_.data() + (t - static_cast<size_t>(w)) * epsilon;
+      for (size_t e = 0; e < epsilon; ++e) {
+        win_sum[e] += in_s[e];
+        win_count[e] += in_c[e];
+        win_sum[e] -= old_s[e];
+        win_count[e] -= old_c[e];
+        out_s[e] = win_sum[e] / denom;
+        out_c[e] = win_count[e] / denom;
+      }
+    } else {
+      for (size_t e = 0; e < epsilon; ++e) {
+        win_sum[e] += in_s[e];
+        win_count[e] += in_c[e];
+        out_s[e] = win_sum[e] / denom;
+        out_c[e] = win_count[e] / denom;
+      }
+    }
+  }
+  slice_sums_ = std::move(out_sums);
+  slice_counts_ = std::move(out_counts);
+  RefreshOverallCache();
 }
 
 void ExplanationCube::AppendBucket(const AggState& overall,
                                    const std::vector<AggState>& slice_partials,
                                    const std::string& label) {
-  TSE_CHECK_EQ(slice_partials.size(), slices_.size());
+  TSE_CHECK_EQ(slice_partials.size(), num_explanations_);
   overall_.push_back(overall);
-  for (size_t e = 0; e < slices_.size(); ++e) {
-    slices_[e].push_back(slice_partials[e]);
+  overall_fin_.push_back(overall.Finalize(f_));
+  // No reserve: push_back's geometric growth keeps repeated streaming
+  // appends amortized O(1); an exact-size reserve here would force a full
+  // SoA copy on every bucket.
+  for (const AggState& partial : slice_partials) {
+    slice_sums_.push_back(partial.sum);
+    slice_counts_.push_back(partial.count);
   }
   time_labels_.push_back(label.empty() ? std::to_string(time_labels_.size())
                                        : label);

@@ -74,15 +74,11 @@ SnapshotDiffResult SnapshotDiffAt(const Table& table, int control_time,
     mask = mask.empty() ? std::move(filter) : AndMasks(mask, filter);
   }
 
-  // Module (a) for the single segment, then CA.
+  // Module (a) for the single segment (batched SoA sweep), then CA.
   std::vector<double> gamma(registry.num_explanations(), 0.0);
-  for (size_t e = 0; e < gamma.size(); ++e) {
-    if (!mask.empty() && !mask[e]) continue;
-    gamma[e] = cube.Score(options.metric, static_cast<ExplId>(e),
-                          static_cast<size_t>(control_time),
-                          static_cast<size_t>(test_time))
-                   .gamma;
-  }
+  cube.ScoreAll(options.metric, static_cast<size_t>(control_time),
+                static_cast<size_t>(test_time),
+                mask.empty() ? nullptr : &mask, &gamma);
   CascadingAnalysts solver(registry);
   const TopExplanations top =
       solver.TopM(gamma, options.m, mask.empty() ? nullptr : &mask);

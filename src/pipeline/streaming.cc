@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 
 namespace tsexplain {
@@ -30,8 +31,9 @@ StreamingTSExplain::StreamingTSExplain(const Table& initial,
 void StreamingTSExplain::BuildEngine() {
   registry_ =
       ExplanationRegistry::Build(*table_, explain_by_, config_.max_order);
-  cube_ = std::make_unique<ExplanationCube>(*table_, registry_,
-                                            config_.aggregate, measure_idx_);
+  cube_ = std::make_unique<ExplanationCube>(
+      *table_, registry_, config_.aggregate, measure_idx_,
+      ResolveThreadCount(config_.threads));
   if (config_.smooth_window > 1) cube_->SmoothInPlace(config_.smooth_window);
   active_mask_ = ComputeActiveMask();
   SegmentExplainer::Options options;
@@ -171,7 +173,9 @@ TSExplainResult StreamingTSExplain::RunWithCandidates(
                                 : CountActive(active_mask_);
 
   VarianceCalculator calc(*explainer_, config_.variance_metric);
-  const VarianceTable table = VarianceTable::Compute(calc, positions);
+  const VarianceTable table =
+      VarianceTable::Compute(calc, positions, /*max_span=*/-1,
+                             ResolveThreadCount(config_.threads));
   const int dp_max_k = config_.fixed_k > 0 ? config_.fixed_k : config_.max_k;
   KSegmentationDp dp(table, dp_max_k);
   result.k_variance_curve = dp.Curve();
@@ -207,9 +211,11 @@ TSExplainResult StreamingTSExplain::RunWithCandidates(
   const ExplainerTiming after = explainer_->timing();
   result.timing.precompute_ms = after.precompute_ms - before.precompute_ms;
   result.timing.cascading_ms = after.cascading_ms - before.cascading_ms;
-  result.timing.segmentation_ms = total_timer.ElapsedMs() -
-                                  result.timing.precompute_ms -
-                                  result.timing.cascading_ms;
+  // Clamped: with threads > 1 the (a)/(b) buckets sum per-thread elapsed
+  // time and can exceed wall clock (see TimingBreakdown).
+  result.timing.segmentation_ms =
+      std::max(0.0, total_timer.ElapsedMs() - result.timing.precompute_ms -
+                        result.timing.cascading_ms);
   return result;
 }
 

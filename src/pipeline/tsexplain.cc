@@ -58,8 +58,9 @@ TSExplain::TSExplain(const Table& table, TSExplainConfig config)
   measure_idx_ = ResolveMeasure(table, config_.measure);
   registry_ =
       ExplanationRegistry::Build(table, explain_by_, config_.max_order);
-  cube_ = std::make_unique<ExplanationCube>(table, registry_,
-                                            config_.aggregate, measure_idx_);
+  cube_ = std::make_unique<ExplanationCube>(
+      table, registry_, config_.aggregate, measure_idx_,
+      ResolveThreadCount(config_.threads));
   if (config_.smooth_window > 1) {
     cube_->SmoothInPlace(config_.smooth_window);
   }
@@ -185,16 +186,19 @@ TSExplainResult TSExplain::Run(const SegmentationSpec& spec) {
   }
 
   // Timing: explainer-internal buckets are modules (a)+(b); the remainder
-  // of this call is module (c).
+  // of this call is module (c). With threads > 1 the (a)/(b) buckets sum
+  // per-thread elapsed time (they can exceed wall clock), so the module
+  // (c) remainder is clamped at zero — the breakdown then reads as CPU
+  // attribution rather than a wall-clock partition (see TimingBreakdown).
   const ExplainerTiming timing_after = explainer_->timing();
   result.timing.precompute_ms =
       build_ms_ + (timing_after.precompute_ms - timing_before.precompute_ms);
   result.timing.cascading_ms =
       timing_after.cascading_ms - timing_before.cascading_ms;
-  result.timing.segmentation_ms =
-      total_timer.ElapsedMs() -
-      (timing_after.precompute_ms - timing_before.precompute_ms) -
-      (timing_after.cascading_ms - timing_before.cascading_ms);
+  result.timing.segmentation_ms = std::max(
+      0.0, total_timer.ElapsedMs() -
+               (timing_after.precompute_ms - timing_before.precompute_ms) -
+               (timing_after.cascading_ms - timing_before.cascading_ms));
   return result;
 }
 

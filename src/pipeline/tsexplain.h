@@ -71,10 +71,12 @@ struct TSExplainConfig {
   /// Deduplicate equal-slice conjunctions (hierarchical attributes); on by
   /// default, matching the paper's epsilon accounting (see canonical_mask.h).
   bool dedupe_redundant = true;
-  /// Worker threads for the module (c) distance fill (1 = the paper's
-  /// single-threaded setting; 0 = auto, i.e. hardware concurrency; results
-  /// are identical at any thread count — asserted bit-exactly by
-  /// tests/test_pipeline_determinism.cc).
+  /// Worker threads for the parallel phases: cube build, the TopFor
+  /// pre-warm fan-out (modules (a)+(b)), and the module (c) distance fill
+  /// (1 = the paper's single-threaded setting; 0 = auto, i.e. hardware
+  /// concurrency; results are identical at any thread count — asserted
+  /// bit-exactly by tests/test_pipeline_determinism.cc and
+  /// tests/test_parallel_core.cc).
   int threads = 1;
   /// Explanations touching any of these predicates never surface. Entries
   /// are "attr=value" strings (e.g. "state=unknown") or bare values (which
@@ -124,15 +126,20 @@ struct SegmentationSpec {
   VarianceMetric variance_metric = VarianceMetric::kTse;
   bool use_sketch = false;  // O2
   SketchParams sketch_params;
-  /// Worker threads for the module (c) distance fill (results are
-  /// identical at any thread count; 0 = auto).
+  /// Worker threads for the TopFor pre-warm fan-out and the module (c)
+  /// distance fill (results are identical at any thread count; 0 = auto).
   int threads = 1;
 
   /// The spec a TSExplainConfig describes.
   static SegmentationSpec FromConfig(const TSExplainConfig& config);
 };
 
-/// Latency breakdown matching the paper's Figure 15 categories.
+/// Latency breakdown matching the paper's Figure 15 categories. At
+/// threads = 1 (the paper's setting) this is an exact wall-clock
+/// partition. With threads > 1 the (a)/(b) buckets sum per-thread elapsed
+/// time from the concurrent pre-warm (CPU-like, may exceed wall clock) and
+/// the module (c) remainder is clamped at zero, so the breakdown reads as
+/// CPU attribution rather than a wall-clock partition.
 struct TimingBreakdown {
   double precompute_ms = 0.0;    // module (a): cube build + gamma fills
   double cascading_ms = 0.0;     // module (b): CA / guess-and-verify

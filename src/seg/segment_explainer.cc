@@ -3,9 +3,31 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 
 namespace tsexplain {
+namespace {
+
+// Key is independent of n so cached entries stay valid when the cube grows
+// (streaming extension appends buckets; old partials never change).
+inline uint64_t SegmentKey(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+// Shard selector: mix the key so consecutive segments spread across shards
+// (a raw modulo would put all unit segments with the same low bits on one
+// shard during the pre-warm fan-out).
+inline size_t ShardFor(uint64_t key, size_t num_shards) {
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h) & (num_shards - 1);
+}
+
+}  // namespace
 
 SegmentExplainer::SegmentExplainer(const ExplanationCube& cube,
                                    const ExplanationRegistry& registry,
@@ -13,51 +35,56 @@ SegmentExplainer::SegmentExplainer(const ExplanationCube& cube,
     : cube_(cube),
       registry_(registry),
       options_(options),
-      solver_(registry),
-      gamma_scratch_(registry.num_explanations(), 0.0) {
+      shards_(kNumShards) {
+  static_assert((kNumShards & (kNumShards - 1)) == 0,
+                "shard count must be a power of two");
   TSE_CHECK_GE(options_.m, 1);
   if (options_.active != nullptr) {
     TSE_CHECK_EQ(options_.active->size(), registry.num_explanations());
   }
 }
 
-const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
-  TSE_CHECK_GE(a, 0);
-  TSE_CHECK_LT(a, b);
-  TSE_CHECK_LT(b, n());
-  // Key is independent of n so cached entries stay valid when the cube
-  // grows (streaming extension appends buckets; old partials never change).
-  const uint64_t key =
-      (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-
+std::unique_ptr<SegmentExplainer::WorkerState>
+SegmentExplainer::AcquireWorkerState() {
   {
-    // Module (a): fill gamma for every (active) candidate cell.
-    ScopedTimer t(&timing_.precompute_ms);
-    const size_t epsilon = registry_.num_explanations();
-    for (size_t e = 0; e < epsilon; ++e) {
-      if (options_.active != nullptr && !(*options_.active)[e]) {
-        gamma_scratch_[e] = 0.0;
-        continue;
-      }
-      gamma_scratch_[e] =
-          cube_.Score(options_.metric, static_cast<ExplId>(e),
-                      static_cast<size_t>(a), static_cast<size_t>(b))
-              .gamma;
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!worker_pool_.empty()) {
+      std::unique_ptr<WorkerState> state = std::move(worker_pool_.back());
+      worker_pool_.pop_back();
+      return state;
     }
+  }
+  auto state = std::make_unique<WorkerState>(registry_);
+  state->gamma.assign(registry_.num_explanations(), 0.0);
+  return state;
+}
+
+void SegmentExplainer::ReleaseWorkerState(
+    std::unique_ptr<WorkerState> state) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  worker_pool_.push_back(std::move(state));
+}
+
+TopExplanations SegmentExplainer::ComputeTop(int a, int b) {
+  std::unique_ptr<WorkerState> ws = AcquireWorkerState();
+  double precompute_ms = 0.0;
+  double cascading_ms = 0.0;
+  {
+    // Module (a): batch-fill gamma for every (active) candidate cell.
+    ScopedTimer t(&precompute_ms);
+    cube_.ScoreAll(options_.metric, static_cast<size_t>(a),
+                   static_cast<size_t>(b), options_.active, &ws->gamma);
   }
 
   TopExplanations result;
   {
     // Module (b): Cascading Analysts (optionally guess-and-verify).
-    ScopedTimer t(&timing_.cascading_ms);
-    ++ca_invocations_;
+    ScopedTimer t(&cascading_ms);
     if (options_.use_guess_verify) {
-      result = GuessVerifyTopM(solver_, gamma_scratch_, options_.m,
+      result = GuessVerifyTopM(ws->solver, ws->gamma, options_.m,
                                options_.active, options_.initial_guess);
     } else {
-      result = solver_.TopM(gamma_scratch_, options_.m, options_.active);
+      result = ws->solver.TopM(ws->gamma, options_.m, options_.active);
     }
     // Cache the ideal DCG (Eq. 4) for the distance computations.
     result.idcg = 0.0;
@@ -66,9 +93,60 @@ const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
           result.gammas[r] / std::log2(static_cast<double>(r) + 2.0);
     }
   }
-  auto [inserted_it, inserted] = cache_.emplace(key, std::move(result));
-  TSE_CHECK(inserted);
-  return inserted_it->second;
+  ReleaseWorkerState(std::move(ws));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    timing_.precompute_ms += precompute_ms;
+    timing_.cascading_ms += cascading_ms;
+    ++ca_invocations_;
+  }
+  return result;
+}
+
+const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
+  TSE_CHECK_GE(a, 0);
+  TSE_CHECK_LT(a, b);
+  TSE_CHECK_LT(b, n());
+  const uint64_t key = SegmentKey(a, b);
+  CacheShard& shard = shards_[ShardFor(key, kNumShards)];
+  CacheEntry* entry = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      entry = it->second.get();
+      // Single-flight: another thread is computing this segment; wait for
+      // it instead of redoing the CA work (keeps ca_invocations exact).
+      shard.cv.wait(lock, [entry] { return entry->ready; });
+      return entry->top;
+    }
+    auto owned = std::make_unique<CacheEntry>();
+    entry = owned.get();
+    shard.map.emplace(key, std::move(owned));
+  }
+
+  TopExplanations result = ComputeTop(a, b);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entry->top = std::move(result);
+    entry->ready = true;
+  }
+  shard.cv.notify_all();
+  return entry->top;
+}
+
+void SegmentExplainer::Prewarm(
+    const std::vector<std::pair<int, int>>& segments, int threads) {
+  if (segments.empty()) return;
+  if (threads <= 1 || segments.size() == 1) {
+    for (const auto& [a, b] : segments) TopFor(a, b);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(
+      segments.size(), threads,
+      [this, &segments](size_t i) {
+        TopFor(segments[i].first, segments[i].second);
+      });
 }
 
 DiffScore SegmentExplainer::Score(ExplId e, int a, int b) const {
@@ -80,6 +158,27 @@ DiffScore SegmentExplainer::Score(ExplId e, int a, int b) const {
                      static_cast<size_t>(b));
 }
 
-void SegmentExplainer::ClearCache() { cache_.clear(); }
+void SegmentExplainer::ClearCache() {
+  for (CacheShard& shard : shards_) shard.map.clear();
+}
+
+ExplainerTiming SegmentExplainer::timing() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return timing_;
+}
+
+size_t SegmentExplainer::cache_size() const {
+  size_t total = 0;
+  for (const CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+size_t SegmentExplainer::ca_invocations() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return ca_invocations_;
+}
 
 }  // namespace tsexplain

@@ -1,17 +1,31 @@
 // Cached per-segment top-explanation provider.
 //
 // Bridges modules (a) and (b) of the pipeline: for a segment [a, b] it
-// fills the per-cell gamma vector from the cube (module (a)) and runs the
-// Cascading Analysts algorithm (module (b)), caching the result so every
-// segment is explained at most once per query. The K-Segmentation module
-// asks for the same segments repeatedly while computing distances and
-// variances, so this cache is what makes the n^3 phase feasible.
+// fills the per-cell gamma vector from the cube (module (a), batched via
+// ExplanationCube::ScoreAll) and runs the Cascading Analysts algorithm
+// (module (b)), caching the result so every segment is explained at most
+// once per query. The K-Segmentation module asks for the same segments
+// repeatedly while computing distances and variances, so this cache is what
+// makes the n^3 phase feasible.
+//
+// Concurrency: TopFor is REENTRANT. The cache is sharded (one mutex +
+// condition variable per shard) with single-flight semantics -- concurrent
+// requests for the same segment compute it exactly once, so instrumentation
+// like ca_invocations() is deterministic at any thread count. Each in-flight
+// computation checks a CascadingAnalysts solver + gamma scratch out of a
+// small free pool (solvers are stateful; one is never shared between two
+// concurrent computations). Returned references stay valid until
+// ClearCache(), which must not run concurrently with TopFor.
 
 #ifndef TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
 #define TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cube/explanation_cube.h"
@@ -20,13 +34,16 @@
 
 namespace tsexplain {
 
-/// Wall-clock breakdown mirroring the paper's Figure 15 categories.
+/// Wall-clock breakdown mirroring the paper's Figure 15 categories. Under a
+/// concurrent pre-warm the buckets sum per-thread elapsed time (CPU-like,
+/// may exceed wall clock).
 struct ExplainerTiming {
   double precompute_ms = 0.0;  // module (a): gamma vector fills
   double cascading_ms = 0.0;   // module (b): CA / guess-and-verify
 };
 
-/// Computes and caches E*_m per segment. Not thread-safe.
+/// Computes and caches E*_m per segment. TopFor/Score are thread-safe;
+/// ClearCache is not (quiesce callers first).
 class SegmentExplainer {
  public:
   struct Options {
@@ -47,6 +64,13 @@ class SegmentExplainer {
   /// The reference stays valid until ClearCache().
   const TopExplanations& TopFor(int a, int b);
 
+  /// Computes (and caches) TopFor for every listed segment, fanning the
+  /// cache misses out over the shared ThreadPool with up to `threads`
+  /// workers. Segments should be unique (duplicates are safe but waste a
+  /// queue slot). Results -- including ca_invocations() -- are bit-identical
+  /// to calling TopFor serially in any order.
+  void Prewarm(const std::vector<std::pair<int, int>>& segments, int threads);
+
   /// gamma/tau of one explanation on segment [a, b] (O(1) cube lookup,
   /// not cached). Respects the support filter.
   DiffScore Score(ExplId e, int a, int b) const;
@@ -60,17 +84,49 @@ class SegmentExplainer {
   const ExplanationRegistry& registry() const { return registry_; }
   const Options& options() const { return options_; }
 
-  const ExplainerTiming& timing() const { return timing_; }
-  size_t cache_size() const { return cache_.size(); }
-  size_t ca_invocations() const { return ca_invocations_; }
+  ExplainerTiming timing() const;
+  size_t cache_size() const;
+  size_t ca_invocations() const;
 
  private:
+  // One CA solver + gamma scratch, checked out for the duration of one
+  // cache-miss computation. Pooled so repeated invocations do not allocate
+  // and concurrent ones never share state.
+  struct WorkerState {
+    explicit WorkerState(const ExplanationRegistry& registry)
+        : solver(registry) {}
+    CascadingAnalysts solver;
+    std::vector<double> gamma;
+  };
+
+  // Single-flight cache entry: `ready` flips under the shard mutex once
+  // `top` is populated; waiters block on the shard condition variable. Held
+  // by unique_ptr so references survive rehashing and concurrent inserts.
+  struct CacheEntry {
+    TopExplanations top;
+    bool ready = false;
+  };
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, std::unique_ptr<CacheEntry>> map;
+  };
+  static constexpr size_t kNumShards = 64;  // power of two
+
+  TopExplanations ComputeTop(int a, int b);
+  std::unique_ptr<WorkerState> AcquireWorkerState();
+  void ReleaseWorkerState(std::unique_ptr<WorkerState> state);
+
   const ExplanationCube& cube_;
   const ExplanationRegistry& registry_;
   Options options_;
-  CascadingAnalysts solver_;
-  std::unordered_map<uint64_t, TopExplanations> cache_;
-  std::vector<double> gamma_scratch_;
+
+  std::vector<CacheShard> shards_;  // sized kNumShards
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<WorkerState>> worker_pool_;
+
+  mutable std::mutex stats_mu_;
   ExplainerTiming timing_;
   size_t ca_invocations_ = 0;
 };

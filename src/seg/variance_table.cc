@@ -1,5 +1,7 @@
 #include "src/seg/variance_table.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
 
@@ -7,6 +9,17 @@ namespace tsexplain {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Number of j > i with positions[j] - positions[i] <= max_span (the row
+// length the span cap permits); all of them when max_span < 0.
+size_t SpanCappedRowLength(const std::vector<int>& positions, size_t i,
+                           int max_span) {
+  if (max_span < 0) return positions.size() - i - 1;
+  const auto begin = positions.begin() + static_cast<ptrdiff_t>(i) + 1;
+  return static_cast<size_t>(
+      std::upper_bound(begin, positions.end(), positions[i] + max_span) -
+      begin);
+}
 
 // All-pair (Eq. 10) entries for one start index, using precomputed object
 // pair distances: S(a, b) accumulates via S(a, b-1) + sum of column b-1
@@ -16,6 +29,7 @@ void FillAllPairRow(const std::vector<std::vector<double>>& col_sums,
                     const std::vector<int>& positions, int max_span,
                     size_t a, std::vector<double>* row) {
   const size_t m = positions.size();
+  row->reserve(SpanCappedRowLength(positions, a, max_span));
   double pair_sum = 0.0;
   for (size_t b = a + 1; b < m; ++b) {
     if (max_span >= 0 && positions[b] - positions[a] > max_span) break;
@@ -83,21 +97,44 @@ VarianceTable VarianceTable::Compute(VarianceCalculator& calc,
     return table;
   }
 
-  // Pre-resolve every unit object's explanation list once; the inner loops
-  // below then never touch the explainer's hash map for objects. (Pointers
-  // into the cache stay valid: the cache is an unordered_map whose
-  // references survive rehashing.)
+  // Concurrent CA fan-out: the dominant cost here is the O(M^2/2) centroid
+  // (plus O(n) unit) TopFor computations. The explainer is reentrant with a
+  // single-flight cache, so gather every distinct segment the fill loops
+  // will need and pre-warm them across the shared pool. Deduplication keeps
+  // each segment computed exactly once, so ca_invocations and all results
+  // are bit-identical to the serial order.
   const int n = explainer.n();
+  if (threads > 1) {
+    std::vector<std::pair<int, int>> segments;
+    segments.reserve(static_cast<size_t>(n - 1) + m * m / 2);
+    for (int x = 0; x + 1 < n; ++x) segments.emplace_back(x, x + 1);
+    for (size_t i = 0; i + 1 < m; ++i) {
+      const int a = positions[i];
+      for (size_t j = i + 1; j < m; ++j) {
+        const int b = positions[j];
+        if (max_span >= 0 && b - a > max_span) break;
+        if (b - a > 1) segments.emplace_back(a, b);  // units already listed
+      }
+    }
+    std::sort(segments.begin(), segments.end());
+    segments.erase(std::unique(segments.begin(), segments.end()),
+                   segments.end());
+    explainer.Prewarm(segments, threads);
+  }
+
+  // Pre-resolve every unit object's explanation list once; the inner loops
+  // below then never touch the explainer's cache for objects. (Pointers
+  // into the cache stay valid until ClearCache.)
   std::vector<const TopExplanations*> unit_tops(
       static_cast<size_t>(n - 1));
   for (int x = 0; x + 1 < n; ++x) {
     unit_tops[static_cast<size_t>(x)] = &explainer.TopFor(x, x + 1);
   }
-  // Pre-warm every centroid's list too: CA invocation is stateful, so it
-  // must stay on one thread. Also pin the pointers for the fill loops.
+  // Pin every centroid's list too (pure cache hits after the pre-warm).
   std::vector<std::vector<const TopExplanations*>> centroid_tops(m);
   for (size_t i = 0; i + 1 < m; ++i) {
     const int a = positions[i];
+    centroid_tops[i].reserve(SpanCappedRowLength(positions, i, max_span));
     for (size_t j = i + 1; j < m; ++j) {
       const int b = positions[j];
       if (max_span >= 0 && b - a > max_span) break;
@@ -109,6 +146,7 @@ VarianceTable VarianceTable::Compute(VarianceCalculator& calc,
   // so rows can fan out across threads.
   auto fill_row = [&](size_t i) {
     const int a = positions[i];
+    table.rows_[i].reserve(centroid_tops[i].size());
     for (size_t offset = 0; offset < centroid_tops[i].size(); ++offset) {
       const size_t j = i + 1 + offset;
       const int b = positions[j];

@@ -37,11 +37,13 @@ class VarianceTable {
   /// (-1 = unlimited). The distance/variance semantics (metric, m, filter)
   /// come from `calc`.
   ///
-  /// `threads` > 1 parallelizes the centroid-metric fill: the explanation
-  /// cache is pre-warmed single-threaded (CA is stateful), then the
-  /// distance sums -- pure reads of the cube and the cached lists -- fan
-  /// out across rows on the shared ThreadPool (see common/thread_pool.h).
-  /// Results are bit-identical to the sequential fill.
+  /// `threads` > 1 parallelizes the centroid-metric phases end to end: the
+  /// O(M^2/2) centroid + O(n) unit TopFor computations are deduplicated and
+  /// fanned out over the shared ThreadPool (the explainer is reentrant with
+  /// a single-flight cache), then the distance sums -- pure reads of the
+  /// cube and the cached lists -- fan out across rows on the same pool.
+  /// Results (including ca_invocations) are bit-identical to the
+  /// sequential fill.
   static VarianceTable Compute(VarianceCalculator& calc,
                                const std::vector<int>& positions,
                                int max_span = -1, int threads = 1);

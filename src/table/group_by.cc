@@ -20,19 +20,6 @@ double MeasureOrCount(const Table& table, size_t row, int measure_idx) {
 
 }  // namespace
 
-double AggState::Finalize(AggregateFunction f) const {
-  switch (f) {
-    case AggregateFunction::kSum:
-      return sum;
-    case AggregateFunction::kCount:
-      return count;
-    case AggregateFunction::kAvg:
-      return count > 0.0 ? sum / count : 0.0;
-  }
-  TSE_CHECK(false) << "unknown aggregate";
-  return 0.0;
-}
-
 TimeSeries GroupByTime(const Table& table, AggregateFunction f,
                        int measure_idx,
                        const std::vector<DimPredicate>& conjunction) {

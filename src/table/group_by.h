@@ -45,7 +45,19 @@ struct AggState {
     return AggState{sum - inner.sum, count - inner.count};
   }
   /// Finalizes to the aggregate value. An empty AVG group finalizes to 0.
-  double Finalize(AggregateFunction f) const;
+  /// Inline: the cube's batched scoring calls this for every candidate of
+  /// every segment, so it must not cost a cross-TU call.
+  double Finalize(AggregateFunction f) const {
+    switch (f) {
+      case AggregateFunction::kSum:
+        return sum;
+      case AggregateFunction::kCount:
+        return count;
+      case AggregateFunction::kAvg:
+        return count > 0.0 ? sum / count : 0.0;
+    }
+    return 0.0;  // unreachable for valid enum values
+  }
 };
 
 /// Simple conjunction filter over dimension columns.

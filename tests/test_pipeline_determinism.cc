@@ -62,7 +62,16 @@ TEST(PipelineDeterminism, VanillaIdenticalAcrossThreadCounts) {
   const SyntheticDataset ds = MakeDataset(23);
   TSExplain single(*ds.table, BaseConfig(1));
   TSExplain multi(*ds.table, BaseConfig(4));
-  ExpectIdenticalResults(single.Run(), multi.Run());
+  TSExplain wide(*ds.table, BaseConfig(8));
+  const TSExplainResult single_result = single.Run();
+  ExpectIdenticalResults(single_result, multi.Run());
+  ExpectIdenticalResults(single_result, wide.Run());
+  // The pre-warm fan-out dedups + single-flights cache misses, so the CA
+  // invocation count is thread-count independent too.
+  EXPECT_EQ(single.explainer().ca_invocations(),
+            multi.explainer().ca_invocations());
+  EXPECT_EQ(single.explainer().ca_invocations(),
+            wide.explainer().ca_invocations());
 }
 
 TEST(PipelineDeterminism, FixedKIdenticalAcrossThreadCounts) {

@@ -4,11 +4,16 @@
 # readable across PRs.
 #
 # Usage:
-#   tools/run_benches.sh [-b BUILD_DIR] [-o OUT.json] [--all] [BENCH...]
+#   tools/run_benches.sh [-b BUILD_DIR] [-o OUT.json] [--all|--quick] [BENCH...]
 #
 #   -b BUILD_DIR   where the bench binaries live (default: build)
 #   -o OUT.json    output path (default: BENCH_<UTC timestamp>.json in CWD)
 #   --all          run every bench_* binary found in BUILD_DIR
+#   --quick        CI profile: small-scale fig16 + fig17 + bench_service
+#                  (fig17 capped via TSE_SCALE_BUDGET_S, default 2 s per
+#                  run, so the perf binaries are exercised end-to-end in
+#                  seconds; numbers are smoke-level, not trajectory-level).
+#                  Explicit BENCH names run in addition to the profile set.
 #   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
 #
 # Default set (no --all, no names): bench_micro_core + bench_fig16_end_to_end
@@ -24,6 +29,7 @@ set -u
 BUILD_DIR=build
 OUT=""
 ALL=0
+QUICK=0
 BENCHES=()
 
 while [ $# -gt 0 ]; do
@@ -31,11 +37,17 @@ while [ $# -gt 0 ]; do
     -b) BUILD_DIR=${2:?-b needs a directory}; shift 2 ;;
     -o) OUT=${2:?-o needs a path}; shift 2 ;;
     --all) ALL=1; shift ;;
+    --quick) QUICK=1; shift ;;
     -h|--help) awk 'NR > 1 { if (!/^#/) exit; sub(/^# ?/, ""); print }' "$0"; exit 0 ;;
     -*) echo "unknown flag: $1" >&2; exit 2 ;;
     *) BENCHES+=("$1"); shift ;;
   esac
 done
+
+if [ "$ALL" -eq 1 ] && [ "$QUICK" -eq 1 ]; then
+  echo "error: --all and --quick are mutually exclusive" >&2
+  exit 2
+fi
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run the tier-1 cmake build first)" >&2
@@ -57,6 +69,12 @@ if [ "$ALL" -eq 1 ]; then
   for bin in "$BUILD_DIR"/bench_*; do
     [ -x "$bin" ] && BENCHES+=("$(basename "$bin")")
   done
+elif [ "$QUICK" -eq 1 ]; then
+  # CI profile: exercise the perf binaries end-to-end (so they cannot
+  # silently rot) at a scale that finishes in seconds. fig17 honors
+  # TSE_SCALE_BUDGET_S and terminates each variant once a run exceeds it.
+  export TSE_SCALE_BUDGET_S="${TSE_SCALE_BUDGET_S:-2}"
+  BENCHES+=(bench_fig16_end_to_end bench_fig17_scalability bench_service)
 elif [ ${#BENCHES[@]} -eq 0 ]; then
   BENCHES=(bench_micro_core bench_fig16_end_to_end bench_service)
 fi
