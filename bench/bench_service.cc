@@ -1,31 +1,79 @@
 // Service-layer throughput: what the explanation service buys over the
 // one-cold-query-per-process CLI workflow.
 //
-// Three measurements on the covid-daily workload (plus k-variants that
-// share one hot engine):
+// Measurements on the covid-daily workload (plus k-variants that share
+// one hot engine):
 //   service.cold.per_query_ms   — first-touch queries: engine build + full
 //                                 pipeline run per distinct query key
 //   service.hot.per_query_ms    — the same queries again: pure cache hits
+//   service.hot.p50_ms / p99_ms — cache-hit latency percentiles (the
+//                                 overload acceptance bar tracks p50)
 //   service.concurrent.per_query_ms
 //                               — 8 client threads, mixed hot/cold traffic
 //                                 against a fresh service
 //   service.hot.speedup_x       — cold / hot per-query time; the ISSUE
 //                                 acceptance bar is >= 10x
 //
+// Overload scenario (admission control, synthetic dataset): clients at
+// TSE_OVERLOAD_X times the admission capacity (max_inflight +
+// queue_depth; default 4x, CI --quick sets 2x) fire a cold+hot mix at a
+// small service. Asserts that excess load is SHED with structured
+// `overloaded` responses carrying retry_after_ms, that the admission
+// queue never exceeded its bound (no unbounded queue growth), and that
+// every ACCEPTED response is bit-identical to a serial TSExplain::Run of
+// the same query. Emits:
+//   service.overload.shed_rate_pct
+//   service.overload.accepted_p50_ms / accepted_p99_ms
+//
 // Emits BENCH_RESULT lines for tools/run_benches.sh (values in ms except
-// the explicitly-suffixed speedup ratio).
+// the explicitly-suffixed speedup ratio / shed rate).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "src/common/timer.h"
+#include "src/datagen/synthetic.h"
 #include "src/service/explain_service.h"
 
 namespace tsexplain {
 namespace {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(rank + 0.5)];
+}
+
+bool IdenticalResults(const TSExplainResult& a, const TSExplainResult& b) {
+  if (a.segmentation.cuts != b.segmentation.cuts) return false;
+  if (a.chosen_k != b.chosen_k) return false;
+  if (a.k_variance_curve != b.k_variance_curve) return false;
+  if (a.segments.size() != b.segments.size()) return false;
+  for (size_t s = 0; s < a.segments.size(); ++s) {
+    const SegmentExplanation& sa = a.segments[s];
+    const SegmentExplanation& sb = b.segments[s];
+    if (sa.begin != sb.begin || sa.end != sb.end ||
+        sa.variance != sb.variance || sa.top.size() != sb.top.size()) {
+      return false;
+    }
+    for (size_t r = 0; r < sa.top.size(); ++r) {
+      if (sa.top[r].id != sb.top[r].id ||
+          sa.top[r].gamma != sb.top[r].gamma ||
+          sa.top[r].tau != sb.top[r].tau) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 std::vector<ExplainRequest> MakeQueryMix(const TSExplainConfig& base) {
   // Distinct query keys: k variants (one shared engine) + m / smoothing
@@ -51,6 +99,178 @@ std::vector<ExplainRequest> MakeQueryMix(const TSExplainConfig& base) {
   unsmoothed.config.smooth_window = 1;  // base smooths with window 7
   requests.push_back(unsmoothed);
   return requests;
+}
+
+// Overload scenario: N-times-capacity concurrent cold+hot mix against a
+// deliberately small admission configuration. Returns having asserted
+// shedding happened structurally, the queue bound held, and every
+// accepted result is bit-identical to its serial execution.
+void RunOverload() {
+  bench::PrintSubHeader("Overload: admission control under excess load");
+
+  int overload_x = 4;
+  if (const char* env = std::getenv("TSE_OVERLOAD_X")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) overload_x = parsed;
+  }
+
+  // Small-but-real synthetic workload: cold queries cost milliseconds,
+  // so the storm saturates admission without taking minutes on CI.
+  SyntheticConfig synth;
+  synth.length = 96;
+  synth.num_categories = 6;
+  synth.snr_db = 25.0;
+  synth.num_interior_cuts = 3;
+  synth.seed = 1234;
+  SyntheticDataset ds = GenerateSynthetic(synth);
+  const std::shared_ptr<const Table> table(std::move(ds.table));
+
+  TSExplainConfig base;
+  base.measure = "value";
+  base.explain_by_names = {"category"};
+  base.max_order = 1;
+  base.threads = 0;  // auto; the admission grant caps it anyway
+
+  // Query variants: k-sweep (one shared engine) + m-variants (their own
+  // engines). Variant 0 is pre-warmed and serves as the hot traffic.
+  std::vector<TSExplainConfig> variants;
+  for (int k : {2, 3, 4, 5, 6, 7}) {
+    TSExplainConfig config = base;
+    config.fixed_k = k;
+    variants.push_back(config);
+  }
+  for (int m : {1, 2, 4, 5}) {
+    TSExplainConfig config = base;
+    config.m = m;
+    variants.push_back(config);
+  }
+
+  // Serial ground truth (the determinism bar): one engine per variant,
+  // run outside any service.
+  std::vector<TSExplainResult> expected;
+  expected.reserve(variants.size());
+  for (const TSExplainConfig& config : variants) {
+    TSExplain engine(*table, config);
+    expected.push_back(engine.Run());
+  }
+
+  AdmissionOptions admission;
+  admission.max_concurrent = 2;
+  admission.queue_depth = 2;
+  const int capacity = admission.max_concurrent + admission.queue_depth;
+  const int clients = capacity * overload_x;
+  const int queries_per_client = 12;
+
+  // The storm is repeated until shedding is observed (at >= 2x capacity
+  // it virtually always is on the first run; the retry guards against a
+  // scheduler fluke serializing every client).
+  size_t shed = 0, accepted = 0, mismatches = 0, bad_sheds = 0;
+  size_t peak_queued = 0;
+  std::vector<double> accepted_latencies;
+  for (int attempt = 0; attempt < 3 && shed == 0; ++attempt) {
+    ServiceOptions service_options;
+    service_options.admission = admission;
+    ExplainService service(service_options);
+    std::string error;
+    if (!service.registry().RegisterTable("synthetic", table, "<synthetic>",
+                                          &error)) {
+      std::fprintf(stderr, "register failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    {
+      ExplainRequest warm;
+      warm.dataset = "synthetic";
+      warm.config = variants[0];
+      if (!service.Explain(warm).ok) {
+        std::fprintf(stderr, "warmup query failed\n");
+        std::exit(1);
+      }
+    }
+
+    shed = accepted = mismatches = bad_sheds = 0;
+    accepted_latencies.clear();
+    std::atomic<int> start_gate{0};
+    std::vector<std::future<std::vector<std::pair<size_t, ExplainResponse>>>>
+        futures;
+    futures.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      futures.push_back(std::async(std::launch::async, [&, c] {
+        start_gate.fetch_add(1);
+        while (start_gate.load() < clients) {
+          std::this_thread::yield();  // all clients fire together
+        }
+        std::vector<std::pair<size_t, ExplainResponse>> collected;
+        for (int q = 0; q < queries_per_client; ++q) {
+          // Every third query is hot (variant 0); the rest walk the cold
+          // variants, staggered per client.
+          const size_t v = (q % 3 == 0)
+                               ? 0
+                               : (static_cast<size_t>(c + q)) % variants.size();
+          ExplainRequest request;
+          request.dataset = "synthetic";
+          request.config = variants[v];
+          collected.emplace_back(v, service.Explain(request));
+        }
+        return collected;
+      }));
+    }
+    for (auto& future : futures) {
+      for (const auto& [v, response] : future.get()) {
+        if (response.ok) {
+          ++accepted;
+          accepted_latencies.push_back(response.latency_ms);
+          if (!IdenticalResults(*response.result, expected[v])) {
+            ++mismatches;
+          }
+        } else if (response.error_code == error_code::kOverloaded) {
+          ++shed;
+          if (response.retry_after_ms <= 0.0) ++bad_sheds;
+        } else {
+          ++bad_sheds;  // only `overloaded` is acceptable under this storm
+        }
+      }
+    }
+    peak_queued = service.Stats().admission.peak_queued;
+  }
+
+  const size_t total = accepted + shed;
+  const double shed_rate =
+      total == 0 ? 0.0 : 100.0 * static_cast<double>(shed) /
+                             static_cast<double>(total);
+  std::printf(
+      "overload: %dx capacity (%d clients x %d queries), %zu accepted, "
+      "%zu shed (%.1f%%), peak queue %zu (bound %d)\n",
+      overload_x, clients, queries_per_client, accepted, shed, shed_rate,
+      peak_queued, admission.queue_depth);
+  bench::EmitResult("service.overload.shed_rate_pct", shed_rate);
+  bench::EmitResult("service.overload.accepted_p50_ms",
+                    Percentile(accepted_latencies, 50));
+  bench::EmitResult("service.overload.accepted_p99_ms",
+                    Percentile(accepted_latencies, 99));
+
+  if (shed == 0) {
+    std::fprintf(stderr, "FAIL: no load was shed at %dx capacity\n",
+                 overload_x);
+    std::exit(1);
+  }
+  if (bad_sheds != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu responses were neither ok nor a structured "
+                 "`overloaded` with retry_after_ms\n",
+                 bad_sheds);
+    std::exit(1);
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu accepted responses differ from their serial "
+                 "execution\n",
+                 mismatches);
+    std::exit(1);
+  }
+  if (peak_queued > static_cast<size_t>(admission.queue_depth)) {
+    std::fprintf(stderr, "FAIL: admission queue exceeded its bound\n");
+    std::exit(1);
+  }
 }
 
 void Run() {
@@ -91,19 +311,25 @@ void Run() {
 
   // --- Hot: identical queries served from the result cache -------------
   constexpr int kHotRounds = 200;
+  std::vector<double> hot_latencies;
+  hot_latencies.reserve(static_cast<size_t>(kHotRounds) * mix.size());
   Timer hot_timer;
   for (int round = 0; round < kHotRounds; ++round) {
     for (const ExplainRequest& request : mix) {
+      Timer query_timer;
       const ExplainResponse response = service.Explain(request);
       if (!response.ok || !response.cache_hit) {
         std::fprintf(stderr, "expected a cache hit\n");
         std::exit(1);
       }
+      hot_latencies.push_back(query_timer.ElapsedMs());
     }
   }
   const double hot_ms = hot_timer.ElapsedMs() /
                         static_cast<double>(kHotRounds * mix.size());
   bench::EmitResult("service.hot.per_query_ms", hot_ms);
+  bench::EmitResult("service.hot.p50_ms", Percentile(hot_latencies, 50));
+  bench::EmitResult("service.hot.p99_ms", Percentile(hot_latencies, 99));
   bench::EmitResult("service.hot.speedup_x", cold_ms / hot_ms);
 
   // --- Concurrent: 8 clients, mixed hot + cold (fresh service) ---------
@@ -155,6 +381,8 @@ void Run() {
                  cold_ms / hot_ms);
     std::exit(1);
   }
+
+  RunOverload();
 }
 
 }  // namespace

@@ -13,6 +13,14 @@ int ResolveThreadCount(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int AdaptiveThreadGrant(int requested, int active, int pool_size) {
+  if (active < 1) active = 1;
+  if (pool_size < 1) pool_size = 1;
+  const int fair_share = pool_size / active > 1 ? pool_size / active : 1;
+  const int ceiling = requested >= 1 ? requested : 1;
+  return fair_share < ceiling ? fair_share : ceiling;
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   TSE_CHECK_GE(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads));

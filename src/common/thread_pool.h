@@ -36,6 +36,14 @@ namespace tsexplain {
 /// floor of 1 when the hardware cannot be probed.
 int ResolveThreadCount(int requested);
 
+/// Divides `pool_size` workers fairly across `active` concurrent
+/// consumers: each gets max(1, pool_size / active), and never more than
+/// it asked for (`requested` is a ceiling, not a demand). The service
+/// layer uses this so a query's requested thread count stops being an
+/// independent grab under concurrent load — results stay bit-identical
+/// at any granted count (thread counts never affect results).
+int AdaptiveThreadGrant(int requested, int active, int pool_size);
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; use ResolveThreadCount for the

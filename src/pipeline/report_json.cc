@@ -141,6 +141,8 @@ std::string RenderJsonReport(const ExplanationCube& cube,
   json.Number(result.timing.cascading_ms);
   json.Key("segmentation");
   json.Number(result.timing.segmentation_ms);
+  json.Key("total");
+  json.Number(result.timing.total_ms);
   json.EndObject();
 
   json.EndObject();

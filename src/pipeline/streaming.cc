@@ -128,7 +128,7 @@ void StreamingTSExplain::AppendBucket(const std::string& label,
   }
 }
 
-TSExplainResult StreamingTSExplain::Explain() {
+TSExplainResult StreamingTSExplain::Explain(int threads_override) {
   const int num_points = n();
   TSE_CHECK_GE(num_points, 3);
 
@@ -154,7 +154,9 @@ TSExplainResult StreamingTSExplain::Explain() {
                     positions.end());
   }
 
-  TSExplainResult result = RunWithCandidates(positions);
+  TSExplainResult result = RunWithCandidates(
+      positions, threads_override > 0 ? threads_override
+                                      : ResolveThreadCount(config_.threads));
   last_cuts_ = result.segmentation.cuts;
   last_n_ = num_points;
   first_run_done_ = true;
@@ -162,7 +164,7 @@ TSExplainResult StreamingTSExplain::Explain() {
 }
 
 TSExplainResult StreamingTSExplain::RunWithCandidates(
-    const std::vector<int>& positions) {
+    const std::vector<int>& positions, int threads) {
   Timer total_timer;
   const ExplainerTiming before = explainer_->timing();
 
@@ -174,8 +176,7 @@ TSExplainResult StreamingTSExplain::RunWithCandidates(
 
   VarianceCalculator calc(*explainer_, config_.variance_metric);
   const VarianceTable table =
-      VarianceTable::Compute(calc, positions, /*max_span=*/-1,
-                             ResolveThreadCount(config_.threads));
+      VarianceTable::Compute(calc, positions, /*max_span=*/-1, threads);
   const int dp_max_k = config_.fixed_k > 0 ? config_.fixed_k : config_.max_k;
   KSegmentationDp dp(table, dp_max_k);
   result.k_variance_curve = dp.Curve();
@@ -209,13 +210,9 @@ TSExplainResult StreamingTSExplain::RunWithCandidates(
   }
 
   const ExplainerTiming after = explainer_->timing();
-  result.timing.precompute_ms = after.precompute_ms - before.precompute_ms;
-  result.timing.cascading_ms = after.cascading_ms - before.cascading_ms;
-  // Clamped: with threads > 1 the (a)/(b) buckets sum per-thread elapsed
-  // time and can exceed wall clock (see TimingBreakdown).
-  result.timing.segmentation_ms =
-      std::max(0.0, total_timer.ElapsedMs() - result.timing.precompute_ms -
-                        result.timing.cascading_ms);
+  result.timing = TimingBreakdown::Partition(
+      /*build_ms=*/0.0, after.precompute_ms - before.precompute_ms,
+      after.cascading_ms - before.cascading_ms, total_timer.ElapsedMs());
   return result;
 }
 

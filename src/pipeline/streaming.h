@@ -47,7 +47,10 @@ class StreamingTSExplain {
                     const std::vector<StreamRow>& rows);
 
   /// Full run on the first call; incremental runs afterwards.
-  TSExplainResult Explain();
+  /// `threads_override` > 0 replaces the config's thread count for this
+  /// run (the service's adaptive grants use it); results are
+  /// bit-identical at any thread count.
+  TSExplainResult Explain(int threads_override = 0);
 
   /// Number of time buckets currently covered.
   int n() const { return static_cast<int>(table_->num_time_buckets()); }
@@ -65,7 +68,8 @@ class StreamingTSExplain {
  private:
   void BuildEngine();
   std::vector<bool> ComputeActiveMask() const;
-  TSExplainResult RunWithCandidates(const std::vector<int>& positions);
+  TSExplainResult RunWithCandidates(const std::vector<int>& positions,
+                                    int threads);
 
   std::unique_ptr<Table> table_;
   TSExplainConfig config_;

@@ -33,6 +33,30 @@ int ResolveMeasure(const Table& table, const std::string& name) {
 
 }  // namespace
 
+TimingBreakdown TimingBreakdown::Partition(double build_ms,
+                                           double precompute_delta_ms,
+                                           double cascading_delta_ms,
+                                           double wall_ms) {
+  if (build_ms < 0.0) build_ms = 0.0;
+  if (wall_ms < 0.0) wall_ms = 0.0;
+  double a = std::max(0.0, precompute_delta_ms);
+  double b = std::max(0.0, cascading_delta_ms);
+  if (a + b > wall_ms) {
+    // Concurrent Prewarm/Run on a shared engine and multi-thread fills
+    // both inflate the shared counters past this run's wall clock; scale
+    // the shares down so the breakdown stays a partition of wall time.
+    const double scale = (a + b) > 0.0 ? wall_ms / (a + b) : 0.0;
+    a *= scale;
+    b *= scale;
+  }
+  TimingBreakdown timing;
+  timing.precompute_ms = build_ms + a;
+  timing.cascading_ms = b;
+  timing.segmentation_ms = std::max(0.0, wall_ms - a - b);
+  timing.total_ms = build_ms + wall_ms;
+  return timing;
+}
+
 SegmentationSpec SegmentationSpec::FromConfig(const TSExplainConfig& config) {
   SegmentationSpec spec;
   spec.fixed_k = config.fixed_k;
@@ -186,19 +210,15 @@ TSExplainResult TSExplain::Run(const SegmentationSpec& spec) {
   }
 
   // Timing: explainer-internal buckets are modules (a)+(b); the remainder
-  // of this call is module (c). With threads > 1 the (a)/(b) buckets sum
-  // per-thread elapsed time (they can exceed wall clock), so the module
-  // (c) remainder is clamped at zero — the breakdown then reads as CPU
-  // attribution rather than a wall-clock partition (see TimingBreakdown).
+  // of this call is module (c). Partition makes the buckets a
+  // non-negative decomposition of this run's wall clock even when the
+  // shared explainer counters were advanced by other threads too
+  // (concurrent Prewarm / threads > 1 per-thread sums).
   const ExplainerTiming timing_after = explainer_->timing();
-  result.timing.precompute_ms =
-      build_ms_ + (timing_after.precompute_ms - timing_before.precompute_ms);
-  result.timing.cascading_ms =
-      timing_after.cascading_ms - timing_before.cascading_ms;
-  result.timing.segmentation_ms = std::max(
-      0.0, total_timer.ElapsedMs() -
-               (timing_after.precompute_ms - timing_before.precompute_ms) -
-               (timing_after.cascading_ms - timing_before.cascading_ms));
+  result.timing = TimingBreakdown::Partition(
+      build_ms_, timing_after.precompute_ms - timing_before.precompute_ms,
+      timing_after.cascading_ms - timing_before.cascading_ms,
+      total_timer.ElapsedMs());
   return result;
 }
 

@@ -134,19 +134,31 @@ struct SegmentationSpec {
   static SegmentationSpec FromConfig(const TSExplainConfig& config);
 };
 
-/// Latency breakdown matching the paper's Figure 15 categories. At
-/// threads = 1 (the paper's setting) this is an exact wall-clock
-/// partition. With threads > 1 the (a)/(b) buckets sum per-thread elapsed
-/// time from the concurrent pre-warm (CPU-like, may exceed wall clock) and
-/// the module (c) remainder is clamped at zero, so the breakdown reads as
-/// CPU attribution rather than a wall-clock partition.
+/// Latency breakdown matching the paper's Figure 15 categories. The
+/// buckets are a NON-NEGATIVE PARTITION of this run's wall clock by
+/// construction (see Partition): at threads = 1 with no concurrent user
+/// of the engine it is the exact per-module attribution; with threads > 1
+/// (per-thread elapsed sums exceed wall clock) or a concurrent
+/// Prewarm/Run on the same engine (the shared explainer counters advance
+/// under both runs), the (a)/(b) shares are scaled down to fit — the old
+/// behavior of clamping only module (c) could silently report
+/// sum(modules) > total with double-attributed time.
 struct TimingBreakdown {
   double precompute_ms = 0.0;    // module (a): cube build + gamma fills
   double cascading_ms = 0.0;     // module (b): CA / guess-and-verify
   double segmentation_ms = 0.0;  // module (c): distances, variance, DP
+  double total_ms = 0.0;         // this run's wall clock (incl. build)
   double TotalMs() const {
     return precompute_ms + cascading_ms + segmentation_ms;
   }
+
+  /// Builds the breakdown from per-run explainer deltas: every bucket
+  /// >= 0 and TotalMs() == total_ms == build_ms + wall_ms (up to fp
+  /// rounding), whatever the deltas claim. Negative deltas (impossible
+  /// outside clock skew) clamp to zero; overshooting deltas scale down
+  /// proportionally; module (c) is the exact remainder.
+  static TimingBreakdown Partition(double build_ms, double precompute_delta_ms,
+                                   double cascading_delta_ms, double wall_ms);
 };
 
 /// Full pipeline output.

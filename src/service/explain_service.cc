@@ -101,21 +101,110 @@ ExplainResponse ErrorResponse(const char* code, std::string message) {
   return response;
 }
 
+ExplainResponse ServedResponse(const std::string& cache_key,
+                               const ResultCache::ValuePtr& value,
+                               bool cache_hit, double latency_ms) {
+  ExplainResponse response;
+  response.ok = true;
+  response.query_key = cache_key;
+  response.cache_hit = cache_hit;
+  response.result = value->result;
+  response.json = value->json;
+  response.latency_ms = latency_ms;
+  return response;
+}
+
 }  // namespace
 
 ExplainService::ExplainService(ServiceOptions options)
-    : cache_(options.cache_capacity_bytes, options.cache_shards) {}
+    : cache_(options.cache_capacity_bytes, options.cache_shards),
+      admission_(options.admission),
+      tenant_quotas_(cache_,
+                     TenantQuotaOptions{options.tenant_cache_budget_bytes}) {}
 
 bool ExplainService::DropDataset(const std::string& name) {
   if (!registry_.Drop(name)) return false;
   // Open sessions keep their own table copy and session/<id>/ keys; only
-  // the dataset-level entries go.
-  cache_.InvalidatePrefix(DatasetKeyPrefix(name));
+  // the dataset-level entries go — in the shared namespace AND in every
+  // known tenant's namespace (tenant keys prepend "tenant/<id>/", so the
+  // bare dataset prefix would miss them). One multi-prefix pass: the
+  // scan cost stays O(entries) however many tenants exist.
+  std::vector<std::string> prefixes = tenant_quotas_.KnownTenantPrefixes();
+  for (std::string& prefix : prefixes) prefix += DatasetKeyPrefix(name);
+  prefixes.push_back(DatasetKeyPrefix(name));
+  cache_.InvalidatePrefixes(prefixes);
   return true;
+}
+
+ExplainResponse ExplainService::AdmitAndCompute(
+    const std::string& cache_key, const std::string& tenant,
+    int requested_threads,
+    const std::function<ResultCache::ValuePtr(int granted_threads,
+                                              std::string* error)>& compute) {
+  Timer timer;
+  // A batched (coalesced) outcome normally lands on the leader's cached
+  // value; when the leader failed (or its entry was evicted instantly)
+  // we re-enter admission as a potential leader ourselves. Two re-entries
+  // are plenty: repeated leader failures mean the query itself fails.
+  std::string compute_error;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    AdmissionController::Ticket ticket =
+        admission_.Admit(cache_key, tenant, requested_threads);
+    switch (ticket.outcome()) {
+      case AdmissionController::Outcome::kShedOverload: {
+        ExplainResponse response = ErrorResponse(
+            error_code::kOverloaded,
+            "server overloaded: admission queue full; retry later");
+        response.retry_after_ms = ticket.retry_after_ms();
+        return response;
+      }
+      case AdmissionController::Outcome::kShedTenant: {
+        ExplainResponse response = ErrorResponse(
+            error_code::kQuotaExceeded,
+            "tenant '" + tenant + "' is at its in-flight quota");
+        response.retry_after_ms = ticket.retry_after_ms();
+        return response;
+      }
+      case AdmissionController::Outcome::kCoalesced: {
+        const ResultCache::ValuePtr value = cache_.Lookup(cache_key);
+        if (value) {
+          return ServedResponse(cache_key, value, /*cache_hit=*/true,
+                                timer.ElapsedMs());
+        }
+        continue;  // leader failed: retry admission
+      }
+      case AdmissionController::Outcome::kAdmitted: {
+        bool was_hit = false;
+        const ResultCache::ValuePtr value = cache_.GetOrCompute(
+            cache_key,
+            [&]() -> ResultCache::ValuePtr {
+              return compute(ticket.granted_threads(), &compute_error);
+            },
+            &was_hit);
+        if (!value) {
+          return ErrorResponse(error_code::kInternal,
+                               compute_error.empty() ? "computation failed"
+                                                     : compute_error);
+        }
+        ExplainResponse response =
+            ServedResponse(cache_key, value, was_hit, timer.ElapsedMs());
+        return response;
+      }
+    }
+  }
+  return ErrorResponse(error_code::kInternal,
+                       compute_error.empty()
+                           ? "query kept failing under coalesced retries"
+                           : compute_error);
 }
 
 ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
   Timer timer;
+  if (!request.tenant.empty() && !IsValidTenantId(request.tenant)) {
+    return ErrorResponse(
+        error_code::kBadRequest,
+        "invalid tenant id (use [A-Za-z0-9._:-], at most 64 chars)");
+  }
   const DatasetRegistry::TableRef ref = registry_.GetRef(request.dataset);
   if (!ref.table) {
     return ErrorResponse(error_code::kNotFound,
@@ -132,25 +221,39 @@ ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
   // The registration uid fences drop + re-register races: a computation
   // against the old table can only ever land under the old uid's key,
   // which no post-re-register request asks for (it ages out via LRU).
+  // The tenant prefix namespaces the entry so per-tenant cache budgets
+  // can scope evictions to exactly this tenant's keys.
   const std::string cache_key =
-      canonical.query_key +
+      TenantKeyPrefix(request.tenant) + canonical.query_key +
       StrFormat("|uid=%llu", static_cast<unsigned long long>(ref.uid)) +
       ReportSuffix(request.include_trendlines, request.include_k_curve);
+  if (!request.tenant.empty()) tenant_quotas_.EnsureTenant(request.tenant);
 
-  std::string compute_error;
-  bool was_hit = false;
-  const ResultCache::ValuePtr value = cache_.GetOrCompute(
-      cache_key,
-      [&]() -> ResultCache::ValuePtr {
+  // Hot path: cached results bypass admission — overload can defer cold
+  // work but never a hit.
+  if (const ResultCache::ValuePtr value = cache_.Lookup(cache_key)) {
+    return ServedResponse(cache_key, value, /*cache_hit=*/true,
+                          timer.ElapsedMs());
+  }
+
+  return AdmitAndCompute(
+      cache_key, request.tenant, ResolveThreadCount(config.threads),
+      [&](int granted_threads,
+          std::string* compute_error) -> ResultCache::ValuePtr {
+        // The admission grant replaces the requested thread count (it is
+        // a ceiling, not a demand); results are identical either way.
+        TSExplainConfig run_config = config;
+        run_config.threads = granted_threads;
         std::string engine_error;
         EngineHandle handle = registry_.GetOrBuildEngine(
-            request.dataset, canonical.engine_key, config,
+            request.dataset, canonical.engine_key, run_config,
             ref.table.get(), &engine_error);
         if (!handle.ok()) {
-          compute_error = engine_error;
+          *compute_error = engine_error;
           return nullptr;
         }
-        const SegmentationSpec spec = SegmentationSpec::FromConfig(config);
+        const SegmentationSpec spec =
+            SegmentationSpec::FromConfig(run_config);
         auto cached = std::make_shared<CachedResult>();
         {
           // Run mutates the engine's explanation caches; serialize per
@@ -164,24 +267,7 @@ ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
                                 request.include_k_curve));
         }
         return cached;
-      },
-      &was_hit);
-
-  if (!value) {
-    // The dataset vanished between validation and engine build (raced
-    // with a drop), or a coalesced leader failed.
-    return ErrorResponse(error_code::kInternal,
-                         compute_error.empty() ? "computation failed"
-                                               : compute_error);
-  }
-  ExplainResponse response;
-  response.ok = true;
-  response.query_key = cache_key;
-  response.cache_hit = was_hit;
-  response.result = value->result;
-  response.json = value->json;
-  response.latency_ms = timer.ElapsedMs();
-  return response;
+      });
 }
 
 ExplainService::RecommendResponse ExplainService::Recommend(
@@ -273,8 +359,14 @@ bool ExplainService::Append(uint64_t session_id, const std::string& label,
 
 ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
                                                bool include_trendlines,
-                                               bool include_k_curve) {
+                                               bool include_k_curve,
+                                               const std::string& tenant) {
   Timer timer;
+  if (!tenant.empty() && !IsValidTenantId(tenant)) {
+    return ErrorResponse(
+        error_code::kBadRequest,
+        "invalid tenant id (use [A-Za-z0-9._:-], at most 64 chars)");
+  }
   const std::shared_ptr<Session> session = FindSession(session_id);
   if (!session) {
     return ErrorResponse(
@@ -289,32 +381,34 @@ ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
   }
   // The key embeds the current length: an explain after an append can
   // never alias a pre-append entry even if an invalidation is lost.
+  // Session keys stay OUTSIDE tenant namespaces (a session is already
+  // private to its creator and appends must invalidate it wholesale),
+  // but the request still counts against the tenant's in-flight cap.
   const std::string cache_key =
       StrFormat("session/%llu/n%d",
                 static_cast<unsigned long long>(session_id),
                 session->engine->n()) +
       ReportSuffix(include_trendlines, include_k_curve);
-  bool was_hit = false;
-  const ResultCache::ValuePtr value = cache_.GetOrCompute(
-      cache_key,
-      [&]() -> ResultCache::ValuePtr {
+  if (const ResultCache::ValuePtr value = cache_.Lookup(cache_key)) {
+    return ServedResponse(cache_key, value, /*cache_hit=*/true,
+                          timer.ElapsedMs());
+  }
+  // Admission happens while holding the session mutex: every op on one
+  // session is serialized anyway (that is the session contract), and the
+  // slot taken here is released before any other session op can need it.
+  return AdmitAndCompute(
+      cache_key, tenant,
+      ResolveThreadCount(session->config.threads),
+      [&](int granted_threads,
+          std::string* /*compute_error*/) -> ResultCache::ValuePtr {
         auto cached = std::make_shared<CachedResult>();
         cached->result = std::make_shared<TSExplainResult>(
-            session->engine->Explain());
+            session->engine->Explain(granted_threads));
         cached->json = RenderJsonReport(
             session->engine->cube(), *cached->result,
             WireReportOptions(include_trendlines, include_k_curve));
         return cached;
-      },
-      &was_hit);
-  ExplainResponse response;
-  response.ok = true;
-  response.query_key = cache_key;
-  response.cache_hit = was_hit;
-  response.result = value->result;
-  response.json = value->json;
-  response.latency_ms = timer.ElapsedMs();
-  return response;
+      });
 }
 
 bool ExplainService::CloseSession(uint64_t session_id) {
@@ -353,7 +447,9 @@ ServiceStats ExplainService::Stats() const {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     stats.open_sessions = sessions_.size();
   }
+  stats.tenants = tenant_quotas_.NumTenants();
   stats.cache = cache_.stats();
+  stats.admission = admission_.stats();
   return stats;
 }
 

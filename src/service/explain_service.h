@@ -26,6 +26,7 @@
 #define TSEXPLAIN_SERVICE_EXPLAIN_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -37,7 +38,9 @@
 #include "src/pipeline/recommend.h"
 #include "src/pipeline/report_json.h"
 #include "src/pipeline/streaming.h"
+#include "src/service/admission.h"
 #include "src/service/dataset_registry.h"
+#include "src/service/quota.h"
 #include "src/service/result_cache.h"
 
 namespace tsexplain {
@@ -50,16 +53,33 @@ inline constexpr char kBadRequest[] = "bad_request";
 inline constexpr char kNotFound[] = "not_found";
 inline constexpr char kInvalidQuery[] = "invalid_query";
 inline constexpr char kInternal[] = "internal";
+/// Load shed: the bounded admission queue is full. Retry after
+/// `retry_after_ms`.
+inline constexpr char kOverloaded[] = "overloaded";
+/// Load shed: the request's tenant is at its in-flight cap.
+inline constexpr char kQuotaExceeded[] = "quota_exceeded";
 }  // namespace error_code
 
 struct ServiceOptions {
   size_t cache_capacity_bytes = 64ull << 20;  // 64 MiB
   int cache_shards = 8;
+  /// Overload control (admission.h): bounded concurrency + queue, load
+  /// shedding, duplicate batching, per-tenant in-flight caps, adaptive
+  /// thread grants. Defaults admit one running query per pool worker.
+  AdmissionOptions admission;
+  /// Per-tenant ResultCache byte budget (quota.h); 0 = tenants share the
+  /// global LRU unbounded. Cache hits are never quota-checked.
+  size_t tenant_cache_budget_bytes = 0;
 };
 
 struct ExplainRequest {
   std::string dataset;
   TSExplainConfig config;
+  /// Optional tenant identifier ([A-Za-z0-9._:-], <= 64 chars). Tenants
+  /// get their own cache namespace (budgeted when the service is
+  /// configured with tenant_cache_budget_bytes) and count against the
+  /// per-tenant in-flight cap. Empty = the shared namespace.
+  std::string tenant;
   /// Report shape (part of the cache key). The wire JSON is always
   /// compact; trendlines are opt-in to keep hot responses small.
   bool include_trendlines = false;
@@ -70,6 +90,9 @@ struct ExplainResponse {
   bool ok = false;
   std::string error_code;  // one of error_code::k* when !ok
   std::string error;       // human-readable detail
+  /// For overloaded / quota_exceeded errors: how long the client should
+  /// back off before retrying (0 otherwise).
+  double retry_after_ms = 0.0;
   std::string query_key;   // canonical key (diagnostics; empty when !ok)
   bool cache_hit = false;  // served without running the pipeline here
   std::shared_ptr<const TSExplainResult> result;
@@ -81,7 +104,9 @@ struct ServiceStats {
   size_t datasets = 0;
   size_t hot_engines = 0;
   size_t open_sessions = 0;
+  size_t tenants = 0;
   ResultCache::Stats cache;
+  AdmissionController::Stats admission;
 };
 
 class ExplainService {
@@ -98,6 +123,14 @@ class ExplainService {
 
   /// Synchronous query. Validation errors, unknown datasets, etc. come
   /// back as error responses; only violated internal invariants abort.
+  ///
+  /// Hot path: a cached result is served immediately, WITHOUT admission
+  /// control — overload can only defer work, never hits. Cold path: the
+  /// query passes the AdmissionController (which may batch it onto an
+  /// identical in-flight query, queue it briefly, or shed it with
+  /// `overloaded` / `quota_exceeded` + retry_after_ms), then runs with
+  /// the granted thread count. Results are bit-identical however the
+  /// query was served (cached, batched, queued, any thread grant).
   ExplainResponse Explain(const ExplainRequest& request);
 
   /// Explain-by attribute recommendation (no caching: it is cheap and
@@ -121,7 +154,8 @@ class ExplainService {
               const std::vector<StreamRow>& rows, std::string* error);
   ExplainResponse ExplainSession(uint64_t session_id,
                                  bool include_trendlines = false,
-                                 bool include_k_curve = true);
+                                 bool include_k_curve = true,
+                                 const std::string& tenant = std::string());
   bool CloseSession(uint64_t session_id);
   /// Number of time buckets in the session; -1 when unknown.
   int SessionLength(uint64_t session_id) const;
@@ -129,6 +163,10 @@ class ExplainService {
   bool SessionLastAppendRebuilt(uint64_t session_id) const;
 
   ServiceStats Stats() const;
+
+  /// The overload controller (transports use it to bound their dispatch
+  /// backlog and to produce retry-after hints for pre-dispatch sheds).
+  AdmissionController& admission() { return admission_; }
 
  private:
   struct Session {
@@ -141,8 +179,19 @@ class ExplainService {
 
   std::shared_ptr<Session> FindSession(uint64_t session_id) const;
 
+  /// Runs the admission + single-flight compute for one (cold) cache
+  /// key; shared by Explain and ExplainSession.
+  ExplainResponse AdmitAndCompute(
+      const std::string& cache_key, const std::string& tenant,
+      int requested_threads,
+      const std::function<ResultCache::ValuePtr(int granted_threads,
+                                                std::string* error)>&
+          compute);
+
   DatasetRegistry registry_;
   ResultCache cache_;
+  AdmissionController admission_;
+  TenantQuotaRegistry tenant_quotas_;
 
   mutable std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;

@@ -32,8 +32,11 @@ void EmitId(JsonWriter& json, const JsonValue* request) {
   }
 }
 
+// `retry_after_ms` > 0 (overload / quota sheds) is embedded in the error
+// object so clients can back off without parsing the message.
 std::string MakeError(const JsonValue* request, const std::string& op,
-                      const std::string& code, const std::string& message) {
+                      const std::string& code, const std::string& message,
+                      double retry_after_ms = 0.0) {
   JsonWriter json(/*pretty=*/false);
   json.BeginObject();
   EmitId(json, request);
@@ -49,6 +52,10 @@ std::string MakeError(const JsonValue* request, const std::string& op,
   json.String(code);
   json.Key("message");
   json.String(message);
+  if (retry_after_ms > 0.0) {
+    json.Key("retry_after_ms");
+    json.Number(retry_after_ms);
+  }
   json.EndObject();
   json.EndObject();
   return json.str();
@@ -183,6 +190,10 @@ bool ProtocolHandler::IsBarrierOp(const std::string& op) {
            op == "recommend" || op == "list_datasets");
 }
 
+bool ProtocolHandler::IsExpensiveOp(const std::string& op) {
+  return op == "explain" || op == "explain_session";
+}
+
 std::string ProtocolHandler::OpOf(const JsonValue& request) {
   return request.GetString("op");
 }
@@ -190,6 +201,12 @@ std::string ProtocolHandler::OpOf(const JsonValue& request) {
 std::string ProtocolHandler::MakeParseError(
     const std::string& message) const {
   return MakeError(nullptr, "", error_code::kParseError, message);
+}
+
+std::string ProtocolHandler::MakeOverloaded(const JsonValue& request) const {
+  return MakeError(&request, OpOf(request), error_code::kOverloaded,
+                   "server overloaded: request shed before dispatch",
+                   service_.admission().RetryAfterMsHint());
 }
 
 std::string ProtocolHandler::Handle(const JsonValue& request) {
@@ -311,11 +328,13 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     if (!ParseQueryConfig(request, &explain.config, &parse_error)) {
       return MakeError(&request, op, error_code::kBadRequest, parse_error);
     }
+    explain.tenant = request.GetString("tenant");
     explain.include_trendlines = request.GetBool("trendlines", false);
     explain.include_k_curve = request.GetBool("k_curve", true);
     const ExplainResponse response = service_.Explain(explain);
     if (!response.ok) {
-      return MakeError(&request, op, response.error_code, response.error);
+      return MakeError(&request, op, response.error_code, response.error,
+                       response.retry_after_ms);
     }
     JsonWriter json(false);
     BeginOk(json, request, op);
@@ -461,9 +480,10 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     }
     const ExplainResponse response = service_.ExplainSession(
         session, request.GetBool("trendlines", false),
-        request.GetBool("k_curve", true));
+        request.GetBool("k_curve", true), request.GetString("tenant"));
     if (!response.ok) {
-      return MakeError(&request, op, response.error_code, response.error);
+      return MakeError(&request, op, response.error_code, response.error,
+                       response.retry_after_ms);
     }
     JsonWriter json(false);
     BeginOk(json, request, op);
@@ -510,6 +530,29 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Int(static_cast<long long>(stats.hot_engines));
     json.Key("open_sessions");
     json.Int(static_cast<long long>(stats.open_sessions));
+    json.Key("tenants");
+    json.Int(static_cast<long long>(stats.tenants));
+    json.Key("admission");
+    json.BeginObject();
+    json.Key("admitted");
+    json.Int(static_cast<long long>(stats.admission.admitted));
+    json.Key("coalesced");
+    json.Int(static_cast<long long>(stats.admission.coalesced));
+    json.Key("shed_overload");
+    json.Int(static_cast<long long>(stats.admission.shed_overload));
+    json.Key("shed_tenant");
+    json.Int(static_cast<long long>(stats.admission.shed_tenant));
+    json.Key("backlog_shed");
+    json.Int(static_cast<long long>(stats.admission.backlog_shed));
+    json.Key("active");
+    json.Int(static_cast<long long>(stats.admission.active));
+    json.Key("queued");
+    json.Int(static_cast<long long>(stats.admission.queued));
+    json.Key("peak_active");
+    json.Int(static_cast<long long>(stats.admission.peak_active));
+    json.Key("peak_queued");
+    json.Int(static_cast<long long>(stats.admission.peak_queued));
+    json.EndObject();
     json.Key("cache");
     json.BeginObject();
     json.Key("hits");
@@ -520,6 +563,8 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Int(static_cast<long long>(stats.cache.coalesced));
     json.Key("evictions");
     json.Int(static_cast<long long>(stats.cache.evictions));
+    json.Key("budget_evictions");
+    json.Int(static_cast<long long>(stats.cache.budget_evictions));
     json.Key("invalidations");
     json.Int(static_cast<long long>(stats.cache.invalidations));
     json.Key("entries");

@@ -30,6 +30,12 @@ class ProtocolHandler {
   /// Response for a line that failed to parse as JSON.
   std::string MakeParseError(const std::string& message) const;
 
+  /// Structured `overloaded` response for a request the TRANSPORT must
+  /// shed before dispatch (its backlog slot acquisition failed): echoes
+  /// the id and carries the service's retry-after hint, exactly like a
+  /// service-level shed.
+  std::string MakeOverloaded(const JsonValue& request) const;
+
   /// Ops the transport must run inline as ordering barriers (after
   /// draining previously dispatched reads) instead of fanning out to the
   /// pool: every state mutation (register, sessions, shutdown) plus
@@ -40,6 +46,11 @@ class ProtocolHandler {
 
   /// Extracts "op" from a request object ("" when absent).
   static std::string OpOf(const JsonValue& request);
+
+  /// Ops expensive enough to fall under admission control; the transport
+  /// bounds its dispatch backlog for exactly these (cheap reads and
+  /// barrier ops are never shed).
+  static bool IsExpensiveOp(const std::string& op);
 
  private:
   ExplainService& service_;

@@ -1,0 +1,45 @@
+#include "src/service/quota.h"
+
+namespace tsexplain {
+
+bool IsValidTenantId(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string TenantKeyPrefix(const std::string& tenant) {
+  if (tenant.empty()) return std::string();
+  return "tenant/" + tenant + "/";
+}
+
+void TenantQuotaRegistry::EnsureTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tenants_.insert(tenant).second) return;  // already installed
+  if (options_.cache_budget_bytes > 0) {
+    cache_.SetPrefixBudget(TenantKeyPrefix(tenant),
+                           options_.cache_budget_bytes);
+  }
+}
+
+std::vector<std::string> TenantQuotaRegistry::KnownTenantPrefixes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> prefixes;
+  prefixes.reserve(tenants_.size());
+  for (const std::string& tenant : tenants_) {
+    prefixes.push_back(TenantKeyPrefix(tenant));
+  }
+  return prefixes;
+}
+
+size_t TenantQuotaRegistry::NumTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace tsexplain

@@ -59,32 +59,87 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
   return *shards_[HashKey(key) & shard_mask_];
 }
 
-void ResultCache::InsertLocked(Shard& shard, const std::string& key,
+ResultCache::BudgetsPtr ResultCache::SnapshotBudgets() const {
+  std::lock_guard<std::mutex> lock(budgets_mu_);
+  return budgets_;
+}
+
+int ResultCache::MatchBudget(const BudgetList& budgets,
+                             const std::string& key) {
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    if (key.compare(0, budgets[b].prefix.size(), budgets[b].prefix) == 0) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+void ResultCache::RemoveEntryLocked(
+    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  shard.bytes_used -= it->second.cost;
+  if (it->second.budget >= 0) {
+    shard.budget_bytes[static_cast<size_t>(it->second.budget)] -=
+        it->second.cost;
+  }
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+}
+
+void ResultCache::InsertLocked(Shard& shard, const BudgetList& budgets,
+                               const std::string& key,
                                const ValuePtr& value) {
+  // An existing entry under this key is stale by definition (the caller
+  // computed a fresh value): its accounting is dropped FIRST so
+  // bytes_used is never double-charged and the eviction loop below never
+  // runs against a stale cost — and an oversized fresh value removes the
+  // stale entry rather than leaving it to be served.
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) RemoveEntryLocked(shard, it);
+
   const size_t cost = value->CostBytes();
   if (cost > capacity_per_shard_) return;  // would evict everything: skip
-  auto it = shard.entries.find(key);
-  if (it != shard.entries.end()) {
-    // Raced with another insert of the same key (e.g. a flight finishing
-    // right after an Invalidate + re-compute). Replace in place.
-    shard.bytes_used -= it->second.cost;
-    shard.lru.erase(it->second.lru_pos);
-    shard.entries.erase(it);
+  if (shard.budget_bytes.size() < budgets.size()) {
+    shard.budget_bytes.resize(budgets.size(), 0);
+  }
+  const int budget = MatchBudget(budgets, key);
+  if (budget >= 0 && cost > budgets[static_cast<size_t>(budget)].per_shard) {
+    return;  // would evict the namespace's whole shard share: skip
   }
   shard.lru.push_front(key);
   Entry entry;
   entry.value = value;
   entry.cost = cost;
+  entry.budget = budget;
   entry.lru_pos = shard.lru.begin();
   shard.entries.emplace(key, std::move(entry));
   shard.bytes_used += cost;
+  if (budget >= 0) {
+    const size_t b = static_cast<size_t>(budget);
+    shard.budget_bytes[b] += cost;
+    // Prefix budget: evict the namespace's own LRU tail (a back-to-front
+    // walk restricted to this budget preserves LRU order within the
+    // prefix). Other namespaces' entries are untouchable here — that is
+    // the isolation property.
+    while (shard.budget_bytes[b] > budgets[b].per_shard) {
+      bool evicted = false;
+      for (auto lit = shard.lru.rbegin(); lit != shard.lru.rend(); ++lit) {
+        auto vit = shard.entries.find(*lit);
+        TSE_CHECK(vit != shard.entries.end());
+        if (vit->second.budget == budget) {
+          RemoveEntryLocked(shard, vit);
+          ++shard.evictions;
+          ++shard.budget_evictions;
+          evicted = true;
+          break;
+        }
+      }
+      if (!evicted) break;  // unreachable if accounting is exact
+    }
+  }
   while (shard.bytes_used > capacity_per_shard_ && !shard.lru.empty()) {
-    const std::string& victim = shard.lru.back();
-    auto vit = shard.entries.find(victim);
+    auto vit = shard.entries.find(shard.lru.back());
     TSE_CHECK(vit != shard.entries.end());
-    shard.bytes_used -= vit->second.cost;
-    shard.entries.erase(vit);
-    shard.lru.pop_back();
+    RemoveEntryLocked(shard, vit);
     ++shard.evictions;
   }
 }
@@ -125,13 +180,117 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
 
   if (was_hit) *was_hit = false;
   ValuePtr value = compute();  // outside the lock: may be seconds long
-  {
+  if (value) {
+    const BudgetsPtr budgets = SnapshotBudgets();
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.inflight.erase(key);
-    if (value) InsertLocked(shard, key, value);
+    InsertLocked(shard, *budgets, key, value);
+  } else {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
   }
   flight->promise.set_value(value);
   return value;
+}
+
+ResultCache::ValuePtr ResultCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++shard.hits;
+  return it->second.value;
+}
+
+void ResultCache::Put(const std::string& key, const ValuePtr& value) {
+  TSE_CHECK(value != nullptr);
+  const BudgetsPtr budgets = SnapshotBudgets();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, *budgets, key, value);
+}
+
+void ResultCache::SetPrefixBudget(const std::string& prefix,
+                                  size_t budget_bytes) {
+  TSE_CHECK(!prefix.empty());
+  const size_t per_shard =
+      std::max<size_t>(1, budget_bytes / shards_.size());
+  BudgetsPtr snapshot;
+  int index = -1;
+  {
+    std::lock_guard<std::mutex> lock(budgets_mu_);
+    auto next = std::make_shared<BudgetList>(*budgets_);
+    for (size_t b = 0; b < next->size(); ++b) {
+      if ((*next)[b].prefix == prefix) index = static_cast<int>(b);
+    }
+    if (index < 0) {
+      next->push_back(Budget{prefix, per_shard});
+      index = static_cast<int>(next->size()) - 1;
+    } else {
+      (*next)[static_cast<size_t>(index)].per_shard = per_shard;
+    }
+    budgets_ = std::move(next);
+    snapshot = budgets_;
+  }
+  // Re-attribute resident entries and enforce the (new) bound. Budgets
+  // are installed before a namespace's first insert in the service, so
+  // this scan usually finds nothing; it exists for resizes.
+  const BudgetList& budgets = *snapshot;
+  const size_t b = static_cast<size_t>(index);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.budget_bytes.size() < budgets.size()) {
+      shard.budget_bytes.resize(budgets.size(), 0);
+    }
+    for (auto& [key, entry] : shard.entries) {
+      const int match = MatchBudget(budgets, key);
+      if (match == entry.budget) continue;
+      if (entry.budget >= 0) {
+        shard.budget_bytes[static_cast<size_t>(entry.budget)] -= entry.cost;
+      }
+      entry.budget = match;
+      if (match >= 0) {
+        shard.budget_bytes[static_cast<size_t>(match)] += entry.cost;
+      }
+    }
+    while (shard.budget_bytes[b] > budgets[b].per_shard) {
+      bool evicted = false;
+      for (auto lit = shard.lru.rbegin(); lit != shard.lru.rend(); ++lit) {
+        auto vit = shard.entries.find(*lit);
+        TSE_CHECK(vit != shard.entries.end());
+        if (vit->second.budget == index) {
+          RemoveEntryLocked(shard, vit);
+          ++shard.evictions;
+          ++shard.budget_evictions;
+          evicted = true;
+          break;
+        }
+      }
+      if (!evicted) break;  // unreachable if accounting is exact
+    }
+  }
+}
+
+size_t ResultCache::PrefixBytes(const std::string& prefix) const {
+  int index = -1;
+  {
+    std::lock_guard<std::mutex> lock(budgets_mu_);
+    for (size_t b = 0; b < budgets_->size(); ++b) {
+      if ((*budgets_)[b].prefix == prefix) index = static_cast<int>(b);
+    }
+  }
+  if (index < 0) return 0;
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (static_cast<size_t>(index) < shard.budget_bytes.size()) {
+      total += shard.budget_bytes[static_cast<size_t>(index)];
+    }
+  }
+  return total;
 }
 
 void ResultCache::Invalidate(const std::string& key) {
@@ -139,22 +298,31 @@ void ResultCache::Invalidate(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
-  shard.bytes_used -= it->second.cost;
-  shard.lru.erase(it->second.lru_pos);
-  shard.entries.erase(it);
+  RemoveEntryLocked(shard, it);
   ++shard.invalidations;
 }
 
 size_t ResultCache::InvalidatePrefix(const std::string& prefix) {
+  return InvalidatePrefixes({prefix});
+}
+
+size_t ResultCache::InvalidatePrefixes(
+    const std::vector<std::string>& prefixes) {
   size_t removed = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
-      if (it->first.compare(0, prefix.size(), prefix) == 0) {
-        shard.bytes_used -= it->second.cost;
-        shard.lru.erase(it->second.lru_pos);
-        it = shard.entries.erase(it);
+      bool matched = false;
+      for (const std::string& prefix : prefixes) {
+        if (it->first.compare(0, prefix.size(), prefix) == 0) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        auto victim = it++;
+        RemoveEntryLocked(shard, victim);
         ++shard.invalidations;
         ++removed;
       } else {
@@ -175,6 +343,7 @@ ResultCache::Stats ResultCache::stats() const {
     stats.misses += shard.misses;
     stats.coalesced += shard.coalesced;
     stats.evictions += shard.evictions;
+    stats.budget_evictions += shard.budget_evictions;
     stats.invalidations += shard.invalidations;
     stats.entries += shard.entries.size();
     stats.bytes_used += shard.bytes_used;

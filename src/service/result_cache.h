@@ -53,6 +53,7 @@ class ResultCache {
     size_t misses = 0;       // led a computation
     size_t coalesced = 0;    // waited on another thread's computation
     size_t evictions = 0;    // entries removed to respect capacity
+    size_t budget_evictions = 0;  // subset of evictions: prefix budgets
     size_t invalidations = 0;
     size_t entries = 0;      // current resident entries
     size_t bytes_used = 0;   // current resident cost
@@ -69,6 +70,31 @@ class ResultCache {
   ValuePtr GetOrCompute(const std::string& key, const ComputeFn& compute,
                         bool* was_hit = nullptr);
 
+  /// Hit-only probe: the resident value (LRU-touched, counted as a hit)
+  /// or nullptr, never starting a flight. The service's fast path uses
+  /// this so hot requests bypass admission control entirely.
+  ValuePtr Lookup(const std::string& key);
+
+  /// Direct insert/overwrite with the same accounting and eviction as a
+  /// completed flight: overwriting never double-charges `bytes_used`,
+  /// and an oversized value drops any stale resident entry rather than
+  /// leaving it to be served. Used for warm-starts and tests.
+  void Put(const std::string& key, const ValuePtr& value);
+
+  /// Installs (or resizes) a byte budget for every key starting with
+  /// `prefix` — the per-tenant / per-dataset quota hook: entries under
+  /// the prefix are evicted (LRU within the prefix) once their summed
+  /// cost exceeds the budget, so one namespace can no longer evict the
+  /// world. Like the global capacity, the budget is divided across
+  /// shards, so budgets should be generous multiples of a typical entry
+  /// cost. The first matching registered prefix wins; resident entries
+  /// are re-attributed (and possibly evicted) immediately.
+  void SetPrefixBudget(const std::string& prefix, size_t budget_bytes);
+
+  /// Resident bytes currently attributed to a registered prefix budget
+  /// (0 for unregistered prefixes).
+  size_t PrefixBytes(const std::string& prefix) const;
+
   /// Drops one key (no-op when absent). In-flight computations are not
   /// interrupted, but their value will land AFTER the invalidation and
   /// may be re-evicted by a later invalidation only; callers that need
@@ -82,12 +108,18 @@ class ResultCache {
   /// full scan is acceptable.
   size_t InvalidatePrefix(const std::string& prefix);
 
+  /// Same, for several prefixes in ONE full scan (dataset drops must
+  /// clear the shared namespace plus every tenant namespace; one pass
+  /// visits each entry once instead of once per prefix).
+  size_t InvalidatePrefixes(const std::vector<std::string>& prefixes);
+
   Stats stats() const;
 
  private:
   struct Entry {
     ValuePtr value;
     size_t cost = 0;
+    int budget = -1;  // index into the budget list; -1 = unbudgeted
     std::list<std::string>::iterator lru_pos;
   };
   struct Flight {
@@ -100,21 +132,39 @@ class ResultCache {
     std::list<std::string> lru;  // front = most recently used
     std::unordered_map<std::string, std::shared_ptr<Flight>> inflight;
     size_t bytes_used = 0;
+    std::vector<size_t> budget_bytes;  // parallel to the budget list
     size_t hits = 0;
     size_t misses = 0;
     size_t coalesced = 0;
     size_t evictions = 0;
+    size_t budget_evictions = 0;
     size_t invalidations = 0;
   };
+  struct Budget {
+    std::string prefix;
+    size_t per_shard = 0;
+  };
+  using BudgetList = std::vector<Budget>;
+  using BudgetsPtr = std::shared_ptr<const BudgetList>;
 
   Shard& ShardFor(const std::string& key);
-  // Inserts under the shard lock, evicting LRU entries over capacity.
-  void InsertLocked(Shard& shard, const std::string& key,
-                    const ValuePtr& value);
+  BudgetsPtr SnapshotBudgets() const;
+  static int MatchBudget(const BudgetList& budgets, const std::string& key);
+  // Removes one entry with exact byte/budget accounting; `it` must be
+  // valid. Does NOT bump eviction/invalidation counters (callers do).
+  static void RemoveEntryLocked(
+      Shard& shard, std::unordered_map<std::string, Entry>::iterator it);
+  // Inserts under the shard lock, evicting (budget-scoped first, then
+  // global LRU) until all bounds hold again.
+  void InsertLocked(Shard& shard, const BudgetList& budgets,
+                    const std::string& key, const ValuePtr& value);
 
   size_t capacity_per_shard_;
   size_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex budgets_mu_;  // guards the budgets_ pointer swap
+  BudgetsPtr budgets_ = std::make_shared<const BudgetList>();
 };
 
 }  // namespace tsexplain

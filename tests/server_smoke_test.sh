@@ -13,6 +13,10 @@
 #   - error paths: parse_error, unknown_op, not_found, bad_request —
 #     all as responses, never as a crash
 #   - shutdown op ends the server with exit 0
+#   - TCP mode (with the overload flags set): a request dribbled
+#     byte-by-byte across many tiny writes still parses (recv-boundary
+#     handling), a multi-MB garbage line draws ONE structured error and
+#     leaves the connection usable, and stats exposes admission counters
 #
 # Usage: server_smoke_test.sh /path/to/tsexplain_serve
 set -u
@@ -104,6 +108,81 @@ echo "$STATS" | grep -q '"misses":2' || fail single_flight "$STATS"
 echo "$STATS" | grep -q '"datasets":1' || fail stats_datasets "$STATS"
 echo "$STATS" | grep -q '"open_sessions":1' || fail stats_sessions "$STATS"
 response_for 16 "$OUT" | grep -q '"op":"shutdown"' || fail shutdown "$(response_for 16 "$OUT")"
+
+# --- TCP mode: dribbled bytes, oversized lines, overload flags ------------
+# The TCP read loop must reassemble lines split across arbitrary recv()
+# boundaries, survive a multi-MB garbage line with a structured error
+# (connection stays alive), and accept the new overload-control flags.
+TCP_PORT=$(( (RANDOM % 20000) + 20000 ))
+"$SERVE" --port "$TCP_PORT" --max-inflight 2 --queue-depth 2 \
+         --tenant-cache-budget 8 --tenant-inflight 4 \
+         2>"$TMPDIR_SMOKE/tcp.err" &
+SERVE_PID=$!
+
+tcp_up=0
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$TCP_PORT") 2>/dev/null; then
+    tcp_up=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$tcp_up" -ne 1 ]; then
+  fail tcp_listen "server did not start listening on 127.0.0.1:$TCP_PORT"
+  cat "$TMPDIR_SMOKE/tcp.err" >&2
+else
+  exec 3<>"/dev/tcp/127.0.0.1/$TCP_PORT"
+
+  # Register normally, then dribble an explain request ONE BYTE PER
+  # write: the server sees ~90 recv() calls for one NDJSON line.
+  printf '%s\n' "{\"op\":\"register\",\"id\":100,\"name\":\"tcp\",\"csv_path\":\"$CSV\",\"time_column\":\"date\",\"measures\":[\"sales\"]}" >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"ok":true' || fail tcp_register "$RESP"
+
+  DRIBBLE='{"op":"explain","id":101,"dataset":"tcp","measure":"sales","explain_by":["region"],"k":2,"tenant":"acme"}'
+  for ((i = 0; i < ${#DRIBBLE}; i++)); do
+    printf '%s' "${DRIBBLE:i:1}" >&3
+  done
+  printf '\n' >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"id":101,"ok":true' || fail tcp_dribble "$RESP"
+  echo "$RESP" | grep -q '"result":{' || fail tcp_dribble_result "$RESP"
+
+  # A 6 MiB garbage line (no newline until the end): one structured
+  # error, stream stays in sync, connection stays alive. The flood then
+  # CONTINUES past the error for another 2 MiB before the newline — the
+  # server must drop those bytes without buffering them (and without a
+  # second error).
+  head -c $((6 * 1024 * 1024)) /dev/zero | tr '\0' 'x' >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"code":"parse_error"' || fail tcp_giant_line "$RESP"
+  echo "$RESP" | grep -q 'exceeds' || fail tcp_giant_message "$RESP"
+  head -c $((2 * 1024 * 1024)) /dev/zero | tr '\0' 'y' >&3
+  printf '\n' >&3
+
+  printf '%s\n' '{"op":"explain","id":102,"dataset":"tcp","measure":"sales","explain_by":["region"],"k":2,"tenant":"acme"}' >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"id":102,"ok":true' || fail tcp_alive_after_garbage "$RESP"
+  echo "$RESP" | grep -q '"cache_hit":true' || fail tcp_cache_after_garbage "$RESP"
+
+  # Stats exposes the admission/tenant counters; shutdown stops the
+  # server cleanly.
+  printf '%s\n' '{"op":"stats","id":103}' >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"admission":{' || fail tcp_stats_admission "$RESP"
+  echo "$RESP" | grep -q '"tenants":1' || fail tcp_stats_tenants "$RESP"
+  printf '%s\n' '{"op":"shutdown","id":104}' >&3
+  read -r -t 30 RESP <&3
+  echo "$RESP" | grep -q '"op":"shutdown"' || fail tcp_shutdown "$RESP"
+  exec 3>&- 3<&-
+fi
+
+if wait "$SERVE_PID"; then
+  :
+else
+  fail tcp_exit "TCP server exited non-zero"
+  cat "$TMPDIR_SMOKE/tcp.err" >&2
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "--- responses ---" >&2

@@ -1,0 +1,221 @@
+// AdmissionController contract: bounded concurrency, bounded queue with
+// shedding, duplicate batching (coalescing), per-tenant in-flight caps,
+// adaptive thread grants, transport backlog bounding — plus the tenant
+// identity/quota helpers from quota.h.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/service/admission.h"
+#include "src/service/quota.h"
+
+namespace tsexplain {
+namespace {
+
+AdmissionOptions SmallOptions() {
+  AdmissionOptions options;
+  options.max_concurrent = 2;
+  options.queue_depth = 1;
+  options.pool_size = 8;
+  return options;
+}
+
+// Polls a predicate over controller stats (the controller has no test
+// hooks; its transitions are observable through stats()).
+template <typename Pred>
+bool WaitFor(const AdmissionController& admission, Pred pred,
+             int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (pred(admission.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(AdmissionControllerTest, AdmitsUpToCapacityAndGrantsFairThreads) {
+  AdmissionController admission(SmallOptions());
+  auto first = admission.Admit("q1", "", /*requested_threads=*/8);
+  EXPECT_TRUE(first.admitted());
+  EXPECT_EQ(first.granted_threads(), 8);  // pool 8 / 1 active
+  auto second = admission.Admit("q2", "", 8);
+  EXPECT_TRUE(second.admitted());
+  EXPECT_EQ(second.granted_threads(), 4);  // pool 8 / 2 active
+
+  const AdmissionController::Stats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.active, 2u);
+  EXPECT_EQ(stats.peak_active, 2u);
+}
+
+TEST(AdmissionControllerTest, RequestedThreadsIsACeiling) {
+  AdmissionController admission(SmallOptions());
+  auto ticket = admission.Admit("q", "", /*requested_threads=*/2);
+  EXPECT_TRUE(ticket.admitted());
+  EXPECT_EQ(ticket.granted_threads(), 2);  // fair share 8, requested 2
+}
+
+TEST(AdmissionControllerTest, ReleasingATicketFreesItsSlot) {
+  AdmissionController admission(SmallOptions());
+  {
+    auto a = admission.Admit("a", "", 1);
+    auto b = admission.Admit("b", "", 1);
+    EXPECT_EQ(admission.stats().active, 2u);
+  }
+  EXPECT_EQ(admission.stats().active, 0u);
+  EXPECT_TRUE(admission.Admit("c", "", 1).admitted());
+}
+
+TEST(AdmissionControllerTest, QueuesThenShedsWithRetryAfter) {
+  AdmissionController admission(SmallOptions());  // 2 running + 1 queued
+  auto a = admission.Admit("a", "", 1);
+  auto b = admission.Admit("b", "", 1);
+
+  // Fill the one queue slot from another thread (it blocks there).
+  std::atomic<bool> queued_done{false};
+  std::thread waiter([&] {
+    auto c = admission.Admit("c", "", 1);
+    EXPECT_TRUE(c.admitted());
+    queued_done.store(true);
+  });
+  ASSERT_TRUE(WaitFor(admission, [](const AdmissionController::Stats& s) {
+    return s.queued == 1;
+  }));
+
+  // Queue full: the next distinct query is shed immediately.
+  auto shed = admission.Admit("d", "", 1);
+  EXPECT_EQ(shed.outcome(), AdmissionController::Outcome::kShedOverload);
+  EXPECT_TRUE(shed.shed());
+  EXPECT_GT(shed.retry_after_ms(), 0.0);
+  EXPECT_EQ(admission.stats().shed_overload, 1u);
+  EXPECT_EQ(admission.stats().peak_queued, 1u);
+
+  // Releasing a runner admits the queued waiter.
+  { auto drop = std::move(a); }
+  waiter.join();
+  EXPECT_TRUE(queued_done.load());
+  EXPECT_EQ(admission.stats().admitted, 3u);
+}
+
+TEST(AdmissionControllerTest, DuplicateKeysBatchWithoutConsumingSlots) {
+  AdmissionOptions options = SmallOptions();
+  options.max_concurrent = 1;
+  options.queue_depth = 0;  // any queued duplicate would be shed instead
+  AdmissionController admission(options);
+
+  auto leader = std::make_unique<AdmissionController::Ticket>(
+      admission.Admit("hot-query", "", 1));
+  EXPECT_TRUE(leader->admitted());
+
+  constexpr int kFollowers = 3;
+  std::vector<std::thread> followers;
+  std::atomic<int> coalesced{0};
+  followers.reserve(kFollowers);
+  for (int f = 0; f < kFollowers; ++f) {
+    followers.emplace_back([&] {
+      auto ticket = admission.Admit("hot-query", "", 1);
+      if (ticket.outcome() == AdmissionController::Outcome::kCoalesced) {
+        coalesced.fetch_add(1);
+      }
+    });
+  }
+  ASSERT_TRUE(WaitFor(admission, [](const AdmissionController::Stats& s) {
+    return s.coalesced == kFollowers;
+  }));
+  // Despite queue_depth = 0, nothing was shed: duplicates do not occupy
+  // queue slots. They are parked on the leader's flight.
+  EXPECT_EQ(admission.stats().shed_overload, 0u);
+
+  leader.reset();  // leader finishes -> followers return kCoalesced
+  for (std::thread& follower : followers) follower.join();
+  EXPECT_EQ(coalesced.load(), kFollowers);
+  EXPECT_EQ(admission.stats().admitted, 1u);
+}
+
+TEST(AdmissionControllerTest, TenantInflightCapShedsOnlyThatTenant) {
+  AdmissionOptions options = SmallOptions();
+  options.per_tenant_inflight = 1;
+  AdmissionController admission(options);
+
+  auto held = admission.Admit("q1", "acme", 1);
+  EXPECT_TRUE(held.admitted());
+
+  auto over = admission.Admit("q2", "acme", 1);
+  EXPECT_EQ(over.outcome(), AdmissionController::Outcome::kShedTenant);
+  EXPECT_GT(over.retry_after_ms(), 0.0);
+  EXPECT_EQ(admission.stats().shed_tenant, 1u);
+
+  // Another tenant and the anonymous namespace are unaffected.
+  auto other = admission.Admit("q3", "globex", 1);
+  EXPECT_TRUE(other.admitted());
+  { auto drop = std::move(other); }
+  EXPECT_TRUE(admission.Admit("q4", "", 1).admitted());
+
+  // Releasing acme's in-flight request frees its quota.
+  { auto drop = std::move(held); }
+  EXPECT_TRUE(admission.Admit("q5", "acme", 1).admitted());
+}
+
+TEST(AdmissionControllerTest, BacklogSlotsBoundTheDispatchPipeline) {
+  AdmissionController admission(SmallOptions());  // capacity 2 + 1 = 3
+  EXPECT_TRUE(admission.TryAcquireBacklogSlot());
+  EXPECT_TRUE(admission.TryAcquireBacklogSlot());
+  EXPECT_TRUE(admission.TryAcquireBacklogSlot());
+  EXPECT_FALSE(admission.TryAcquireBacklogSlot());
+  EXPECT_EQ(admission.stats().backlog_shed, 1u);
+  admission.ReleaseBacklogSlot();
+  EXPECT_TRUE(admission.TryAcquireBacklogSlot());
+}
+
+TEST(AdmissionControllerTest, AutoOptionsFollowTheSharedPool) {
+  AdmissionController admission(AdmissionOptions{});
+  EXPECT_EQ(admission.pool_size(), ThreadPool::Shared().size());
+  EXPECT_EQ(admission.max_concurrent(), ThreadPool::Shared().size());
+}
+
+TEST(AdaptiveThreadGrantTest, DividesThePoolAndRespectsTheCeiling) {
+  EXPECT_EQ(AdaptiveThreadGrant(/*requested=*/8, /*active=*/1, 8), 8);
+  EXPECT_EQ(AdaptiveThreadGrant(8, 2, 8), 4);
+  EXPECT_EQ(AdaptiveThreadGrant(8, 3, 8), 2);
+  EXPECT_EQ(AdaptiveThreadGrant(8, 100, 8), 1);  // floor of one thread
+  EXPECT_EQ(AdaptiveThreadGrant(2, 1, 8), 2);    // ceiling: the request
+  EXPECT_EQ(AdaptiveThreadGrant(1, 1, 8), 1);
+  EXPECT_EQ(AdaptiveThreadGrant(0, 0, 0), 1);    // degenerate inputs
+}
+
+TEST(QuotaTest, TenantIdValidation) {
+  EXPECT_TRUE(IsValidTenantId("acme"));
+  EXPECT_TRUE(IsValidTenantId("team-7_a.b:c"));
+  EXPECT_FALSE(IsValidTenantId(""));
+  EXPECT_FALSE(IsValidTenantId("has space"));
+  EXPECT_FALSE(IsValidTenantId("slash/y"));     // would break key scoping
+  EXPECT_FALSE(IsValidTenantId("pipe|y"));      // would break key framing
+  EXPECT_FALSE(IsValidTenantId(std::string(65, 'a')));
+  EXPECT_TRUE(IsValidTenantId(std::string(64, 'a')));
+}
+
+TEST(QuotaTest, TenantKeyPrefixShapes) {
+  EXPECT_EQ(TenantKeyPrefix(""), "");
+  EXPECT_EQ(TenantKeyPrefix("acme"), "tenant/acme/");
+}
+
+TEST(QuotaTest, RegistryInstallsBudgetsIdempotently) {
+  ResultCache cache(1 << 20, 1);
+  TenantQuotaRegistry registry(cache, TenantQuotaOptions{1 << 10});
+  registry.EnsureTenant("acme");
+  registry.EnsureTenant("acme");
+  registry.EnsureTenant("globex");
+  EXPECT_EQ(registry.NumTenants(), 2u);
+  const std::vector<std::string> prefixes = registry.KnownTenantPrefixes();
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], "tenant/acme/");
+  EXPECT_EQ(prefixes[1], "tenant/globex/");
+}
+
+}  // namespace
+}  // namespace tsexplain

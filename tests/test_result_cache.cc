@@ -119,6 +119,136 @@ TEST(ResultCache, InvalidatePrefixScopes) {
   }
 }
 
+// Regression: overwriting a resident key (a completed flight landing
+// after prefix-invalidation races, warm-start Puts) must charge
+// bytes_used for exactly the resident entries — never the sum of old and
+// new costs — and eviction must never run against the replaced entry's
+// stale cost.
+TEST(ResultCache, ReinsertAccountingStaysExact) {
+  ResultCache cache(1 << 20, /*num_shards=*/1);
+  const std::string small(100, 's');
+  const std::string large(5000, 'L');
+  const std::string medium(1000, 'm');
+
+  cache.Put("k", MakeValue(small));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes_used, CostOf(small));
+
+  // Overwrite with a LARGER payload: charged once, at the new cost.
+  cache.Put("k", MakeValue(large));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes_used, CostOf(large));
+  EXPECT_EQ(cache.Lookup("k")->json, large);
+
+  // Overwrite with a SMALLER payload: accounting shrinks exactly.
+  cache.Put("k", MakeValue(medium));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes_used, CostOf(medium));
+  EXPECT_EQ(cache.Lookup("k")->json, medium);
+
+  // A second resident key keeps its own accounting across overwrites.
+  cache.Put("other", MakeValue(small));
+  cache.Put("k", MakeValue(large));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().bytes_used, CostOf(large) + CostOf(small));
+  EXPECT_EQ(cache.stats().evictions, 0u);  // capacity was never exceeded
+}
+
+// Regression: an oversized fresh value for a resident key must DROP the
+// stale entry, not leave it to be served as if it were current.
+TEST(ResultCache, OversizedOverwriteDropsTheStaleEntry) {
+  const std::string small(100, 's');
+  ResultCache cache(4 * CostOf(small), /*num_shards=*/1);
+  cache.Put("k", MakeValue(small));
+  ASSERT_NE(cache.Lookup("k"), nullptr);
+
+  cache.Put("k", MakeValue(std::string(1 << 16, 'X')));  // over capacity
+  EXPECT_EQ(cache.Lookup("k"), nullptr);  // stale value must not survive
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST(ResultCache, PrefixBudgetEvictsWithinTheNamespaceOnly) {
+  const std::string payload(1000, 'x');
+  const size_t cost = CostOf(payload);
+  // Global capacity fits everything; the tenant budget fits 3 entries.
+  ResultCache cache(100 * cost, /*num_shards=*/1);
+  cache.SetPrefixBudget("tenant/a/", 3 * cost);
+
+  bool hit = false;
+  auto compute = [&] { return MakeValue(payload); };
+  cache.GetOrCompute("global-1", compute, &hit);
+  cache.GetOrCompute("tenant/a/q1", compute, &hit);
+  cache.GetOrCompute("tenant/a/q2", compute, &hit);
+  cache.GetOrCompute("tenant/a/q3", compute, &hit);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 3 * cost);
+
+  // A fourth tenant entry evicts the tenant's own LRU tail (q1) — the
+  // global entry is untouchable by this namespace's pressure.
+  cache.GetOrCompute("tenant/a/q4", compute, &hit);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 3 * cost);
+  EXPECT_EQ(cache.stats().budget_evictions, 1u);
+  EXPECT_NE(cache.Lookup("global-1"), nullptr);
+  EXPECT_EQ(cache.Lookup("tenant/a/q1"), nullptr);
+  EXPECT_NE(cache.Lookup("tenant/a/q2"), nullptr);
+  EXPECT_NE(cache.Lookup("tenant/a/q4"), nullptr);
+  EXPECT_EQ(cache.stats().bytes_used, 4 * cost);  // 3 tenant + 1 global
+}
+
+TEST(ResultCache, PrefixBudgetTouchKeepsHotEntriesResident) {
+  const std::string payload(1000, 'x');
+  const size_t cost = CostOf(payload);
+  ResultCache cache(100 * cost, 1);
+  cache.SetPrefixBudget("tenant/a/", 2 * cost);
+  bool hit = false;
+  auto compute = [&] { return MakeValue(payload); };
+  cache.GetOrCompute("tenant/a/hot", compute, &hit);
+  cache.GetOrCompute("tenant/a/cold", compute, &hit);
+  cache.GetOrCompute("tenant/a/hot", compute, &hit);  // touch
+  EXPECT_TRUE(hit);
+  cache.GetOrCompute("tenant/a/new", compute, &hit);  // evicts "cold"
+  EXPECT_NE(cache.Lookup("tenant/a/hot"), nullptr);
+  EXPECT_EQ(cache.Lookup("tenant/a/cold"), nullptr);
+}
+
+TEST(ResultCache, ValueOverItsPrefixBudgetIsServedNotCached) {
+  const std::string payload(1000, 'x');
+  ResultCache cache(1 << 20, 1);
+  cache.SetPrefixBudget("tenant/tiny/", 8);  // smaller than any entry
+  bool hit = true;
+  const ResultCache::ValuePtr value =
+      cache.GetOrCompute("tenant/tiny/q", [&] { return MakeValue(payload); },
+                         &hit);
+  ASSERT_NE(value, nullptr);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.PrefixBytes("tenant/tiny/"), 0u);
+}
+
+TEST(ResultCache, ShrinkingABudgetEvictsResidentEntriesImmediately) {
+  const std::string payload(1000, 'x');
+  const size_t cost = CostOf(payload);
+  ResultCache cache(100 * cost, 1);
+  bool hit = false;
+  auto compute = [&] { return MakeValue(payload); };
+  // Entries land before any budget exists (unbudgeted attribution).
+  cache.GetOrCompute("tenant/a/q1", compute, &hit);
+  cache.GetOrCompute("tenant/a/q2", compute, &hit);
+  cache.GetOrCompute("tenant/a/q3", compute, &hit);
+  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 0u);  // not yet registered
+
+  // Installing the budget re-attributes resident entries and enforces
+  // the bound at once (LRU within the prefix: q1 goes first).
+  cache.SetPrefixBudget("tenant/a/", 2 * cost);
+  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 2 * cost);
+  EXPECT_EQ(cache.Lookup("tenant/a/q1"), nullptr);
+  EXPECT_NE(cache.Lookup("tenant/a/q2"), nullptr);
+  EXPECT_NE(cache.Lookup("tenant/a/q3"), nullptr);
+  EXPECT_EQ(cache.stats().bytes_used, 2 * cost);
+}
+
 TEST(ResultCache, FailedComputeIsNotCached) {
   ResultCache cache(1 << 20, 1);
   bool hit = true;

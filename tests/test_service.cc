@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/datagen/synthetic.h"
@@ -463,6 +466,285 @@ TEST(ExplainServiceTest, SessionExplainMatchesStreamingEngine) {
   ExpectIdenticalResults(*second.result, reference.Explain());
 }
 
+TEST(ExplainServiceTest, OverloadShedsColdButNeverHotQueries) {
+  ServiceOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.queue_depth = 0;
+  ExplainService service(options);
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(41),
+                                               "<table>", &error));
+
+  ExplainRequest hot;
+  hot.dataset = "ds";
+  hot.config = BaseConfig();
+  ASSERT_TRUE(service.Explain(hot).ok);  // warm the cache
+
+  // Occupy the single admission slot directly (deterministic pressure —
+  // no racing threads needed).
+  auto blocker = std::make_unique<AdmissionController::Ticket>(
+      service.admission().Admit("blocker", "", 1));
+  ASSERT_TRUE(blocker->admitted());
+
+  // A COLD query is shed with a structured overloaded error + hint.
+  ExplainRequest cold = hot;
+  cold.config.fixed_k = 4;
+  const ExplainResponse shed = service.Explain(cold);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, error_code::kOverloaded);
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+
+  // The HOT query still serves from cache under full overload.
+  const ExplainResponse served = service.Explain(hot);
+  EXPECT_TRUE(served.ok);
+  EXPECT_TRUE(served.cache_hit);
+
+  // Releasing the slot lets the cold query through, bit-identical to a
+  // serial run (shedding never corrupts later executions).
+  blocker.reset();
+  const ExplainResponse after = service.Explain(cold);
+  ASSERT_TRUE(after.ok) << after.error;
+  TSExplain direct(*service.registry().Get("ds"), cold.config);
+  ExpectIdenticalResults(*after.result, direct.Run());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.admission.shed_overload, 1u);
+  EXPECT_GE(stats.admission.admitted, 2u);
+}
+
+TEST(ExplainServiceTest, TenantQuotasShedAndNamespaceTheCache) {
+  ServiceOptions options;
+  // Roomy global capacity (independent of this box's pool size), so the
+  // per-tenant cap below is the only binding constraint.
+  options.admission.max_concurrent = 4;
+  options.admission.per_tenant_inflight = 1;
+  ExplainService service(options);
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(43),
+                                               "<table>", &error));
+
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = BaseConfig();
+
+  // Invalid tenant ids are rejected before any work happens.
+  request.tenant = "not ok";
+  EXPECT_EQ(service.Explain(request).error_code, error_code::kBadRequest);
+
+  // Tenants get their own cache namespace: the same query computes once
+  // per namespace but yields bit-identical results.
+  request.tenant = "acme";
+  const ExplainResponse acme = service.Explain(request);
+  ASSERT_TRUE(acme.ok) << acme.error;
+  EXPECT_FALSE(acme.cache_hit);
+  EXPECT_EQ(acme.query_key.rfind("tenant/acme/", 0), 0u);
+  request.tenant.clear();
+  const ExplainResponse shared = service.Explain(request);
+  ASSERT_TRUE(shared.ok);
+  EXPECT_FALSE(shared.cache_hit);  // distinct namespace, fresh compute
+  ExpectIdenticalResults(*acme.result, *shared.result);
+  request.tenant = "acme";
+  EXPECT_TRUE(service.Explain(request).cache_hit);
+
+  // Per-tenant in-flight cap: with acme's one slot held, acme's next
+  // cold query is shed with quota_exceeded; other tenants are untouched.
+  auto held = std::make_unique<AdmissionController::Ticket>(
+      service.admission().Admit("held", "acme", 1));
+  ASSERT_TRUE(held->admitted());
+  ExplainRequest cold = request;
+  cold.config.fixed_k = 5;
+  const ExplainResponse quota = service.Explain(cold);
+  EXPECT_FALSE(quota.ok);
+  EXPECT_EQ(quota.error_code, error_code::kQuotaExceeded);
+  EXPECT_GT(quota.retry_after_ms, 0.0);
+  // acme's HOT query still serves (cache hits bypass admission).
+  EXPECT_TRUE(service.Explain(request).cache_hit);
+  cold.tenant = "globex";
+  EXPECT_TRUE(service.Explain(cold).ok);
+  held.reset();
+  cold.tenant = "acme";
+  EXPECT_TRUE(service.Explain(cold).ok);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.admission.shed_tenant, 1u);
+  EXPECT_EQ(stats.tenants, 2u);
+}
+
+TEST(ExplainServiceTest, TenantCacheBudgetBoundsOneTenantsFootprint) {
+  ServiceOptions options;
+  options.cache_shards = 1;  // exact per-shard budget math
+  // A budget too small for even one entry: the budgeted tenant's results
+  // are served but never cached, while untenanted queries cache fine.
+  options.tenant_cache_budget_bytes = 16;
+  ExplainService service(options);
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(47),
+                                               "<table>", &error));
+
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = BaseConfig();
+  request.tenant = "spammy";
+  ASSERT_TRUE(service.Explain(request).ok);
+  EXPECT_FALSE(service.Explain(request).cache_hit);  // budget kept it out
+
+  request.tenant.clear();
+  ASSERT_TRUE(service.Explain(request).ok);
+  EXPECT_TRUE(service.Explain(request).cache_hit);  // shared LRU unbudgeted
+}
+
+TEST(ExplainServiceTest, DropDatasetInvalidatesTenantNamespacesToo) {
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(53),
+                                               "<table>", &error));
+  ExplainRequest request;
+  request.dataset = "ds";
+  request.config = BaseConfig();
+  request.tenant = "acme";
+  ASSERT_TRUE(service.Explain(request).ok);
+  EXPECT_TRUE(service.Explain(request).cache_hit);
+
+  EXPECT_TRUE(service.DropDataset("ds"));
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(59),
+                                               "<table>", &error));
+  const ExplainResponse fresh = service.Explain(request);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_FALSE(fresh.cache_hit);  // tenant-namespaced entry went too
+}
+
+// ISSUE satellite: streaming-under-load determinism. A session receiving
+// appends while concurrent reads hammer the service must produce, at
+// every length, results bit-identical to a serial StreamingTSExplain
+// replay — whatever thread grants the admission controller hands out
+// (config asks for 8 threads).
+TEST(ExplainServiceTest, StreamingUnderConcurrentLoadMatchesSerialReplay) {
+  const std::shared_ptr<const Table> table = MakeTable(61, 48);
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(
+      service.registry().RegisterTable("ds", table, "<table>", &error));
+
+  TSExplainConfig config = BaseConfig();
+  config.threads = 8;
+  const uint64_t session = service.OpenSession("ds", config, &error);
+  ASSERT_NE(session, 0u) << error;
+
+  // Background load: concurrent dataset explains + session re-explains.
+  std::atomic<bool> stop{false};
+  std::atomic<int> background_failures{0};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      int round = 0;
+      while (!stop.load()) {
+        if ((r + round) % 2 == 0) {
+          ExplainRequest request;
+          request.dataset = "ds";
+          request.config = BaseConfig();
+          request.config.threads = 8;
+          request.config.fixed_k = 2 + ((r + round) % 3);
+          if (!service.Explain(request).ok) background_failures.fetch_add(1);
+        } else {
+          const ExplainResponse response = service.ExplainSession(session);
+          // Sessions race with appends here; only real errors count.
+          if (!response.ok &&
+              response.error_code != error_code::kNotFound) {
+            background_failures.fetch_add(1);
+          }
+        }
+        ++round;
+      }
+    });
+  }
+
+  // Foreground: append + explain, recording every response.
+  auto make_rows = [](int salt) {
+    std::vector<StreamRow> rows;
+    for (int c = 1; c <= 4; ++c) {
+      StreamRow row;
+      row.dims = {"a" + std::to_string(c)};
+      row.measures = {10.0 * c + salt};
+      rows.push_back(row);
+    }
+    return rows;
+  };
+  constexpr int kAppends = 6;
+  std::vector<std::pair<int, ExplainResponse>> recorded;
+  {
+    const ExplainResponse first = service.ExplainSession(session);
+    ASSERT_TRUE(first.ok) << first.error;
+    recorded.emplace_back(48, first);
+  }
+  for (int a = 0; a < kAppends; ++a) {
+    ASSERT_TRUE(service.Append(session, "t_load_" + std::to_string(a),
+                               make_rows(a), &error))
+        << error;
+    const ExplainResponse response = service.ExplainSession(session);
+    ASSERT_TRUE(response.ok) << response.error;
+    recorded.emplace_back(49 + a, response);
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(background_failures.load(), 0);
+
+  // Serial replay: same table, same config, same append/explain
+  // interleaving, no concurrency, default threading.
+  StreamingTSExplain replay(*table, config);
+  {
+    const TSExplainResult expected = replay.Explain();
+    ExpectIdenticalResults(*recorded[0].second.result, expected);
+  }
+  for (int a = 0; a < kAppends; ++a) {
+    replay.AppendBucket("t_load_" + std::to_string(a), make_rows(a));
+    const TSExplainResult expected = replay.Explain();
+    ASSERT_EQ(recorded[static_cast<size_t>(a) + 1].first, 50 + a - 1);
+    ExpectIdenticalResults(*recorded[static_cast<size_t>(a) + 1].second.result,
+                           expected);
+  }
+}
+
+// ISSUE satellite: the timing breakdown must stay a non-negative
+// partition (sum(modules) <= total) even at threads = 8 with concurrent
+// service traffic advancing the shared explainer counters.
+TEST(ExplainServiceTest, TimingBreakdownStaysAPartitionUnderConcurrency) {
+  ExplainService service;
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(67),
+                                               "<table>", &error));
+  constexpr int kThreads = 6;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<ExplainResponse>> collected(kThreads);
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 2; k <= 5; ++k) {
+        ExplainRequest request;
+        request.dataset = "ds";
+        request.config = BaseConfig();
+        request.config.threads = 8;
+        request.config.fixed_k = (t + k) % 4 + 2;
+        collected[static_cast<size_t>(t)].push_back(
+            service.Explain(request));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const auto& per_thread : collected) {
+    for (const ExplainResponse& response : per_thread) {
+      ASSERT_TRUE(response.ok) << response.error;
+      const TimingBreakdown& timing = response.result->timing;
+      EXPECT_GE(timing.precompute_ms, 0.0);
+      EXPECT_GE(timing.cascading_ms, 0.0);
+      EXPECT_GE(timing.segmentation_ms, 0.0);
+      const double slack = 1e-6 * std::max(1.0, timing.total_ms);
+      EXPECT_LE(timing.TotalMs(), timing.total_ms + slack);
+    }
+  }
+}
+
 TEST(ProtocolTest, ParseQueryConfigRoundTrip) {
   JsonValue request;
   std::string error;
@@ -582,6 +864,68 @@ TEST(ProtocolTest, HandlerEndToEnd) {
   const std::string gone =
       handle(R"({"op":"explain_session","id":10,"session":1})");
   EXPECT_NE(gone.find("\"code\":\"not_found\""), std::string::npos);
+}
+
+TEST(ProtocolTest, OverloadAndTenantWireShapes) {
+  ServiceOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.queue_depth = 0;
+  ExplainService service(options);
+  ProtocolHandler handler(service);
+  std::string error;
+  ASSERT_TRUE(service.registry().RegisterTable("ds", MakeTable(71),
+                                               "<table>", &error));
+
+  auto handle = [&](const std::string& line) {
+    JsonValue request;
+    std::string parse_error;
+    EXPECT_TRUE(ParseJson(line, &request, &parse_error)) << parse_error;
+    return handler.Handle(request);
+  };
+
+  // Tenant field flows through explain and namespaces the cache.
+  const std::string tenant_line =
+      R"({"op":"explain","id":1,"dataset":"ds","measure":"value",
+          "explain_by":["category"],"k":3,"tenant":"acme"})";
+  EXPECT_NE(handle(tenant_line).find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(handle(tenant_line).find("\"cache_hit\":true"),
+            std::string::npos);
+
+  // A shed explain carries code + retry_after_ms inside the error object.
+  auto blocker = std::make_unique<AdmissionController::Ticket>(
+      service.admission().Admit("blocker", "", 1));
+  ASSERT_TRUE(blocker->admitted());
+  const std::string shed = handle(
+      R"({"op":"explain","id":2,"dataset":"ds","measure":"value",
+          "explain_by":["category"],"k":4})");
+  EXPECT_NE(shed.find("\"code\":\"overloaded\""), std::string::npos) << shed;
+  EXPECT_NE(shed.find("\"retry_after_ms\":"), std::string::npos) << shed;
+  blocker.reset();
+
+  // Transport-level shed helper: same shape, id echoed.
+  JsonValue request;
+  std::string parse_error;
+  ASSERT_TRUE(ParseJson(R"({"op":"explain","id":7,"dataset":"ds"})",
+                        &request, &parse_error));
+  const std::string transport_shed = handler.MakeOverloaded(request);
+  EXPECT_EQ(transport_shed.find("{\"id\":7,\"ok\":false"), 0u)
+      << transport_shed;
+  EXPECT_NE(transport_shed.find("\"code\":\"overloaded\""),
+            std::string::npos);
+  EXPECT_NE(transport_shed.find("\"retry_after_ms\":"), std::string::npos);
+
+  // Expensive-op classification for the transport's backlog bounding.
+  EXPECT_TRUE(ProtocolHandler::IsExpensiveOp("explain"));
+  EXPECT_TRUE(ProtocolHandler::IsExpensiveOp("explain_session"));
+  EXPECT_FALSE(ProtocolHandler::IsExpensiveOp("recommend"));
+  EXPECT_FALSE(ProtocolHandler::IsExpensiveOp("stats"));
+
+  // Stats expose the admission + tenant counters.
+  const std::string stats = handle(R"({"op":"stats","id":3})");
+  EXPECT_NE(stats.find("\"admission\":{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shed_overload\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"tenants\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"budget_evictions\":"), std::string::npos) << stats;
 }
 
 }  // namespace

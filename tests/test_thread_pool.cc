@@ -88,5 +88,17 @@ TEST(ThreadPoolTest, ParallelForResultsIndependentOfParallelism) {
   EXPECT_EQ(seq, fill(64));  // more workers than the pool: still fine
 }
 
+TEST(ThreadPoolTest, AdaptiveThreadGrantDividesCapacityFairly) {
+  // The service divides the pool across admitted queries: fair share
+  // with a floor of one, never exceeding the request.
+  EXPECT_EQ(AdaptiveThreadGrant(/*requested=*/16, /*active=*/1, 16), 16);
+  EXPECT_EQ(AdaptiveThreadGrant(16, 4, 16), 4);
+  EXPECT_EQ(AdaptiveThreadGrant(16, 5, 16), 3);
+  EXPECT_EQ(AdaptiveThreadGrant(16, 32, 16), 1);
+  EXPECT_EQ(AdaptiveThreadGrant(3, 1, 16), 3);   // request is a ceiling
+  EXPECT_EQ(AdaptiveThreadGrant(1, 16, 1), 1);   // 1-core box floor
+  EXPECT_EQ(AdaptiveThreadGrant(-5, -1, 0), 1);  // degenerate inputs
+}
+
 }  // namespace
 }  // namespace tsexplain

@@ -11,7 +11,9 @@
 #   --all          run every bench_* binary found in BUILD_DIR
 #   --quick        CI profile: small-scale fig16 + fig17 + bench_service
 #                  (fig17 capped via TSE_SCALE_BUDGET_S, default 2 s per
-#                  run, so the perf binaries are exercised end-to-end in
+#                  run; bench_service's overload scenario runs at 2x
+#                  admission capacity via TSE_OVERLOAD_X, so CI exercises
+#                  admission control + load shedding on every PR in
 #                  seconds; numbers are smoke-level, not trajectory-level).
 #                  Explicit BENCH names run in addition to the profile set.
 #   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
@@ -72,8 +74,12 @@ if [ "$ALL" -eq 1 ]; then
 elif [ "$QUICK" -eq 1 ]; then
   # CI profile: exercise the perf binaries end-to-end (so they cannot
   # silently rot) at a scale that finishes in seconds. fig17 honors
-  # TSE_SCALE_BUDGET_S and terminates each variant once a run exceeds it.
+  # TSE_SCALE_BUDGET_S and terminates each variant once a run exceeds it;
+  # bench_service's overload scenario storms at TSE_OVERLOAD_X times the
+  # admission capacity (2x here: enough to prove shedding + queue bounds
+  # without minutes of contention).
   export TSE_SCALE_BUDGET_S="${TSE_SCALE_BUDGET_S:-2}"
+  export TSE_OVERLOAD_X="${TSE_OVERLOAD_X:-2}"
   BENCHES+=(bench_fig16_end_to_end bench_fig17_scalability bench_service)
 elif [ ${#BENCHES[@]} -eq 0 ]; then
   BENCHES=(bench_micro_core bench_fig16_end_to_end bench_service)

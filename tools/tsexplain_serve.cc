@@ -17,9 +17,25 @@
 // every dispatched read, then run inline on the reader thread — mutations
 // and stats therefore observe a settled state in submission order.
 //
+// Overload safety: explain/explain_session requests pass the service's
+// AdmissionController (bounded concurrency + bounded queue + per-tenant
+// caps); beyond that, the transport itself sheds expensive requests with
+// a structured `overloaded` response BEFORE they reach the thread pool,
+// so the dispatch backlog is bounded too — a flood degrades into fast
+// shed responses, never into unbounded queue growth. Requests may carry
+// a "tenant" field for per-tenant cache budgets and in-flight caps
+// (docs/SERVICE.md, "Operating under load").
+//
 // Options:
 //   --port N          TCP mode on 127.0.0.1:N (default: pipe mode)
 //   --cache-mb N      result cache capacity in MiB (default 64)
+//   --max-inflight N  queries allowed to run concurrently
+//                     (default 0 = one per pool worker)
+//   --queue-depth N   admitted-but-waiting bound before shedding
+//                     (default 16)
+//   --tenant-cache-budget N  per-tenant result-cache budget in MiB
+//                     (default 0 = tenants share the global LRU)
+//   --tenant-inflight N      per-tenant in-flight cap (default 0 = off)
 //   --preload NAME=PATH  register a CSV at startup (repeatable; uses
 //                     --time/--measure below)
 //   --time NAME       time column for --preload datasets
@@ -29,6 +45,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -58,6 +75,10 @@ using namespace tsexplain;
 struct ServeOptions {
   int port = -1;  // -1 = pipe mode
   size_t cache_mb = 64;
+  int max_inflight = 0;         // 0 = auto (pool size)
+  int queue_depth = 16;
+  size_t tenant_cache_budget_mb = 0;  // 0 = off
+  int tenant_inflight = 0;            // 0 = off
   std::vector<std::string> preloads;  // NAME=PATH
   std::string time_column;
   std::string measure;
@@ -66,8 +87,10 @@ struct ServeOptions {
 
 void PrintUsage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
-               "usage: %s [--port N] [--cache-mb N] [--preload NAME=PATH] "
-               "[--time NAME] [--measure NAME] [--serial] [--help]\n",
+               "usage: %s [--port N] [--cache-mb N] [--max-inflight N] "
+               "[--queue-depth N] [--tenant-cache-budget N] "
+               "[--tenant-inflight N] [--preload NAME=PATH] [--time NAME] "
+               "[--measure NAME] [--serial] [--help]\n",
                argv0);
 }
 
@@ -94,6 +117,35 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options,
         return false;
       }
       options->cache_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr, "--max-inflight expects an integer >= 0\n");
+        return false;
+      }
+      options->max_inflight = std::atoi(v);
+    } else if (arg == "--queue-depth") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr, "--queue-depth expects an integer >= 0\n");
+        return false;
+      }
+      options->queue_depth = std::atoi(v);
+    } else if (arg == "--tenant-cache-budget") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr,
+                     "--tenant-cache-budget expects MiB >= 0\n");
+        return false;
+      }
+      options->tenant_cache_budget_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--tenant-inflight") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr, "--tenant-inflight expects an integer >= 0\n");
+        return false;
+      }
+      options->tenant_inflight = std::atoi(v);
     } else if (arg == "--preload") {
       const char* v = next();
       if (!v || std::strchr(v, '=') == nullptr) {
@@ -157,9 +209,13 @@ class LineWriter {
 /// so the barrier/fan-out semantics cannot drift between them.
 class RequestDispatcher {
  public:
-  RequestDispatcher(ProtocolHandler& handler, ThreadPool& pool,
-                    bool serial, LineWriter& writer)
-      : handler_(handler), pool_(pool), serial_(serial), writer_(writer) {}
+  RequestDispatcher(ProtocolHandler& handler, AdmissionController& admission,
+                    ThreadPool& pool, bool serial, LineWriter& writer)
+      : handler_(handler),
+        admission_(admission),
+        pool_(pool),
+        serial_(serial),
+        writer_(writer) {}
 
   ~RequestDispatcher() { Drain(); }
 
@@ -182,13 +238,25 @@ class RequestDispatcher {
       writer_.Write(handler_.Handle(request));
       return op == "shutdown";
     }
+    // Expensive reads reserve a backlog slot BEFORE touching the pool:
+    // at most max_inflight + queue_depth of them exist anywhere
+    // (running, queued in admission, or parked in the pool's task
+    // queue); the rest are shed right here, on the reader thread, with a
+    // structured overloaded response. Queue growth is bounded even when
+    // clients flood faster than the pool drains.
+    const bool expensive = ProtocolHandler::IsExpensiveOp(op);
+    if (expensive && !admission_.TryAcquireBacklogSlot()) {
+      writer_.Write(handler_.MakeOverloaded(request));
+      return false;
+    }
     // Reads fan out; the response carries the echoed id. Completed
     // futures are pruned as we go so a read-only stream stays O(live).
     PruneCompleted();
     auto shared_request = std::make_shared<JsonValue>(std::move(request));
     pending_.push_back(
-        pool_.Submit([this, shared_request] {
+        pool_.Submit([this, shared_request, expensive] {
           writer_.Write(handler_.Handle(*shared_request));
+          if (expensive) admission_.ReleaseBacklogSlot();
         }));
     return false;
   }
@@ -211,15 +279,71 @@ class RequestDispatcher {
   }
 
   ProtocolHandler& handler_;
+  AdmissionController& admission_;
   ThreadPool& pool_;
   bool serial_;
   LineWriter& writer_;
   std::vector<std::future<void>> pending_;
 };
 
-int RunPipeMode(ProtocolHandler& handler, ThreadPool& pool, bool serial) {
+/// Splits a byte stream into NDJSON lines for a RequestDispatcher,
+/// tolerating lines split across arbitrarily small read() chunks and
+/// bounding line length: once a line exceeds kMaxLineBytes the framer
+/// responds with ONE structured error, discards bytes until the next
+/// newline, and keeps the connection alive — a multi-MB garbage line can
+/// neither desync the stream nor balloon memory.
+class LineFramer {
+ public:
+  static constexpr size_t kMaxLineBytes = 4u << 20;  // 4 MiB
+
+  LineFramer(RequestDispatcher& dispatcher, LineWriter& writer)
+      : dispatcher_(dispatcher), writer_(writer) {}
+
+  /// Feeds one chunk; returns true when a shutdown op was handled.
+  bool Consume(const char* data, size_t size,
+               const ProtocolHandler& handler) {
+    if (discarding_) {
+      // Tail of an oversized line: drop bytes WITHOUT buffering them (a
+      // client that never sends a newline must not grow memory) until
+      // the line finally ends. The error already went out.
+      const void* nl = std::memchr(data, '\n', size);
+      if (nl == nullptr) return false;
+      const size_t skip =
+          static_cast<size_t>(static_cast<const char*>(nl) - data) + 1;
+      data += skip;
+      size -= skip;
+      discarding_ = false;
+    }
+    buffer_.append(data, size);
+    size_t start = 0;
+    bool done = false;
+    for (size_t nl = buffer_.find('\n', start);
+         nl != std::string::npos && !done;
+         start = nl + 1, nl = buffer_.find('\n', start)) {
+      done = dispatcher_.HandleLine(buffer_.substr(start, nl - start));
+    }
+    buffer_.erase(0, start);
+    if (!done && buffer_.size() > kMaxLineBytes) {
+      writer_.Write(handler.MakeParseError(
+          "request line exceeds 4 MiB; dropped"));
+      buffer_.clear();
+      buffer_.shrink_to_fit();
+      discarding_ = true;
+    }
+    return done;
+  }
+
+ private:
+  RequestDispatcher& dispatcher_;
+  LineWriter& writer_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+int RunPipeMode(ProtocolHandler& handler, AdmissionController& admission,
+                ThreadPool& pool, bool serial) {
   LineWriter writer(stdout);
-  RequestDispatcher dispatcher(handler, pool, serial, writer);
+  RequestDispatcher dispatcher(handler, admission, pool, serial, writer);
   std::string line;
   while (std::getline(std::cin, line)) {
     if (dispatcher.HandleLine(std::move(line))) break;
@@ -251,8 +375,8 @@ class ConnectionSet {
   std::vector<int> fds_;
 };
 
-int RunTcpMode(ProtocolHandler& handler, ThreadPool& pool, bool serial,
-               int port) {
+int RunTcpMode(ProtocolHandler& handler, AdmissionController& admission,
+               ThreadPool& pool, bool serial, int port) {
   ::signal(SIGPIPE, SIG_IGN);
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -308,30 +432,24 @@ int RunTcpMode(ProtocolHandler& handler, ThreadPool& pool, bool serial,
     auto finished = std::make_shared<std::atomic<bool>>(false);
     Connection connection;
     connection.finished = finished;
-    connection.thread = std::thread([fd, listener, &handler, &pool, serial,
-                                     &stop, &live, finished] {
-      std::string buffer;
+    connection.thread = std::thread([fd, listener, &handler, &admission,
+                                     &pool, serial, &stop, &live, finished] {
       LineWriter writer(fd);
-      RequestDispatcher dispatcher(handler, pool, serial, writer);
+      RequestDispatcher dispatcher(handler, admission, pool, serial, writer);
+      LineFramer framer(dispatcher, writer);
       char chunk[4096];
       bool done = false;
       while (!done) {
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) continue;  // signal: not EOF
         if (n <= 0) break;
-        buffer.append(chunk, static_cast<size_t>(n));
-        size_t start = 0;
-        for (size_t nl = buffer.find('\n', start);
-             nl != std::string::npos && !done;
-             start = nl + 1, nl = buffer.find('\n', start)) {
-          if (dispatcher.HandleLine(buffer.substr(start, nl - start))) {
-            stop.store(true);
-            done = true;
-            // Unblock accept AND every other connection's read().
-            ::shutdown(listener, SHUT_RDWR);
-            live.ShutdownAll();
-          }
+        if (framer.Consume(chunk, static_cast<size_t>(n), handler)) {
+          stop.store(true);
+          done = true;
+          // Unblock accept AND every other connection's read().
+          ::shutdown(listener, SHUT_RDWR);
+          live.ShutdownAll();
         }
-        buffer.erase(0, start);
       }
       dispatcher.Drain();
       live.Remove(fd);
@@ -361,6 +479,11 @@ int main(int argc, char** argv) {
 
   ServiceOptions service_options;
   service_options.cache_capacity_bytes = options.cache_mb << 20;
+  service_options.admission.max_concurrent = options.max_inflight;
+  service_options.admission.queue_depth = options.queue_depth;
+  service_options.admission.per_tenant_inflight = options.tenant_inflight;
+  service_options.tenant_cache_budget_bytes =
+      options.tenant_cache_budget_mb << 20;
   ExplainService service(service_options);
 
   for (const std::string& preload : options.preloads) {
@@ -389,7 +512,8 @@ int main(int argc, char** argv) {
   ProtocolHandler handler(service);
   ThreadPool& pool = ThreadPool::Shared();
   if (options.port > 0) {
-    return RunTcpMode(handler, pool, options.serial, options.port);
+    return RunTcpMode(handler, service.admission(), pool, options.serial,
+                      options.port);
   }
-  return RunPipeMode(handler, pool, options.serial);
+  return RunPipeMode(handler, service.admission(), pool, options.serial);
 }
