@@ -1,0 +1,205 @@
+// Storage-layer bench: CSV parse vs binary snapshot load on the
+// liquor-scale dataset (the repo's largest simulated workload), plus a
+// round-trip integrity gate.
+//
+// Emits BENCH_RESULT lines harvested by tools/run_benches.sh:
+//   storage.liquor.csv_parse      median ReadCsvFile wall clock
+//   storage.liquor.snapshot_load  median ReadTableSnapshot wall clock
+//
+// The process exits non-zero when the snapshot round trip is not
+// bit-identical (content fingerprint mismatch) or when loading is not
+// at least 5x faster than parsing — run_benches.sh --quick runs this in
+// CI, so the format cannot silently rot in either correctness or speed.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+#include "src/datagen/liquor_sim.h"
+#include "src/storage/table_snapshot.h"
+#include "src/table/csv_reader.h"
+
+namespace tsexplain {
+namespace {
+
+// Minimal RFC-4180-style writer: fields are quoted only when they contain
+// a delimiter, quote, or newline (csv_reader handles both spellings).
+void AppendCsvField(const std::string& value, std::string* out) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) {
+    out->append(value);
+    return;
+  }
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string TableToCsv(const Table& table) {
+  const Schema& schema = table.schema();
+  std::string csv;
+  AppendCsvField(schema.time_name(), &csv);
+  for (const std::string& name : schema.dimension_names()) {
+    csv.push_back(',');
+    AppendCsvField(name, &csv);
+  }
+  for (const std::string& name : schema.measure_names()) {
+    csv.push_back(',');
+    AppendCsvField(name, &csv);
+  }
+  csv.push_back('\n');
+  char number[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    AppendCsvField(table.time_labels()[static_cast<size_t>(table.time(r))],
+                   &csv);
+    for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+      const AttrId attr = static_cast<AttrId>(d);
+      csv.push_back(',');
+      AppendCsvField(table.dictionary(attr).ToString(table.dim(r, attr)),
+                     &csv);
+    }
+    for (size_t m = 0; m < schema.num_measures(); ++m) {
+      csv.push_back(',');
+      // %.17g round-trips doubles exactly, keeping the comparison fair:
+      // the CSV path must reproduce the same bits the snapshot carries.
+      std::snprintf(number, sizeof(number), "%.17g",
+                    table.measure(r, static_cast<int>(m)));
+      csv.append(number);
+    }
+    csv.push_back('\n');
+  }
+  return csv;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return written == contents.size();
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int Run() {
+  bench::PrintHeader("Storage: CSV parse vs binary snapshot load (liquor)");
+
+  const std::unique_ptr<Table> table = MakeLiquorTable();
+  const uint64_t fingerprint = storage::TableFingerprint(*table);
+  std::printf("dataset: %zu rows, %zu buckets, %zu dims, %zu measures\n",
+              table->num_rows(), table->num_time_buckets(),
+              table->schema().num_dimensions(),
+              table->schema().num_measures());
+
+  // pid-suffixed: concurrent runs (CI + a dev shell on one machine) must
+  // not overwrite each other's files mid-measurement.
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string base = std::string(tmp ? tmp : "/tmp") + "/tsx_bench." +
+                           std::to_string(::getpid());
+  const std::string csv_path = base + ".csv";
+  const std::string snapshot_path = base + ".tsx";
+  struct Cleanup {
+    const std::string& csv;
+    const std::string& snap;
+    ~Cleanup() {
+      std::remove(csv.c_str());
+      std::remove(snap.c_str());
+    }
+  } cleanup{csv_path, snapshot_path};
+  const std::string csv = TableToCsv(*table);
+  if (!WriteFile(csv_path, csv)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  {
+    const storage::StorageStatus status =
+        storage::WriteTableSnapshot(*table, snapshot_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   status.message.c_str());
+      return 1;
+    }
+  }
+
+  CsvOptions options;
+  options.time_column = table->schema().time_name();
+  options.measure_columns = table->schema().measure_names();
+  // The liquor labels ("1-2", "1-10", ...) are not zero-padded, so the
+  // lexicographic sort_time would scramble them; rows are written in
+  // first-appearance time order, which IS chronological here.
+  options.sort_time = false;
+
+  // Integrity gate first: BOTH load paths must reproduce the original
+  // table bit for bit (content fingerprint over schema, labels,
+  // dictionaries, codes, and raw measure bits).
+  {
+    const CsvResult parsed = ReadCsvFile(csv_path, options);
+    if (!parsed.ok() ||
+        storage::TableFingerprint(*parsed.table) != fingerprint) {
+      std::fprintf(stderr, "FAIL: CSV round trip is not bit-identical\n");
+      return 1;
+    }
+    const storage::TableSnapshotResult loaded =
+        storage::ReadTableSnapshot(snapshot_path);
+    if (!loaded.ok() ||
+        storage::TableFingerprint(*loaded.table) != fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: snapshot round trip is not bit-identical (%s)\n",
+                   loaded.status.message.c_str());
+      return 1;
+    }
+  }
+
+  constexpr int kCsvReps = 5;
+  constexpr int kSnapshotReps = 15;
+  std::vector<double> csv_ms;
+  for (int rep = 0; rep < kCsvReps; ++rep) {
+    Timer timer;
+    const CsvResult parsed = ReadCsvFile(csv_path, options);
+    csv_ms.push_back(timer.ElapsedMs());
+    if (!parsed.ok()) return 1;
+  }
+  std::vector<double> snapshot_ms;
+  for (int rep = 0; rep < kSnapshotReps; ++rep) {
+    Timer timer;
+    const storage::TableSnapshotResult loaded =
+        storage::ReadTableSnapshot(snapshot_path);
+    snapshot_ms.push_back(timer.ElapsedMs());
+    if (!loaded.ok()) return 1;
+  }
+
+  const double parse = MedianMs(csv_ms);
+  const double load = MedianMs(snapshot_ms);
+  const double speedup = parse / load;
+  std::printf("csv parse      %s   (%zu bytes)\n",
+              bench::FormatMs(parse).c_str(), csv.size());
+  std::printf("snapshot load  %s   (snapshot file)\n",
+              bench::FormatMs(load).c_str());
+  std::printf("speedup        %.1fx\n", speedup);
+  bench::EmitResult("storage.liquor.csv_parse", parse);
+  bench::EmitResult("storage.liquor.snapshot_load", load);
+
+  // The acceptance floor (ISSUE 5): snapshot load beats CSV parse by 5x.
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: snapshot speedup %.1fx is below the 5x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsexplain
+
+int main() { return tsexplain::Run(); }

@@ -112,6 +112,7 @@ void StreamingTSExplain::AppendBucket(const std::string& label,
   last_append_rebuilt_ = rebuild;
   if (rebuild) {
     BuildEngine();
+    if (append_observer_) append_observer_(label, rows);
     return;
   }
 
@@ -126,6 +127,7 @@ void StreamingTSExplain::AppendBucket(const std::string& label,
       explainer_->ClearCache();
     }
   }
+  if (append_observer_) append_observer_(label, rows);
 }
 
 TSExplainResult StreamingTSExplain::Explain(int threads_override) {

@@ -19,6 +19,7 @@
 #ifndef TSEXPLAIN_PIPELINE_STREAMING_H_
 #define TSEXPLAIN_PIPELINE_STREAMING_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,19 @@ class StreamingTSExplain {
   /// Whether the last AppendBucket forced a full rebuild (new cells).
   bool last_append_rebuilt() const { return last_append_rebuilt_; }
 
+  /// Append observer: invoked at the END of every AppendBucket (after the
+  /// table and cube absorbed the bucket) with the bucket's label and rows.
+  /// This is the persistence layer's append-log hook — the service
+  /// subscribes a storage::SessionLogWriter here (src/storage/
+  /// session_log.h), keeping the pipeline free of storage dependencies.
+  /// Replay during recovery constructs the engine BEFORE subscribing, so
+  /// replayed appends are not re-logged. nullptr clears the hook.
+  using AppendObserver = std::function<void(
+      const std::string& label, const std::vector<StreamRow>& rows)>;
+  void set_append_observer(AppendObserver observer) {
+    append_observer_ = std::move(observer);
+  }
+
  private:
   void BuildEngine();
   std::vector<bool> ComputeActiveMask() const;
@@ -85,6 +99,7 @@ class StreamingTSExplain {
   int last_n_ = 0;
   bool first_run_done_ = false;
   bool last_append_rebuilt_ = false;
+  AppendObserver append_observer_;
 };
 
 }  // namespace tsexplain

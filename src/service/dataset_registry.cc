@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "src/storage/table_snapshot.h"
+
 namespace tsexplain {
 namespace {
 
@@ -43,6 +45,20 @@ bool DatasetRegistry::RegisterCsvText(const std::string& name,
   return RegisterTable(name, std::shared_ptr<const Table>(
                                  std::move(loaded.table)),
                        "<inline>", error, info);
+}
+
+bool DatasetRegistry::RegisterSnapshotFile(const std::string& name,
+                                           const std::string& path,
+                                           std::string* error,
+                                           DatasetInfo* info) {
+  storage::TableSnapshotResult loaded = storage::ReadTableSnapshot(path);
+  if (!loaded.ok()) {
+    *error = loaded.status.ToString();
+    return false;
+  }
+  return RegisterTable(name, std::shared_ptr<const Table>(
+                                 std::move(loaded.table)),
+                       path, error, info);
 }
 
 bool DatasetRegistry::RegisterTable(const std::string& name,

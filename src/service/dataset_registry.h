@@ -65,6 +65,13 @@ class DatasetRegistry {
                        const CsvOptions& options, std::string* error,
                        DatasetInfo* info = nullptr);
 
+  /// Reads a binary table snapshot (src/storage/table_snapshot.h) and
+  /// registers it under `name` — the warm-start path: no CSV re-parse.
+  /// Fails with the snapshot's structured error string on a corrupted or
+  /// truncated file.
+  bool RegisterSnapshotFile(const std::string& name, const std::string& path,
+                            std::string* error, DatasetInfo* info = nullptr);
+
   /// Registers an already-built table (benches, embedding applications).
   bool RegisterTable(const std::string& name,
                      std::shared_ptr<const Table> table,

@@ -1,11 +1,18 @@
 #include "src/service/explain_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
+
+#include <unistd.h>
+
+#include <cstdio>
 
 #include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/service/query_key.h"
+#include "src/storage/cache_snapshot.h"
+#include "src/storage/table_snapshot.h"
 
 namespace tsexplain {
 namespace {
@@ -116,11 +123,20 @@ ExplainResponse ServedResponse(const std::string& cache_key,
 
 }  // namespace
 
+namespace {
+uint64_t NextServiceInstanceTag() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+}  // namespace
+
 ExplainService::ExplainService(ServiceOptions options)
     : cache_(options.cache_capacity_bytes, options.cache_shards),
       admission_(options.admission),
       tenant_quotas_(cache_,
-                     TenantQuotaOptions{options.tenant_cache_budget_bytes}) {}
+                     TenantQuotaOptions{options.tenant_cache_budget_bytes}),
+      session_log_dir_(std::move(options.session_log_dir)),
+      instance_tag_(NextServiceInstanceTag()) {}
 
 bool ExplainService::DropDataset(const std::string& name) {
   if (!registry_.Drop(name)) return false;
@@ -313,9 +329,155 @@ uint64_t ExplainService::OpenSession(const std::string& dataset,
   // independently of the immutable registered dataset.
   session->engine =
       std::make_unique<StreamingTSExplain>(*table, normalized);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  session->id = next_session_id_++;
-  sessions_.emplace(session->id, session);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session->id = next_session_id_++;
+  }
+  if (!session_log_dir_.empty()) {
+    // TableFingerprint re-serializes the table (O(table bytes)) — fine
+    // here because OpenSession is already O(table): StreamingTSExplain
+    // copies the whole relation two lines up.
+    AttachSessionLog(*session, storage::TableFingerprint(*table), {});
+  }
+  {
+    // Published only after the log observer is subscribed: no append can
+    // reach the session unlogged.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.emplace(session->id, session);
+  }
+  return session->id;
+}
+
+void ExplainService::AttachSessionLog(
+    Session& session, uint64_t base_fingerprint,
+    const std::vector<storage::SessionLogAppend>& replayed) {
+  if (session_log_dir_.empty()) return;
+  // The pid + instance tag make collisions rare (session ids restart at
+  // 1 per incarnation), but neither survives containers — a supervised
+  // server is pid 1 every run. SessionLogWriter::Open truncates its
+  // target, so NEVER reuse an existing name: an existing file is a
+  // crashed incarnation's still-recoverable log, and the probe steps
+  // around it instead of wiping it.
+  const std::string base =
+      StrFormat("%s/session_%d_%llu_%llu", session_log_dir_.c_str(),
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(instance_tag_),
+                static_cast<unsigned long long>(session.id));
+  session.log_path = base + ".log";
+  for (int k = 1; ; ++k) {
+    std::FILE* exists = std::fopen(session.log_path.c_str(), "rb");
+    if (!exists) break;
+    std::fclose(exists);
+    session.log_path = base + StrFormat(".%d.log", k);
+  }
+  session.log = std::make_unique<storage::SessionLogWriter>();
+  storage::StorageStatus status = session.log->Open(
+      session.log_path, session.dataset, base_fingerprint, session.config);
+  for (const storage::SessionLogAppend& append : replayed) {
+    if (!status.ok()) break;
+    status = session.log->LogAppend(append.label, append.rows);
+  }
+  if (!status.ok()) {
+    // A session must stay usable when its log cannot be: recovery is a
+    // best-effort add-on, the in-memory engine is the source of truth.
+    // The half-written file goes too — a truncated log would later
+    // "recover" cleanly to the wrong state.
+    std::fprintf(stderr, "session %llu: log disabled (%s)\n",
+                 static_cast<unsigned long long>(session.id),
+                 status.ToString().c_str());
+    session.log.reset();
+    std::remove(session.log_path.c_str());
+    session.log_path.clear();
+    return;
+  }
+  // Subscribed AFTER the header and any replayed appends are on disk, so
+  // replayed appends are never double-logged. The raw pointer is safe:
+  // log and engine are destroyed together with the session, every
+  // AppendBucket happens under the session mutex, and sessions live in
+  // the map via shared_ptr (stable address).
+  Session* s = &session;
+  session.engine->set_append_observer(
+      [s](const std::string& label, const std::vector<StreamRow>& rows) {
+        if (!s->log || s->log_failed) return;
+        const storage::StorageStatus append_status =
+            s->log->LogAppend(label, rows);
+        if (!append_status.ok()) {
+          // One missing bucket would make every LATER append a lie:
+          // recovery would replay a gapped series with ok/torn=false.
+          // Disable the log and delete the file — no recovery beats a
+          // silently wrong one.
+          s->log_failed = true;
+          s->log->Close();
+          std::remove(s->log_path.c_str());
+          std::fprintf(stderr,
+                       "session %llu: log disabled after failed append "
+                       "(%s)\n",
+                       static_cast<unsigned long long>(s->id),
+                       append_status.ToString().c_str());
+        }
+      });
+}
+
+uint64_t ExplainService::RecoverSession(const std::string& log_path,
+                                        std::string* error, bool* torn,
+                                        int* replayed) {
+  // Peek the header for the dataset name, then run the full recovery
+  // (fingerprint fencing + replay) against the currently registered
+  // table. The double read is fine: recovery is a rare startup path.
+  storage::SessionLogContents contents;
+  storage::StorageStatus status = storage::ReadSessionLog(log_path, &contents);
+  if (!status.ok()) {
+    *error = status.ToString();
+    return 0;
+  }
+  const std::shared_ptr<const Table> table = registry_.Get(contents.dataset);
+  if (!table) {
+    *error = "unknown dataset: " + contents.dataset +
+             " (register it before recovering sessions that stream on it)";
+    return 0;
+  }
+  // The logged config was validated when the crashed process opened the
+  // session — but the LOG is untrusted input, so re-validate against the
+  // live schema before any engine code (whose TSE_CHECKs abort) sees it,
+  // and build the engine from the VALIDATED (normalized) copy: a crafted
+  // header must not smuggle, say, duplicate explain-by attributes past a
+  // validation whose result is thrown away. For a legitimate log the two
+  // are identical (OpenSession logged the normalized config).
+  TSExplainConfig validated = contents.config;
+  {
+    std::string config_error;
+    if (!ValidateAndNormalize(*table, &validated, &config_error)) {
+      *error = "format_error: session log config invalid: " + config_error;
+      return 0;
+    }
+  }
+  storage::SessionRecoveryResult recovered =
+      storage::RecoverStreamingSession(*table, log_path, &validated);
+  if (!recovered.ok()) {
+    *error = recovered.status.ToString();
+    return 0;
+  }
+  if (torn) *torn = recovered.contents.torn;
+  if (replayed) {
+    *replayed = static_cast<int>(recovered.contents.appends.size());
+  }
+  auto session = std::make_shared<Session>();
+  session->dataset = recovered.contents.dataset;
+  session->config = validated;  // what the engine was actually built from
+  session->engine = std::move(recovered.engine);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session->id = next_session_id_++;
+  }
+  // The recovered session gets a FRESH log under its new id (header +
+  // replayed appends), so a second crash recovers to exactly this state;
+  // the old log is superseded but left for the operator to remove.
+  AttachSessionLog(*session, recovered.contents.base_fingerprint,
+                   recovered.contents.appends);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.emplace(session->id, session);
+  }
   return session->id;
 }
 
@@ -420,9 +582,29 @@ bool ExplainService::CloseSession(uint64_t session_id) {
     session = it->second;
     sessions_.erase(it);
   }
+  {
+    // A deliberately closed session needs no crash recovery: drop its log.
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->log) {
+      session->engine->set_append_observer(nullptr);
+      session->log->Close();
+      session->log.reset();
+      std::remove(session->log_path.c_str());
+    }
+  }
   cache_.InvalidatePrefix(StrFormat(
       "session/%llu/", static_cast<unsigned long long>(session_id)));
   return true;
+}
+
+std::string ExplainService::SessionLogPath(uint64_t session_id) const {
+  const std::shared_ptr<Session> session = FindSession(session_id);
+  if (!session) return std::string();
+  std::lock_guard<std::mutex> lock(session->mu);
+  // log_failed means the file was deleted: reporting its path would tell
+  // the operator the session is recoverable when it is not.
+  if (!session->log || session->log_failed) return std::string();
+  return session->log_path;
 }
 
 int ExplainService::SessionLength(uint64_t session_id) const {
@@ -450,7 +632,129 @@ ServiceStats ExplainService::Stats() const {
   stats.tenants = tenant_quotas_.NumTenants();
   stats.cache = cache_.stats();
   stats.admission = admission_.stats();
+  const std::vector<std::string> tenants = tenant_quotas_.KnownTenants();
+  std::vector<std::string> prefixes;
+  prefixes.reserve(tenants.size());
+  for (const std::string& tenant : tenants) {
+    prefixes.push_back(TenantKeyPrefix(tenant));
+  }
+  const std::vector<size_t> bytes = cache_.PrefixBytesMany(prefixes);
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    stats.tenant_bytes.emplace_back(tenants[t], bytes[t]);
+  }
   return stats;
+}
+
+bool ExplainService::SaveCache(const std::string& path, std::string* error,
+                               size_t* saved) const {
+  storage::CacheSnapshot snapshot;
+  for (const DatasetInfo& info : registry_.List()) {
+    const DatasetRegistry::TableRef ref = registry_.GetRef(info.name);
+    if (!ref.table) continue;  // dropped between List and GetRef
+    storage::CacheSnapshot::DatasetStamp stamp;
+    stamp.name = info.name;
+    stamp.uid = ref.uid;
+    stamp.fingerprint = storage::TableFingerprint(*ref.table);
+    snapshot.datasets.push_back(std::move(stamp));
+  }
+  for (auto& [key, value] : cache_.ExportEntries()) {
+    // Session entries are process-local (session ids restart at 1 after a
+    // restart, so a stale entry could alias a NEW session's key): never
+    // persisted.
+    if (key.rfind("session/", 0) == 0) continue;
+    storage::CacheSnapshot::Entry entry;
+    entry.key = key;
+    entry.json = value->json;
+    snapshot.entries.push_back(std::move(entry));
+  }
+  const storage::StorageStatus status =
+      storage::WriteCacheSnapshot(snapshot, path);
+  if (!status.ok()) {
+    *error = status.ToString();
+    return false;
+  }
+  if (saved) *saved = snapshot.entries.size();
+  return true;
+}
+
+bool ExplainService::LoadCache(const std::string& path, std::string* error,
+                               size_t* restored, size_t* fenced) {
+  storage::CacheSnapshot snapshot;
+  {
+    const storage::StorageStatus status =
+        storage::ReadCacheSnapshot(path, &snapshot);
+    if (!status.ok()) {
+      *error = status.ToString();
+      return false;
+    }
+  }
+  // The uid fence: a saved uid is accepted only when the SAME dataset
+  // name is registered right now with a bit-identical table (content
+  // fingerprint match), and is then rewritten to the live registration's
+  // uid. Anything else — name gone, data changed, fingerprint forged for
+  // an unknown name — leaves its entries fenced out.
+  std::map<uint64_t, uint64_t> uid_remap;
+  for (const storage::CacheSnapshot::DatasetStamp& stamp : snapshot.datasets) {
+    const DatasetRegistry::TableRef ref = registry_.GetRef(stamp.name);
+    if (!ref.table) continue;
+    if (storage::TableFingerprint(*ref.table) != stamp.fingerprint) continue;
+    uid_remap[stamp.uid] = ref.uid;
+  }
+  size_t kept = 0;
+  size_t dropped = 0;
+  for (const storage::CacheSnapshot::Entry& entry : snapshot.entries) {
+    const std::string rewritten = [&]() -> std::string {
+      if (entry.key.rfind("session/", 0) == 0) return {};  // never restored
+      // Keys end "...|uid=<n>|rep=tXcY"; rfind tolerates hostile dataset
+      // names that embed "|uid=" themselves (the LAST occurrence is the
+      // real field).
+      const size_t uid_pos = entry.key.rfind("|uid=");
+      if (uid_pos == std::string::npos) return {};
+      const size_t digits = uid_pos + 5;
+      size_t end = digits;
+      while (end < entry.key.size() && entry.key[end] >= '0' &&
+             entry.key[end] <= '9') {
+        ++end;
+      }
+      if (end == digits) return {};
+      uint64_t saved_uid = 0;
+      for (size_t i = digits; i < end; ++i) {
+        if (saved_uid > (~0ull - 9) / 10) return {};  // overflow: reject
+        saved_uid = saved_uid * 10 + static_cast<uint64_t>(
+                                         entry.key[i] - '0');
+      }
+      const auto it = uid_remap.find(saved_uid);
+      if (it == uid_remap.end()) return {};
+      // Tenant-namespaced entries re-install their tenant (and its cache
+      // budget) so warm-started bytes are governed exactly like fresh
+      // ones. A malformed tenant id fences the entry.
+      if (entry.key.rfind("tenant/", 0) == 0) {
+        const size_t slash = entry.key.find('/', 7);
+        if (slash == std::string::npos) return {};
+        const std::string tenant = entry.key.substr(7, slash - 7);
+        if (!IsValidTenantId(tenant)) return {};
+        tenant_quotas_.EnsureTenant(tenant);
+      }
+      return entry.key.substr(0, digits) +
+             StrFormat("%llu", static_cast<unsigned long long>(it->second)) +
+             entry.key.substr(end);
+    }();
+    if (rewritten.empty()) {
+      ++dropped;
+      continue;
+    }
+    // Warm-started entries carry the pre-rendered wire JSON only (the
+    // structured result is rebuilt the first time something needs it by
+    // simply recomputing on a miss); entries are re-Put least recently
+    // used first, reproducing each shard's LRU order.
+    auto value = std::make_shared<CachedResult>();
+    value->json = entry.json;
+    cache_.Put(rewritten, value);
+    ++kept;
+  }
+  if (restored) *restored = kept;
+  if (fenced) *fenced = dropped;
+  return true;
 }
 
 std::future<ExplainResponse> ServiceExecutor::SubmitExplain(

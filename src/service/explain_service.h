@@ -42,6 +42,7 @@
 #include "src/service/dataset_registry.h"
 #include "src/service/quota.h"
 #include "src/service/result_cache.h"
+#include "src/storage/session_log.h"
 
 namespace tsexplain {
 
@@ -70,6 +71,15 @@ struct ServiceOptions {
   /// Per-tenant ResultCache byte budget (quota.h); 0 = tenants share the
   /// global LRU unbounded. Cache hits are never quota-checked.
   size_t tenant_cache_budget_bytes = 0;
+  /// When set, every streaming session appends to a crash-recovery log
+  /// under this directory (src/storage/session_log.h): OpenSession
+  /// writes the header, each Append is logged after the engine absorbs
+  /// it, CloseSession deletes the log. RecoverSession replays a log from
+  /// a crashed process. The file name is incarnation-scoped
+  /// (pid + instance tag + session id) — never construct it by hand, ask
+  /// SessionLogPath() (the open_session response carries it as "log").
+  /// Empty = session persistence off.
+  std::string session_log_dir;
 };
 
 struct ExplainRequest {
@@ -95,6 +105,10 @@ struct ExplainResponse {
   double retry_after_ms = 0.0;
   std::string query_key;   // canonical key (diagnostics; empty when !ok)
   bool cache_hit = false;  // served without running the pipeline here
+  /// Structured result. MAY BE NULL on a hit served from a warm-started
+  /// (LoadCache) entry, which persists the wire JSON only — check before
+  /// dereferencing, or use `json` (always set on ok), which is what the
+  /// server and every wire client consume.
   std::shared_ptr<const TSExplainResult> result;
   std::string json;        // RenderJsonReport output (compact)
   double latency_ms = 0.0;
@@ -107,6 +121,11 @@ struct ServiceStats {
   size_t tenants = 0;
   ResultCache::Stats cache;
   AdmissionController::Stats admission;
+  /// Resident cache bytes per tenant namespace, sorted by tenant id —
+  /// the operator's view of who a (possibly warm-started) cache belongs
+  /// to. The shared (tenant-less) namespace is cache.bytes_used minus
+  /// the sum of these.
+  std::vector<std::pair<std::string, size_t>> tenant_bytes;
 };
 
 class ExplainService {
@@ -159,10 +178,41 @@ class ExplainService {
   bool CloseSession(uint64_t session_id);
   /// Number of time buckets in the session; -1 when unknown.
   int SessionLength(uint64_t session_id) const;
+  /// The session's crash-recovery log path ("" when logging is off or the
+  /// session is unknown). The name embeds the pid, so callers must ask
+  /// rather than guess.
+  std::string SessionLogPath(uint64_t session_id) const;
   /// Whether the session's last append forced a full engine rebuild.
   bool SessionLastAppendRebuilt(uint64_t session_id) const;
 
+  /// Rebuilds a streaming session from a crash-recovery log written by a
+  /// previous process (ServiceOptions::session_log_dir): validates the
+  /// log, fences a changed base dataset by content fingerprint, replays
+  /// every intact append, and — when session logging is on — starts a
+  /// fresh log for the recovered session so the crash-safety chain
+  /// continues. Returns the NEW session id (0 + error on failure).
+  /// `torn` (optional) reports whether a torn tail was truncated away
+  /// (the append in flight at the crash is lost, by design).
+  uint64_t RecoverSession(const std::string& log_path, std::string* error,
+                          bool* torn = nullptr, int* replayed = nullptr);
+
   ServiceStats Stats() const;
+
+  /// Cache persistence (src/storage/cache_snapshot.h). SaveCache writes
+  /// every resident dataset-level entry (session entries are skipped:
+  /// session ids do not survive a restart) plus an identity stamp
+  /// (registration uid + content fingerprint) per registered dataset.
+  /// LoadCache re-inserts entries whose dataset stamp matches a
+  /// CURRENTLY registered dataset with an identical content fingerprint,
+  /// rewriting the saved registration uid to the live one; everything
+  /// else is fenced out (counted in `fenced`), so a changed or
+  /// re-registered dataset can never serve stale warm-start entries.
+  /// Errors come back as "code: message" strings with the structured
+  /// storage code first (docs/STORAGE.md).
+  bool SaveCache(const std::string& path, std::string* error,
+                 size_t* saved = nullptr) const;
+  bool LoadCache(const std::string& path, std::string* error,
+                 size_t* restored = nullptr, size_t* fenced = nullptr);
 
   /// The overload controller (transports use it to bound their dispatch
   /// backlog and to produce retry-after hints for pre-dispatch sheds).
@@ -174,10 +224,25 @@ class ExplainService {
     std::string dataset;
     TSExplainConfig config;
     std::unique_ptr<StreamingTSExplain> engine;
+    /// Crash-recovery log (null when session logging is off). Lives with
+    /// the session; the engine's append observer writes through it, so
+    /// it must outlive the engine's last AppendBucket (both are guarded
+    /// by `mu`).
+    std::unique_ptr<storage::SessionLogWriter> log;
+    std::string log_path;
+    /// Latched by the append observer on the first failed LogAppend (the
+    /// file is deleted then: a gapped log must never be recovered from).
+    bool log_failed = false;
     mutable std::mutex mu;  // serializes Append / Explain on this session
   };
 
   std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+
+  /// Installs `session`'s crash-recovery log (header + any already-
+  /// replayed appends) and subscribes the engine's append observer to
+  /// it. No-op when session logging is off.
+  void AttachSessionLog(Session& session, uint64_t base_fingerprint,
+                        const std::vector<storage::SessionLogAppend>& replayed);
 
   /// Runs the admission + single-flight compute for one (cold) cache
   /// key; shared by Explain and ExplainSession.
@@ -192,6 +257,12 @@ class ExplainService {
   ResultCache cache_;
   AdmissionController admission_;
   TenantQuotaRegistry tenant_quotas_;
+  std::string session_log_dir_;
+  /// Distinguishes this service's session-log names from every other
+  /// incarnation's (process-wide counter; the pid handles cross-process):
+  /// session ids restart at 1 per instance, and a colliding name would
+  /// let a new session's log truncate a crashed one's.
+  const uint64_t instance_tag_;
 
   mutable std::mutex sessions_mu_;
   uint64_t next_session_id_ = 1;

@@ -4,6 +4,7 @@
 
 #include "src/common/strings.h"
 #include "src/seg/segment_distance.h"
+#include "src/storage/table_snapshot.h"
 
 namespace tsexplain {
 namespace {
@@ -222,22 +223,6 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
       return MakeError(&request, op, error_code::kBadRequest,
                        "missing 'name'");
     }
-    CsvOptions options;
-    options.time_column = request.GetString("time_column");
-    if (options.time_column.empty()) {
-      return MakeError(&request, op, error_code::kBadRequest,
-                       "missing 'time_column'");
-    }
-    bool measures_ok = true;
-    if (request.Find("measures")) {
-      options.measure_columns =
-          request.GetStringArray("measures", &measures_ok);
-    }
-    if (!measures_ok) {
-      return MakeError(&request, op, error_code::kBadRequest,
-                       "'measures' must be an array of strings");
-    }
-    options.sort_time = request.GetBool("sort_time", true);
     const std::string path = request.GetString("csv_path");
     const std::string inline_csv = request.GetString("csv");
     if (path.empty() == inline_csv.empty()) {
@@ -246,12 +231,37 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     }
     std::string error;
     DatasetInfo info;  // from registration, not a racy Get() re-lookup
-    const bool ok =
-        path.empty()
-            ? service_.registry().RegisterCsvText(name, inline_csv, options,
-                                                  &error, &info)
-            : service_.registry().RegisterCsvFile(name, path, options,
-                                                  &error, &info);
+    bool ok = false;
+    if (!path.empty() && storage::IsTableSnapshotFile(path)) {
+      // A csv_path that is really a binary table snapshot registers
+      // through the storage layer (no re-parse; docs/STORAGE.md). The
+      // time/measure columns are baked into the snapshot's schema, so
+      // 'time_column' is not required.
+      ok = service_.registry().RegisterSnapshotFile(name, path, &error,
+                                                    &info);
+    } else {
+      CsvOptions options;
+      options.time_column = request.GetString("time_column");
+      if (options.time_column.empty()) {
+        return MakeError(&request, op, error_code::kBadRequest,
+                         "missing 'time_column'");
+      }
+      bool measures_ok = true;
+      if (request.Find("measures")) {
+        options.measure_columns =
+            request.GetStringArray("measures", &measures_ok);
+      }
+      if (!measures_ok) {
+        return MakeError(&request, op, error_code::kBadRequest,
+                         "'measures' must be an array of strings");
+      }
+      options.sort_time = request.GetBool("sort_time", true);
+      ok = path.empty()
+               ? service_.registry().RegisterCsvText(name, inline_csv,
+                                                     options, &error, &info)
+               : service_.registry().RegisterCsvFile(name, path, options,
+                                                     &error, &info);
+    }
     if (!ok) {
       return MakeError(&request, op, error_code::kBadRequest, error);
     }
@@ -411,6 +421,13 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Int(static_cast<long long>(session));
     json.Key("n");
     json.Int(service_.SessionLength(session));
+    const std::string log_path = service_.SessionLogPath(session);
+    if (!log_path.empty()) {
+      // The crash-recovery log (pid-scoped name — clients must not guess
+      // it); pass it to recover_session after a crash.
+      json.Key("log");
+      json.String(log_path);
+    }
     json.EndObject();
     return json.str();
   }
@@ -520,6 +537,73 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     return json.str();
   }
 
+  if (op == "save_cache" || op == "load_cache") {
+    const std::string path = request.GetString("path");
+    if (path.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'path'");
+    }
+    std::string error;
+    size_t primary = 0;
+    size_t fenced = 0;
+    const bool ok = op == "save_cache"
+                        ? service_.SaveCache(path, &error, &primary)
+                        : service_.LoadCache(path, &error, &primary,
+                                             &fenced);
+    if (!ok) {
+      return MakeError(&request, op, error_code::kBadRequest, error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("path");
+    json.String(path);
+    json.Key(op == "save_cache" ? "saved" : "restored");
+    json.Int(static_cast<long long>(primary));
+    if (op == "load_cache") {
+      json.Key("fenced");
+      json.Int(static_cast<long long>(fenced));
+    }
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "recover_session") {
+    const std::string path = request.GetString("path");
+    if (path.empty()) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "missing 'path'");
+    }
+    std::string error;
+    bool torn = false;
+    int replayed = 0;
+    const uint64_t session =
+        service_.RecoverSession(path, &error, &torn, &replayed);
+    if (session == 0) {
+      const bool unknown = error.rfind("unknown dataset", 0) == 0;
+      return MakeError(&request, op,
+                       unknown ? error_code::kNotFound
+                               : error_code::kBadRequest,
+                       error);
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+    json.Key("n");
+    json.Int(service_.SessionLength(session));
+    json.Key("replayed");
+    json.Int(replayed);
+    json.Key("torn");
+    json.Bool(torn);
+    const std::string log_path = service_.SessionLogPath(session);
+    if (!log_path.empty()) {
+      json.Key("log");
+      json.String(log_path);
+    }
+    json.EndObject();
+    return json.str();
+  }
+
   if (op == "stats") {
     const ServiceStats stats = service_.Stats();
     JsonWriter json(false);
@@ -532,6 +616,13 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Int(static_cast<long long>(stats.open_sessions));
     json.Key("tenants");
     json.Int(static_cast<long long>(stats.tenants));
+    json.Key("tenant_bytes");
+    json.BeginObject();
+    for (const auto& [tenant, bytes] : stats.tenant_bytes) {
+      json.Key(tenant);
+      json.Int(static_cast<long long>(bytes));
+    }
+    json.EndObject();
     json.Key("admission");
     json.BeginObject();
     json.Key("admitted");

@@ -37,6 +37,11 @@ std::vector<std::string> TenantQuotaRegistry::KnownTenantPrefixes() const {
   return prefixes;
 }
 
+std::vector<std::string> TenantQuotaRegistry::KnownTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(tenants_.begin(), tenants_.end());
+}
+
 size_t TenantQuotaRegistry::NumTenants() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tenants_.size();

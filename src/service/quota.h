@@ -58,6 +58,11 @@ class TenantQuotaRegistry {
   /// the dropped dataset go too.
   std::vector<std::string> KnownTenantPrefixes() const;
 
+  /// Tenant ids in sorted order (the stats op reports per-tenant cache
+  /// namespace byte counts so operators can see who a warm-started cache
+  /// belongs to).
+  std::vector<std::string> KnownTenants() const;
+
   size_t NumTenants() const;
 
  private:

@@ -281,16 +281,80 @@ size_t ResultCache::PrefixBytes(const std::string& prefix) const {
       if ((*budgets_)[b].prefix == prefix) index = static_cast<int>(b);
     }
   }
-  if (index < 0) return 0;
   size_t total = 0;
+  if (index >= 0) {
+    for (const auto& shard_ptr : shards_) {
+      const Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (static_cast<size_t>(index) < shard.budget_bytes.size()) {
+        total += shard.budget_bytes[static_cast<size_t>(index)];
+      }
+    }
+    return total;
+  }
+  // Unbudgeted prefix: full scan (stats-only path, rare).
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (static_cast<size_t>(index) < shard.budget_bytes.size()) {
-      total += shard.budget_bytes[static_cast<size_t>(index)];
+    for (const auto& [key, entry] : shard.entries) {
+      if (key.compare(0, prefix.size(), prefix) == 0) total += entry.cost;
     }
   }
   return total;
+}
+
+std::vector<size_t> ResultCache::PrefixBytesMany(
+    const std::vector<std::string>& prefixes) const {
+  std::vector<size_t> totals(prefixes.size(), 0);
+  // Budgeted prefixes (the common case once tenant budgets are on) are
+  // answered from per-shard accounting; only the rest need the entry
+  // scan, and all of them share ONE pass.
+  const BudgetsPtr budgets = SnapshotBudgets();
+  std::vector<int> budget_index(prefixes.size(), -1);
+  std::vector<size_t> scanned;  // indices answered by the scan
+  for (size_t p = 0; p < prefixes.size(); ++p) {
+    for (size_t b = 0; b < budgets->size(); ++b) {
+      if ((*budgets)[b].prefix == prefixes[p]) {
+        budget_index[p] = static_cast<int>(b);
+      }
+    }
+    if (budget_index[p] < 0) scanned.push_back(p);
+  }
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t p = 0; p < prefixes.size(); ++p) {
+      const int b = budget_index[p];
+      if (b >= 0 && static_cast<size_t>(b) < shard.budget_bytes.size()) {
+        totals[p] += shard.budget_bytes[static_cast<size_t>(b)];
+      }
+    }
+    if (scanned.empty()) continue;
+    for (const auto& [key, entry] : shard.entries) {
+      for (const size_t p : scanned) {
+        if (key.compare(0, prefixes[p].size(), prefixes[p]) == 0) {
+          totals[p] += entry.cost;
+          break;  // prefixes are disjoint: first match is the only match
+        }
+      }
+    }
+  }
+  return totals;
+}
+
+std::vector<std::pair<std::string, ResultCache::ValuePtr>>
+ResultCache::ExportEntries() const {
+  std::vector<std::pair<std::string, ValuePtr>> out;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      const auto vit = shard.entries.find(*it);
+      TSE_CHECK(vit != shard.entries.end());
+      out.emplace_back(vit->first, vit->second.value);
+    }
+  }
+  return out;
 }
 
 void ResultCache::Invalidate(const std::string& key) {

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/pipeline/tsexplain.h"
@@ -91,9 +92,25 @@ class ResultCache {
   /// are re-attributed (and possibly evicted) immediately.
   void SetPrefixBudget(const std::string& prefix, size_t budget_bytes);
 
-  /// Resident bytes currently attributed to a registered prefix budget
-  /// (0 for unregistered prefixes).
+  /// Resident bytes currently under `prefix`. For a registered budget
+  /// prefix this is O(shards) accounting reads; for any other prefix it
+  /// falls back to one full scan (the operator-facing stats op asks for
+  /// tenant namespaces whether or not budgets are configured — rare
+  /// enough that the scan is acceptable, like InvalidatePrefix).
   size_t PrefixBytes(const std::string& prefix) const;
+
+  /// Resident bytes for SEVERAL disjoint prefixes in one pass (an entry
+  /// is charged to the first prefix that matches). The stats op asks for
+  /// every tenant namespace at once; one O(entries) scan replaces
+  /// O(tenants) scans.
+  std::vector<size_t> PrefixBytesMany(
+      const std::vector<std::string>& prefixes) const;
+
+  /// Copies every resident entry, least recently used FIRST (per shard),
+  /// so re-Putting a snapshot in order reproduces each shard's LRU
+  /// ordering (a key always rehashes to the same shard). The cache
+  /// persistence layer's export hook; O(entries).
+  std::vector<std::pair<std::string, ValuePtr>> ExportEntries() const;
 
   /// Drops one key (no-op when absent). In-flight computations are not
   /// interrupted, but their value will land AFTER the invalidation and

@@ -1,0 +1,139 @@
+#include "src/storage/append_log.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace storage {
+namespace {
+
+constexpr size_t kMagicBytes = 8;
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
+
+}  // namespace
+
+AppendLogWriter::~AppendLogWriter() { Close(); }
+
+StorageStatus AppendLogWriter::Open(const std::string& path,
+                                    bool sync_each_record) {
+  Close();
+  // "a+b" creates when absent and always appends; the read half lets us
+  // check whether the magic is already there.
+  std::FILE* f = std::fopen(path.c_str(), "a+b");
+  if (!f) {
+    return StorageStatus::Error(
+        StorageErrorCode::kIoError,
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::fseek(f, 0, SEEK_END);
+  if (std::ftell(f) == 0) {
+    if (std::fwrite(kAppendLogMagic, 1, kMagicBytes, f) != kMagicBytes ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      return StorageStatus::Error(StorageErrorCode::kIoError,
+                                  "cannot write log magic: " + path);
+    }
+  }
+  file_ = f;
+  path_ = path;
+  sync_each_record_ = sync_each_record;
+  return StorageStatus::Ok();
+}
+
+StorageStatus AppendLogWriter::Append(const std::string& payload) {
+  if (!file_) {
+    return StorageStatus::Error(StorageErrorCode::kIoError,
+                                "append log is not open");
+  }
+  if (payload.size() > kMaxAppendLogRecordBytes) {
+    return StorageStatus::Error(
+        StorageErrorCode::kFormatError,
+        StrFormat("record of %zu bytes exceeds the %u-byte cap",
+                  payload.size(), kMaxAppendLogRecordBytes));
+  }
+  // One buffered frame, one flush: a crash between the two leaves a torn
+  // tail the reader truncates, never a half-interpreted record.
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return StorageStatus::Error(StorageErrorCode::kIoError,
+                                "append failed: " + path_);
+  }
+  if (sync_each_record_ && ::fsync(::fileno(file_)) != 0) {
+    return StorageStatus::Error(StorageErrorCode::kIoError,
+                                "fsync failed: " + path_);
+  }
+  return StorageStatus::Ok();
+}
+
+void AppendLogWriter::Close() {
+  if (file_) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+AppendLogReadResult ReadAppendLog(const std::string& path) {
+  AppendLogReadResult result;
+  std::string contents;
+  result.status = ReadFileToString(path, &contents);
+  if (!result.status.ok()) return result;
+  if (contents.size() < kMagicBytes ||
+      std::memcmp(contents.data(), kAppendLogMagic, kMagicBytes) != 0) {
+    result.status = StorageStatus::Error(
+        StorageErrorCode::kBadMagic, path + ": not an append log");
+    return result;
+  }
+  size_t pos = kMagicBytes;
+  result.valid_bytes = pos;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < kFrameHeaderBytes) {
+      result.torn = true;  // partial frame header
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, contents.data() + pos, sizeof(len));
+    std::memcpy(&crc, contents.data() + pos + sizeof(len), sizeof(crc));
+    if (len > kMaxAppendLogRecordBytes ||
+        len > contents.size() - pos - kFrameHeaderBytes) {
+      result.torn = true;  // impossible or partially written payload
+      break;
+    }
+    const char* payload = contents.data() + pos + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      result.torn = true;  // payload bytes damaged
+      break;
+    }
+    result.records.emplace_back(payload, len);
+    pos += kFrameHeaderBytes + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+StorageStatus TruncateTornTail(const std::string& path,
+                               uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return StorageStatus::Error(
+        StorageErrorCode::kIoError,
+        StrFormat("cannot truncate %s to %llu bytes: %s", path.c_str(),
+                  static_cast<unsigned long long>(valid_bytes),
+                  std::strerror(errno)));
+  }
+  return StorageStatus::Ok();
+}
+
+}  // namespace storage
+}  // namespace tsexplain

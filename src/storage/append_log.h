@@ -1,0 +1,84 @@
+// AppendLog: a length-prefixed, CRC'd record log for streaming state.
+//
+// File layout:  magic "TSXLOG01" | records...
+// Record frame: payload_len u32 | payload_crc32 u32 | payload bytes
+//
+// Recovery model (the standard write-ahead-log contract): records are
+// valid strictly in order; the first frame that is incomplete or fails
+// its CRC ends the log. A torn tail — the partial frame a crash mid-write
+// leaves behind — is therefore recovered by replaying every record before
+// it and truncating the file at `valid_bytes` (TruncateTornTail). A file
+// that does not start with the magic is rejected outright (kBadMagic):
+// that is corruption of identity, not a torn write.
+
+#ifndef TSEXPLAIN_STORAGE_APPEND_LOG_H_
+#define TSEXPLAIN_STORAGE_APPEND_LOG_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/storage/format.h"
+
+namespace tsexplain {
+namespace storage {
+
+inline constexpr char kAppendLogMagic[] = "TSXLOG01";
+
+/// Frames too large to be real (the protocol caps request lines at 4 MiB;
+/// a length beyond this is corruption, not data) end the log like a torn
+/// tail instead of driving a giant allocation.
+inline constexpr uint32_t kMaxAppendLogRecordBytes = 64u << 20;
+
+/// Appends framed records to a log file. Opening creates the file (with
+/// its magic) when absent, and appends to an existing one. Not
+/// thread-safe; callers serialize (the service's per-session mutex does).
+class AppendLogWriter {
+ public:
+  AppendLogWriter() = default;
+  ~AppendLogWriter();
+  AppendLogWriter(const AppendLogWriter&) = delete;
+  AppendLogWriter& operator=(const AppendLogWriter&) = delete;
+
+  /// Opens `path` for appending. `sync_each_record` trades throughput for
+  /// durability: fsync after every Append instead of fflush only.
+  StorageStatus Open(const std::string& path, bool sync_each_record = false);
+
+  /// Writes one framed record and flushes it to the OS.
+  StorageStatus Append(const std::string& payload);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool sync_each_record_ = false;
+};
+
+struct AppendLogReadResult {
+  std::vector<std::string> records;  // every record before the first bad one
+  /// kOk when the whole file parsed (even if torn — a torn tail is
+  /// recoverable); an error code when the file is unusable (bad magic,
+  /// unreadable).
+  StorageStatus status;
+  /// True when a torn/corrupt tail was found; `records` holds everything
+  /// before it and `valid_bytes` is where the good prefix ends.
+  bool torn = false;
+  uint64_t valid_bytes = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Reads every intact record of `path` (see the recovery model above).
+AppendLogReadResult ReadAppendLog(const std::string& path);
+
+/// Truncates `path` to `valid_bytes` — the safe post-crash cleanup after
+/// ReadAppendLog reported a torn tail.
+StorageStatus TruncateTornTail(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace storage
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_STORAGE_APPEND_LOG_H_

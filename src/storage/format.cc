@@ -1,0 +1,249 @@
+#include "src/storage/format.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace storage {
+namespace {
+
+constexpr size_t kMagicBytes = 8;
+// magic + u64 payload_len + u32 crc32.
+constexpr size_t kFrameBytes = kMagicBytes + sizeof(uint64_t) + sizeof(uint32_t);
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const char* StorageErrorCodeName(StorageErrorCode code) {
+  switch (code) {
+    case StorageErrorCode::kOk:
+      return "ok";
+    case StorageErrorCode::kIoError:
+      return "io_error";
+    case StorageErrorCode::kBadMagic:
+      return "bad_magic";
+    case StorageErrorCode::kBadVersion:
+      return "bad_version";
+    case StorageErrorCode::kTruncated:
+      return "truncated";
+    case StorageErrorCode::kChecksumMismatch:
+      return "checksum_mismatch";
+    case StorageErrorCode::kFormatError:
+      return "format_error";
+  }
+  return "?";
+}
+
+std::string StorageStatus::ToString() const {
+  return std::string(StorageErrorCodeName(code)) + ": " + message;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ByteReader::ReadString(std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  if (len > size_ - pos_) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::ReadI32Array(std::vector<int32_t>* v, uint64_t count) {
+  if (failed_ || count > (size_ - pos_) / sizeof(int32_t)) {
+    failed_ = true;
+    return false;
+  }
+  v->resize(static_cast<size_t>(count));
+  return ReadRaw(v->data(), static_cast<size_t>(count) * sizeof(int32_t));
+}
+
+bool ByteReader::ReadF64Array(std::vector<double>* v, uint64_t count) {
+  if (failed_ || count > (size_ - pos_) / sizeof(double)) {
+    failed_ = true;
+    return false;
+  }
+  v->resize(static_cast<size_t>(count));
+  return ReadRaw(v->data(), static_cast<size_t>(count) * sizeof(double));
+}
+
+bool ByteReader::AlignTo(size_t alignment) {
+  while (pos_ % alignment != 0) {
+    char pad = 0;
+    if (!ReadRaw(&pad, 1)) return false;
+  }
+  return true;
+}
+
+StorageStatus ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return StorageStatus::Error(
+        StorageErrorCode::kIoError,
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  out->clear();
+  char chunk[1u << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->append(chunk, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return StorageStatus::Error(StorageErrorCode::kIoError,
+                                "read failed: " + path);
+  }
+  return StorageStatus::Ok();
+}
+
+StorageStatus AtomicWriteFile(const std::string& path,
+                              const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    return StorageStatus::Error(
+        StorageErrorCode::kIoError,
+        StrFormat("cannot create %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  // fflush moves bytes to the page cache; fsync makes them durable. Both
+  // are required for the "old complete file OR new complete file" claim
+  // to survive power loss — renaming over data still in the page cache
+  // can leave a zero-length file under the REAL name after a crash.
+  const bool flush_ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (written != contents.size() || !flush_ok) {
+    std::remove(tmp.c_str());
+    return StorageStatus::Error(StorageErrorCode::kIoError,
+                                "write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return StorageStatus::Error(
+        StorageErrorCode::kIoError,
+        StrFormat("cannot rename %s -> %s: %s", tmp.c_str(), path.c_str(),
+                  std::strerror(errno)));
+  }
+  // Durable-rename: the directory entry itself needs a sync or the
+  // rename can vanish on power loss (leaving the old version — safe, so
+  // a failure here is not an error, just weaker durability).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return StorageStatus::Ok();
+}
+
+StorageStatus WriteFramedFile(const std::string& path, const char* magic,
+                              const std::string& payload) {
+  std::string framed;
+  framed.reserve(kFrameBytes + payload.size());
+  framed.append(magic, kMagicBytes);
+  const uint64_t len = payload.size();
+  framed.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  framed.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  framed.append(payload);
+  return AtomicWriteFile(path, framed);
+}
+
+StorageStatus ReadFramedFile(const std::string& path, const char* magic,
+                             std::string* payload) {
+  std::string contents;
+  StorageStatus status = ReadFileToString(path, &contents);
+  if (!status.ok()) return status;
+  if (contents.size() < kMagicBytes) {
+    return StorageStatus::Error(
+        StorageErrorCode::kBadMagic,
+        StrFormat("%s: too short to hold a magic number", path.c_str()));
+  }
+  if (std::memcmp(contents.data(), magic, kMagicBytes) != 0) {
+    return StorageStatus::Error(
+        StorageErrorCode::kBadMagic,
+        StrFormat("%s: wrong magic (expected %.8s)", path.c_str(), magic));
+  }
+  if (contents.size() < kFrameBytes) {
+    return StorageStatus::Error(
+        StorageErrorCode::kTruncated,
+        StrFormat("%s: truncated frame header", path.c_str()));
+  }
+  uint64_t declared = 0;
+  uint32_t crc = 0;
+  std::memcpy(&declared, contents.data() + kMagicBytes, sizeof(declared));
+  std::memcpy(&crc, contents.data() + kMagicBytes + sizeof(declared),
+              sizeof(crc));
+  const size_t actual = contents.size() - kFrameBytes;
+  if (declared != actual) {
+    return StorageStatus::Error(
+        StorageErrorCode::kTruncated,
+        StrFormat("%s: payload is %zu bytes but the header declares %llu",
+                  path.c_str(), actual,
+                  static_cast<unsigned long long>(declared)));
+  }
+  const char* data = contents.data() + kFrameBytes;
+  if (Crc32(data, actual) != crc) {
+    return StorageStatus::Error(
+        StorageErrorCode::kChecksumMismatch,
+        StrFormat("%s: payload checksum mismatch", path.c_str()));
+  }
+  payload->assign(data, actual);
+  return StorageStatus::Ok();
+}
+
+bool FileHasMagic(const std::string& path, const char* magic) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char head[kMagicBytes];
+  const size_t n = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  return n == kMagicBytes && std::memcmp(head, magic, kMagicBytes) == 0;
+}
+
+}  // namespace storage
+}  // namespace tsexplain

@@ -1,0 +1,193 @@
+#include "src/storage/table_snapshot.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace tsexplain {
+namespace storage {
+namespace {
+
+TableSnapshotResult Fail(StorageErrorCode code, std::string message) {
+  TableSnapshotResult result;
+  result.status = StorageStatus::Error(code, std::move(message));
+  return result;
+}
+
+}  // namespace
+
+std::string EncodeTableSnapshotPayload(const Table& table) {
+  const Schema& schema = table.schema();
+  ByteWriter w;
+  w.WriteU32(kTableSnapshotVersion);
+  w.WriteString(schema.time_name());
+  w.WriteU32(static_cast<uint32_t>(schema.num_dimensions()));
+  for (const std::string& name : schema.dimension_names()) w.WriteString(name);
+  w.WriteU32(static_cast<uint32_t>(schema.num_measures()));
+  for (const std::string& name : schema.measure_names()) w.WriteString(name);
+  w.WriteU64(table.num_rows());
+  w.WriteU64(table.num_time_buckets());
+  for (const std::string& label : table.time_labels()) w.WriteString(label);
+  for (size_t a = 0; a < schema.num_dimensions(); ++a) {
+    const Dictionary& dict = table.dictionary(static_cast<AttrId>(a));
+    w.WriteU64(dict.size());
+    for (const std::string& value : dict.values()) w.WriteString(value);
+  }
+  w.AlignTo(8);
+  w.WriteI32Array(table.time_column());
+  for (size_t a = 0; a < schema.num_dimensions(); ++a) {
+    w.AlignTo(8);
+    w.WriteI32Array(table.dim_column(static_cast<AttrId>(a)));
+  }
+  for (size_t m = 0; m < schema.num_measures(); ++m) {
+    w.AlignTo(8);
+    w.WriteF64Array(table.measure_column(static_cast<int>(m)));
+  }
+  return w.TakeBuffer();
+}
+
+StorageStatus WriteTableSnapshot(const Table& table, const std::string& path) {
+  return WriteFramedFile(path, kTableSnapshotMagic,
+                         EncodeTableSnapshotPayload(table));
+}
+
+TableSnapshotResult ReadTableSnapshot(const std::string& path) {
+  std::string payload;
+  {
+    StorageStatus status = ReadFramedFile(path, kTableSnapshotMagic, &payload);
+    if (!status.ok()) {
+      TableSnapshotResult result;
+      result.status = std::move(status);
+      return result;
+    }
+  }
+  ByteReader r(payload);
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) {
+    return Fail(StorageErrorCode::kTruncated, path + ": missing version");
+  }
+  if (version != kTableSnapshotVersion) {
+    return Fail(StorageErrorCode::kBadVersion,
+                StrFormat("%s: snapshot version %u (this build reads %u)",
+                          path.c_str(), version, kTableSnapshotVersion));
+  }
+
+  std::string time_name;
+  uint32_t ndims = 0;
+  uint32_t nmeasures = 0;
+  std::vector<std::string> dim_names;
+  std::vector<std::string> measure_names;
+  if (!r.ReadString(&time_name) || !r.ReadU32(&ndims)) {
+    return Fail(StorageErrorCode::kTruncated, path + ": truncated schema");
+  }
+  // Name counts are bounded by the remaining payload (each name costs at
+  // least its 4-byte length), so hostile counts fail fast instead of
+  // driving huge allocations.
+  if (ndims > r.remaining() / sizeof(uint32_t)) {
+    return Fail(StorageErrorCode::kFormatError,
+                path + ": dimension count exceeds payload");
+  }
+  dim_names.resize(ndims);
+  for (std::string& name : dim_names) {
+    if (!r.ReadString(&name)) {
+      return Fail(StorageErrorCode::kTruncated, path + ": truncated schema");
+    }
+  }
+  if (!r.ReadU32(&nmeasures) ||
+      nmeasures > r.remaining() / sizeof(uint32_t)) {
+    return Fail(StorageErrorCode::kTruncated, path + ": truncated schema");
+  }
+  measure_names.resize(nmeasures);
+  for (std::string& name : measure_names) {
+    if (!r.ReadString(&name)) {
+      return Fail(StorageErrorCode::kTruncated, path + ": truncated schema");
+    }
+  }
+
+  uint64_t nrows = 0;
+  uint64_t nbuckets = 0;
+  if (!r.ReadU64(&nrows) || !r.ReadU64(&nbuckets)) {
+    return Fail(StorageErrorCode::kTruncated, path + ": truncated row counts");
+  }
+  if (nbuckets > r.remaining() / sizeof(uint32_t)) {
+    return Fail(StorageErrorCode::kFormatError,
+                path + ": bucket count exceeds payload");
+  }
+  std::vector<std::string> time_labels(static_cast<size_t>(nbuckets));
+  for (std::string& label : time_labels) {
+    if (!r.ReadString(&label)) {
+      return Fail(StorageErrorCode::kTruncated,
+                  path + ": truncated time labels");
+    }
+  }
+
+  auto table = std::make_unique<Table>(
+      Schema(std::move(time_name), std::move(dim_names),
+             std::move(measure_names)));
+  std::string error;
+  for (uint32_t a = 0; a < ndims; ++a) {
+    uint64_t count = 0;
+    if (!r.ReadU64(&count) || count > r.remaining() / sizeof(uint32_t)) {
+      return Fail(StorageErrorCode::kTruncated,
+                  StrFormat("%s: truncated dictionary %u", path.c_str(), a));
+    }
+    std::vector<std::string> values(static_cast<size_t>(count));
+    for (std::string& value : values) {
+      if (!r.ReadString(&value)) {
+        return Fail(StorageErrorCode::kTruncated,
+                    StrFormat("%s: truncated dictionary %u", path.c_str(), a));
+      }
+    }
+    if (!table->LoadDictionary(static_cast<AttrId>(a), std::move(values),
+                               &error)) {
+      return Fail(StorageErrorCode::kFormatError, path + ": " + error);
+    }
+  }
+
+  std::vector<TimeId> time_col;
+  if (!r.AlignTo(8) || !r.ReadI32Array(&time_col, nrows)) {
+    return Fail(StorageErrorCode::kTruncated, path + ": truncated time column");
+  }
+  std::vector<std::vector<ValueId>> dim_cols(ndims);
+  for (uint32_t a = 0; a < ndims; ++a) {
+    if (!r.AlignTo(8) || !r.ReadI32Array(&dim_cols[a], nrows)) {
+      return Fail(StorageErrorCode::kTruncated,
+                  StrFormat("%s: truncated dimension column %u", path.c_str(),
+                            a));
+    }
+  }
+  std::vector<std::vector<double>> measure_cols(nmeasures);
+  for (uint32_t m = 0; m < nmeasures; ++m) {
+    if (!r.AlignTo(8) || !r.ReadF64Array(&measure_cols[m], nrows)) {
+      return Fail(StorageErrorCode::kTruncated,
+                  StrFormat("%s: truncated measure column %u", path.c_str(),
+                            m));
+    }
+  }
+  if (!r.AtEnd()) {
+    return Fail(StorageErrorCode::kFormatError,
+                StrFormat("%s: %zu trailing bytes after the last column",
+                          path.c_str(), r.remaining()));
+  }
+  if (!table->LoadColumns(std::move(time_labels), std::move(time_col),
+                          std::move(dim_cols), std::move(measure_cols),
+                          &error)) {
+    return Fail(StorageErrorCode::kFormatError, path + ": " + error);
+  }
+  TableSnapshotResult result;
+  result.table = std::move(table);
+  result.status = StorageStatus::Ok();
+  return result;
+}
+
+uint64_t TableFingerprint(const Table& table) {
+  const std::string payload = EncodeTableSnapshotPayload(table);
+  return Fnv1a64(payload.data(), payload.size());
+}
+
+bool IsTableSnapshotFile(const std::string& path) {
+  return FileHasMagic(path, kTableSnapshotMagic);
+}
+
+}  // namespace storage
+}  // namespace tsexplain

@@ -18,6 +18,22 @@ ValueId Dictionary::Lookup(const std::string& value) const {
   return it == str_to_id_.end() ? kInvalidValueId : it->second;
 }
 
+bool Dictionary::Load(std::vector<std::string> values, std::string* error) {
+  id_to_str_.clear();
+  str_to_id_.clear();
+  str_to_id_.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!str_to_id_.emplace(values[i], static_cast<ValueId>(i)).second) {
+      *error = "duplicate dictionary value: \"" + values[i] + "\"";
+      id_to_str_.clear();
+      str_to_id_.clear();
+      return false;
+    }
+  }
+  id_to_str_ = std::move(values);
+  return true;
+}
+
 const std::string& Dictionary::ToString(ValueId id) const {
   TSE_CHECK_GE(id, 0);
   TSE_CHECK_LT(static_cast<size_t>(id), id_to_str_.size());

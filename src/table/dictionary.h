@@ -36,6 +36,17 @@ class Dictionary {
   /// Number of distinct values.
   size_t size() const { return id_to_str_.size(); }
 
+  /// All values in id order (id i is values()[i]); the serialization
+  /// accessor used by src/storage/table_snapshot.*.
+  const std::vector<std::string>& values() const { return id_to_str_; }
+
+  /// Bulk-load hook for the snapshot reader: replaces the dictionary with
+  /// `values` (ids assigned in vector order). Fails (false + error)
+  /// instead of aborting when `values` contains duplicates — a corrupted
+  /// snapshot must be rejected structurally, never half-applied (the
+  /// dictionary is left empty on failure).
+  bool Load(std::vector<std::string> values, std::string* error);
+
  private:
   std::vector<std::string> id_to_str_;
   std::unordered_map<std::string, ValueId> str_to_id_;

@@ -1,6 +1,7 @@
 #include "src/table/table.h"
 
 #include "src/common/check.h"
+#include "src/common/strings.h"
 
 namespace tsexplain {
 
@@ -50,6 +51,74 @@ ValueId Table::EncodeDimension(AttrId attr, const std::string& value) {
   TSE_CHECK_GE(attr, 0);
   TSE_CHECK_LT(static_cast<size_t>(attr), dicts_.size());
   return dicts_[static_cast<size_t>(attr)].GetOrInsert(value);
+}
+
+bool Table::LoadDictionary(AttrId attr, std::vector<std::string> values,
+                           std::string* error) {
+  if (attr < 0 || static_cast<size_t>(attr) >= dicts_.size()) {
+    *error = StrFormat("dictionary index %d out of range (%zu dimensions)",
+                       attr, dicts_.size());
+    return false;
+  }
+  return dicts_[static_cast<size_t>(attr)].Load(std::move(values), error);
+}
+
+bool Table::LoadColumns(std::vector<std::string> time_labels,
+                        std::vector<TimeId> time_col,
+                        std::vector<std::vector<ValueId>> dim_cols,
+                        std::vector<std::vector<double>> measure_cols,
+                        std::string* error) {
+  const size_t rows = time_col.size();
+  if (dim_cols.size() != schema_.num_dimensions() ||
+      measure_cols.size() != schema_.num_measures()) {
+    *error = StrFormat(
+        "column count mismatch: %zu dim + %zu measure columns for a schema "
+        "with %zu + %zu",
+        dim_cols.size(), measure_cols.size(), schema_.num_dimensions(),
+        schema_.num_measures());
+    return false;
+  }
+  for (size_t t = 1; t < time_labels.size(); ++t) {
+    if (time_labels[t] == time_labels[t - 1]) {
+      *error = "consecutive duplicate time labels: \"" + time_labels[t] + "\"";
+      return false;
+    }
+  }
+  for (const TimeId t : time_col) {
+    if (t < 0 || static_cast<size_t>(t) >= time_labels.size()) {
+      *error = StrFormat("time id %d out of range (%zu buckets)", t,
+                         time_labels.size());
+      return false;
+    }
+  }
+  for (size_t a = 0; a < dim_cols.size(); ++a) {
+    if (dim_cols[a].size() != rows) {
+      *error = StrFormat("dimension column %zu has %zu entries for %zu rows",
+                         a, dim_cols[a].size(), rows);
+      return false;
+    }
+    const size_t dict_size = dicts_[a].size();
+    for (const ValueId v : dim_cols[a]) {
+      if (v < 0 || static_cast<size_t>(v) >= dict_size) {
+        *error = StrFormat(
+            "dimension column %zu: code %d out of range (%zu values)", a, v,
+            dict_size);
+        return false;
+      }
+    }
+  }
+  for (size_t m = 0; m < measure_cols.size(); ++m) {
+    if (measure_cols[m].size() != rows) {
+      *error = StrFormat("measure column %zu has %zu entries for %zu rows", m,
+                         measure_cols[m].size(), rows);
+      return false;
+    }
+  }
+  time_labels_ = std::move(time_labels);
+  time_col_ = std::move(time_col);
+  dim_cols_ = std::move(dim_cols);
+  measure_cols_ = std::move(measure_cols);
+  return true;
 }
 
 std::string Table::PredicateString(AttrId attr, ValueId value) const {

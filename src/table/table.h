@@ -75,6 +75,26 @@ class Table {
   /// Renders `(attr, value)` as "attr=value".
   std::string PredicateString(AttrId attr, ValueId value) const;
 
+  /// Bulk-load hooks for the snapshot reader (src/storage/table_snapshot.*).
+  /// Both validate instead of aborting, so a corrupted snapshot is rejected
+  /// with a structured error. Only meaningful on a freshly constructed
+  /// (empty) table.
+
+  /// Replaces dimension `attr`'s dictionary; fails on duplicates.
+  bool LoadDictionary(AttrId attr, std::vector<std::string> values,
+                      std::string* error);
+
+  /// Installs the table's full columnar contents. Validates that every
+  /// column has one entry per row, time ids index `time_labels` (which may
+  /// not contain consecutive duplicates — AddTimeBucket never produces
+  /// them), and dimension codes index their (already loaded) dictionaries.
+  /// On failure the table is unchanged.
+  bool LoadColumns(std::vector<std::string> time_labels,
+                   std::vector<TimeId> time_col,
+                   std::vector<std::vector<ValueId>> dim_cols,
+                   std::vector<std::vector<double>> measure_cols,
+                   std::string* error);
+
  private:
   Schema schema_;
   std::vector<Dictionary> dicts_;           // one per dimension

@@ -47,6 +47,11 @@ check wall_clock grep -q '"wall_clock_s"' out.json
 check harvested_name grep -q '"fig99.demo.total"' out.json
 check harvested_ms grep -q '"ms": 12.345' out.json
 check log_saved test -s out.d/bench_ok.log
+# Attribution stamps: SHA ("unknown" here — fakebuild is not a git tree),
+# hostname, and nproc make committed captures comparable across machines.
+check stamp_sha grep -q '"git_sha": "unknown"' out.json
+check stamp_hostname grep -q '"hostname"' out.json
+check stamp_nproc grep -qE '"nproc": [0-9]+' out.json
 
 # A failing bench: recorded with its exit status, harness exits non-zero.
 "$HARNESS" -b fakebuild -o fail.json bench_fails >/dev/null 2>&1

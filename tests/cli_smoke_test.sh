@@ -87,6 +87,35 @@ if ! "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
   failures=$((failures + 1))
 fi
 
+# Convert mode: csv -> snapshot, then explain FROM the snapshot (no
+# --time: the schema travels in the file). Results must match the CSV
+# run byte for byte apart from the wall-clock timing block.
+SNAP="$TMPDIR_SMOKE/ok.tsx"
+if ! "$CLI" --csv "$CSV" --time date --measure sales \
+    --save-snapshot "$SNAP" >/dev/null 2>&1 || ! [ -s "$SNAP" ]; then
+  echo "FAIL [save_snapshot]: --save-snapshot must write a snapshot" >&2
+  failures=$((failures + 1))
+else
+  "$CLI" --csv "$CSV" --time date --measure sales --explain-by region \
+      --k 2 --json 2>/dev/null | sed '/"timing_ms"/,/}/d' >"$TMPDIR_SMOKE/a.json"
+  "$CLI" --csv "$SNAP" --measure sales --explain-by region \
+      --k 2 --json 2>/dev/null | sed '/"timing_ms"/,/}/d' >"$TMPDIR_SMOKE/b.json"
+  if ! cmp -s "$TMPDIR_SMOKE/a.json" "$TMPDIR_SMOKE/b.json"; then
+    echo "FAIL [snapshot_identical]: snapshot run differs from CSV run" >&2
+    failures=$((failures + 1))
+  fi
+  # A corrupted snapshot is a structured error, not a crash.
+  printf 'garbage' >>"$SNAP"
+  if "$CLI" --csv "$SNAP" --measure sales >/dev/null 2>"$TMPDIR_SMOKE/corrupt.err"; then
+    echo "FAIL [snapshot_corrupt]: corrupted snapshot must fail" >&2
+    failures=$((failures + 1))
+  elif ! grep -q "truncated\|checksum" "$TMPDIR_SMOKE/corrupt.err"; then
+    echo "FAIL [snapshot_corrupt_code]: expected a structured storage error" >&2
+    cat "$TMPDIR_SMOKE/corrupt.err" >&2
+    failures=$((failures + 1))
+  fi
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "cli_smoke: $failures check(s) failed" >&2
   exit 1

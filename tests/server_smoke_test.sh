@@ -17,6 +17,10 @@
 #     byte-by-byte across many tiny writes still parses (recv-boundary
 #     handling), a multi-MB garbage line draws ONE structured error and
 #     leaves the connection usable, and stats exposes admission counters
+#   - warm restart: a server run with --cache-save/--session-log-dir is
+#     stopped and a NEW process started with --cache-load — the first
+#     post-restart query must be a cache hit (byte-identical result), and
+#     recover_session must replay the dead process's streaming session
 #
 # Usage: server_smoke_test.sh /path/to/tsexplain_serve
 set -u
@@ -183,6 +187,66 @@ else
   fail tcp_exit "TCP server exited non-zero"
   cat "$TMPDIR_SMOKE/tcp.err" >&2
 fi
+
+# --- Warm restart: --cache-save / --cache-load + session recovery ---------
+# Run 1 computes a query (cold), opens a streaming session, appends, and
+# shuts down with --cache-save; run 2 is a fresh process (the old one is
+# gone — that is the restart) with --cache-load: its FIRST query must be a
+# warm hit, and recover_session must rebuild the dead process's session
+# from its append log.
+CACHE_SNAP="$TMPDIR_SMOKE/cache.tsxcch"
+SESSION_DIR="$TMPDIR_SMOKE/sessions"
+mkdir -p "$SESSION_DIR"
+
+WARM1="$TMPDIR_SMOKE/warm1.ndjson"
+{
+  echo "{\"op\":\"explain\",\"id\":20,$EXPLAIN_FIELDS}"
+  echo '{"op":"open_session","id":21,"dataset":"sales","measure":"sales","explain_by":["region"],"k":2}'
+  echo '{"op":"append","id":22,"session":1,"label":"zz","rows":[{"dims":["east"],"measures":[30]},{"dims":["west"],"measures":[11]}]}'
+  echo '{"op":"shutdown","id":23}'
+} >"$WARM1"
+OUT1="$TMPDIR_SMOKE/warm1.out"
+if ! "$SERVE" --preload sales="$CSV" --time date --measure sales \
+     --cache-save "$CACHE_SNAP" --session-log-dir "$SESSION_DIR" \
+     <"$WARM1" >"$OUT1" 2>"$TMPDIR_SMOKE/warm1.err"; then
+  fail warm1_exit "first warm-start server run exited non-zero"
+  cat "$TMPDIR_SMOKE/warm1.err" >&2
+fi
+response_for 20 "$OUT1" | grep -q '"cache_hit":false' || fail warm1_cold "$(response_for 20 "$OUT1")"
+response_for 22 "$OUT1" | grep -q '"n":11' || fail warm1_append "$(response_for 22 "$OUT1")"
+[ -s "$CACHE_SNAP" ] || fail cache_snapshot_written "no cache snapshot at $CACHE_SNAP"
+# The open_session response names the (pid-scoped) crash-recovery log.
+SESSION_LOG=$(response_for 21 "$OUT1" | sed 's/.*"log":"\([^"]*\)".*/\1/')
+[ -s "$SESSION_LOG" ] || fail session_log_written "no session log at '$SESSION_LOG'"
+
+WARM2="$TMPDIR_SMOKE/warm2.ndjson"
+{
+  echo "{\"op\":\"explain\",\"id\":30,$EXPLAIN_FIELDS}"
+  echo "{\"op\":\"recover_session\",\"id\":31,\"path\":\"$SESSION_LOG\"}"
+  echo '{"op":"explain_session","id":32,"session":1}'
+  echo '{"op":"stats","id":33}'
+  echo '{"op":"shutdown","id":34}'
+} >"$WARM2"
+OUT2="$TMPDIR_SMOKE/warm2.out"
+if ! "$SERVE" --preload sales="$CSV" --time date --measure sales \
+     --cache-load "$CACHE_SNAP" --session-log-dir "$SESSION_DIR" \
+     <"$WARM2" >"$OUT2" 2>"$TMPDIR_SMOKE/warm2.err"; then
+  fail warm2_exit "restarted server exited non-zero"
+  cat "$TMPDIR_SMOKE/warm2.err" >&2
+fi
+grep -q "warm start: 1 entries restored" "$TMPDIR_SMOKE/warm2.err" \
+  || fail warm2_banner "$(cat "$TMPDIR_SMOKE/warm2.err")"
+# The first post-restart query is a HIT, and its result payload is the
+# byte-identical JSON the pre-restart process rendered.
+response_for 30 "$OUT2" | grep -q '"cache_hit":true' || fail warm2_hit "$(response_for 30 "$OUT2")"
+payload() { sed 's/.*"result"://; s/}$//' ; }
+[ "$(response_for 30 "$OUT2" | payload)" = "$(response_for 20 "$OUT1" | payload)" ] \
+  || fail warm2_identical "restart changed the cached payload"
+response_for 31 "$OUT2" | grep -q '"ok":true' || fail recover "$(response_for 31 "$OUT2")"
+response_for 31 "$OUT2" | grep -q '"n":11' || fail recover_n "$(response_for 31 "$OUT2")"
+response_for 31 "$OUT2" | grep -q '"torn":false' || fail recover_torn "$(response_for 31 "$OUT2")"
+response_for 32 "$OUT2" | grep -q '"ok":true' || fail recovered_explain "$(response_for 32 "$OUT2")"
+response_for 33 "$OUT2" | grep -q '"tenant_bytes":{' || fail stats_tenant_bytes "$(response_for 33 "$OUT2")"
 
 if [ "$failures" -ne 0 ]; then
   echo "--- responses ---" >&2

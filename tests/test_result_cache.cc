@@ -237,7 +237,9 @@ TEST(ResultCache, ShrinkingABudgetEvictsResidentEntriesImmediately) {
   cache.GetOrCompute("tenant/a/q1", compute, &hit);
   cache.GetOrCompute("tenant/a/q2", compute, &hit);
   cache.GetOrCompute("tenant/a/q3", compute, &hit);
-  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 0u);  // not yet registered
+  // No budget registered yet: PrefixBytes falls back to a full scan and
+  // reports the actual resident bytes (the operator-facing stats path).
+  EXPECT_EQ(cache.PrefixBytes("tenant/a/"), 3 * cost);
 
   // Installing the budget re-attributes resident entries and enforces
   // the bound at once (LRU within the prefix: q1 goes first).

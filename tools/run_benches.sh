@@ -10,17 +10,25 @@
 #   -o OUT.json    output path (default: BENCH_<UTC timestamp>.json in CWD)
 #   --all          run every bench_* binary found in BUILD_DIR
 #   --quick        CI profile: small-scale fig16 + fig17 + bench_service
-#                  (fig17 capped via TSE_SCALE_BUDGET_S, default 2 s per
-#                  run; bench_service's overload scenario runs at 2x
-#                  admission capacity via TSE_OVERLOAD_X, so CI exercises
-#                  admission control + load shedding on every PR in
-#                  seconds; numbers are smoke-level, not trajectory-level).
+#                  + bench_storage (fig17 capped via TSE_SCALE_BUDGET_S,
+#                  default 2 s per run; bench_service's overload scenario
+#                  runs at 2x admission capacity via TSE_OVERLOAD_X, so CI
+#                  exercises admission control + load shedding on every PR
+#                  in seconds; bench_storage exits non-zero unless the
+#                  snapshot round trip is bit-identical AND >= 5x faster
+#                  than CSV parse, so the storage format cannot silently
+#                  rot; numbers are smoke-level, not trajectory-level).
 #                  Explicit BENCH names run in addition to the profile set.
 #   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
 #
 # Default set (no --all, no names): bench_micro_core + bench_fig16_end_to_end
-# + bench_service — the core microbenchmarks, the end-to-end latency
-# figure, and the service-layer cold/hot/concurrent throughput.
+# + bench_service + bench_storage — the core microbenchmarks, the
+# end-to-end latency figure, the service-layer cold/hot/concurrent
+# throughput, and the CSV-vs-snapshot load comparison.
+#
+# Every BENCH_*.json is stamped with the git SHA (plus "-dirty" when the
+# tree has uncommitted changes), hostname, and nproc, so committed perf
+# numbers stay attributable across machines and PRs.
 #
 # Each bench's stdout/stderr goes to <OUT>.d/<bench>.log; the JSON records
 # wall-clock seconds, exit status, and log path per bench, plus every
@@ -80,9 +88,11 @@ elif [ "$QUICK" -eq 1 ]; then
   # without minutes of contention).
   export TSE_SCALE_BUDGET_S="${TSE_SCALE_BUDGET_S:-2}"
   export TSE_OVERLOAD_X="${TSE_OVERLOAD_X:-2}"
-  BENCHES+=(bench_fig16_end_to_end bench_fig17_scalability bench_service)
+  BENCHES+=(bench_fig16_end_to_end bench_fig17_scalability bench_service
+            bench_storage)
 elif [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(bench_micro_core bench_fig16_end_to_end bench_service)
+  BENCHES=(bench_micro_core bench_fig16_end_to_end bench_service
+           bench_storage)
 fi
 
 if [ ${#BENCHES[@]} -eq 0 ]; then
@@ -91,6 +101,21 @@ if [ ${#BENCHES[@]} -eq 0 ]; then
 fi
 
 host=$(uname -srm)
+hostname=$(hostname 2>/dev/null || echo unknown)
+nproc_count=$(nproc 2>/dev/null || echo 0)
+# Attribute the numbers to the exact tree they came from: the commit the
+# BUILD DIR's source tree sits on (which may be a worktree at another
+# SHA), with a -dirty marker for uncommitted changes.
+git_root=$(git -C "$BUILD_DIR" rev-parse --show-toplevel 2>/dev/null || true)
+if [ -n "$git_root" ]; then
+  git_sha=$(git -C "$git_root" rev-parse HEAD 2>/dev/null || echo unknown)
+  # status --porcelain sees staged, unstaged, AND untracked changes — all
+  # of which can be in the benchmarked build (the library globs src/).
+  [ -z "$(git -C "$git_root" status --porcelain 2>/dev/null)" ] \
+    || git_sha="${git_sha}-dirty"
+else
+  git_sha=unknown
+fi
 entries=""
 overall=0
 for bench in "${BENCHES[@]}"; do
@@ -128,9 +153,12 @@ fi
 
 cat >"$OUT" <<EOF
 {
-  "schema": "tsexplain-bench-v1",
+  "schema": "tsexplain-bench-v2",
   "timestamp_utc": "$STAMP",
   "host": "$host",
+  "hostname": "$hostname",
+  "nproc": $nproc_count,
+  "git_sha": "$git_sha",
   "build_dir": "$BUILD_DIR",
   "benches": [$entries
   ]

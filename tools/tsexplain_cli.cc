@@ -5,8 +5,10 @@
 //             --explain-by region,product [options]
 //
 // Options:
-//   --csv PATH            input file (required)
-//   --time NAME           time column (required)
+//   --csv PATH            input file (required): a CSV, or a binary table
+//                         snapshot (auto-detected by magic; loads without
+//                         re-parsing and needs no --time)
+//   --time NAME           time column (required for CSV inputs)
 //   --measure NAME        measure column (omit for COUNT(*))
 //   --agg sum|count|avg   aggregate function (default sum)
 //   --explain-by A,B,C    explain-by dimensions (default: recommend + all)
@@ -21,6 +23,10 @@
 //   --recommend           only print explain-by attribute recommendations
 //   --diff FROM,TO        two-snapshot mode: explain the difference between
 //                         the FROM and TO time buckets and exit
+//   --save-snapshot PATH  convert mode: write the loaded table as a binary
+//                         columnar snapshot (docs/STORAGE.md) and exit —
+//                         `tsexplain --csv in.csv --time date --save-snapshot
+//                         out.tsx` is the csv->snapshot converter
 
 #include <cerrno>
 #include <climits>
@@ -36,6 +42,7 @@
 #include "src/pipeline/recommend.h"
 #include "src/pipeline/report.h"
 #include "src/pipeline/tsexplain.h"
+#include "src/storage/table_snapshot.h"
 #include "src/table/csv_reader.h"
 
 namespace {
@@ -57,6 +64,7 @@ struct CliOptions {
   bool json = false;
   bool recommend_only = false;
   std::string diff;  // "FROM,TO" labels, empty = segmentation mode
+  std::string save_snapshot;  // convert mode: write snapshot, exit
 };
 
 void PrintUsage(std::FILE* out, const char* argv0) {
@@ -64,9 +72,14 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "usage: %s --csv PATH --time NAME [--measure NAME] "
                "[--agg sum|count|avg] [--explain-by A,B,C] [--order N] "
                "[--m N] [--k N] [--smooth N] [--threads N] [--fast] "
-               "[--json] [--recommend] [--diff FROM,TO] [--help]\n"
+               "[--json] [--recommend] [--diff FROM,TO] "
+               "[--save-snapshot PATH] [--help]\n"
                "  --threads N   module (c) worker threads; 0 = auto (one "
-               "per hardware thread)\n",
+               "per hardware thread)\n"
+               "  --csv PATH    CSV or binary table snapshot (auto-detected;"
+               " snapshots need no --time)\n"
+               "  --save-snapshot PATH  write the loaded table as a binary "
+               "snapshot and exit\n",
                argv0);
 }
 
@@ -142,6 +155,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* want_help) {
       const char* v = next();
       if (!v) return false;
       options->diff = v;
+    } else if (arg == "--save-snapshot") {
+      const char* v = next();
+      if (!v) return false;
+      options->save_snapshot = v;
     } else if (arg == "--help" || arg == "-h") {
       *want_help = true;
       return true;
@@ -150,8 +167,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* want_help) {
       return false;
     }
   }
-  if (options->csv_path.empty() || options->time_column.empty()) {
-    std::fprintf(stderr, "--csv and --time are required\n");
+  if (options->csv_path.empty()) {
+    std::fprintf(stderr, "--csv is required\n");
+    return false;
+  }
+  // Snapshot inputs carry their schema (incl. the time column); CSVs
+  // still need --time to know which column is the series axis.
+  if (options->time_column.empty() &&
+      !storage::IsTableSnapshotFile(options->csv_path)) {
+    std::fprintf(stderr, "--time is required for CSV inputs\n");
     return false;
   }
   // Domain checks: out-of-range values must fail here with usage, not
@@ -204,19 +228,54 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  CsvOptions csv_options;
-  csv_options.time_column = options.time_column;
-  if (!options.measure.empty()) {
-    csv_options.measure_columns = {options.measure};
+  std::unique_ptr<Table> table;
+  if (storage::IsTableSnapshotFile(options.csv_path)) {
+    storage::TableSnapshotResult loaded =
+        storage::ReadTableSnapshot(options.csv_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status.ToString().c_str());
+      return 1;
+    }
+    table = std::move(loaded.table);
+  } else {
+    CsvOptions csv_options;
+    csv_options.time_column = options.time_column;
+    if (!options.measure.empty()) {
+      csv_options.measure_columns = {options.measure};
+    }
+    CsvResult loaded = ReadCsvFile(options.csv_path, csv_options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+      PrintUsage(stderr, argv[0]);
+      return 1;
+    }
+    table = std::move(loaded.table);
   }
-  const CsvResult loaded = ReadCsvFile(options.csv_path, csv_options);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
-    PrintUsage(stderr, argv[0]);
+  // CSV inputs reject an unknown --measure at parse time; snapshot inputs
+  // load every column unchecked, so validate here — a typo must be a
+  // clean error, not a TSE_CHECK abort inside the pipeline.
+  if (!options.measure.empty() &&
+      table->schema().MeasureIndex(options.measure) < 0) {
+    std::fprintf(stderr, "error: unknown measure: %s\n",
+                 options.measure.c_str());
     return 1;
   }
-  std::fprintf(stderr, "loaded %zu rows, %zu time buckets\n", loaded.rows,
-               loaded.table->num_time_buckets());
+  std::fprintf(stderr, "loaded %zu rows, %zu time buckets\n",
+               table->num_rows(), table->num_time_buckets());
+
+  if (!options.save_snapshot.empty()) {
+    const storage::StorageStatus status =
+        storage::WriteTableSnapshot(*table, options.save_snapshot);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote snapshot %s\n",
+                 options.save_snapshot.c_str());
+    return 0;
+  }
 
   if (!options.diff.empty()) {
     const std::vector<std::string> endpoints = Split(options.diff, ',');
@@ -231,7 +290,7 @@ int main(int argc, char** argv) {
     diff_options.max_order = options.order;
     diff_options.m = options.m;
     const SnapshotDiffResult diff =
-        SnapshotDiff(*loaded.table, endpoints[0], endpoints[1],
+        SnapshotDiff(*table, endpoints[0], endpoints[1],
                      diff_options);
     std::printf("%s: %.6g -> %s: %.6g (delta %.6g)\n", endpoints[0].c_str(),
                 diff.control_total, endpoints[1].c_str(), diff.test_total,
@@ -247,7 +306,7 @@ int main(int argc, char** argv) {
   }
 
   const auto recommendations = RecommendExplainBy(
-      *loaded.table, aggregate, options.measure, options.m);
+      *table, aggregate, options.measure, options.m);
   if (options.recommend_only || options.explain_by.empty()) {
     std::fprintf(stderr, "explain-by recommendations (concentration):\n");
     for (const auto& rec : recommendations) {
@@ -279,7 +338,7 @@ int main(int argc, char** argv) {
     config.use_sketch = true;
   }
 
-  TSExplain engine(*loaded.table, config);
+  TSExplain engine(*table, config);
   const TSExplainResult result = engine.Run();
   if (options.json) {
     std::printf("%s\n", RenderJsonReport(engine, result).c_str());

@@ -36,10 +36,21 @@
 //   --tenant-cache-budget N  per-tenant result-cache budget in MiB
 //                     (default 0 = tenants share the global LRU)
 //   --tenant-inflight N      per-tenant in-flight cap (default 0 = off)
-//   --preload NAME=PATH  register a CSV at startup (repeatable; uses
-//                     --time/--measure below)
-//   --time NAME       time column for --preload datasets
-//   --measure NAME    measure column for --preload datasets (optional)
+//   --preload NAME=PATH  register a CSV or binary table snapshot at
+//                     startup (repeatable; snapshots are auto-detected by
+//                     magic and need no --time; CSVs use --time/--measure)
+//   --time NAME       time column for CSV --preload datasets
+//   --measure NAME    measure column for CSV --preload datasets (optional)
+//   --cache-load PATH warm-start: restore a result-cache snapshot saved
+//                     by --cache-save / the save_cache op. Entries are
+//                     uid-fenced against the preloaded datasets
+//                     (docs/SERVICE.md, "Warm starts"); a missing or
+//                     corrupt file warns and starts cold, never aborts.
+//   --cache-save PATH write the result cache to PATH on clean shutdown
+//                     (the shutdown op); pairs with --cache-load.
+//   --session-log-dir DIR  append-log every streaming session to
+//                     DIR/session_<id>.log for crash recovery (the
+//                     recover_session op replays them)
 //   --serial          handle every op inline (deterministic ordering;
 //                     debugging aid)
 
@@ -67,6 +78,7 @@
 #include "src/common/thread_pool.h"
 #include "src/service/explain_service.h"
 #include "src/service/protocol.h"
+#include "src/storage/table_snapshot.h"
 
 namespace {
 
@@ -82,6 +94,9 @@ struct ServeOptions {
   std::vector<std::string> preloads;  // NAME=PATH
   std::string time_column;
   std::string measure;
+  std::string cache_load;
+  std::string cache_save;
+  std::string session_log_dir;
   bool serial = false;
 };
 
@@ -90,7 +105,8 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "usage: %s [--port N] [--cache-mb N] [--max-inflight N] "
                "[--queue-depth N] [--tenant-cache-budget N] "
                "[--tenant-inflight N] [--preload NAME=PATH] [--time NAME] "
-               "[--measure NAME] [--serial] [--help]\n",
+               "[--measure NAME] [--cache-load PATH] [--cache-save PATH] "
+               "[--session-log-dir DIR] [--serial] [--help]\n",
                argv0);
 }
 
@@ -161,6 +177,18 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options,
       const char* v = next();
       if (!v) return false;
       options->measure = v;
+    } else if (arg == "--cache-load") {
+      const char* v = next();
+      if (!v) return false;
+      options->cache_load = v;
+    } else if (arg == "--cache-save") {
+      const char* v = next();
+      if (!v) return false;
+      options->cache_save = v;
+    } else if (arg == "--session-log-dir") {
+      const char* v = next();
+      if (!v) return false;
+      options->session_log_dir = v;
     } else if (arg == "--serial") {
       options->serial = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -484,23 +512,31 @@ int main(int argc, char** argv) {
   service_options.admission.per_tenant_inflight = options.tenant_inflight;
   service_options.tenant_cache_budget_bytes =
       options.tenant_cache_budget_mb << 20;
+  service_options.session_log_dir = options.session_log_dir;
   ExplainService service(service_options);
 
   for (const std::string& preload : options.preloads) {
     const size_t eq = preload.find('=');
     const std::string name = preload.substr(0, eq);
     const std::string path = preload.substr(eq + 1);
-    if (options.time_column.empty()) {
-      std::fprintf(stderr, "--preload requires --time\n");
-      return 2;
-    }
-    CsvOptions csv;
-    csv.time_column = options.time_column;
-    if (!options.measure.empty()) {
-      csv.measure_columns = {options.measure};
-    }
     std::string error;
-    if (!service.registry().RegisterCsvFile(name, path, csv, &error)) {
+    bool ok = false;
+    if (storage::IsTableSnapshotFile(path)) {
+      // Binary snapshot: schema (incl. the time column) is baked in.
+      ok = service.registry().RegisterSnapshotFile(name, path, &error);
+    } else {
+      if (options.time_column.empty()) {
+        std::fprintf(stderr, "--preload requires --time for CSV inputs\n");
+        return 2;
+      }
+      CsvOptions csv;
+      csv.time_column = options.time_column;
+      if (!options.measure.empty()) {
+        csv.measure_columns = {options.measure};
+      }
+      ok = service.registry().RegisterCsvFile(name, path, csv, &error);
+    }
+    if (!ok) {
       std::fprintf(stderr, "preload %s failed: %s\n", name.c_str(),
                    error.c_str());
       return 1;
@@ -509,11 +545,39 @@ int main(int argc, char** argv) {
                  path.c_str());
   }
 
+  if (!options.cache_load.empty()) {
+    // Warm start is best-effort by design: a stale, corrupt, or missing
+    // snapshot must degrade to a cold cache, never block serving.
+    std::string error;
+    size_t restored = 0;
+    size_t fenced = 0;
+    if (service.LoadCache(options.cache_load, &error, &restored, &fenced)) {
+      std::fprintf(stderr,
+                   "cache warm start: %zu entries restored, %zu fenced "
+                   "(%s)\n",
+                   restored, fenced, options.cache_load.c_str());
+    } else {
+      std::fprintf(stderr, "cache warm start skipped: %s\n", error.c_str());
+    }
+  }
+
   ProtocolHandler handler(service);
   ThreadPool& pool = ThreadPool::Shared();
-  if (options.port > 0) {
-    return RunTcpMode(handler, service.admission(), pool, options.serial,
-                      options.port);
+  const int exit_code =
+      options.port > 0
+          ? RunTcpMode(handler, service.admission(), pool, options.serial,
+                       options.port)
+          : RunPipeMode(handler, service.admission(), pool, options.serial);
+
+  if (!options.cache_save.empty()) {
+    std::string error;
+    size_t saved = 0;
+    if (service.SaveCache(options.cache_save, &error, &saved)) {
+      std::fprintf(stderr, "cache saved: %zu entries (%s)\n", saved,
+                   options.cache_save.c_str());
+    } else {
+      std::fprintf(stderr, "cache save failed: %s\n", error.c_str());
+    }
   }
-  return RunPipeMode(handler, service.admission(), pool, options.serial);
+  return exit_code;
 }
