@@ -1,0 +1,113 @@
+// Annotated mutex / condition-variable wrappers for clang's thread
+// safety analysis (src/common/thread_annotations.h).
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so -Wthread-safety cannot see through them: a tree locking
+// raw std::mutex gets zero verification. These wrappers are the same
+// primitives with the attributes attached — zero-cost (everything
+// inlines to the std:: call) and drop-in:
+//
+//   Mutex mu_;
+//   int value_ TSE_GUARDED_BY(mu_);
+//   ...
+//   MutexLock lock(mu_);          // was: std::lock_guard<std::mutex>
+//   ++value_;                     // OK; without the lock: build break
+//
+// Condition waits replace the predicate-lambda idiom with an explicit
+// loop, which keeps the guarded reads visible to the analysis (a lambda
+// body is a separate function the analysis cannot attribute the held
+// lock to):
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);  // was: cv_.wait(lock, [&]{...})
+//
+// tools/lint_invariants.py enforces that src/ and tools/ hold locks only
+// through this header, and that every Mutex member has at least one
+// TSE_GUARDED_BY / TSE_REQUIRES user.
+
+#ifndef TSEXPLAIN_COMMON_MUTEX_H_
+#define TSEXPLAIN_COMMON_MUTEX_H_
+
+// Pre-C++20, -Wpedantic rejects passing ZERO arguments to a variadic
+// macro, and the no-argument annotation forms below (TSE_ACQUIRE(),
+// TSE_RELEASE()) are exactly that — the canonical clang idiom for "this
+// object's own capability". System-header status silences that one
+// pedantic diagnostic here; call sites in the rest of the tree always
+// name their capability and keep full diagnostics.
+#pragma GCC system_header
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace tsexplain {
+
+class CondVar;
+
+/// std::mutex with capability annotations. Non-recursive, non-shared —
+/// the repo's locking is exclusive everywhere.
+class TSE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TSE_ACQUIRE() { mu_.lock(); }
+  void Unlock() TSE_RELEASE() { mu_.unlock(); }
+  bool TryLock() TSE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this mutex is held — for code reached through a
+  /// boundary it cannot follow (std::function callbacks that contractually
+  /// run under the owner's lock). Compiles to nothing.
+  void AssertHeld() const TSE_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock (drop-in for std::lock_guard<std::mutex>).
+class TSE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TSE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TSE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait REQUIRES the mutex, making
+/// the "predicate reads guarded state" rule machine-checked at every
+/// wait loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires it before
+  /// returning. Spurious wakeups happen: always wait in a
+  /// `while (!predicate)` loop.
+  void Wait(Mutex& mu) TSE_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait protocol, then
+    // release the adoption so the MutexLock in the caller's scope stays
+    // the sole owner.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_COMMON_MUTEX_H_

@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety).
+//
+// These macros let the compiler verify the repo's locking discipline at
+// build time: a member declared TSE_GUARDED_BY(mu_) cannot be touched
+// without holding mu_, a function declared TSE_REQUIRES(mu_) cannot be
+// called without it, and forgetting to release a TSE_ACQUIRE'd capability
+// is a build break. The CI `thread-safety` job compiles the tree with
+// clang -Wthread-safety -Werror; under GCC (the default local toolchain)
+// every macro expands to nothing, so annotations are free to sprinkle.
+//
+// The annotations only bite on types marked TSE_CAPABILITY — libstdc++'s
+// std::mutex is NOT annotated, which is why the repo locks through the
+// annotated wrappers in src/common/mutex.h instead (enforced by
+// tools/lint_invariants.py: no raw std::mutex members outside mutex.h).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// (macro set mirrors the one recommended there, TSE_-prefixed).
+
+#ifndef TSEXPLAIN_COMMON_THREAD_ANNOTATIONS_H_
+#define TSEXPLAIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define TSE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TSE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define TSE_CAPABILITY(x) TSE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define TSE_SCOPED_CAPABILITY TSE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be accessed while holding the capability.
+#define TSE_GUARDED_BY(x) TSE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer/smart-pointer member whose POINTEE may only be accessed while
+/// holding the capability (the pointer itself is not guarded).
+#define TSE_PT_GUARDED_BY(x) TSE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold the listed capabilities (exclusively).
+#define TSE_REQUIRES(...) \
+  TSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release
+/// them before returning.
+#define TSE_ACQUIRE(...) \
+  TSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define TSE_RELEASE(...) \
+  TSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define TSE_TRY_ACQUIRE(ret, ...) \
+  TSE_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define TSE_EXCLUDES(...) TSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held — the
+/// escape hatch for code the analysis cannot follow (e.g. a callback that
+/// contractually fires under its owner's lock). Use sparingly; every use
+/// documents WHY the lock is known to be held.
+#define TSE_ASSERT_CAPABILITY(x) \
+  TSE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Declares lock acquisition order (deadlock prevention documentation).
+#define TSE_ACQUIRED_BEFORE(...) \
+  TSE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TSE_ACQUIRED_AFTER(...) \
+  TSE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned data.
+#define TSE_RETURN_CAPABILITY(x) TSE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables the analysis for one function. Last resort; every use
+/// carries a justification comment.
+#define TSE_NO_THREAD_SAFETY_ANALYSIS \
+  TSE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TSEXPLAIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -31,10 +31,14 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
+  // Workers drain every already-queued task before exiting, so a
+  // ParallelFor whose helpers are still queued completes normally: its
+  // caller participates in the drain and its completion cv is signaled
+  // by whichever thread finishes the last index.
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -42,8 +46,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -56,11 +60,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> future = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     TSE_CHECK(!shutdown_) << "Submit after ThreadPool shutdown";
     queue_.emplace_back([task] { (*task)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -79,8 +83,11 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     size_t total = 0;
-    std::mutex mu;
-    std::condition_variable cv;
+    // Completion handshake only: the waited-on state (`done`) is atomic,
+    // the mutex exists so the notify cannot slip between the caller's
+    // predicate check and its sleep. lint:allow(unguarded-mutex)
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<LoopState>();
   state->total = n;
@@ -91,8 +98,8 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
       if (i >= state->total) return;
       fn(i);
       if (state->done.fetch_add(1) + 1 == state->total) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
@@ -107,10 +114,8 @@ void ThreadPool::ParallelFor(size_t n, int parallelism,
   for (int h = 0; h < helpers; ++h) Submit(drain);
 
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] {
-    return state->done.load() == state->total;
-  });
+  MutexLock lock(state->mu);
+  while (state->done.load() != state->total) state->cv.Wait(state->mu);
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -21,13 +21,13 @@
 #ifndef TSEXPLAIN_COMMON_THREAD_POOL_H_
 #define TSEXPLAIN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace tsexplain {
 
@@ -49,6 +49,13 @@ class ThreadPool {
   /// Spawns `num_threads` workers (>= 1; use ResolveThreadCount for the
   /// 0 = auto convention).
   explicit ThreadPool(int num_threads);
+
+  /// Destruction is safe while ParallelFor loops are still draining:
+  /// workers finish every already-queued helper task before joining, the
+  /// caller thread keeps draining indices itself, and completion waiters
+  /// are woken by the last index as usual (tests/test_thread_pool.cc
+  /// covers destruction mid-loop). What is NOT allowed is Submit (or a
+  /// new ParallelFor) racing destruction — that is a TSE_CHECK.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -68,15 +75,24 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware, lazily constructed. The
   /// pipeline's distance fill and the service share it so worker threads
   /// are a bounded resource no matter how many engines/queries are live.
+  ///
+  /// Teardown order: the pool is a function-local static, so it is
+  /// destroyed during static destruction, in reverse order of first use
+  /// relative to other function-local statics and AFTER main() returns.
+  /// Anything that might enqueue work from a destructor (services,
+  /// engines, tests) must therefore either live on the stack / heap with
+  /// a lifetime inside main(), or call Shared() at least once BEFORE the
+  /// other static is constructed (construction order = reverse
+  /// destruction order). Every binary in this repo uses the former.
   static ThreadPool& Shared();
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TSE_GUARDED_BY(mu_);
+  bool shutdown_ TSE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

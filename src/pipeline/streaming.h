@@ -36,6 +36,14 @@ struct StreamRow {
 };
 
 /// Incremental TSExplain over an internally owned, growing Table.
+///
+/// Thread safety: NONE here by design — every method mutates the owned
+/// table / cube / caches, and the owner must serialize all calls
+/// externally. In the service, that owner is ExplainService::Session,
+/// whose `engine` field is TSE_GUARDED_BY(Session::mu); standalone users
+/// (CLI, benches, tests) drive one instance from one thread. The
+/// append-observer callback runs synchronously inside AppendBucket and
+/// therefore inherits the caller's serialization.
 class StreamingTSExplain {
  public:
   /// Copies `initial` into the internal table and builds the cube.

@@ -47,7 +47,7 @@ SegmentExplainer::SegmentExplainer(const ExplanationCube& cube,
 std::unique_ptr<SegmentExplainer::WorkerState>
 SegmentExplainer::AcquireWorkerState() {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     if (!worker_pool_.empty()) {
       std::unique_ptr<WorkerState> state = std::move(worker_pool_.back());
       worker_pool_.pop_back();
@@ -61,7 +61,7 @@ SegmentExplainer::AcquireWorkerState() {
 
 void SegmentExplainer::ReleaseWorkerState(
     std::unique_ptr<WorkerState> state) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   worker_pool_.push_back(std::move(state));
 }
 
@@ -95,7 +95,7 @@ TopExplanations SegmentExplainer::ComputeTop(int a, int b) {
   }
   ReleaseWorkerState(std::move(ws));
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     timing_.precompute_ms += precompute_ms;
     timing_.cascading_ms += cascading_ms;
     ++ca_invocations_;
@@ -111,13 +111,13 @@ const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
   CacheShard& shard = shards_[ShardFor(key, kNumShards)];
   CacheEntry* entry = nullptr;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       entry = it->second.get();
       // Single-flight: another thread is computing this segment; wait for
       // it instead of redoing the CA work (keeps ca_invocations exact).
-      shard.cv.wait(lock, [entry] { return entry->ready; });
+      while (!entry->ready) shard.cv.Wait(shard.mu);
       return entry->top;
     }
     auto owned = std::make_unique<CacheEntry>();
@@ -127,11 +127,11 @@ const TopExplanations& SegmentExplainer::TopFor(int a, int b) {
 
   TopExplanations result = ComputeTop(a, b);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     entry->top = std::move(result);
     entry->ready = true;
   }
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
   return entry->top;
 }
 
@@ -159,25 +159,32 @@ DiffScore SegmentExplainer::Score(ExplId e, int a, int b) const {
 }
 
 void SegmentExplainer::ClearCache() {
-  for (CacheShard& shard : shards_) shard.map.clear();
+  // Take each shard's lock: a racing TopFor must never observe a
+  // half-cleared map (it previously iterated the shards unlocked, which
+  // was a data race whenever the streaming pipeline cleared while a
+  // background pre-warm was still draining).
+  for (CacheShard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 ExplainerTiming SegmentExplainer::timing() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return timing_;
 }
 
 size_t SegmentExplainer::cache_size() const {
   size_t total = 0;
   for (const CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;
 }
 
 size_t SegmentExplainer::ca_invocations() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return ca_invocations_;
 }
 

@@ -20,14 +20,13 @@
 #ifndef TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
 #define TSEXPLAIN_SEG_SEGMENT_EXPLAINER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/cube/explanation_cube.h"
 #include "src/diff/cascading_analysts.h"
 #include "src/diff/guess_verify.h"
@@ -76,6 +75,9 @@ class SegmentExplainer {
   DiffScore Score(ExplId e, int a, int b) const;
 
   /// Resets the cache (used by the streaming pipeline when data changes).
+  /// Takes each shard's lock, so it is data-race-free against concurrent
+  /// TopFor — but references THOSE callers already hold become dangling,
+  /// so callers must still quiesce before clearing (see class comment).
   void ClearCache();
 
   int n() const { return static_cast<int>(cube_.n()); }
@@ -107,9 +109,10 @@ class SegmentExplainer {
     bool ready = false;
   };
   struct CacheShard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<uint64_t, std::unique_ptr<CacheEntry>> map;
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<uint64_t, std::unique_ptr<CacheEntry>> map
+        TSE_GUARDED_BY(mu);
   };
   static constexpr size_t kNumShards = 64;  // power of two
 
@@ -123,12 +126,13 @@ class SegmentExplainer {
 
   std::vector<CacheShard> shards_;  // sized kNumShards
 
-  std::mutex pool_mu_;
-  std::vector<std::unique_ptr<WorkerState>> worker_pool_;
+  Mutex pool_mu_;
+  std::vector<std::unique_ptr<WorkerState>> worker_pool_
+      TSE_GUARDED_BY(pool_mu_);
 
-  mutable std::mutex stats_mu_;
-  ExplainerTiming timing_;
-  size_t ca_invocations_ = 0;
+  mutable Mutex stats_mu_;
+  ExplainerTiming timing_ TSE_GUARDED_BY(stats_mu_);
+  size_t ca_invocations_ TSE_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace tsexplain

@@ -55,7 +55,7 @@ AdmissionController::Ticket AdmissionController::Admit(
     int requested_threads) {
   TSE_CHECK_GE(requested_threads, 1)
       << "resolve the thread knob before Admit";
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   // Tenant gate first: a tenant at its cap is shed without ever touching
   // the shared queue, so quota pressure cannot convert into overload
@@ -81,7 +81,7 @@ AdmissionController::Ticket AdmissionController::Admit(
     if (fit != inflight_.end()) {
       const std::shared_ptr<Flight> flight = fit->second;
       ++stats_.coalesced;
-      cv_.wait(lock, [&flight] { return flight->done; });
+      while (!flight->done) cv_.Wait(mu_);
       Ticket ticket;
       ticket.controller_ = this;  // releases the tenant count
       ticket.outcome_ = Outcome::kCoalesced;
@@ -98,7 +98,7 @@ AdmissionController::Ticket AdmissionController::Admit(
       inflight_.emplace(key, std::make_shared<Flight>());
       // Queued duplicates of this key can now batch onto the new leader
       // instead of waiting for a slot of their own.
-      if (queued_ > 0) cv_.notify_all();
+      if (queued_ > 0) cv_.NotifyAll();
       Ticket ticket;
       ticket.controller_ = this;
       ticket.outcome_ = Outcome::kAdmitted;
@@ -126,16 +126,16 @@ AdmissionController::Ticket AdmissionController::Admit(
     if (static_cast<size_t>(queued_) > stats_.peak_queued) {
       stats_.peak_queued = static_cast<size_t>(queued_);
     }
-    cv_.wait(lock, [this, &key] {
-      return active_ < max_concurrent_ || inflight_.count(key) > 0;
-    });
+    while (active_ >= max_concurrent_ && inflight_.count(key) == 0) {
+      cv_.Wait(mu_);
+    }
     --queued_;
   }
 }
 
 void AdmissionController::Release(Ticket& ticket) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ticket.outcome_ == Outcome::kAdmitted) {
       --active_;
       auto it = inflight_.find(ticket.key);
@@ -155,11 +155,11 @@ void AdmissionController::Release(Ticket& ticket) {
       }
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool AdmissionController::TryAcquireBacklogSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (backlog_ >= backlog_capacity_) {
     ++stats_.backlog_shed;
     return false;
@@ -169,18 +169,18 @@ bool AdmissionController::TryAcquireBacklogSlot() {
 }
 
 void AdmissionController::ReleaseBacklogSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TSE_CHECK_GT(backlog_, 0);
   --backlog_;
 }
 
 double AdmissionController::RetryAfterMsHint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RetryAfterLocked();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats stats = stats_;
   stats.active = static_cast<size_t>(active_);
   stats.queued = static_cast<size_t>(queued_);

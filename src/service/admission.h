@@ -40,12 +40,12 @@
 #ifndef TSEXPLAIN_SERVICE_ADMISSION_H_
 #define TSEXPLAIN_SERVICE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/common/mutex.h"
 
 namespace tsexplain {
 
@@ -122,7 +122,7 @@ class AdmissionController {
   /// bounded-queue case; shed decisions return immediately.
   /// `requested_threads` must be resolved (>= 1, see ResolveThreadCount).
   Ticket Admit(const std::string& key, const std::string& tenant,
-               int requested_threads);
+               int requested_threads) TSE_EXCLUDES(mu_);
 
   /// Transport backlog bound: a dispatcher reserves a slot BEFORE handing
   /// an expensive request to the thread pool and releases it when the
@@ -130,14 +130,14 @@ class AdmissionController {
   /// requests exist anywhere in the system (running + queued + parked in
   /// the pool's task queue). Returns false when the request must be shed
   /// right now, on the transport thread.
-  bool TryAcquireBacklogSlot();
-  void ReleaseBacklogSlot();
+  bool TryAcquireBacklogSlot() TSE_EXCLUDES(mu_);
+  void ReleaseBacklogSlot() TSE_EXCLUDES(mu_);
 
   /// How long a shed caller should wait before retrying: an EWMA of
   /// recent admitted-run durations scaled by the current queue pressure.
-  double RetryAfterMsHint() const;
+  double RetryAfterMsHint() const TSE_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const TSE_EXCLUDES(mu_);
   int max_concurrent() const { return max_concurrent_; }
   int queue_depth() const { return queue_depth_; }
   int pool_size() const { return pool_size_; }
@@ -147,8 +147,8 @@ class AdmissionController {
     bool done = false;
   };
 
-  void Release(Ticket& ticket);
-  double RetryAfterLocked() const;
+  void Release(Ticket& ticket) TSE_EXCLUDES(mu_);
+  double RetryAfterLocked() const TSE_REQUIRES(mu_);
 
   int max_concurrent_ = 1;
   int queue_depth_ = 0;
@@ -156,15 +156,18 @@ class AdmissionController {
   int pool_size_ = 1;
   int backlog_capacity_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
-  std::unordered_map<std::string, int> tenant_inflight_;
-  int active_ = 0;
-  int queued_ = 0;
-  int backlog_ = 0;
-  double ewma_run_ms_ = 100.0;  // seeded pessimistically; converges fast
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_
+      TSE_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> tenant_inflight_
+      TSE_GUARDED_BY(mu_);
+  int active_ TSE_GUARDED_BY(mu_) = 0;
+  int queued_ TSE_GUARDED_BY(mu_) = 0;
+  int backlog_ TSE_GUARDED_BY(mu_) = 0;
+  // Seeded pessimistically; converges fast.
+  double ewma_run_ms_ TSE_GUARDED_BY(mu_) = 100.0;
+  Stats stats_ TSE_GUARDED_BY(mu_);
 };
 
 }  // namespace tsexplain

@@ -87,7 +87,7 @@ bool DatasetRegistry::RegisterTable(const std::string& name,
   dataset->table = std::move(table);
   dataset->uid = NextDatasetUid();
   dataset->source = source;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto inserted = datasets_.emplace(name, std::move(dataset));
   if (!inserted.second) {
     *error = "dataset already registered: " + name;
@@ -103,14 +103,14 @@ std::shared_ptr<const Table> DatasetRegistry::Get(
 
 DatasetRegistry::TableRef DatasetRegistry::GetRef(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = datasets_.find(name);
   if (it == datasets_.end()) return {};
   return TableRef{it->second->table, it->second->uid};
 }
 
 bool DatasetRegistry::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return datasets_.erase(name) > 0;
 }
 
@@ -121,7 +121,7 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
   // Get() (i.e. every cache-hit query) behind one slow build.
   std::vector<std::pair<std::string, std::shared_ptr<Dataset>>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.assign(datasets_.begin(), datasets_.end());
   }
   std::vector<DatasetInfo> out;
@@ -135,7 +135,7 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
     info.dimensions = dataset->table->schema().dimension_names();
     info.measures = dataset->table->schema().measure_names();
     {
-      std::lock_guard<std::mutex> engines_lock(*dataset->engines_mu);
+      MutexLock engines_lock(*dataset->engines_mu);
       info.hot_engines = dataset->engines.size();
     }
     out.push_back(std::move(info));
@@ -150,7 +150,7 @@ EngineHandle DatasetRegistry::GetOrBuildEngine(const std::string& name,
                                                std::string* error) {
   std::shared_ptr<Dataset> dataset;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       *error = "unknown dataset: " + name;
@@ -170,12 +170,12 @@ EngineHandle DatasetRegistry::GetOrBuildEngine(const std::string& name,
   // Per-dataset lock: a concurrent request for the same NEW engine waits
   // for the first build instead of duplicating the cube; requests for an
   // EXISTING engine pay only a map lookup.
-  std::lock_guard<std::mutex> engines_lock(*dataset->engines_mu);
+  MutexLock engines_lock(*dataset->engines_mu);
   auto it = dataset->engines.find(engine_key);
   if (it == dataset->engines.end()) {
     EngineEntry entry;
     entry.engine = std::make_shared<TSExplain>(*dataset->table, config);
-    entry.run_mu = std::make_shared<std::mutex>();
+    entry.run_mu = std::make_shared<Mutex>();
     it = dataset->engines.emplace(engine_key, std::move(entry)).first;
   }
   EngineHandle handle;
@@ -190,7 +190,7 @@ size_t DatasetRegistry::NumEngines() const {
   // a dataset's engines_mu.
   std::vector<std::shared_ptr<Dataset>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.reserve(datasets_.size());
     for (const auto& [name, dataset] : datasets_) {
       (void)name;
@@ -199,7 +199,7 @@ size_t DatasetRegistry::NumEngines() const {
   }
   size_t total = 0;
   for (const auto& dataset : snapshot) {
-    std::lock_guard<std::mutex> engines_lock(*dataset->engines_mu);
+    MutexLock engines_lock(*dataset->engines_mu);
     total += dataset->engines.size();
   }
   return total;

@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/pipeline/tsexplain.h"
 #include "src/table/csv_reader.h"
 
@@ -43,7 +43,7 @@ struct DatasetInfo {
 struct EngineHandle {
   std::shared_ptr<const Table> table;
   std::shared_ptr<TSExplain> engine;
-  std::shared_ptr<std::mutex> mu;
+  std::shared_ptr<Mutex> mu;
 
   bool ok() const { return engine != nullptr; }
 };
@@ -123,20 +123,21 @@ class DatasetRegistry {
  private:
   struct EngineEntry {
     std::shared_ptr<TSExplain> engine;
-    std::shared_ptr<std::mutex> run_mu;
+    std::shared_ptr<Mutex> run_mu;
   };
   struct Dataset {
     std::shared_ptr<const Table> table;
     uint64_t uid = 0;
     std::string source;
     // Engine build + lookup serialization (per dataset, not global).
-    std::shared_ptr<std::mutex> engines_mu =
-        std::make_shared<std::mutex>();
-    std::map<std::string, EngineEntry> engines;
+    std::shared_ptr<Mutex> engines_mu = std::make_shared<Mutex>();
+    std::map<std::string, EngineEntry> engines
+        TSE_GUARDED_BY(*engines_mu);
   };
 
-  mutable std::mutex mu_;  // guards datasets_ map shape
-  std::map<std::string, std::shared_ptr<Dataset>> datasets_;
+  mutable Mutex mu_;  // guards datasets_ map shape
+  std::map<std::string, std::shared_ptr<Dataset>> datasets_
+      TSE_GUARDED_BY(mu_);
 };
 
 }  // namespace tsexplain

@@ -274,7 +274,7 @@ ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
         {
           // Run mutates the engine's explanation caches; serialize per
           // engine. Distinct engines still run fully in parallel.
-          std::lock_guard<std::mutex> lock(*handle.mu);
+          MutexLock lock(*handle.mu);
           cached->result =
               std::make_shared<TSExplainResult>(handle.engine->Run(spec));
           cached->json = RenderJsonReport(
@@ -325,24 +325,29 @@ uint64_t ExplainService::OpenSession(const std::string& dataset,
   auto session = std::make_shared<Session>();
   session->dataset = dataset;
   session->config = normalized;
-  // StreamingTSExplain copies the table: the session's view grows
-  // independently of the immutable registered dataset.
-  session->engine =
-      std::make_unique<StreamingTSExplain>(*table, normalized);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     session->id = next_session_id_++;
   }
-  if (!session_log_dir_.empty()) {
-    // TableFingerprint re-serializes the table (O(table bytes)) — fine
-    // here because OpenSession is already O(table): StreamingTSExplain
-    // copies the whole relation two lines up.
-    AttachSessionLog(*session, storage::TableFingerprint(*table), {});
+  {
+    // The session is still private, so its mutex is uncontended; holding
+    // it makes the guarded-field writes below provable to the analysis.
+    MutexLock session_lock(session->mu);
+    // StreamingTSExplain copies the table: the session's view grows
+    // independently of the immutable registered dataset.
+    session->engine =
+        std::make_unique<StreamingTSExplain>(*table, normalized);
+    if (!session_log_dir_.empty()) {
+      // TableFingerprint re-serializes the table (O(table bytes)) — fine
+      // here because OpenSession is already O(table): StreamingTSExplain
+      // copies the whole relation two lines up.
+      AttachSessionLog(*session, storage::TableFingerprint(*table), {});
+    }
   }
   {
     // Published only after the log observer is subscribed: no append can
     // reach the session unlogged.
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions_.emplace(session->id, session);
   }
   return session->id;
@@ -398,6 +403,10 @@ void ExplainService::AttachSessionLog(
   Session* s = &session;
   session.engine->set_append_observer(
       [s](const std::string& label, const std::vector<StreamRow>& rows) {
+        // Contract: AppendBucket (hence this observer) only runs under
+        // the session mutex; the std::function boundary hides that from
+        // the static analysis, so assert it instead.
+        s->mu.AssertHeld();
         if (!s->log || s->log_failed) return;
         const storage::StorageStatus append_status =
             s->log->LogAppend(label, rows);
@@ -464,18 +473,22 @@ uint64_t ExplainService::RecoverSession(const std::string& log_path,
   auto session = std::make_shared<Session>();
   session->dataset = recovered.contents.dataset;
   session->config = validated;  // what the engine was actually built from
-  session->engine = std::move(recovered.engine);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     session->id = next_session_id_++;
   }
-  // The recovered session gets a FRESH log under its new id (header +
-  // replayed appends), so a second crash recovers to exactly this state;
-  // the old log is superseded but left for the operator to remove.
-  AttachSessionLog(*session, recovered.contents.base_fingerprint,
-                   recovered.contents.appends);
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    // Unpublished session: uncontended lock, same as OpenSession.
+    MutexLock session_lock(session->mu);
+    session->engine = std::move(recovered.engine);
+    // The recovered session gets a FRESH log under its new id (header +
+    // replayed appends), so a second crash recovers to exactly this state;
+    // the old log is superseded but left for the operator to remove.
+    AttachSessionLog(*session, recovered.contents.base_fingerprint,
+                     recovered.contents.appends);
+  }
+  {
+    MutexLock lock(sessions_mu_);
     sessions_.emplace(session->id, session);
   }
   return session->id;
@@ -483,7 +496,7 @@ uint64_t ExplainService::RecoverSession(const std::string& log_path,
 
 std::shared_ptr<ExplainService::Session> ExplainService::FindSession(
     uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   const auto it = sessions_.find(session_id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -497,7 +510,7 @@ bool ExplainService::Append(uint64_t session_id, const std::string& label,
                        static_cast<unsigned long long>(session_id));
     return false;
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   const Schema& schema = session->engine->table().schema();
   for (const StreamRow& row : rows) {
     if (row.dims.size() != schema.num_dimensions() ||
@@ -536,7 +549,7 @@ ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
         StrFormat("unknown session: %llu",
                   static_cast<unsigned long long>(session_id)));
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   if (session->engine->n() < 3) {
     return ErrorResponse(error_code::kInvalidQuery,
                          "session needs at least three time buckets");
@@ -576,7 +589,7 @@ ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
 bool ExplainService::CloseSession(uint64_t session_id) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     const auto it = sessions_.find(session_id);
     if (it == sessions_.end()) return false;
     session = it->second;
@@ -584,7 +597,7 @@ bool ExplainService::CloseSession(uint64_t session_id) {
   }
   {
     // A deliberately closed session needs no crash recovery: drop its log.
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     if (session->log) {
       session->engine->set_append_observer(nullptr);
       session->log->Close();
@@ -600,7 +613,7 @@ bool ExplainService::CloseSession(uint64_t session_id) {
 std::string ExplainService::SessionLogPath(uint64_t session_id) const {
   const std::shared_ptr<Session> session = FindSession(session_id);
   if (!session) return std::string();
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   // log_failed means the file was deleted: reporting its path would tell
   // the operator the session is recoverable when it is not.
   if (!session->log || session->log_failed) return std::string();
@@ -610,14 +623,14 @@ std::string ExplainService::SessionLogPath(uint64_t session_id) const {
 int ExplainService::SessionLength(uint64_t session_id) const {
   const std::shared_ptr<Session> session = FindSession(session_id);
   if (!session) return -1;
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   return session->engine->n();
 }
 
 bool ExplainService::SessionLastAppendRebuilt(uint64_t session_id) const {
   const std::shared_ptr<Session> session = FindSession(session_id);
   if (!session) return false;
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   return session->engine->last_append_rebuilt();
 }
 
@@ -626,7 +639,7 @@ ServiceStats ExplainService::Stats() const {
   stats.datasets = registry_.List().size();
   stats.hot_engines = registry_.NumEngines();
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     stats.open_sessions = sessions_.size();
   }
   stats.tenants = tenant_quotas_.NumTenants();

@@ -30,10 +30,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 #include "src/pipeline/recommend.h"
 #include "src/pipeline/report_json.h"
@@ -220,29 +220,37 @@ class ExplainService {
 
  private:
   struct Session {
+    mutable Mutex mu;  // serializes Append / Explain on this session
     uint64_t id = 0;
+    // Immutable after publication in sessions_ (set while the session is
+    // still private to its constructor, read-only afterwards).
     std::string dataset;
     TSExplainConfig config;
-    std::unique_ptr<StreamingTSExplain> engine;
+    std::unique_ptr<StreamingTSExplain> engine TSE_GUARDED_BY(mu)
+        TSE_PT_GUARDED_BY(mu);
     /// Crash-recovery log (null when session logging is off). Lives with
     /// the session; the engine's append observer writes through it, so
     /// it must outlive the engine's last AppendBucket (both are guarded
     /// by `mu`).
-    std::unique_ptr<storage::SessionLogWriter> log;
-    std::string log_path;
+    std::unique_ptr<storage::SessionLogWriter> log TSE_GUARDED_BY(mu)
+        TSE_PT_GUARDED_BY(mu);
+    std::string log_path TSE_GUARDED_BY(mu);
     /// Latched by the append observer on the first failed LogAppend (the
     /// file is deleted then: a gapped log must never be recovered from).
-    bool log_failed = false;
-    mutable std::mutex mu;  // serializes Append / Explain on this session
+    bool log_failed TSE_GUARDED_BY(mu) = false;
   };
 
-  std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+  std::shared_ptr<Session> FindSession(uint64_t session_id) const
+      TSE_EXCLUDES(sessions_mu_);
 
   /// Installs `session`'s crash-recovery log (header + any already-
   /// replayed appends) and subscribes the engine's append observer to
-  /// it. No-op when session logging is off.
+  /// it. No-op when session logging is off. The caller holds the session
+  /// mutex (construction-time sessions are unpublished, so the lock is
+  /// uncontended — it exists to make the guarded-field access provable).
   void AttachSessionLog(Session& session, uint64_t base_fingerprint,
-                        const std::vector<storage::SessionLogAppend>& replayed);
+                        const std::vector<storage::SessionLogAppend>& replayed)
+      TSE_REQUIRES(session.mu);
 
   /// Runs the admission + single-flight compute for one (cold) cache
   /// key; shared by Explain and ExplainSession.
@@ -264,9 +272,10 @@ class ExplainService {
   /// let a new session's log truncate a crashed one's.
   const uint64_t instance_tag_;
 
-  mutable std::mutex sessions_mu_;
-  uint64_t next_session_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  mutable Mutex sessions_mu_;
+  uint64_t next_session_id_ TSE_GUARDED_BY(sessions_mu_) = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_
+      TSE_GUARDED_BY(sessions_mu_);
 };
 
 /// Per-query futures on a shared ThreadPool: the serving layer submits

@@ -19,7 +19,7 @@ std::string TenantKeyPrefix(const std::string& tenant) {
 }
 
 void TenantQuotaRegistry::EnsureTenant(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!tenants_.insert(tenant).second) return;  // already installed
   if (options_.cache_budget_bytes > 0) {
     cache_.SetPrefixBudget(TenantKeyPrefix(tenant),
@@ -28,7 +28,7 @@ void TenantQuotaRegistry::EnsureTenant(const std::string& tenant) {
 }
 
 std::vector<std::string> TenantQuotaRegistry::KnownTenantPrefixes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> prefixes;
   prefixes.reserve(tenants_.size());
   for (const std::string& tenant : tenants_) {
@@ -38,12 +38,12 @@ std::vector<std::string> TenantQuotaRegistry::KnownTenantPrefixes() const {
 }
 
 std::vector<std::string> TenantQuotaRegistry::KnownTenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<std::string>(tenants_.begin(), tenants_.end());
 }
 
 size_t TenantQuotaRegistry::NumTenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tenants_.size();
 }
 

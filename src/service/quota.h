@@ -17,11 +17,11 @@
 #ifndef TSEXPLAIN_SERVICE_QUOTA_H_
 #define TSEXPLAIN_SERVICE_QUOTA_H_
 
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/service/result_cache.h"
 
 namespace tsexplain {
@@ -51,25 +51,25 @@ class TenantQuotaRegistry {
 
   /// Registers `tenant` (must be valid, non-empty) on first sight and
   /// installs its per-prefix cache budget when one is configured.
-  void EnsureTenant(const std::string& tenant);
+  void EnsureTenant(const std::string& tenant) TSE_EXCLUDES(mu_);
 
   /// Key prefixes of every known tenant — dataset drops fan out their
   /// cache invalidation across these so tenant-namespaced entries for
   /// the dropped dataset go too.
-  std::vector<std::string> KnownTenantPrefixes() const;
+  std::vector<std::string> KnownTenantPrefixes() const TSE_EXCLUDES(mu_);
 
   /// Tenant ids in sorted order (the stats op reports per-tenant cache
   /// namespace byte counts so operators can see who a warm-started cache
   /// belongs to).
-  std::vector<std::string> KnownTenants() const;
+  std::vector<std::string> KnownTenants() const TSE_EXCLUDES(mu_);
 
-  size_t NumTenants() const;
+  size_t NumTenants() const TSE_EXCLUDES(mu_);
 
  private:
   ResultCache& cache_;
   TenantQuotaOptions options_;
-  mutable std::mutex mu_;
-  std::set<std::string> tenants_;
+  mutable Mutex mu_;
+  std::set<std::string> tenants_ TSE_GUARDED_BY(mu_);
 };
 
 }  // namespace tsexplain

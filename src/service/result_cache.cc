@@ -60,7 +60,7 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 }
 
 ResultCache::BudgetsPtr ResultCache::SnapshotBudgets() const {
-  std::lock_guard<std::mutex> lock(budgets_mu_);
+  MutexLock lock(budgets_mu_);
   return budgets_;
 }
 
@@ -151,7 +151,7 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       // Touch: move to the LRU front.
@@ -182,11 +182,11 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
   ValuePtr value = compute();  // outside the lock: may be seconds long
   if (value) {
     const BudgetsPtr budgets = SnapshotBudgets();
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.inflight.erase(key);
     InsertLocked(shard, *budgets, key, value);
   } else {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.inflight.erase(key);
   }
   flight->promise.set_value(value);
@@ -195,7 +195,7 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
 
 ResultCache::ValuePtr ResultCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
@@ -207,7 +207,7 @@ void ResultCache::Put(const std::string& key, const ValuePtr& value) {
   TSE_CHECK(value != nullptr);
   const BudgetsPtr budgets = SnapshotBudgets();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   InsertLocked(shard, *budgets, key, value);
 }
 
@@ -219,7 +219,7 @@ void ResultCache::SetPrefixBudget(const std::string& prefix,
   BudgetsPtr snapshot;
   int index = -1;
   {
-    std::lock_guard<std::mutex> lock(budgets_mu_);
+    MutexLock lock(budgets_mu_);
     auto next = std::make_shared<BudgetList>(*budgets_);
     for (size_t b = 0; b < next->size(); ++b) {
       if ((*next)[b].prefix == prefix) index = static_cast<int>(b);
@@ -240,7 +240,7 @@ void ResultCache::SetPrefixBudget(const std::string& prefix,
   const size_t b = static_cast<size_t>(index);
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.budget_bytes.size() < budgets.size()) {
       shard.budget_bytes.resize(budgets.size(), 0);
     }
@@ -276,7 +276,7 @@ void ResultCache::SetPrefixBudget(const std::string& prefix,
 size_t ResultCache::PrefixBytes(const std::string& prefix) const {
   int index = -1;
   {
-    std::lock_guard<std::mutex> lock(budgets_mu_);
+    MutexLock lock(budgets_mu_);
     for (size_t b = 0; b < budgets_->size(); ++b) {
       if ((*budgets_)[b].prefix == prefix) index = static_cast<int>(b);
     }
@@ -285,7 +285,7 @@ size_t ResultCache::PrefixBytes(const std::string& prefix) const {
   if (index >= 0) {
     for (const auto& shard_ptr : shards_) {
       const Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (static_cast<size_t>(index) < shard.budget_bytes.size()) {
         total += shard.budget_bytes[static_cast<size_t>(index)];
       }
@@ -295,7 +295,7 @@ size_t ResultCache::PrefixBytes(const std::string& prefix) const {
   // Unbudgeted prefix: full scan (stats-only path, rare).
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, entry] : shard.entries) {
       if (key.compare(0, prefix.size(), prefix) == 0) total += entry.cost;
     }
@@ -322,7 +322,7 @@ std::vector<size_t> ResultCache::PrefixBytesMany(
   }
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (size_t p = 0; p < prefixes.size(); ++p) {
       const int b = budget_index[p];
       if (b >= 0 && static_cast<size_t>(b) < shard.budget_bytes.size()) {
@@ -347,7 +347,7 @@ ResultCache::ExportEntries() const {
   std::vector<std::pair<std::string, ValuePtr>> out;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
       const auto vit = shard.entries.find(*it);
       TSE_CHECK(vit != shard.entries.end());
@@ -359,7 +359,7 @@ ResultCache::ExportEntries() const {
 
 void ResultCache::Invalidate(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
   RemoveEntryLocked(shard, it);
@@ -375,7 +375,7 @@ size_t ResultCache::InvalidatePrefixes(
   size_t removed = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       bool matched = false;
       for (const std::string& prefix : prefixes) {
@@ -402,7 +402,7 @@ ResultCache::Stats ResultCache::stats() const {
   stats.capacity_bytes = capacity_per_shard_ * shards_.size();
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.coalesced += shard.coalesced;

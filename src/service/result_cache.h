@@ -21,12 +21,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/pipeline/tsexplain.h"
 
 namespace tsexplain {
@@ -144,18 +144,20 @@ class ResultCache {
     std::shared_future<ValuePtr> future;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> entries;
-    std::list<std::string> lru;  // front = most recently used
-    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight;
-    size_t bytes_used = 0;
-    std::vector<size_t> budget_bytes;  // parallel to the budget list
-    size_t hits = 0;
-    size_t misses = 0;
-    size_t coalesced = 0;
-    size_t evictions = 0;
-    size_t budget_evictions = 0;
-    size_t invalidations = 0;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> entries TSE_GUARDED_BY(mu);
+    std::list<std::string> lru TSE_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight
+        TSE_GUARDED_BY(mu);
+    size_t bytes_used TSE_GUARDED_BY(mu) = 0;
+    // Parallel to the budget list.
+    std::vector<size_t> budget_bytes TSE_GUARDED_BY(mu);
+    size_t hits TSE_GUARDED_BY(mu) = 0;
+    size_t misses TSE_GUARDED_BY(mu) = 0;
+    size_t coalesced TSE_GUARDED_BY(mu) = 0;
+    size_t evictions TSE_GUARDED_BY(mu) = 0;
+    size_t budget_evictions TSE_GUARDED_BY(mu) = 0;
+    size_t invalidations TSE_GUARDED_BY(mu) = 0;
   };
   struct Budget {
     std::string prefix;
@@ -165,23 +167,26 @@ class ResultCache {
   using BudgetsPtr = std::shared_ptr<const BudgetList>;
 
   Shard& ShardFor(const std::string& key);
-  BudgetsPtr SnapshotBudgets() const;
+  BudgetsPtr SnapshotBudgets() const TSE_EXCLUDES(budgets_mu_);
   static int MatchBudget(const BudgetList& budgets, const std::string& key);
   // Removes one entry with exact byte/budget accounting; `it` must be
   // valid. Does NOT bump eviction/invalidation counters (callers do).
   static void RemoveEntryLocked(
-      Shard& shard, std::unordered_map<std::string, Entry>::iterator it);
+      Shard& shard, std::unordered_map<std::string, Entry>::iterator it)
+      TSE_REQUIRES(shard.mu);
   // Inserts under the shard lock, evicting (budget-scoped first, then
   // global LRU) until all bounds hold again.
   void InsertLocked(Shard& shard, const BudgetList& budgets,
-                    const std::string& key, const ValuePtr& value);
+                    const std::string& key, const ValuePtr& value)
+      TSE_REQUIRES(shard.mu);
 
   size_t capacity_per_shard_;
   size_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex budgets_mu_;  // guards the budgets_ pointer swap
-  BudgetsPtr budgets_ = std::make_shared<const BudgetList>();
+  mutable Mutex budgets_mu_;  // guards the budgets_ pointer swap
+  BudgetsPtr budgets_ TSE_GUARDED_BY(budgets_mu_) =
+      std::make_shared<const BudgetList>();
 };
 
 }  // namespace tsexplain

@@ -60,6 +60,11 @@ class SessionLogWriter {
   bool is_open() const { return log_.is_open(); }
 
  private:
+  // Not thread-safe: the writer mutates one FILE* stream, so the owner
+  // serializes all calls. In the service the owning
+  // ExplainService::Session holds the writer TSE_GUARDED_BY(Session::mu)
+  // and every LogAppend happens under that mutex (inside the engine's
+  // append observer).
   AppendLogWriter log_;
 };
 

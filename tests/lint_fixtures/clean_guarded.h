@@ -1,0 +1,26 @@
+// Fixture: a CLEAN file — annotated Mutex member plus an allow-listed
+// handshake mutex. The self-test asserts the linter accepts it (exit 0).
+#ifndef LINT_FIXTURE_CLEAN_GUARDED_H_
+#define LINT_FIXTURE_CLEAN_GUARDED_H_
+
+#include <atomic>
+
+#include "src/common/mutex.h"
+
+class GoodGuarded {
+ public:
+  void Touch() {
+    tsexplain::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  mutable tsexplain::Mutex mu_;
+  int value_ TSE_GUARDED_BY(mu_) = 0;
+
+  std::atomic<int> done_{0};
+  // Completion handshake only. lint:allow(unguarded-mutex)
+  tsexplain::Mutex handshake_mu_;
+};
+
+#endif  // LINT_FIXTURE_CLEAN_GUARDED_H_

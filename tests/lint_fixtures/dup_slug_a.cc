@@ -1,0 +1,7 @@
+// Fixture: first half of the duplicate-bench-slug rule (R3) violation.
+#include "bench_util.h"
+
+void BenchA() {
+  EmitResult("fixture.duplicate.slug", 1.0);
+  EmitResult("fixture.unique.a", 2.0);
+}

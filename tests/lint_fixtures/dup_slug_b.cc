@@ -1,0 +1,10 @@
+// Fixture: second half of the duplicate-bench-slug rule (R3) violation —
+// reuses dup_slug_a.cc's slug. The dynamically built slug below must be
+// skipped (uniqueness of computed names is the bench's own job).
+#include "bench_util.h"
+
+void BenchB(int n) {
+  EmitResult("fixture.duplicate.slug", 3.0);  // VIOLATION: reused slug
+  EmitResult(StrFormat("fixture.len%d.total", n), 4.0);
+  EmitResult("fixture.prefix." + std::to_string(n), 5.0);
+}

@@ -1,0 +1,21 @@
+// Fixture: seeded violation of the raw-sync-primitive rule (R1a).
+// Copied by tests/lint_selftest.sh into <tmp>/src/service/ — NOT part of
+// the build (the tests glob only matches tests/test_*.cc).
+#ifndef LINT_FIXTURE_RAW_PRIMITIVE_H_
+#define LINT_FIXTURE_RAW_PRIMITIVE_H_
+
+#include <mutex>
+
+class BadRawMutex {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;  // VIOLATION: raw std::mutex member outside mutex.h
+  int value_ = 0;
+};
+
+#endif  // LINT_FIXTURE_RAW_PRIMITIVE_H_

@@ -1,0 +1,16 @@
+// Fixture: seeded violation of the storage-abort rule (R2) — a TSE_CHECK
+// reachable from an untrusted-bytes decode path. Comment and string
+// mentions of TSE_CHECK must NOT trip the rule; only the real call below
+// does.
+#include <cstdint>
+#include <string>
+
+// A comment saying TSE_CHECK(false) is fine.
+static const char* kDoc = "strings mentioning TSE_CHECK are fine too";
+
+bool DecodeHeader(const std::string& bytes, uint32_t* magic) {
+  (void)kDoc;
+  TSE_CHECK(bytes.size() >= 4);  // VIOLATION: corrupt input would abort
+  *magic = static_cast<uint32_t>(static_cast<unsigned char>(bytes[0]));
+  return true;
+}

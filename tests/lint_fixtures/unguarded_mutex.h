@@ -1,0 +1,21 @@
+// Fixture: seeded violation of the unguarded-mutex rule (R1b) — a Mutex
+// member with no TSE_GUARDED_BY / TSE_REQUIRES user anywhere in the file
+// pair, and no lint:allow escape comment.
+#ifndef LINT_FIXTURE_UNGUARDED_MUTEX_H_
+#define LINT_FIXTURE_UNGUARDED_MUTEX_H_
+
+#include "src/common/mutex.h"
+
+class BadUnguarded {
+ public:
+  void Touch() {
+    tsexplain::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  mutable tsexplain::Mutex mu_;  // VIOLATION: nothing declares what it guards
+  int value_ = 0;
+};
+
+#endif  // LINT_FIXTURE_UNGUARDED_MUTEX_H_

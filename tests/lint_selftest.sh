@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Self-test for tools/lint_invariants.py: runs the linter against fixture
+# trees assembled from tests/lint_fixtures/ and asserts that every rule
+# fires (non-zero exit + the right message) and that a clean tree passes.
+#
+# Usage: tests/lint_selftest.sh  (PYTHON3 env var overrides the
+# interpreter; defaults to python3 on PATH)
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(cd "${SCRIPT_DIR}/.." && pwd)"
+LINTER="${REPO_ROOT}/tools/lint_invariants.py"
+FIXTURES="${SCRIPT_DIR}/lint_fixtures"
+PYTHON3="${PYTHON3:-python3}"
+
+TMPDIR_ROOT="$(mktemp -d)"
+trap 'rm -rf "${TMPDIR_ROOT}"' EXIT
+
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# run_linter <root>; captures stdout+stderr in ${OUT}, exit in ${CODE}
+run_linter() {
+  OUT="$("${PYTHON3}" "${LINTER}" --root "$1" 2>&1)"
+  CODE=$?
+}
+
+# expect_violation <name> <fixture-file> <dest-rel-path> <expected-substr>
+# Assembles a one-violation tree, runs the linter, and asserts it exits
+# non-zero mentioning the expected rule.
+expect_violation() {
+  local name="$1" fixture="$2" dest="$3" expected="$4"
+  local root="${TMPDIR_ROOT}/${name}"
+  mkdir -p "${root}/src" "${root}/tools" "${root}/bench" \
+           "$(dirname "${root}/${dest}")"
+  cp "${FIXTURES}/${fixture}" "${root}/${dest}"
+  run_linter "${root}"
+  if [ "${CODE}" -eq 0 ]; then
+    fail "${name}: linter exited 0 on a seeded ${expected} violation"
+    return
+  fi
+  if ! printf '%s' "${OUT}" | grep -q "${expected}"; then
+    fail "${name}: output did not mention '${expected}': ${OUT}"
+    return
+  fi
+  echo "ok: ${name}"
+}
+
+# R1a: raw std::mutex member outside src/common/mutex.h.
+expect_violation raw_primitive raw_primitive.h \
+  "src/service/raw_primitive.h" "raw-sync-primitive"
+
+# R1b: Mutex member with no annotation user and no allow comment.
+expect_violation unguarded_mutex unguarded_mutex.h \
+  "src/service/unguarded_mutex.h" "unguarded-mutex"
+
+# R2: TSE_CHECK token in a storage decode file (comments/strings exempt).
+expect_violation storage_abort storage_abort.cc \
+  "src/storage/storage_abort.cc" "storage-abort"
+
+# R2 must point at the real call, not the comment or string mention.
+if printf '%s' "${OUT}" | grep -q "storage-abort.*:8:\|storage-abort.*:9:"; then
+  fail "storage_abort: rule fired on a comment/string mention"
+else
+  echo "ok: storage_abort ignores comments and strings"
+fi
+
+# R3: duplicate EmitResult slug across two bench files.
+dup_root="${TMPDIR_ROOT}/dup_slug"
+mkdir -p "${dup_root}/src" "${dup_root}/tools" "${dup_root}/bench"
+cp "${FIXTURES}/dup_slug_a.cc" "${dup_root}/bench/dup_slug_a.cc"
+cp "${FIXTURES}/dup_slug_b.cc" "${dup_root}/bench/dup_slug_b.cc"
+run_linter "${dup_root}"
+if [ "${CODE}" -eq 0 ]; then
+  fail "dup_slug: linter exited 0 on a duplicated bench slug"
+elif ! printf '%s' "${OUT}" | grep -q "duplicate-bench-slug"; then
+  fail "dup_slug: output did not mention 'duplicate-bench-slug': ${OUT}"
+elif printf '%s' "${OUT}" | grep -q "fixture.len\|fixture.prefix"; then
+  fail "dup_slug: dynamic slugs must be skipped: ${OUT}"
+else
+  echo "ok: dup_slug"
+fi
+
+# Clean tree: annotated + allow-listed mutexes, unique slugs — exit 0.
+clean_root="${TMPDIR_ROOT}/clean"
+mkdir -p "${clean_root}/src/service" "${clean_root}/tools" \
+         "${clean_root}/bench" "${clean_root}/src/storage"
+cp "${FIXTURES}/clean_guarded.h" "${clean_root}/src/service/clean_guarded.h"
+cp "${FIXTURES}/dup_slug_a.cc" "${clean_root}/bench/dup_slug_a.cc"
+run_linter "${clean_root}"
+if [ "${CODE}" -ne 0 ]; then
+  fail "clean: linter flagged a clean tree: ${OUT}"
+else
+  echo "ok: clean tree passes"
+fi
+
+# The real repository must be clean too (this is what the lint_invariants
+# ctest entry checks; asserting it here keeps the selftest self-contained).
+run_linter "${REPO_ROOT}"
+if [ "${CODE}" -ne 0 ]; then
+  fail "repo: lint_invariants flags the committed tree: ${OUT}"
+else
+  echo "ok: committed tree passes"
+fi
+
+if [ "${failures}" -ne 0 ]; then
+  echo "lint_selftest: ${failures} failure(s)" >&2
+  exit 1
+fi
+echo "lint_selftest: all checks passed"

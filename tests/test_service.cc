@@ -133,7 +133,7 @@ TEST(DatasetRegistryTest, EngineReuseAcrossSegmentationKnobs) {
                                               ref.table.get(), &error);
   EXPECT_FALSE(h5.ok());
   EXPECT_NE(error.find("changed during query"), std::string::npos);
-  std::lock_guard<std::mutex> lock(*h1.mu);
+  MutexLock lock(*h1.mu);
   const TSExplainResult still_works = h1.engine->Run();
   EXPECT_GT(still_works.chosen_k, 0);
 }

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -86,6 +88,37 @@ TEST(ThreadPoolTest, ParallelForResultsIndependentOfParallelism) {
   EXPECT_EQ(seq, fill(2));
   EXPECT_EQ(seq, fill(8));
   EXPECT_EQ(seq, fill(64));  // more workers than the pool: still fine
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedParallelForHelpers) {
+  // ~ThreadPool's contract (thread_pool.h): destruction while ParallelFor
+  // helper tasks are still queued must neither deadlock nor touch freed
+  // memory. Deterministic setup: block every worker, run a ParallelFor
+  // whose helpers therefore stay parked in the queue while the CALLER
+  // drains all indices itself, then destroy the pool with those stale
+  // helpers still queued — the workers must wake, run them (they see the
+  // drained counter and return; the shared LoopState is kept alive by
+  // their shared_ptr), and join.
+  for (int round = 0; round < 8; ++round) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> blocked{0};
+    for (int i = 0; i < 2; ++i) {
+      pool->Submit([&release, &blocked] {
+        blocked.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    while (blocked.load() != 2) std::this_thread::yield();
+
+    std::atomic<size_t> covered{0};
+    pool->ParallelFor(64, /*parallelism=*/3,
+                      [&covered](size_t) { covered.fetch_add(1); });
+    EXPECT_EQ(covered.load(), 64u);  // caller drained every index itself
+
+    release.store(true);
+    pool.reset();  // queue still holds the parked helpers: drain + join
+  }
 }
 
 TEST(ThreadPoolTest, AdaptiveThreadGrantDividesCapacityFairly) {

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Repo invariant linter (run by ctest as `lint_invariants` and by CI).
+
+Checks cross-cutting rules that the compiler cannot express:
+
+R1a  raw-sync-primitive: no `std::mutex` / `std::shared_mutex` /
+     `std::condition_variable` members or locals in src/ or tools/
+     outside src/common/mutex.h. All locking goes through the annotated
+     wrappers (tsexplain::Mutex / MutexLock / CondVar) so clang's
+     -Wthread-safety can see it.
+
+R1b  unguarded-mutex: every `Mutex` member declared in src/ or tools/
+     must have at least one TSE_GUARDED_BY / TSE_PT_GUARDED_BY /
+     TSE_REQUIRES / TSE_ACQUIRE user in its header/source pair — a mutex
+     no annotation references protects nothing the analysis can check.
+     Escape hatch for handshake-only mutexes (the guarded state is an
+     atomic): a `lint:allow(unguarded-mutex)` comment on the declaration
+     line or one of the two lines above it.
+
+R2   storage-abort: no TSE_CHECK / TSE_CHECK_* / TSE_DCHECK tokens in
+     src/storage/*.{h,cc} outside comments and string literals. Storage
+     decodes untrusted bytes (snapshots, append logs, session logs); a
+     corrupt file must surface as a StorageErrorCode, never abort the
+     process.
+
+R3   duplicate-bench-slug: EmitResult("literal"...) slugs must be unique
+     across bench/*.cc — two benches writing the same slug silently
+     overwrite each other in BENCH_*.json. Dynamically built slugs
+     (StrFormat etc.) are skipped; uniqueness for those is the bench's
+     own responsibility.
+
+Exit status: 0 when clean, 1 with one `RULE: file:line: message` line per
+violation otherwise.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MUTEX_HEADER = os.path.join("src", "common", "mutex.h")
+ALLOW_UNGUARDED = "lint:allow(unguarded-mutex)"
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?)\b")
+# A Mutex member declaration: optionally `mutable`, the type, a name,
+# optionally an initializer/attribute tail. Matches `Mutex mu_;` and
+# `mutable Mutex mu;` but not `MutexLock ...` or `class ... Mutex {`.
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:tsexplain::)?Mutex\s+(\w+)\s*;")
+ANNOTATION_USER = re.compile(
+    r"TSE_(?:PT_)?GUARDED_BY|TSE_REQUIRES|TSE_ACQUIRE|TSE_RELEASE|"
+    r"TSE_EXCLUDES|TSE_ASSERT_CAPABILITY")
+CHECK_TOKEN = re.compile(r"\bTSE_D?CHECK(?:_[A-Z]+)?\b")
+EMIT_LITERAL = re.compile(r'\bEmitResult\s*\(\s*"((?:[^"\\]|\\.)*)"')
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment bodies and string/char literal bodies with spaces,
+    preserving line numbers (newlines survive)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def iter_files(root, rel_dirs, exts):
+    for rel_dir in rel_dirs:
+        base = os.path.join(root, rel_dir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_raw_primitives(root, violations):
+    """R1a: raw std sync primitives outside the wrapper header."""
+    for path in iter_files(root, ["src", "tools"], {".h", ".cc"}):
+        rel = relpath(root, path)
+        if rel == MUTEX_HEADER.replace(os.sep, "/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            code = strip_comments_and_strings(f.read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if "#include" in line:
+                continue
+            m = RAW_PRIMITIVE.search(line)
+            if m:
+                violations.append(
+                    ("raw-sync-primitive", rel, lineno,
+                     "use tsexplain::%s from src/common/mutex.h instead of "
+                     "std::%s (the std type carries no thread-safety "
+                     "annotations)" % (
+                         "CondVar" if "condition" in m.group(1) else "Mutex",
+                         m.group(1))))
+
+
+def check_unguarded_mutexes(root, violations):
+    """R1b: every Mutex member needs an annotation user in its file pair."""
+    for path in iter_files(root, ["src", "tools"], {".h", ".cc"}):
+        rel = relpath(root, path)
+        if rel == MUTEX_HEADER.replace(os.sep, "/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        members = []
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = MUTEX_MEMBER.match(line)
+            if not m:
+                continue
+            window = raw_lines[max(0, lineno - 3):lineno]
+            if any(ALLOW_UNGUARDED in w for w in window):
+                continue
+            members.append((lineno, m.group(1)))
+        if not members:
+            continue
+        # Annotations may live in either half of the header/source pair.
+        pair_text = code
+        stem, ext = os.path.splitext(path)
+        other = stem + (".cc" if ext == ".h" else ".h")
+        if os.path.exists(other):
+            with open(other, encoding="utf-8") as f:
+                pair_text += strip_comments_and_strings(f.read())
+        if ANNOTATION_USER.search(pair_text):
+            continue
+        for lineno, name in members:
+            violations.append(
+                ("unguarded-mutex", rel, lineno,
+                 "Mutex member '%s' has no TSE_GUARDED_BY / TSE_REQUIRES / "
+                 "TSE_ACQUIRE user in %s or its pair; annotate what it "
+                 "guards or mark the declaration %s" % (
+                     name, rel, ALLOW_UNGUARDED)))
+
+
+def check_storage_aborts(root, violations):
+    """R2: untrusted-input decode paths must not abort."""
+    for path in iter_files(root, [os.path.join("src", "storage")],
+                           {".h", ".cc"}):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            code = strip_comments_and_strings(f.read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = CHECK_TOKEN.search(line)
+            if m:
+                violations.append(
+                    ("storage-abort", rel, lineno,
+                     "%s in a storage decode path: corrupt input must "
+                     "return a StorageErrorCode, not abort" % m.group(0)))
+
+
+def check_bench_slugs(root, violations):
+    """R3: EmitResult string-literal slugs unique across bench/*.cc."""
+    seen = {}
+    for path in iter_files(root, ["bench"], {".cc"}):
+        rel = relpath(root, path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+        except FileNotFoundError:
+            continue
+        code = strip_comments_and_strings(raw)
+        # Literals were blanked by the stripper; re-scan the raw text but
+        # only at positions the stripper kept as code-or-string starts.
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            stripped = code.splitlines()[lineno - 1] if lineno <= len(
+                code.splitlines()) else ""
+            if "EmitResult" not in stripped:
+                continue
+            for m in EMIT_LITERAL.finditer(line):
+                slug = m.group(1)
+                # A literal that is immediately concatenated or formatted
+                # is a dynamic prefix, not the full slug: skip it.
+                tail = line[m.end():]
+                if tail.lstrip().startswith("+") or slug.count("%") > 0:
+                    continue
+                if slug in seen:
+                    prev_rel, prev_line = seen[slug]
+                    violations.append(
+                        ("duplicate-bench-slug", rel, lineno,
+                         "EmitResult slug '%s' already used at %s:%d; slugs "
+                         "must be unique or BENCH json rows overwrite each "
+                         "other" % (slug, prev_rel, prev_line)))
+                else:
+                    seen[slug] = (rel, lineno)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root to lint (default: cwd)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    violations = []
+    check_raw_primitives(root, violations)
+    check_unguarded_mutexes(root, violations)
+    check_storage_aborts(root, violations)
+    check_bench_slugs(root, violations)
+
+    for rule, rel, lineno, message in violations:
+        print("%s: %s:%d: %s" % (rule, rel, lineno, message))
+    if violations:
+        print("lint_invariants: %d violation(s)" % len(violations),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

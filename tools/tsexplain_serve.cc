@@ -63,7 +63,6 @@
 #include <future>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +74,7 @@
 #include <unistd.h>
 
 #include "src/common/json.h"
+#include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 #include "src/service/explain_service.h"
 #include "src/service/protocol.h"
@@ -209,7 +209,7 @@ class LineWriter {
   explicit LineWriter(int fd) : fd_(fd) {}
 
   void Write(const std::string& line) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (out_) {
       std::fputs(line.c_str(), out_);
       std::fputc('\n', out_);
@@ -228,7 +228,9 @@ class LineWriter {
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
+  // The stream itself is what mu_ serializes: writes interleave at line
+  // granularity. The handles are set once at construction.
   std::FILE* out_ = nullptr;
   int fd_ = -1;
 };
@@ -386,21 +388,21 @@ int RunPipeMode(ProtocolHandler& handler, AdmissionController& admission,
 class ConnectionSet {
  public:
   void Add(int fd) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fds_.push_back(fd);
   }
   void Remove(int fd) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
   }
   void ShutdownAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int fd : fds_) ::shutdown(fd, SHUT_RD);
   }
 
  private:
-  std::mutex mu_;
-  std::vector<int> fds_;
+  Mutex mu_;
+  std::vector<int> fds_ TSE_GUARDED_BY(mu_);
 };
 
 int RunTcpMode(ProtocolHandler& handler, AdmissionController& admission,
