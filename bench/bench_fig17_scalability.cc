@@ -22,6 +22,7 @@ constexpr int kLengths[] = {100, 200, 400, 800, 1600, 3200, 6400};
 constexpr int kSeriesPerLength = 3;  // paper uses 5; 3 keeps the suite fast
 
 double BudgetSeconds() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded main
   if (const char* env = std::getenv("TSE_SCALE_BUDGET_S")) {
     return std::atof(env);
   }

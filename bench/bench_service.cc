@@ -109,6 +109,7 @@ void RunOverload() {
   bench::PrintSubHeader("Overload: admission control under excess load");
 
   int overload_x = 4;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded main
   if (const char* env = std::getenv("TSE_OVERLOAD_X")) {
     const int parsed = std::atoi(env);
     if (parsed >= 1) overload_x = parsed;

@@ -104,6 +104,7 @@ int Run() {
 
   // pid-suffixed: concurrent runs (CI + a dev shell on one machine) must
   // not overwrite each other's files mid-measurement.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, single-threaded main
   const char* tmp = std::getenv("TMPDIR");
   const std::string base = std::string(tmp ? tmp : "/tmp") + "/tsx_bench." +
                            std::to_string(::getpid());

@@ -53,9 +53,14 @@
 #define TSE_RELEASE(...) \
   TSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 
-/// The function acquires the capability iff it returns `ret`.
-#define TSE_TRY_ACQUIRE(ret, ...) \
-  TSE_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// The function acquires the capability iff it returns the value given
+/// as the first argument, e.g. TSE_TRY_ACQUIRE(true). Further arguments
+/// name the capabilities (default: this object's own). Taking the
+/// success value through __VA_ARGS__ avoids a trailing comma when no
+/// capability is listed — `try_acquire_capability(true, )` is a clang
+/// parse error.
+#define TSE_TRY_ACQUIRE(...) \
+  TSE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
 
 /// The caller must NOT hold the listed capabilities (deadlock guard for
 /// functions that acquire them internally).

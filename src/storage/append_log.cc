@@ -27,6 +27,9 @@ StorageStatus AppendLogWriter::Open(const std::string& path,
   if (!f) {
     return StorageStatus::Error(
         StorageErrorCode::kIoError,
+        // strerror feeds the message text only; a race with another
+        // thread's strerror could at worst garble that string.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
   }
   std::fseek(f, 0, SEEK_END);
@@ -130,6 +133,7 @@ StorageStatus TruncateTornTail(const std::string& path,
         StorageErrorCode::kIoError,
         StrFormat("cannot truncate %s to %llu bytes: %s", path.c_str(),
                   static_cast<unsigned long long>(valid_bytes),
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message-only use
                   std::strerror(errno)));
   }
   return StorageStatus::Ok();

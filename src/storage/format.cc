@@ -120,6 +120,9 @@ StorageStatus ReadFileToString(const std::string& path, std::string* out) {
   if (!f) {
     return StorageStatus::Error(
         StorageErrorCode::kIoError,
+        // strerror feeds the message text only; a race with another
+        // thread's strerror could at worst garble that string.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
   }
   out->clear();
@@ -144,6 +147,7 @@ StorageStatus AtomicWriteFile(const std::string& path,
   if (!f) {
     return StorageStatus::Error(
         StorageErrorCode::kIoError,
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): message-only use
         StrFormat("cannot create %s: %s", tmp.c_str(), std::strerror(errno)));
   }
   const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
@@ -163,6 +167,7 @@ StorageStatus AtomicWriteFile(const std::string& path,
     return StorageStatus::Error(
         StorageErrorCode::kIoError,
         StrFormat("cannot rename %s -> %s: %s", tmp.c_str(), path.c_str(),
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message-only use
                   std::strerror(errno)));
   }
   // Durable-rename: the directory entry itself needs a sync or the

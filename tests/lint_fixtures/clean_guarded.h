@@ -15,6 +15,12 @@ class GoodGuarded {
   }
 
  private:
+  // Stripper regression guards: the digit separators and the raw string
+  // (with an embedded quote) sit BEFORE the annotation below — a lexer
+  // that mis-reads either as a literal start would blank TSE_GUARDED_BY
+  // and turn this clean file into a false positive.
+  static constexpr int kSpinBudget = 1'000'000;
+  static constexpr const char* kBanner = R"(not an "annotation" user)";
   mutable tsexplain::Mutex mu_;
   int value_ TSE_GUARDED_BY(mu_) = 0;
 

@@ -1,10 +1,25 @@
 // Fixture: seeded violation of the unguarded-mutex rule (R1b) — a Mutex
-// member with no TSE_GUARDED_BY / TSE_REQUIRES user anywhere in the file
-// pair, and no lint:allow escape comment.
+// member with no TSE_GUARDED_BY / TSE_REQUIRES user naming it in its own
+// class, and no lint:allow escape comment. The annotated sibling class
+// below shares both the file AND the mutex name `mu_`: the rule is
+// scoped per class, so neither may excuse BadUnguarded::mu_.
 #ifndef LINT_FIXTURE_UNGUARDED_MUTEX_H_
 #define LINT_FIXTURE_UNGUARDED_MUTEX_H_
 
 #include "src/common/mutex.h"
+
+// Fully annotated — must NOT clear the violation in BadUnguarded.
+class GoodSibling {
+ public:
+  void Touch() {
+    tsexplain::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  mutable tsexplain::Mutex mu_;
+  int value_ TSE_GUARDED_BY(mu_) = 0;
+};
 
 class BadUnguarded {
  public:

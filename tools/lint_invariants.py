@@ -4,18 +4,22 @@
 Checks cross-cutting rules that the compiler cannot express:
 
 R1a  raw-sync-primitive: no `std::mutex` / `std::shared_mutex` /
-     `std::condition_variable` members or locals in src/ or tools/
-     outside src/common/mutex.h. All locking goes through the annotated
+     `std::condition_variable` / `std::lock_guard` / `std::unique_lock`
+     / `std::scoped_lock` members or locals in src/ or tools/ outside
+     src/common/mutex.h. All locking goes through the annotated
      wrappers (tsexplain::Mutex / MutexLock / CondVar) so clang's
      -Wthread-safety can see it.
 
 R1b  unguarded-mutex: every `Mutex` member declared in src/ or tools/
-     must have at least one TSE_GUARDED_BY / TSE_PT_GUARDED_BY /
-     TSE_REQUIRES / TSE_ACQUIRE user in its header/source pair — a mutex
-     no annotation references protects nothing the analysis can check.
-     Escape hatch for handshake-only mutexes (the guarded state is an
-     atomic): a `lint:allow(unguarded-mutex)` comment on the declaration
-     line or one of the two lines above it.
+     must be NAMED by at least one TSE_GUARDED_BY / TSE_PT_GUARDED_BY /
+     TSE_REQUIRES / TSE_ACQUIRE / ... annotation argument in its
+     header/source pair — a mutex no annotation references protects
+     nothing the analysis can check. The check is scoped per class and
+     per mutex name, not per file: `LineWriter::mu_` is not excused by
+     an annotated `ConnectionSet::mu_` in the same file. Escape hatch
+     for handshake-only mutexes (the guarded state is an atomic): a
+     `lint:allow(unguarded-mutex)` comment on the declaration line or
+     one of the two lines above it.
 
 R2   storage-abort: no TSE_CHECK / TSE_CHECK_* / TSE_DCHECK tokens in
      src/storage/*.{h,cc} outside comments and string literals. Storage
@@ -31,6 +35,12 @@ R3   duplicate-bench-slug: EmitResult("literal"...) slugs must be unique
 
 Exit status: 0 when clean, 1 with one `RULE: file:line: message` line per
 violation otherwise.
+
+Known stripper limitations: an apostrophe preceded by an identifier
+character is treated as a C++14 digit separator (1'000'000), which means
+prefixed char literals (u8'x', L'x') are mis-lexed as code — the repo
+does not use them. Raw string literals R"(...)", including the
+delimited R"delim(...)delim" form, are recognized and blanked.
 """
 
 import argparse
@@ -43,22 +53,36 @@ ALLOW_UNGUARDED = "lint:allow(unguarded-mutex)"
 
 RAW_PRIMITIVE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"condition_variable(_any)?)\b")
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock)\b")
+LOCK_TYPES = ("lock_guard", "unique_lock", "scoped_lock")
 # A Mutex member declaration: optionally `mutable`, the type, a name,
 # optionally an initializer/attribute tail. Matches `Mutex mu_;` and
 # `mutable Mutex mu;` but not `MutexLock ...` or `class ... Mutex {`.
 MUTEX_MEMBER = re.compile(
     r"^\s*(?:mutable\s+)?(?:tsexplain::)?Mutex\s+(\w+)\s*;")
-ANNOTATION_USER = re.compile(
-    r"TSE_(?:PT_)?GUARDED_BY|TSE_REQUIRES|TSE_ACQUIRE|TSE_RELEASE|"
-    r"TSE_EXCLUDES|TSE_ASSERT_CAPABILITY")
+# An annotation use with its argument list captured, so R1b can check
+# that a given mutex NAME is referenced (not just that some annotation
+# exists somewhere in the file). `[^()]*` is enough: capability
+# arguments in this repo are member names, `*ptr_mu`, or `shard.mu` —
+# never call expressions.
+ANNOTATION_ARGS = re.compile(
+    r"TSE_(?:PT_GUARDED_BY|GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+    r"TRY_ACQUIRE|EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY|"
+    r"ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\(([^()]*)\)")
 CHECK_TOKEN = re.compile(r"\bTSE_D?CHECK(?:_[A-Z]+)?\b")
 EMIT_LITERAL = re.compile(r'\bEmitResult\s*\(\s*"((?:[^"\\]|\\.)*)"')
 
 
+RAW_STRING_PREFIX = re.compile(r"(?:^|[^A-Za-z0-9_])(?:u8|u|U|L)?R$")
+# Raw string delimiter: up to 16 chars, no parens/backslash/whitespace.
+RAW_STRING_DELIM = re.compile(r'[^()\\\s]{0,16}\(')
+
+
 def strip_comments_and_strings(text):
     """Replaces comment bodies and string/char literal bodies with spaces,
-    preserving line numbers (newlines survive)."""
+    preserving line numbers (newlines survive). Handles C++14 digit
+    separators (1'000'000) and raw strings R"delim(...)delim"; see the
+    module docstring for the known limitations."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -77,11 +101,32 @@ def strip_comments_and_strings(text):
                 i += 2
                 continue
             if c == '"':
+                # Raw string? Look back for an R prefix (uR/u8R/UR/LR),
+                # then skip to the matching )delim" with no escape
+                # processing — that is the whole point of raw strings.
+                if RAW_STRING_PREFIX.search(text[max(0, i - 4):i]):
+                    m = RAW_STRING_DELIM.match(text, i + 1)
+                    if m:
+                        close = ")" + text[i + 1:m.end() - 1] + '"'
+                        end = text.find(close, m.end())
+                        if end != -1:
+                            out.append('"')
+                            for ch in text[i + 1:end + len(close)]:
+                                out.append("\n" if ch == "\n" else " ")
+                            i = end + len(close)
+                            continue
                 state = "string"
                 out.append('"')
                 i += 1
                 continue
             if c == "'":
+                # An apostrophe straight after an identifier character is
+                # a C++14 digit separator (1'000'000), not a char
+                # literal.
+                if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                    out.append("'")
+                    i += 1
+                    continue
                 state = "char"
                 out.append("'")
                 i += 1
@@ -144,17 +189,62 @@ def check_raw_primitives(root, violations):
                 continue
             m = RAW_PRIMITIVE.search(line)
             if m:
+                if "condition" in m.group(1):
+                    wrapper = "CondVar"
+                elif m.group(1) in LOCK_TYPES:
+                    wrapper = "MutexLock"
+                else:
+                    wrapper = "Mutex"
                 violations.append(
                     ("raw-sync-primitive", rel, lineno,
                      "use tsexplain::%s from src/common/mutex.h instead of "
                      "std::%s (the std type carries no thread-safety "
-                     "annotations)" % (
-                         "CondVar" if "condition" in m.group(1) else "Mutex",
-                         m.group(1))))
+                     "annotations)" % (wrapper, m.group(1))))
+
+
+CLASS_KEYWORD = re.compile(r"\b(?:class|struct)\s+(\w+)")
+
+
+def class_spans(code):
+    """Returns [(name, body_start, body_end)] character-offset spans for
+    each class/struct body in comment/string-stripped code. A forward
+    declaration (`class Foo;`) has no body and is skipped; `enum class`
+    matches harmlessly (an enum body declares no Mutex members)."""
+    spans = []
+    for m in CLASS_KEYWORD.finditer(code):
+        j = m.end()
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] == ";":
+            continue
+        depth, k = 0, j
+        while k < len(code):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        spans.append((m.group(1), j, k))
+    return spans
+
+
+def innermost_span(spans, offset):
+    best = None
+    for span in spans:
+        _, a, b = span
+        if a <= offset <= b and (best is None or b - a < best[2] - best[1]):
+            best = span
+    return best
 
 
 def check_unguarded_mutexes(root, violations):
-    """R1b: every Mutex member needs an annotation user in its file pair."""
+    """R1b: every Mutex member must be NAMED by an annotation argument
+    within its own class, or on a `ClassName::`-qualified definition in
+    the pair file. Scoped per class AND per name: neither an annotated
+    sibling class in the same file nor a same-named mutex in another
+    class excuses an unannotated member."""
     for path in iter_files(root, ["src", "tools"], {".h", ".cc"}):
         rel = relpath(root, path)
         if rel == MUTEX_HEADER.replace(os.sep, "/"):
@@ -163,6 +253,11 @@ def check_unguarded_mutexes(root, violations):
             raw = f.read()
         code = strip_comments_and_strings(raw)
         raw_lines = raw.splitlines()
+        # Character offset of the start of each 1-based line.
+        line_offsets = [0]
+        for line in code.splitlines(True):
+            line_offsets.append(line_offsets[-1] + len(line))
+        spans = class_spans(code)
         members = []
         for lineno, line in enumerate(code.splitlines(), 1):
             m = MUTEX_MEMBER.match(line)
@@ -174,22 +269,59 @@ def check_unguarded_mutexes(root, violations):
             members.append((lineno, m.group(1)))
         if not members:
             continue
-        # Annotations may live in either half of the header/source pair.
-        pair_text = code
+        # Names referenced by annotation arguments, bucketed by the
+        # innermost class body the annotation sits in (None = file
+        # scope). `mu_`, `*engines_mu`, `shard.mu` all count for every
+        # identifier component.
+        refs_by_span = {}
+        for m in ANNOTATION_ARGS.finditer(code):
+            span = innermost_span(spans, m.start())
+            refs_by_span.setdefault(span, set()).update(
+                re.findall(r"\w+", m.group(1)))
+        # Pair file: an annotation on a `ClassName::`-qualified
+        # out-of-line definition counts for that class; unqualified ones
+        # count at file scope.
+        refs_by_class_name = {}
+        pair_file_refs = set()
         stem, ext = os.path.splitext(path)
         other = stem + (".cc" if ext == ".h" else ".h")
         if os.path.exists(other):
             with open(other, encoding="utf-8") as f:
-                pair_text += strip_comments_and_strings(f.read())
-        if ANNOTATION_USER.search(pair_text):
-            continue
+                pair_code = strip_comments_and_strings(f.read())
+            for m in ANNOTATION_ARGS.finditer(pair_code):
+                names = set(re.findall(r"\w+", m.group(1)))
+                line_start = pair_code.rfind("\n", 0, m.start()) + 1
+                qualifiers = re.findall(
+                    r"(\w+)::", pair_code[line_start:m.start()])
+                if qualifiers:
+                    for cls in qualifiers:
+                        refs_by_class_name.setdefault(cls, set()).update(
+                            names)
+                else:
+                    pair_file_refs.update(names)
         for lineno, name in members:
+            span = innermost_span(spans, line_offsets[lineno - 1])
+            refs = set(refs_by_span.get(None, set())) | pair_file_refs
+            if span is not None:
+                refs |= refs_by_span.get(span, set())
+                refs |= refs_by_class_name.get(span[0], set())
+            else:
+                # Namespace-scope / local mutex: no class to scope by;
+                # fall back to any annotation in the pair naming it.
+                for span_refs in refs_by_span.values():
+                    refs |= span_refs
+                for cls_refs in refs_by_class_name.values():
+                    refs |= cls_refs
+            if name in refs:
+                continue
             violations.append(
                 ("unguarded-mutex", rel, lineno,
-                 "Mutex member '%s' has no TSE_GUARDED_BY / TSE_REQUIRES / "
-                 "TSE_ACQUIRE user in %s or its pair; annotate what it "
-                 "guards or mark the declaration %s" % (
-                     name, rel, ALLOW_UNGUARDED)))
+                 "Mutex member '%s'%s is not named by any TSE_GUARDED_BY / "
+                 "TSE_REQUIRES / TSE_ACQUIRE annotation in its class in %s "
+                 "or its pair; annotate what it guards or mark the "
+                 "declaration %s" % (
+                     name, " of class '%s'" % span[0] if span else "",
+                     rel, ALLOW_UNGUARDED)))
 
 
 def check_storage_aborts(root, violations):

@@ -230,9 +230,11 @@ class LineWriter {
  private:
   Mutex mu_;
   // The stream itself is what mu_ serializes: writes interleave at line
-  // granularity. The handles are set once at construction.
-  std::FILE* out_ = nullptr;
-  int fd_ = -1;
+  // granularity. The handles are set once at construction, but every
+  // use goes through Write under mu_, so they are guarded like the
+  // stream state they name.
+  std::FILE* out_ TSE_GUARDED_BY(mu_) = nullptr;
+  int fd_ TSE_GUARDED_BY(mu_) = -1;
 };
 
 /// Parse-and-dispatch for one NDJSON stream; shared by both transports,
