@@ -8,6 +8,7 @@
 #include "src/baselines/bottom_up.h"
 #include "src/baselines/fluss.h"
 #include "src/baselines/nnsegment.h"
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/datagen/covid_sim.h"
 #include "src/datagen/liquor_sim.h"
@@ -127,6 +128,12 @@ std::string ResultSlug(const std::string& text) {
 
 void EmitResult(const std::string& name, double ms) {
   std::printf("BENCH_RESULT %s %.3f\n", name.c_str(), ms);
+}
+
+void EmitMetricsSnapshot() {
+  std::printf(
+      "BENCH_METRICS %s\n",
+      RenderMetricsJson(MetricRegistry::Global().Snapshot()).c_str());
 }
 
 void PrintAsciiChart(const TimeSeries& ts, const std::vector<int>& cuts,

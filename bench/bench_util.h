@@ -59,6 +59,14 @@ std::string ResultSlug(const std::string& text);
 /// dot-separated segments like "fig16.liquor.optimized".
 void EmitResult(const std::string& name, double ms);
 
+/// Prints the process-global metrics registry as one machine-readable line:
+///   BENCH_METRICS {compact-json}
+/// (the RenderMetricsJson shape of docs/OBSERVABILITY.md). run_benches.sh
+/// harvests the last such line into the per-bench `metrics` object of
+/// BENCH_*.json, so counter/histogram state at the end of a bench run is
+/// archived next to its timings.
+void EmitMetricsSnapshot();
+
 /// Renders the aggregated series as an ASCII chart with '|' markers at the
 /// cut positions.
 void PrintAsciiChart(const TimeSeries& ts, const std::vector<int>& cuts,

@@ -4,8 +4,28 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
+#include "src/common/timer.h"
 
 namespace tsexplain {
+
+namespace {
+
+// Pool pressure metrics (docs/OBSERVABILITY.md): queue depth tracks
+// tasks submitted but not yet started; task_ms is the run time of each
+// dequeued task (ParallelFor helpers included).
+struct PoolMetrics {
+  Gauge& queue_depth =
+      MetricRegistry::Global().GetGauge("pool.queue_depth");
+  Histogram& task_ms =
+      MetricRegistry::Global().GetHistogram("pool.task_ms");
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 int ResolveThreadCount(int requested) {
   if (requested >= 1) return requested;
@@ -52,7 +72,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics::Get().queue_depth.Add(-1);
+    Timer task_timer;
     task();
+    PoolMetrics::Get().task_ms.Observe(task_timer.ElapsedMs());
   }
 }
 
@@ -64,6 +87,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     TSE_CHECK(!shutdown_) << "Submit after ThreadPool shutdown";
     queue_.emplace_back([task] { (*task)(); });
   }
+  PoolMetrics::Get().queue_depth.Add(1);
   cv_.NotifyOne();
   return future;
 }

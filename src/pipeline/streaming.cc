@@ -5,10 +5,24 @@
 #include <unordered_map>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 
 namespace tsexplain {
+
+namespace {
+
+// Per-append latency (docs/OBSERVABILITY.md). Covers both the
+// incremental path and the fall-back full rebuild, so the histogram's
+// tail is where rebuild storms show up.
+Histogram& AppendBucketMs() {
+  static Histogram& histogram =
+      MetricRegistry::Global().GetHistogram("streaming.append_bucket_ms");
+  return histogram;
+}
+
+}  // namespace
 
 StreamingTSExplain::StreamingTSExplain(const Table& initial,
                                        TSExplainConfig config)
@@ -61,6 +75,7 @@ std::vector<bool> StreamingTSExplain::ComputeActiveMask() const {
 
 void StreamingTSExplain::AppendBucket(const std::string& label,
                                       const std::vector<StreamRow>& rows) {
+  Timer append_timer;
   const TimeId t = table_->AddTimeBucket(label);
   for (const StreamRow& row : rows) {
     table_->AppendRow(t, row.dims, row.measures);
@@ -112,6 +127,7 @@ void StreamingTSExplain::AppendBucket(const std::string& label,
   last_append_rebuilt_ = rebuild;
   if (rebuild) {
     BuildEngine();
+    AppendBucketMs().Observe(append_timer.ElapsedMs());
     if (append_observer_) append_observer_(label, rows);
     return;
   }
@@ -127,6 +143,7 @@ void StreamingTSExplain::AppendBucket(const std::string& label,
       explainer_->ClearCache();
     }
   }
+  AppendBucketMs().Observe(append_timer.ElapsedMs());
   if (append_observer_) append_observer_(label, rows);
 }
 

@@ -3,7 +3,9 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 
 namespace tsexplain {
 namespace {
@@ -13,6 +15,36 @@ double NowMs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Process-wide admission metrics (docs/OBSERVABILITY.md). The per-
+// instance Stats counters stay authoritative for the `stats` op's
+// structural view; these shadow them in the registry so the `metrics`
+// op and Prometheus scrapes see the same decisions with a queue-wait
+// histogram attached.
+struct AdmissionMetrics {
+  Counter& admitted =
+      MetricRegistry::Global().GetCounter("admission.admitted");
+  Counter& coalesced =
+      MetricRegistry::Global().GetCounter("admission.coalesced");
+  Counter& shed_overload =
+      MetricRegistry::Global().GetCounter("admission.shed_overload");
+  Counter& shed_tenant =
+      MetricRegistry::Global().GetCounter("admission.shed_tenant");
+  Counter& backlog_shed =
+      MetricRegistry::Global().GetCounter("admission.backlog_shed");
+  Gauge& active = MetricRegistry::Global().GetGauge("admission.active");
+  Gauge& queued = MetricRegistry::Global().GetGauge("admission.queued");
+  Gauge& peak_active =
+      MetricRegistry::Global().GetGauge("admission.peak_active");
+  Gauge& peak_queued =
+      MetricRegistry::Global().GetGauge("admission.peak_queued");
+  Histogram& queue_wait_ms =
+      MetricRegistry::Global().GetHistogram("admission.queue_wait_ms");
+  static AdmissionMetrics& Get() {
+    static AdmissionMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -55,6 +87,8 @@ AdmissionController::Ticket AdmissionController::Admit(
     int requested_threads) {
   TSE_CHECK_GE(requested_threads, 1)
       << "resolve the thread knob before Admit";
+  AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  Timer wait_timer;
   MutexLock lock(mu_);
 
   // Tenant gate first: a tenant at its cap is shed without ever touching
@@ -66,6 +100,7 @@ AdmissionController::Ticket AdmissionController::Admit(
     int& count = tenant_inflight_[tenant];
     if (count >= per_tenant_inflight_) {
       ++stats_.shed_tenant;
+      metrics.shed_tenant.Inc();
       Ticket ticket;
       ticket.outcome_ = Outcome::kShedTenant;
       ticket.retry_after_ms_ = RetryAfterLocked();
@@ -81,6 +116,7 @@ AdmissionController::Ticket AdmissionController::Admit(
     if (fit != inflight_.end()) {
       const std::shared_ptr<Flight> flight = fit->second;
       ++stats_.coalesced;
+      metrics.coalesced.Inc();
       while (!flight->done) cv_.Wait(mu_);
       Ticket ticket;
       ticket.controller_ = this;  // releases the tenant count
@@ -92,6 +128,10 @@ AdmissionController::Ticket AdmissionController::Admit(
     if (active_ < max_concurrent_) {
       ++active_;
       ++stats_.admitted;
+      metrics.admitted.Inc();
+      metrics.active.Set(static_cast<int64_t>(active_));
+      metrics.peak_active.SetMax(static_cast<int64_t>(active_));
+      metrics.queue_wait_ms.Observe(wait_timer.ElapsedMs());
       if (static_cast<size_t>(active_) > stats_.peak_active) {
         stats_.peak_active = static_cast<size_t>(active_);
       }
@@ -112,6 +152,7 @@ AdmissionController::Ticket AdmissionController::Admit(
 
     if (queued_ >= queue_depth_) {
       ++stats_.shed_overload;
+      metrics.shed_overload.Inc();
       Ticket ticket;
       ticket.outcome_ = Outcome::kShedOverload;
       ticket.retry_after_ms_ = RetryAfterLocked();
@@ -123,6 +164,8 @@ AdmissionController::Ticket AdmissionController::Admit(
     }
 
     ++queued_;
+    metrics.queued.Set(static_cast<int64_t>(queued_));
+    metrics.peak_queued.SetMax(static_cast<int64_t>(queued_));
     if (static_cast<size_t>(queued_) > stats_.peak_queued) {
       stats_.peak_queued = static_cast<size_t>(queued_);
     }
@@ -130,6 +173,7 @@ AdmissionController::Ticket AdmissionController::Admit(
       cv_.Wait(mu_);
     }
     --queued_;
+    metrics.queued.Set(static_cast<int64_t>(queued_));
   }
 }
 
@@ -138,6 +182,7 @@ void AdmissionController::Release(Ticket& ticket) {
     MutexLock lock(mu_);
     if (ticket.outcome_ == Outcome::kAdmitted) {
       --active_;
+      AdmissionMetrics::Get().active.Set(static_cast<int64_t>(active_));
       auto it = inflight_.find(ticket.key);
       if (it != inflight_.end()) {
         it->second->done = true;  // waiters hold the shared_ptr
@@ -162,6 +207,7 @@ bool AdmissionController::TryAcquireBacklogSlot() {
   MutexLock lock(mu_);
   if (backlog_ >= backlog_capacity_) {
     ++stats_.backlog_shed;
+    AdmissionMetrics::Get().backlog_shed.Inc();
     return false;
   }
   ++backlog_;

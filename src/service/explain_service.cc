@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/service/query_key.h"
@@ -121,6 +122,54 @@ ExplainResponse ServedResponse(const std::string& cache_key,
   return response;
 }
 
+// End-to-end service latency (docs/OBSERVABILITY.md). hot = served from
+// a direct cache Lookup without touching admission; cold = everything
+// that went through AdmitAndCompute and succeeded (coalesced requests
+// included — they paid the admission wait).
+struct ServiceMetrics {
+  Histogram& hot_ms = MetricRegistry::Global().GetHistogram("query.hot_ms");
+  Histogram& cold_ms =
+      MetricRegistry::Global().GetHistogram("query.cold_ms");
+  Histogram& append_ms =
+      MetricRegistry::Global().GetHistogram("session.append_ms");
+  Histogram& cache_load_ms =
+      MetricRegistry::Global().GetHistogram("service.cache_load_ms");
+  Histogram& cache_save_ms =
+      MetricRegistry::Global().GetHistogram("service.cache_save_ms");
+  static ServiceMetrics& Get() {
+    static ServiceMetrics metrics;
+    return metrics;
+  }
+};
+
+// Observes `histogram` with the timer's elapsed ms when the scope exits,
+// covering every return path (success and error alike).
+class ScopedTimerObserver {
+ public:
+  ScopedTimerObserver(Histogram& histogram, const Timer& timer)
+      : histogram_(histogram), timer_(timer) {}
+  ~ScopedTimerObserver() { histogram_.Observe(timer_.ElapsedMs()); }
+  ScopedTimerObserver(const ScopedTimerObserver&) = delete;
+  ScopedTimerObserver& operator=(const ScopedTimerObserver&) = delete;
+
+ private:
+  Histogram& histogram_;
+  const Timer& timer_;
+};
+
+// Closes out a traced request: the response's latency becomes the root
+// span's duration and the finalized tree (children tile each parent,
+// see trace.h) is copied onto the wire response. No-op without a trace.
+ExplainResponse FinishTraced(ExplainResponse response, QueryTrace* trace,
+                             double total_ms) {
+  response.latency_ms = total_ms;
+  if (trace) {
+    trace->Finalize(total_ms);
+    response.trace = trace->spans();
+  }
+  return response;
+}
+
 }  // namespace
 
 namespace {
@@ -154,9 +203,10 @@ bool ExplainService::DropDataset(const std::string& name) {
 
 ExplainResponse ExplainService::AdmitAndCompute(
     const std::string& cache_key, const std::string& tenant,
-    int requested_threads,
-    const std::function<ResultCache::ValuePtr(int granted_threads,
-                                              std::string* error)>& compute) {
+    int requested_threads, QueryTrace* trace,
+    const std::function<ResultCache::ValuePtr(
+        int granted_threads, QueryTrace* trace, int compute_span,
+        std::string* error)>& compute) {
   Timer timer;
   // A batched (coalesced) outcome normally lands on the leader's cached
   // value; when the leader failed (or its entry was evicted instantly)
@@ -164,14 +214,17 @@ ExplainResponse ExplainService::AdmitAndCompute(
   // are plenty: repeated leader failures mean the query itself fails.
   std::string compute_error;
   for (int attempt = 0; attempt < 3; ++attempt) {
+    const int wait_span = trace ? trace->BeginSpan("admission_wait") : -1;
     AdmissionController::Ticket ticket =
         admission_.Admit(cache_key, tenant, requested_threads);
+    if (trace) trace->EndSpan(wait_span);
     switch (ticket.outcome()) {
       case AdmissionController::Outcome::kShedOverload: {
         ExplainResponse response = ErrorResponse(
             error_code::kOverloaded,
             "server overloaded: admission queue full; retry later");
         response.retry_after_ms = ticket.retry_after_ms();
+        response.admission_outcome = "shed_overload";
         return response;
       }
       case AdmissionController::Outcome::kShedTenant: {
@@ -179,31 +232,43 @@ ExplainResponse ExplainService::AdmitAndCompute(
             error_code::kQuotaExceeded,
             "tenant '" + tenant + "' is at its in-flight quota");
         response.retry_after_ms = ticket.retry_after_ms();
+        response.admission_outcome = "shed_tenant";
         return response;
       }
       case AdmissionController::Outcome::kCoalesced: {
         const ResultCache::ValuePtr value = cache_.Lookup(cache_key);
         if (value) {
-          return ServedResponse(cache_key, value, /*cache_hit=*/true,
-                                timer.ElapsedMs());
+          ExplainResponse response = ServedResponse(
+              cache_key, value, /*cache_hit=*/true, timer.ElapsedMs());
+          response.admission_outcome = "coalesced";
+          ServiceMetrics::Get().cold_ms.Observe(response.latency_ms);
+          return response;
         }
         continue;  // leader failed: retry admission
       }
       case AdmissionController::Outcome::kAdmitted: {
+        const int compute_span = trace ? trace->BeginSpan("compute") : -1;
         bool was_hit = false;
         const ResultCache::ValuePtr value = cache_.GetOrCompute(
             cache_key,
             [&]() -> ResultCache::ValuePtr {
-              return compute(ticket.granted_threads(), &compute_error);
+              return compute(ticket.granted_threads(), trace, compute_span,
+                             &compute_error);
             },
             &was_hit);
+        if (trace) trace->EndSpan(compute_span);
         if (!value) {
-          return ErrorResponse(error_code::kInternal,
-                               compute_error.empty() ? "computation failed"
-                                                     : compute_error);
+          ExplainResponse response = ErrorResponse(
+              error_code::kInternal, compute_error.empty()
+                                         ? "computation failed"
+                                         : compute_error);
+          response.admission_outcome = "admitted";
+          return response;
         }
         ExplainResponse response =
             ServedResponse(cache_key, value, was_hit, timer.ElapsedMs());
+        response.admission_outcome = "admitted";
+        ServiceMetrics::Get().cold_ms.Observe(response.latency_ms);
         return response;
       }
     }
@@ -216,6 +281,9 @@ ExplainResponse ExplainService::AdmitAndCompute(
 
 ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
   Timer timer;
+  std::unique_ptr<QueryTrace> trace_holder;
+  if (request.trace) trace_holder = std::make_unique<QueryTrace>();
+  QueryTrace* const trace = trace_holder.get();
   if (!request.tenant.empty() && !IsValidTenantId(request.tenant)) {
     return ErrorResponse(
         error_code::kBadRequest,
@@ -247,26 +315,40 @@ ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
 
   // Hot path: cached results bypass admission — overload can defer cold
   // work but never a hit.
-  if (const ResultCache::ValuePtr value = cache_.Lookup(cache_key)) {
-    return ServedResponse(cache_key, value, /*cache_hit=*/true,
-                          timer.ElapsedMs());
+  const int lookup_span = trace ? trace->BeginSpan("cache_lookup") : -1;
+  const ResultCache::ValuePtr hot = cache_.Lookup(cache_key);
+  if (trace) trace->EndSpan(lookup_span);
+  if (hot) {
+    ExplainResponse response = ServedResponse(cache_key, hot,
+                                              /*cache_hit=*/true,
+                                              timer.ElapsedMs());
+    response.admission_outcome = "cache_hit";
+    ServiceMetrics::Get().hot_ms.Observe(response.latency_ms);
+    return FinishTraced(std::move(response), trace, timer.ElapsedMs());
   }
 
-  return AdmitAndCompute(
-      cache_key, request.tenant, ResolveThreadCount(config.threads),
-      [&](int granted_threads,
+  ExplainResponse response = AdmitAndCompute(
+      cache_key, request.tenant, ResolveThreadCount(config.threads), trace,
+      [&](int granted_threads, QueryTrace* compute_trace, int compute_span,
           std::string* compute_error) -> ResultCache::ValuePtr {
         // The admission grant replaces the requested thread count (it is
         // a ceiling, not a demand); results are identical either way.
         TSExplainConfig run_config = config;
         run_config.threads = granted_threads;
         std::string engine_error;
+        const double build_start =
+            compute_trace ? compute_trace->ElapsedMs() : 0.0;
         EngineHandle handle = registry_.GetOrBuildEngine(
             request.dataset, canonical.engine_key, run_config,
             ref.table.get(), &engine_error);
         if (!handle.ok()) {
           *compute_error = engine_error;
           return nullptr;
+        }
+        if (compute_trace) {
+          compute_trace->AddSpan("engine_build", build_start,
+                                 compute_trace->ElapsedMs() - build_start,
+                                 compute_span);
         }
         const SegmentationSpec spec =
             SegmentationSpec::FromConfig(run_config);
@@ -275,15 +357,43 @@ ExplainResponse ExplainService::Explain(const ExplainRequest& request) {
           // Run mutates the engine's explanation caches; serialize per
           // engine. Distinct engines still run fully in parallel.
           MutexLock lock(*handle.mu);
+          const double run_start =
+              compute_trace ? compute_trace->ElapsedMs() : 0.0;
           cached->result =
               std::make_shared<TSExplainResult>(handle.engine->Run(spec));
+          if (compute_trace) {
+            // Graft the engine's own breakdown (module (a)/(b)/(c), see
+            // tsexplain.h) as children of the run span; Finalize squares
+            // any residue into an "other" child.
+            const int run_span = compute_trace->AddSpan(
+                "engine_run", run_start,
+                compute_trace->ElapsedMs() - run_start, compute_span);
+            const TimingBreakdown& t = cached->result->timing;
+            double offset = run_start;
+            compute_trace->AddSpan("cube_build", offset, t.precompute_ms,
+                                   run_span);
+            offset += t.precompute_ms;
+            compute_trace->AddSpan("ca_fanout", offset, t.cascading_ms,
+                                   run_span);
+            offset += t.cascading_ms;
+            compute_trace->AddSpan("segmentation", offset,
+                                   t.segmentation_ms, run_span);
+          }
+          const double render_start =
+              compute_trace ? compute_trace->ElapsedMs() : 0.0;
           cached->json = RenderJsonReport(
               handle.engine->cube(), *cached->result,
               WireReportOptions(request.include_trendlines,
                                 request.include_k_curve));
+          if (compute_trace) {
+            compute_trace->AddSpan(
+                "json_render", render_start,
+                compute_trace->ElapsedMs() - render_start, compute_span);
+          }
         }
         return cached;
       });
+  return FinishTraced(std::move(response), trace, timer.ElapsedMs());
 }
 
 ExplainService::RecommendResponse ExplainService::Recommend(
@@ -523,20 +633,26 @@ bool ExplainService::Append(uint64_t session_id, const std::string& label,
       return false;
     }
   }
+  Timer append_timer;
   session->engine->AppendBucket(label, rows);
   // New data makes this session's cached explanations stale — and ONLY
   // this session's: the prefix scopes the invalidation, so dataset-level
   // cache entries and other sessions are untouched (tested).
   cache_.InvalidatePrefix(StrFormat(
       "session/%llu/", static_cast<unsigned long long>(session_id)));
+  ServiceMetrics::Get().append_ms.Observe(append_timer.ElapsedMs());
   return true;
 }
 
 ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
                                                bool include_trendlines,
                                                bool include_k_curve,
-                                               const std::string& tenant) {
+                                               const std::string& tenant,
+                                               bool trace_requested) {
   Timer timer;
+  std::unique_ptr<QueryTrace> trace_holder;
+  if (trace_requested) trace_holder = std::make_unique<QueryTrace>();
+  QueryTrace* const trace = trace_holder.get();
   if (!tenant.empty() && !IsValidTenantId(tenant)) {
     return ErrorResponse(
         error_code::kBadRequest,
@@ -564,26 +680,58 @@ ExplainResponse ExplainService::ExplainSession(uint64_t session_id,
                 static_cast<unsigned long long>(session_id),
                 session->engine->n()) +
       ReportSuffix(include_trendlines, include_k_curve);
-  if (const ResultCache::ValuePtr value = cache_.Lookup(cache_key)) {
-    return ServedResponse(cache_key, value, /*cache_hit=*/true,
-                          timer.ElapsedMs());
+  const int lookup_span = trace ? trace->BeginSpan("cache_lookup") : -1;
+  const ResultCache::ValuePtr hot = cache_.Lookup(cache_key);
+  if (trace) trace->EndSpan(lookup_span);
+  if (hot) {
+    ExplainResponse response = ServedResponse(cache_key, hot,
+                                              /*cache_hit=*/true,
+                                              timer.ElapsedMs());
+    response.admission_outcome = "cache_hit";
+    ServiceMetrics::Get().hot_ms.Observe(response.latency_ms);
+    return FinishTraced(std::move(response), trace, timer.ElapsedMs());
   }
   // Admission happens while holding the session mutex: every op on one
   // session is serialized anyway (that is the session contract), and the
   // slot taken here is released before any other session op can need it.
-  return AdmitAndCompute(
+  ExplainResponse response = AdmitAndCompute(
       cache_key, tenant,
-      ResolveThreadCount(session->config.threads),
-      [&](int granted_threads,
+      ResolveThreadCount(session->config.threads), trace,
+      [&](int granted_threads, QueryTrace* compute_trace, int compute_span,
           std::string* /*compute_error*/) -> ResultCache::ValuePtr {
         auto cached = std::make_shared<CachedResult>();
+        const double run_start =
+            compute_trace ? compute_trace->ElapsedMs() : 0.0;
         cached->result = std::make_shared<TSExplainResult>(
             session->engine->Explain(granted_threads));
+        if (compute_trace) {
+          const int run_span = compute_trace->AddSpan(
+              "engine_run", run_start,
+              compute_trace->ElapsedMs() - run_start, compute_span);
+          const TimingBreakdown& t = cached->result->timing;
+          double offset = run_start;
+          compute_trace->AddSpan("cube_build", offset, t.precompute_ms,
+                                 run_span);
+          offset += t.precompute_ms;
+          compute_trace->AddSpan("ca_fanout", offset, t.cascading_ms,
+                                 run_span);
+          offset += t.cascading_ms;
+          compute_trace->AddSpan("segmentation", offset, t.segmentation_ms,
+                                 run_span);
+        }
+        const double render_start =
+            compute_trace ? compute_trace->ElapsedMs() : 0.0;
         cached->json = RenderJsonReport(
             session->engine->cube(), *cached->result,
             WireReportOptions(include_trendlines, include_k_curve));
+        if (compute_trace) {
+          compute_trace->AddSpan(
+              "json_render", render_start,
+              compute_trace->ElapsedMs() - render_start, compute_span);
+        }
         return cached;
       });
+  return FinishTraced(std::move(response), trace, timer.ElapsedMs());
 }
 
 bool ExplainService::CloseSession(uint64_t session_id) {
@@ -660,6 +808,9 @@ ServiceStats ExplainService::Stats() const {
 
 bool ExplainService::SaveCache(const std::string& path, std::string* error,
                                size_t* saved) const {
+  Timer timer;
+  ScopedTimerObserver observe_save(ServiceMetrics::Get().cache_save_ms,
+                                   timer);
   storage::CacheSnapshot snapshot;
   for (const DatasetInfo& info : registry_.List()) {
     const DatasetRegistry::TableRef ref = registry_.GetRef(info.name);
@@ -692,6 +843,9 @@ bool ExplainService::SaveCache(const std::string& path, std::string* error,
 
 bool ExplainService::LoadCache(const std::string& path, std::string* error,
                                size_t* restored, size_t* fenced) {
+  Timer timer;
+  ScopedTimerObserver observe_load(ServiceMetrics::Get().cache_load_ms,
+                                   timer);
   storage::CacheSnapshot snapshot;
   {
     const storage::StorageStatus status =

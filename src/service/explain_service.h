@@ -42,6 +42,7 @@
 #include "src/service/dataset_registry.h"
 #include "src/service/quota.h"
 #include "src/service/result_cache.h"
+#include "src/service/trace.h"
 #include "src/storage/session_log.h"
 
 namespace tsexplain {
@@ -94,6 +95,10 @@ struct ExplainRequest {
   /// compact; trendlines are opt-in to keep hot responses small.
   bool include_trendlines = false;
   bool include_k_curve = true;
+  /// Collect per-query trace spans (trace.h) into ExplainResponse::trace.
+  /// NOT part of the cache key: tracing changes what is reported, never
+  /// what is computed, and a traced hit is still a hit.
+  bool trace = false;
 };
 
 struct ExplainResponse {
@@ -112,6 +117,14 @@ struct ExplainResponse {
   std::shared_ptr<const TSExplainResult> result;
   std::string json;        // RenderJsonReport output (compact)
   double latency_ms = 0.0;
+  /// How admission resolved this request: "cache_hit", "admitted",
+  /// "coalesced", "shed_overload" or "shed_tenant" (empty for requests
+  /// rejected before the cache, e.g. validation errors). Feeds the
+  /// slow-query log.
+  std::string admission_outcome;
+  /// Finalized span tree (empty unless the request asked for tracing).
+  /// Spans partition the root's wall clock; see trace.h.
+  std::vector<TraceSpan> trace;
 };
 
 struct ServiceStats {
@@ -174,7 +187,8 @@ class ExplainService {
   ExplainResponse ExplainSession(uint64_t session_id,
                                  bool include_trendlines = false,
                                  bool include_k_curve = true,
-                                 const std::string& tenant = std::string());
+                                 const std::string& tenant = std::string(),
+                                 bool trace = false);
   bool CloseSession(uint64_t session_id);
   /// Number of time buckets in the session; -1 when unknown.
   int SessionLength(uint64_t session_id) const;
@@ -253,13 +267,18 @@ class ExplainService {
       TSE_REQUIRES(session.mu);
 
   /// Runs the admission + single-flight compute for one (cold) cache
-  /// key; shared by Explain and ExplainSession.
+  /// key; shared by Explain and ExplainSession. `trace` may be null;
+  /// when set, admission waits and the compute get spans, and the
+  /// compute callback receives the trace plus its "compute" span index
+  /// so it can graft engine-phase children under it (the callback only
+  /// runs on the single-flight leader, which is exactly the request
+  /// whose trace can see inside the computation).
   ExplainResponse AdmitAndCompute(
       const std::string& cache_key, const std::string& tenant,
-      int requested_threads,
-      const std::function<ResultCache::ValuePtr(int granted_threads,
-                                                std::string* error)>&
-          compute);
+      int requested_threads, QueryTrace* trace,
+      const std::function<ResultCache::ValuePtr(
+          int granted_threads, QueryTrace* trace, int compute_span,
+          std::string* error)>& compute);
 
   DatasetRegistry registry_;
   ResultCache cache_;

@@ -1,13 +1,24 @@
 #include "src/service/protocol.h"
 
+#include <chrono>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
+#include "src/common/timer.h"
 #include "src/seg/segment_distance.h"
 #include "src/storage/table_snapshot.h"
 
 namespace tsexplain {
 namespace {
+
+// Wall-clock timestamp for log records (the only place the service uses
+// wall time; every latency is steady-clock).
+double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 // Response envelope helpers ------------------------------------------------
 
@@ -72,6 +83,28 @@ void BeginOk(JsonWriter& json, const JsonValue& request,
   json.Bool(true);
   json.Key("op");
   json.String(op);
+}
+
+// Emits the finalized span tree (trace.h) as a flat array; parents
+// always precede their children, so clients rebuild the tree in one
+// pass. Skipped entirely when the request did not ask for tracing.
+void EmitTrace(JsonWriter& json, const std::vector<TraceSpan>& spans) {
+  if (spans.empty()) return;
+  json.Key("trace");
+  json.BeginArray();
+  for (const TraceSpan& span : spans) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(span.name);
+    json.Key("start_ms");
+    json.Number(span.start_ms);
+    json.Key("duration_ms");
+    json.Number(span.duration_ms);
+    json.Key("parent");
+    json.Int(span.parent);
+    json.EndObject();
+  }
+  json.EndArray();
 }
 
 bool ParseAggregate(const std::string& name, AggregateFunction* out) {
@@ -211,6 +244,85 @@ std::string ProtocolHandler::MakeOverloaded(const JsonValue& request) const {
 }
 
 std::string ProtocolHandler::Handle(const JsonValue& request) {
+  if (!log_.access_log) return HandleInternal(request);
+  Timer timer;
+  const std::string response = HandleInternal(request);
+  // The envelope's "ok" is the first unescaped `"ok":` in the response
+  // (JsonWriter escapes quotes inside string values, so a literal
+  // `"ok":true` can only be the envelope's own field).
+  const size_t ok_pos = response.find("\"ok\":true");
+  const size_t fail_pos = response.find("\"ok\":false");
+  const bool ok = ok_pos != std::string::npos &&
+                  (fail_pos == std::string::npos || ok_pos < fail_pos);
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject();
+  json.Key("ts_ms");
+  json.Number(WallMs());
+  json.Key("op");
+  json.String(OpOf(request));
+  json.Key("ok");
+  json.Bool(ok);
+  json.Key("latency_ms");
+  json.Number(timer.ElapsedMs());
+  json.EndObject();
+  log_.access_log->WriteLine(json.str());
+  return response;
+}
+
+void ProtocolHandler::MaybeLogSlowQuery(const std::string& op,
+                                        const std::string& dataset,
+                                        uint64_t session,
+                                        const std::string& tenant,
+                                        const ExplainResponse& response) {
+  if (!log_.slow_query_log || log_.slow_query_ms <= 0.0) return;
+  if (response.latency_ms < log_.slow_query_ms) return;
+  JsonWriter json(/*pretty=*/false);
+  json.BeginObject();
+  json.Key("ts_ms");
+  json.Number(WallMs());
+  json.Key("op");
+  json.String(op);
+  if (!dataset.empty()) {
+    json.Key("dataset");
+    json.String(dataset);
+  }
+  if (session != 0) {
+    json.Key("session");
+    json.Int(static_cast<long long>(session));
+  }
+  json.Key("tenant");
+  json.String(tenant);
+  json.Key("query_key");
+  json.String(response.query_key);
+  json.Key("ok");
+  json.Bool(response.ok);
+  json.Key("cache_hit");
+  json.Bool(response.cache_hit);
+  json.Key("admission_outcome");
+  json.String(response.admission_outcome);
+  json.Key("latency_ms");
+  json.Number(response.latency_ms);
+  // Engine-phase breakdown (tsexplain.h): present only when this request
+  // carries a freshly computed structured result (warm-started cache
+  // entries persist the wire JSON alone).
+  if (response.result) {
+    json.Key("timing");
+    json.BeginObject();
+    json.Key("precompute_ms");
+    json.Number(response.result->timing.precompute_ms);
+    json.Key("cascading_ms");
+    json.Number(response.result->timing.cascading_ms);
+    json.Key("segmentation_ms");
+    json.Number(response.result->timing.segmentation_ms);
+    json.Key("total_ms");
+    json.Number(response.result->timing.total_ms);
+    json.EndObject();
+  }
+  json.EndObject();
+  log_.slow_query_log->WriteLine(json.str());
+}
+
+std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
   if (!request.IsObject()) {
     return MakeError(&request, "", error_code::kBadRequest,
                      "request must be a JSON object");
@@ -341,7 +453,10 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     explain.tenant = request.GetString("tenant");
     explain.include_trendlines = request.GetBool("trendlines", false);
     explain.include_k_curve = request.GetBool("k_curve", true);
+    explain.trace = request.GetBool("trace", false);
     const ExplainResponse response = service_.Explain(explain);
+    MaybeLogSlowQuery(op, explain.dataset, /*session=*/0, explain.tenant,
+                      response);
     if (!response.ok) {
       return MakeError(&request, op, response.error_code, response.error,
                        response.retry_after_ms);
@@ -354,6 +469,7 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Bool(response.cache_hit);
     json.Key("latency_ms");
     json.Number(response.latency_ms);
+    EmitTrace(json, response.trace);
     json.Key("result");
     json.Raw(response.json);
     json.EndObject();
@@ -495,9 +611,12 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     if (!ParseSessionId(request, &session, &error)) {
       return MakeError(&request, op, error_code::kBadRequest, error);
     }
+    const std::string tenant = request.GetString("tenant");
     const ExplainResponse response = service_.ExplainSession(
         session, request.GetBool("trendlines", false),
-        request.GetBool("k_curve", true), request.GetString("tenant"));
+        request.GetBool("k_curve", true), tenant,
+        request.GetBool("trace", false));
+    MaybeLogSlowQuery(op, /*dataset=*/"", session, tenant, response);
     if (!response.ok) {
       return MakeError(&request, op, response.error_code, response.error,
                        response.retry_after_ms);
@@ -512,6 +631,7 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Bool(response.cache_hit);
     json.Key("latency_ms");
     json.Number(response.latency_ms);
+    EmitTrace(json, response.trace);
     json.Key("result");
     json.Raw(response.json);
     json.EndObject();
@@ -605,7 +725,22 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
   }
 
   if (op == "stats") {
+    // Counter and gauge fields are sourced from the process-wide metrics
+    // registry — the same series the `metrics` op exports — so the two
+    // views can never disagree. Structural fields (datasets, sessions,
+    // tenants, capacity) stay with the service. Field names and order
+    // are byte-compatible with the pre-registry wire shape (asserted by
+    // tests/server_smoke_test.sh).
     const ServiceStats stats = service_.Stats();
+    const MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+    const auto counter = [&snapshot](const char* name) -> long long {
+      const uint64_t* value = snapshot.FindCounter(name);
+      return value ? static_cast<long long>(*value) : 0;
+    };
+    const auto gauge = [&snapshot](const char* name) -> long long {
+      const int64_t* value = snapshot.FindGauge(name);
+      return value ? static_cast<long long>(*value) : 0;
+    };
     JsonWriter json(false);
     BeginOk(json, request, op);
     json.Key("datasets");
@@ -626,45 +761,72 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
     json.Key("admission");
     json.BeginObject();
     json.Key("admitted");
-    json.Int(static_cast<long long>(stats.admission.admitted));
+    json.Int(counter("admission.admitted"));
     json.Key("coalesced");
-    json.Int(static_cast<long long>(stats.admission.coalesced));
+    json.Int(counter("admission.coalesced"));
     json.Key("shed_overload");
-    json.Int(static_cast<long long>(stats.admission.shed_overload));
+    json.Int(counter("admission.shed_overload"));
     json.Key("shed_tenant");
-    json.Int(static_cast<long long>(stats.admission.shed_tenant));
+    json.Int(counter("admission.shed_tenant"));
     json.Key("backlog_shed");
-    json.Int(static_cast<long long>(stats.admission.backlog_shed));
+    json.Int(counter("admission.backlog_shed"));
     json.Key("active");
-    json.Int(static_cast<long long>(stats.admission.active));
+    json.Int(gauge("admission.active"));
     json.Key("queued");
-    json.Int(static_cast<long long>(stats.admission.queued));
+    json.Int(gauge("admission.queued"));
     json.Key("peak_active");
-    json.Int(static_cast<long long>(stats.admission.peak_active));
+    json.Int(gauge("admission.peak_active"));
     json.Key("peak_queued");
-    json.Int(static_cast<long long>(stats.admission.peak_queued));
+    json.Int(gauge("admission.peak_queued"));
     json.EndObject();
     json.Key("cache");
     json.BeginObject();
     json.Key("hits");
-    json.Int(static_cast<long long>(stats.cache.hits));
+    json.Int(counter("cache.hits"));
     json.Key("misses");
-    json.Int(static_cast<long long>(stats.cache.misses));
+    json.Int(counter("cache.misses"));
     json.Key("coalesced");
-    json.Int(static_cast<long long>(stats.cache.coalesced));
+    json.Int(counter("cache.coalesced"));
     json.Key("evictions");
-    json.Int(static_cast<long long>(stats.cache.evictions));
+    json.Int(counter("cache.evictions"));
     json.Key("budget_evictions");
-    json.Int(static_cast<long long>(stats.cache.budget_evictions));
+    json.Int(counter("cache.budget_evictions"));
     json.Key("invalidations");
-    json.Int(static_cast<long long>(stats.cache.invalidations));
+    json.Int(counter("cache.invalidations"));
     json.Key("entries");
-    json.Int(static_cast<long long>(stats.cache.entries));
+    json.Int(gauge("cache.entries"));
     json.Key("bytes_used");
-    json.Int(static_cast<long long>(stats.cache.bytes_used));
+    json.Int(gauge("cache.bytes_used"));
     json.Key("capacity_bytes");
     json.Int(static_cast<long long>(stats.cache.capacity_bytes));
     json.EndObject();
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "metrics") {
+    // Scrape endpoint: the registry's full contents, as structured JSON
+    // (default) or as a Prometheus text exposition embedded in the
+    // envelope's "text" field (docs/OBSERVABILITY.md has the scrape
+    // recipe).
+    const std::string format = request.GetString("format", "json");
+    if (format != "json" && format != "prometheus") {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "unknown format: " + format +
+                           " (expected 'json' or 'prometheus')");
+    }
+    const MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+    JsonWriter json(false);
+    BeginOk(json, request, op);
+    if (format == "prometheus") {
+      json.Key("format");
+      json.String("prometheus");
+      json.Key("text");
+      json.String(RenderPrometheusText(snapshot));
+    } else {
+      json.Key("metrics");
+      json.Raw(RenderMetricsJson(snapshot));
+    }
     json.EndObject();
     return json.str();
   }

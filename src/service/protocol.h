@@ -11,16 +11,31 @@
 #ifndef TSEXPLAIN_SERVICE_PROTOCOL_H_
 #define TSEXPLAIN_SERVICE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/common/json.h"
 #include "src/service/explain_service.h"
+#include "src/service/request_log.h"
 
 namespace tsexplain {
 
 class ProtocolHandler {
  public:
   explicit ProtocolHandler(ExplainService& service) : service_(service) {}
+
+  /// Request logging (docs/OBSERVABILITY.md). Both sinks are optional
+  /// and borrowed (the transport owns them; they must outlive the
+  /// handler). The access log gets one compact JSON line per handled
+  /// request; the slow-query log gets a structured NDJSON record for
+  /// every explain / explain_session whose service latency reached
+  /// `slow_query_ms` (<= 0 disables the slow-query log).
+  struct LogOptions {
+    LineLog* access_log = nullptr;
+    LineLog* slow_query_log = nullptr;
+    double slow_query_ms = 0.0;
+  };
+  void set_log_options(const LogOptions& options) { log_ = options; }
 
   /// Handles one parsed request object; returns the response line
   /// (compact JSON, no trailing newline). Unknown ops and missing fields
@@ -53,7 +68,17 @@ class ProtocolHandler {
   static bool IsExpensiveOp(const std::string& op);
 
  private:
+  std::string HandleInternal(const JsonValue& request);
+
+  /// Writes a slow-query record when the slow-query log is armed and
+  /// `response.latency_ms` reached the threshold. `dataset` is empty for
+  /// session queries; `session` is 0 for dataset queries.
+  void MaybeLogSlowQuery(const std::string& op, const std::string& dataset,
+                         uint64_t session, const std::string& tenant,
+                         const ExplainResponse& response);
+
   ExplainService& service_;
+  LogOptions log_;
 };
 
 /// Parses the shared query fields of `explain` / `open_session` requests

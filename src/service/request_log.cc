@@ -1,0 +1,35 @@
+#include "src/service/request_log.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsexplain {
+
+std::unique_ptr<LineLog> LineLog::Open(const std::string& path,
+                                       std::string* error) {
+  if (path == "stderr") {
+    return std::make_unique<LineLog>(stderr, /*owned=*/false);
+  }
+  std::FILE* stream = std::fopen(path.c_str(), "ab");
+  if (!stream) {
+    *error = path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  return std::make_unique<LineLog>(stream, /*owned=*/true);
+}
+
+LineLog::~LineLog() {
+  MutexLock lock(mu_);
+  if (owned_ && stream_) std::fclose(stream_);
+  stream_ = nullptr;
+}
+
+void LineLog::WriteLine(const std::string& line) {
+  MutexLock lock(mu_);
+  if (!stream_) return;
+  std::fputs(line.c_str(), stream_);
+  std::fputc('\n', stream_);
+  std::fflush(stream_);
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,51 @@
+// Line-oriented log sinks for the server: the NDJSON slow-query log and
+// the one-line-per-request access log (tools/tsexplain_serve.cc wires
+// them up from --slow-query-ms / --slow-query-log / --access-log).
+//
+// A LineLog is a mutex-serialized append sink: concurrent writers
+// interleave at line granularity, never mid-record, and every line is
+// flushed immediately so `tail -f` (and the smoke test) sees records the
+// moment they happen. Record FORMATTING stays with the callers
+// (protocol.cc), which is the only layer that sees both the request and
+// the structured response.
+
+#ifndef TSEXPLAIN_SERVICE_REQUEST_LOG_H_
+#define TSEXPLAIN_SERVICE_REQUEST_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/mutex.h"
+
+namespace tsexplain {
+
+class LineLog {
+ public:
+  /// Opens `path` for append. The special path "stderr" logs to the
+  /// process stderr (not closed on destruction). Returns null + `error`
+  /// when the file cannot be opened.
+  static std::unique_ptr<LineLog> Open(const std::string& path,
+                                       std::string* error);
+
+  /// Takes ownership of `stream` when `owned` (closed on destruction).
+  LineLog(std::FILE* stream, bool owned) : stream_(stream), owned_(owned) {}
+  ~LineLog();
+
+  LineLog(const LineLog&) = delete;
+  LineLog& operator=(const LineLog&) = delete;
+
+  /// Appends `line` + '\n' and flushes. Thread-safe.
+  void WriteLine(const std::string& line) TSE_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  // The stream is set once at construction; mu_ serializes every use so
+  // lines from concurrent handler threads never interleave mid-record.
+  std::FILE* stream_ TSE_GUARDED_BY(mu_);
+  const bool owned_;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_REQUEST_LOG_H_

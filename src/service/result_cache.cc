@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/metrics.h"
 
 namespace tsexplain {
 namespace {
@@ -23,6 +24,30 @@ size_t RoundUpPow2(size_t v) {
   while (p < v) p <<= 1;
   return p;
 }
+
+// Process-wide cache metrics (docs/OBSERVABILITY.md): per-shard counters
+// roll up into one registry series per event. The per-shard size_t
+// counters stay authoritative for stats(); these shadow them so the
+// `metrics` op sees the same decisions without locking every shard.
+struct CacheMetrics {
+  Counter& hits = MetricRegistry::Global().GetCounter("cache.hits");
+  Counter& misses = MetricRegistry::Global().GetCounter("cache.misses");
+  Counter& coalesced =
+      MetricRegistry::Global().GetCounter("cache.coalesced");
+  Counter& evictions =
+      MetricRegistry::Global().GetCounter("cache.evictions");
+  Counter& budget_evictions =
+      MetricRegistry::Global().GetCounter("cache.budget_evictions");
+  Counter& invalidations =
+      MetricRegistry::Global().GetCounter("cache.invalidations");
+  Gauge& entries = MetricRegistry::Global().GetGauge("cache.entries");
+  Gauge& bytes_used =
+      MetricRegistry::Global().GetGauge("cache.bytes_used");
+  static CacheMetrics& Get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -55,6 +80,16 @@ ResultCache::ResultCache(size_t capacity_bytes, int num_shards) {
   }
 }
 
+ResultCache::~ResultCache() {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    metrics.entries.Add(-static_cast<int64_t>(shard.entries.size()));
+    metrics.bytes_used.Add(-static_cast<int64_t>(shard.bytes_used));
+  }
+}
+
 ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
   return *shards_[HashKey(key) & shard_mask_];
 }
@@ -76,6 +111,9 @@ int ResultCache::MatchBudget(const BudgetList& budgets,
 
 void ResultCache::RemoveEntryLocked(
     Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.entries.Add(-1);
+  metrics.bytes_used.Add(-static_cast<int64_t>(it->second.cost));
   shard.bytes_used -= it->second.cost;
   if (it->second.budget >= 0) {
     shard.budget_bytes[static_cast<size_t>(it->second.budget)] -=
@@ -113,6 +151,8 @@ void ResultCache::InsertLocked(Shard& shard, const BudgetList& budgets,
   entry.lru_pos = shard.lru.begin();
   shard.entries.emplace(key, std::move(entry));
   shard.bytes_used += cost;
+  CacheMetrics::Get().entries.Add(1);
+  CacheMetrics::Get().bytes_used.Add(static_cast<int64_t>(cost));
   if (budget >= 0) {
     const size_t b = static_cast<size_t>(budget);
     shard.budget_bytes[b] += cost;
@@ -129,6 +169,8 @@ void ResultCache::InsertLocked(Shard& shard, const BudgetList& budgets,
           RemoveEntryLocked(shard, vit);
           ++shard.evictions;
           ++shard.budget_evictions;
+          CacheMetrics::Get().evictions.Inc();
+          CacheMetrics::Get().budget_evictions.Inc();
           evicted = true;
           break;
         }
@@ -141,6 +183,7 @@ void ResultCache::InsertLocked(Shard& shard, const BudgetList& budgets,
     TSE_CHECK(vit != shard.entries.end());
     RemoveEntryLocked(shard, vit);
     ++shard.evictions;
+    CacheMetrics::Get().evictions.Inc();
   }
 }
 
@@ -157,6 +200,7 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
       // Touch: move to the LRU front.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
       ++shard.hits;
+      CacheMetrics::Get().hits.Inc();
       if (was_hit) *was_hit = true;
       return it->second.value;
     }
@@ -164,12 +208,14 @@ ResultCache::ValuePtr ResultCache::GetOrCompute(const std::string& key,
     if (fit != shard.inflight.end()) {
       flight = fit->second;
       ++shard.coalesced;
+      CacheMetrics::Get().coalesced.Inc();
     } else {
       flight = std::make_shared<Flight>();
       flight->future = flight->promise.get_future().share();
       shard.inflight.emplace(key, flight);
       leader = true;
       ++shard.misses;
+      CacheMetrics::Get().misses.Inc();
     }
   }
 
@@ -200,6 +246,7 @@ ResultCache::ValuePtr ResultCache::Lookup(const std::string& key) {
   if (it == shard.entries.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   ++shard.hits;
+  CacheMetrics::Get().hits.Inc();
   return it->second.value;
 }
 
@@ -264,6 +311,8 @@ void ResultCache::SetPrefixBudget(const std::string& prefix,
           RemoveEntryLocked(shard, vit);
           ++shard.evictions;
           ++shard.budget_evictions;
+          CacheMetrics::Get().evictions.Inc();
+          CacheMetrics::Get().budget_evictions.Inc();
           evicted = true;
           break;
         }
@@ -364,6 +413,7 @@ void ResultCache::Invalidate(const std::string& key) {
   if (it == shard.entries.end()) return;
   RemoveEntryLocked(shard, it);
   ++shard.invalidations;
+  CacheMetrics::Get().invalidations.Inc();
 }
 
 size_t ResultCache::InvalidatePrefix(const std::string& prefix) {
@@ -388,6 +438,7 @@ size_t ResultCache::InvalidatePrefixes(
         auto victim = it++;
         RemoveEntryLocked(shard, victim);
         ++shard.invalidations;
+        CacheMetrics::Get().invalidations.Inc();
         ++removed;
       } else {
         ++it;

@@ -65,6 +65,11 @@ class ResultCache {
   /// (rounded up to a power of two).
   explicit ResultCache(size_t capacity_bytes, int num_shards = 8);
 
+  /// Un-counts resident entries from the global cache.entries /
+  /// cache.bytes_used gauges so short-lived caches (tests, restarts) do
+  /// not leave the process-wide registry drifting.
+  ~ResultCache();
+
   /// Returns the cached value for `key`, computing it single-flight on a
   /// miss. `was_hit` (optional) reports whether this call avoided running
   /// `compute` itself (fresh hit or coalesced onto a concurrent flight).

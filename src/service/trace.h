@@ -1,0 +1,76 @@
+// Per-query trace spans: a flat tree of (name, start offset, duration,
+// parent) records assembled while a request flows through the service
+// and returned inline when the request sets "trace": true.
+//
+// This generalizes TimingBreakdown — the paper's module (a)/(b)/(c)
+// split (Figure 10/15) reified as one fixed struct — into an extensible
+// span tree that also covers what happens *around* the engine: cache
+// lookup, admission wait, JSON render. The breakdown's core invariant
+// is preserved: after Finalize(), every parent's direct children
+// partition its wall clock exactly — gaps become an explicit "other"
+// span and overshoot (cross-clock skew) scales children down, mirroring
+// TimingBreakdown::Partition's clamp-and-scale policy.
+//
+// Tracing is per-request and allocation-light: a QueryTrace is only
+// constructed when the caller asked for one, call sites take a nullable
+// pointer, and a null trace costs a single branch.
+
+#ifndef TSEXPLAIN_SERVICE_TRACE_H_
+#define TSEXPLAIN_SERVICE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+
+namespace tsexplain {
+
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;     // offset from the root span's start
+  double duration_ms = 0.0;
+  int parent = -1;           // index into the span vector; -1 = root
+};
+
+/// Collects spans for one request. Not thread-safe: a trace belongs to
+/// the single request thread that created it (the engine's internal
+/// parallelism is summarized through TimingBreakdown, not traced
+/// per-worker).
+class QueryTrace {
+ public:
+  /// Starts the clock and opens the root span ("query", index 0).
+  QueryTrace();
+
+  /// Opens a span starting now; returns its index. Close it with
+  /// EndSpan. `parent` defaults to the root.
+  int BeginSpan(const std::string& name, int parent = 0);
+  void EndSpan(int index);
+
+  /// Records a fully-formed span (used to graft TimingBreakdown's
+  /// engine-phase durations in as children of a compute span).
+  int AddSpan(const std::string& name, double start_ms, double duration_ms,
+              int parent);
+
+  /// Milliseconds since the trace started — the same clock every span
+  /// offset is measured on.
+  double ElapsedMs() const { return timer_.ElapsedMs(); }
+
+  /// Sets the root duration to `total_ms` and enforces the partition
+  /// invariant top-down: for every parent, child durations are clamped
+  /// to >= 0, scaled down if they exceed the parent, and any remaining
+  /// gap > 1e-6 ms becomes a trailing "other" child. After this call,
+  /// sum(direct children) == parent duration for every parent that has
+  /// children. Call exactly once, at response-assembly time.
+  void Finalize(double total_ms);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  Timer timer_;
+  std::vector<TraceSpan> spans_;
+  bool finalized_ = false;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_TRACE_H_

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
+#include "src/common/timer.h"
 
 namespace tsexplain {
 namespace storage {
@@ -13,6 +15,19 @@ TableSnapshotResult Fail(StorageErrorCode code, std::string message) {
   result.status = StorageStatus::Error(code, std::move(message));
   return result;
 }
+
+// Snapshot I/O latency (docs/OBSERVABILITY.md). Registered once; the
+// observes themselves are lock-free.
+struct SnapshotMetrics {
+  Histogram& load_ms =
+      MetricRegistry::Global().GetHistogram("storage.snapshot_load_ms");
+  Histogram& write_ms =
+      MetricRegistry::Global().GetHistogram("storage.snapshot_write_ms");
+  static SnapshotMetrics& Get() {
+    static SnapshotMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -47,11 +62,16 @@ std::string EncodeTableSnapshotPayload(const Table& table) {
 }
 
 StorageStatus WriteTableSnapshot(const Table& table, const std::string& path) {
-  return WriteFramedFile(path, kTableSnapshotMagic,
-                         EncodeTableSnapshotPayload(table));
+  Timer timer;
+  StorageStatus status = WriteFramedFile(path, kTableSnapshotMagic,
+                                         EncodeTableSnapshotPayload(table));
+  SnapshotMetrics::Get().write_ms.Observe(timer.ElapsedMs());
+  return status;
 }
 
-TableSnapshotResult ReadTableSnapshot(const std::string& path) {
+namespace {
+
+TableSnapshotResult ReadTableSnapshotImpl(const std::string& path) {
   std::string payload;
   {
     StorageStatus status = ReadFramedFile(path, kTableSnapshotMagic, &payload);
@@ -177,6 +197,15 @@ TableSnapshotResult ReadTableSnapshot(const std::string& path) {
   TableSnapshotResult result;
   result.table = std::move(table);
   result.status = StorageStatus::Ok();
+  return result;
+}
+
+}  // namespace
+
+TableSnapshotResult ReadTableSnapshot(const std::string& path) {
+  Timer timer;
+  TableSnapshotResult result = ReadTableSnapshotImpl(path);
+  SnapshotMetrics::Get().load_ms.Observe(timer.ElapsedMs());
   return result;
 }
 

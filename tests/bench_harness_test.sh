@@ -21,6 +21,8 @@ cat >fakebuild/bench_ok <<'EOF'
 echo "some human-readable table"
 echo "BENCH_RESULT fig99.demo.total 12.345"
 echo "BENCH_RESULT fig99.demo.optimized 3.210"
+echo 'BENCH_METRICS {"counters": {"demo.stale": 1}}'
+echo 'BENCH_METRICS {"counters": {"demo.queries": 7}}'
 EOF
 cat >fakebuild/bench_fails <<'EOF'
 #!/bin/sh
@@ -46,6 +48,9 @@ check json_valid sh -c "python3 -m json.tool out.json >/dev/null"
 check wall_clock grep -q '"wall_clock_s"' out.json
 check harvested_name grep -q '"fig99.demo.total"' out.json
 check harvested_ms grep -q '"ms": 12.345' out.json
+# The LAST BENCH_METRICS line is the one archived (end-of-run snapshot).
+check metrics_harvested grep -q '"demo.queries": 7' out.json
+check metrics_last_wins sh -c "! grep -q 'demo.stale' out.json"
 check log_saved test -s out.d/bench_ok.log
 # Attribution stamps: SHA ("unknown" here — fakebuild is not a git tree),
 # hostname, and nproc make committed captures comparable across machines.
@@ -54,20 +59,25 @@ check stamp_hostname grep -q '"hostname"' out.json
 check stamp_nproc grep -qE '"nproc": [0-9]+' out.json
 
 # A failing bench: recorded with its exit status, harness exits non-zero.
+# It emits no BENCH_METRICS line, so its `metrics` field is null.
 "$HARNESS" -b fakebuild -o fail.json bench_fails >/dev/null 2>&1
 check fail_propagates test $? -ne 0
 check fail_json_valid sh -c "python3 -m json.tool fail.json >/dev/null"
 check fail_status grep -q '"exit_status": 3' fail.json
+check no_metrics_null grep -q '"metrics": null' fail.json
 
 # Unknown bench names are skipped; with nothing runnable it errors.
 "$HARNESS" -b fakebuild -o none.json bench_does_not_exist >/dev/null 2>&1
 check nothing_runnable test $? -ne 0
 
 # An explicitly requested bench that is missing fails loudly even when the
-# other requested benches run (perf data must not vanish silently).
+# other requested benches run (perf data must not vanish silently), and
+# the skip itself is recorded in the JSON.
 "$HARNESS" -b fakebuild -o part.json bench_ok bench_does_not_exist >/dev/null 2>&1
 check explicit_missing_fails test $? -ne 0
 check explicit_missing_still_records grep -q '"bench": "bench_ok"' part.json
+check skip_recorded grep -q '"skipped": true' part.json
+check part_json_valid sh -c "python3 -m json.tool part.json >/dev/null"
 
 # --help prints the full header including the results-array description.
 "$HARNESS" --help 2>/dev/null | grep -q "results" || {

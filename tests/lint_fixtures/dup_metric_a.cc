@@ -1,0 +1,7 @@
+// Fixture: first half of the duplicate-metric-name rule (R4) violation.
+#include "src/common/metrics.h"
+
+void SubsystemA() {
+  tsexplain::MetricRegistry::Global().GetCounter("fixture.duplicate.total");
+  tsexplain::MetricRegistry::Global().GetGauge("fixture.unique.level");
+}

@@ -1,0 +1,13 @@
+// Fixture: second half of the duplicate-metric-name rule (R4) violation —
+// re-registers dup_metric_a.cc's counter (and as a different kind, which
+// would also abort at runtime). The dynamically built names below must
+// be skipped: uniqueness of computed names is the caller's own job.
+#include "src/common/metrics.h"
+
+void SubsystemB(int shard) {
+  tsexplain::MetricRegistry::Global().GetGauge(
+      "fixture.duplicate.total");  // VIOLATION: reused metric name
+  tsexplain::MetricRegistry::Global().GetCounter(
+      "fixture.shard." + std::to_string(shard));
+  tsexplain::MetricRegistry::Global().GetHistogram("fixture.unique.ms");
+}

@@ -85,12 +85,32 @@ else
   echo "ok: dup_slug"
 fi
 
+# R4: duplicate metric registration literal across two source files.
+dup_metric_root="${TMPDIR_ROOT}/dup_metric"
+mkdir -p "${dup_metric_root}/src" "${dup_metric_root}/tools" \
+         "${dup_metric_root}/bench"
+cp "${FIXTURES}/dup_metric_a.cc" "${dup_metric_root}/src/dup_metric_a.cc"
+cp "${FIXTURES}/dup_metric_b.cc" "${dup_metric_root}/src/dup_metric_b.cc"
+run_linter "${dup_metric_root}"
+if [ "${CODE}" -eq 0 ]; then
+  fail "dup_metric: linter exited 0 on a duplicated metric name"
+elif ! printf '%s' "${OUT}" | grep -q "duplicate-metric-name"; then
+  fail "dup_metric: output did not mention 'duplicate-metric-name': ${OUT}"
+elif printf '%s' "${OUT}" | grep -q "fixture.shard"; then
+  fail "dup_metric: dynamic metric names must be skipped: ${OUT}"
+elif printf '%s' "${OUT}" | grep -q "fixture.unique"; then
+  fail "dup_metric: single-site names must not fire: ${OUT}"
+else
+  echo "ok: dup_metric"
+fi
+
 # Clean tree: annotated + allow-listed mutexes, unique slugs — exit 0.
 clean_root="${TMPDIR_ROOT}/clean"
 mkdir -p "${clean_root}/src/service" "${clean_root}/tools" \
          "${clean_root}/bench" "${clean_root}/src/storage"
 cp "${FIXTURES}/clean_guarded.h" "${clean_root}/src/service/clean_guarded.h"
 cp "${FIXTURES}/dup_slug_a.cc" "${clean_root}/bench/dup_slug_a.cc"
+cp "${FIXTURES}/dup_metric_a.cc" "${clean_root}/src/dup_metric_a.cc"
 run_linter "${clean_root}"
 if [ "${CODE}" -ne 0 ]; then
   fail "clean: linter flagged a clean tree: ${OUT}"

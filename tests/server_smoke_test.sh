@@ -13,6 +13,10 @@
 #   - error paths: parse_error, unknown_op, not_found, bad_request —
 #     all as responses, never as a crash
 #   - shutdown op ends the server with exit 0
+#   - metrics op scraped before/after the query burst: counters are
+#     monotonic, the burst is visible, histogram buckets sum to their
+#     count, and the Prometheus rendering carries the same series
+#   - a trace-enabled explain returns spans partitioning the root's time
 #   - TCP mode (with the overload flags set): a request dribbled
 #     byte-by-byte across many tiny writes still parses (recv-boundary
 #     handling), a multi-MB garbage line draws ONE structured error and
@@ -55,11 +59,20 @@ EXPLAIN_FIELDS='"dataset":"sales","measure":"sales","explain_by":["region"],"k":
 {
   echo "{\"op\":\"register\",\"id\":1,\"name\":\"sales\",\"csv_path\":\"$CSV\",\"time_column\":\"date\",\"measures\":[\"sales\"]}"
   echo '{"op":"list_datasets","id":2}'
+  # Metrics scrape BEFORE the query burst (compared against id 42 below:
+  # counters must be monotonic and must have moved by the burst).
+  echo '{"op":"metrics","id":40}'
   echo "{\"op\":\"explain\",\"id\":3,$EXPLAIN_FIELDS}"
   # Identical concurrent explains: single-flight must collapse them.
   for id in 4 5 6 7; do
     echo "{\"op\":\"explain\",\"id\":$id,$EXPLAIN_FIELDS}"
   done
+  # Trace-enabled hot query: must carry non-empty spans that partition
+  # the root's wall clock.
+  echo "{\"op\":\"explain\",\"id\":41,$EXPLAIN_FIELDS,\"trace\":true}"
+  # Metrics scrape AFTER the burst, in both export formats.
+  echo '{"op":"metrics","id":42}'
+  echo '{"op":"metrics","id":43,"format":"prometheus"}'
   echo '{"op":"open_session","id":8,"dataset":"sales","measure":"sales","explain_by":["region"],"k":2}'
   echo '{"op":"append","id":9,"session":1,"label":"zz","rows":[{"dims":["east"],"measures":[30]},{"dims":["west"],"measures":[11]}]}'
   echo '{"op":"explain_session","id":10,"session":1}'
@@ -78,9 +91,9 @@ if ! "$SERVE" <"$REQ" >"$OUT" 2>"$TMPDIR_SMOKE/serve.err"; then
   cat "$TMPDIR_SMOKE/serve.err" >&2
 fi
 
-# Every request (16 ids + 1 parse error) got exactly one response line.
+# Every request (20 ids + 1 parse error) got exactly one response line.
 lines=$(wc -l <"$OUT")
-[ "$lines" -eq 17 ] || fail response_count "expected 17 responses, got $lines"
+[ "$lines" -eq 21 ] || fail response_count "expected 21 responses, got $lines"
 
 response_for 1 "$OUT" | grep -q '"ok":true' || fail register "$(response_for 1 "$OUT")"
 response_for 1 "$OUT" | grep -q '"time_buckets":10' || fail register_shape "$(response_for 1 "$OUT")"
@@ -112,6 +125,54 @@ echo "$STATS" | grep -q '"misses":2' || fail single_flight "$STATS"
 echo "$STATS" | grep -q '"datasets":1' || fail stats_datasets "$STATS"
 echo "$STATS" | grep -q '"open_sessions":1' || fail stats_sessions "$STATS"
 response_for 16 "$OUT" | grep -q '"op":"shutdown"' || fail shutdown "$(response_for 16 "$OUT")"
+
+# --- Observability: metrics op + per-query trace spans ---------------------
+# The before/after scrapes bracket the explain burst: every counter must
+# be monotonic, the burst must be visible (cache hits moved, admissions
+# recorded, the hot-latency histogram filled), histogram bucket totals
+# must equal their count, the Prometheus rendering must carry the same
+# counters, and the traced query's child spans must partition the root
+# span's wall clock.
+python3 - "$OUT" <<'PYEOF' || fail observability "metrics/trace assertions failed (see above)"
+import json, sys
+
+by_id = {}
+for line in open(sys.argv[1]):
+    obj = json.loads(line)
+    if isinstance(obj.get("id"), int):
+        by_id[obj["id"]] = obj
+
+before = by_id[40]["metrics"]
+after = by_id[42]["metrics"]
+for name, value in before["counters"].items():
+    assert after["counters"][name] >= value, f"counter {name} went backwards"
+# Metrics register lazily at first use, so the before scrape may predate
+# the cache counters entirely — treat absent as zero.
+assert after["counters"]["cache.hits"] > before["counters"].get("cache.hits", 0), \
+    "query burst did not move cache.hits"
+assert after["counters"]["cache.misses"] >= 1
+assert after["counters"]["admission.admitted"] >= 1
+hot = after["histograms"]["query.hot_ms"]
+assert hot["count"] >= 1, "hot-hit latency histogram is empty"
+for name, hist in after["histograms"].items():
+    assert sum(b["count"] for b in hist["buckets"]) == hist["count"], \
+        f"histogram {name} buckets do not sum to its count"
+
+prom = by_id[43]
+assert prom["format"] == "prometheus"
+assert "# TYPE tsexplain_cache_hits counter" in prom["text"]
+assert "tsexplain_query_hot_ms_bucket{le=" in prom["text"]
+
+traced = by_id[41]
+spans = traced["trace"]
+assert len(spans) >= 2, f"expected non-empty trace, got {spans}"
+root = spans[0]
+assert root["name"] == "query" and root["parent"] == -1
+assert abs(root["duration_ms"] - traced["latency_ms"]) < 1e-6
+child_sum = sum(s["duration_ms"] for s in spans if s["parent"] == 0)
+assert abs(child_sum - root["duration_ms"]) < 1e-6, \
+    f"child spans sum {child_sum} != root {root['duration_ms']}"
+PYEOF
 
 # --- TCP mode: dribbled bytes, oversized lines, overload flags ------------
 # The TCP read loop must reassemble lines split across arbitrary recv()

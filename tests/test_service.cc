@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/datagen/synthetic.h"
 #include "src/service/explain_service.h"
 #include "src/service/protocol.h"
@@ -793,6 +794,9 @@ TEST(ProtocolTest, ParseQueryConfigRoundTrip) {
 }
 
 TEST(ProtocolTest, HandlerEndToEnd) {
+  // The stats op reads the process-global metrics registry; zero it so the
+  // counter assertions below see only this test's traffic.
+  MetricRegistry::Global().ResetForTest();
   ExplainService service;
   ProtocolHandler handler(service);
   std::string error;
@@ -867,6 +871,8 @@ TEST(ProtocolTest, HandlerEndToEnd) {
 }
 
 TEST(ProtocolTest, OverloadAndTenantWireShapes) {
+  // Stats counters come from the process-global metrics registry.
+  MetricRegistry::Global().ResetForTest();
   ServiceOptions options;
   options.admission.max_concurrent = 1;
   options.admission.queue_depth = 0;

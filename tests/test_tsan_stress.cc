@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/service/admission.h"
 #include "src/service/result_cache.h"
@@ -137,6 +138,74 @@ TEST(TsanStressTest, AdmissionAdmitShedReleaseChurn) {
   EXPECT_EQ(stats.admitted, served.load());
   EXPECT_LE(stats.peak_active, 3u);
   EXPECT_LE(stats.peak_queued, 4u);
+}
+
+TEST(TsanStressTest, MetricsRegistryConcurrentHammer) {
+  // 16 threads hammer one counter, one gauge, and one histogram from an
+  // isolated registry while a snapshot reader spins. Under TSan this
+  // drags the lock-free write paths (relaxed fetch_add, the SetMax and
+  // sum CAS loops) plus concurrent registration into view; under a plain
+  // build it checks conservation: every increment lands exactly once and
+  // bucket totals equal the observation count.
+  MetricRegistry registry;
+  Counter& counter = registry.GetCounter("test.hammer_total");
+  Gauge& gauge = registry.GetGauge("test.hammer_level");
+  Gauge& peak = registry.GetGauge("test.hammer_peak");
+  Histogram& hist =
+      registry.GetHistogram("test.hammer_ms", {0.5, 1.0, 5.0, 25.0});
+
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&registry, &stop_reader] {
+    uint64_t last_count = 0;
+    while (!stop_reader.load()) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      const HistogramSnapshot* hs =
+          snapshot.FindHistogram("test.hammer_ms");
+      if (hs != nullptr) {
+        uint64_t bucket_total = 0;
+        for (uint64_t n : hs->counts) bucket_total += n;
+        EXPECT_EQ(bucket_total, hs->count);
+        EXPECT_GE(hs->count, last_count);  // monotonic under writers
+        last_count = hs->count;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &counter, &gauge, &peak, &hist, t] {
+      // Concurrent create-or-fetch must converge on the same objects.
+      EXPECT_EQ(&registry.GetCounter("test.hammer_total"), &counter);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter.Inc();
+        gauge.Add(i % 2 == 0 ? 1 : -1);
+        peak.SetMax(t * kOpsPerThread + i);
+        hist.Observe(static_cast<double>((i + t) % 32));
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  stop_reader.store(true);
+  reader.join();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kOpsPerThread;
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("test.hammer_total"), kTotal);
+  // Each thread's +1/-1 pairs cancel (kOpsPerThread is even).
+  EXPECT_EQ(*snapshot.FindGauge("test.hammer_level"), 0);
+  // The CAS high-water mark lands on the global maximum exactly.
+  EXPECT_EQ(*snapshot.FindGauge("test.hammer_peak"),
+            static_cast<int64_t>(kTotal) - 1);
+  const HistogramSnapshot* hs = snapshot.FindHistogram("test.hammer_ms");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kTotal);
+  uint64_t bucket_total = 0;
+  for (uint64_t n : hs->counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, kTotal);
 }
 
 TEST(TsanStressTest, NestedParallelForOnPrivatePool) {

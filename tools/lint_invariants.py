@@ -33,6 +33,15 @@ R3   duplicate-bench-slug: EmitResult("literal"...) slugs must be unique
      (StrFormat etc.) are skipped; uniqueness for those is the bench's
      own responsibility.
 
+R4   duplicate-metric-name: GetCounter / GetGauge / GetHistogram
+     string-literal metric names must appear at exactly one source
+     location across src/ and tools/ — the metrics registry contract
+     (src/common/metrics.h) is that grep finds THE single writer for
+     any metric, and a second registration site of the same name (even
+     the same kind) splits ownership; of a different kind it aborts at
+     runtime. Dynamically built names are skipped, as in R3. Snapshot
+     readers (FindCounter etc.) are unrestricted.
+
 Exit status: 0 when clean, 1 with one `RULE: file:line: message` line per
 violation otherwise.
 
@@ -71,6 +80,12 @@ ANNOTATION_ARGS = re.compile(
     r"ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\(([^()]*)\)")
 CHECK_TOKEN = re.compile(r"\bTSE_D?CHECK(?:_[A-Z]+)?\b")
 EMIT_LITERAL = re.compile(r'\bEmitResult\s*\(\s*"((?:[^"\\]|\\.)*)"')
+# Matched against STRIPPED code (so comment mentions cannot fire), up to
+# and including the opening quote; the literal body is then re-read from
+# the raw text at the same offset (the stripper preserves offsets). The
+# first argument may sit on the line after the call.
+METRIC_CALL = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"')
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 
 RAW_STRING_PREFIX = re.compile(r"(?:^|[^A-Za-z0-9_])(?:u8|u|U|L)?R$")
@@ -376,6 +391,40 @@ def check_bench_slugs(root, violations):
                     seen[slug] = (rel, lineno)
 
 
+def check_metric_names(root, violations):
+    """R4: Get{Counter,Gauge,Histogram} literal names unique across
+    src/ and tools/."""
+    seen = {}
+    for path in iter_files(root, ["src", "tools"], {".h", ".cc"}):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        for m in METRIC_CALL.finditer(code):
+            # Re-read the (blanked) literal body from the raw text at the
+            # opening quote's offset.
+            lm = STRING_LITERAL.match(raw, m.end() - 1)
+            if not lm:
+                continue
+            name = lm.group(1)
+            # A concatenated or formatted literal is a dynamic prefix,
+            # not the full metric name: skip it (R3's rule).
+            if raw[lm.end():lm.end() + 8].lstrip().startswith("+") or \
+                    name.count("%") > 0:
+                continue
+            lineno = code.count("\n", 0, m.start()) + 1
+            if name in seen:
+                prev_rel, prev_line = seen[name]
+                violations.append(
+                    ("duplicate-metric-name", rel, lineno,
+                     "metric '%s' already registered at %s:%d; each "
+                     "metric name must have exactly one registration "
+                     "site (cache the reference in a *Metrics struct "
+                     "and share it)" % (name, prev_rel, prev_line)))
+            else:
+                seen[name] = (rel, lineno)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -388,6 +437,7 @@ def main():
     check_unguarded_mutexes(root, violations)
     check_storage_aborts(root, violations)
     check_bench_slugs(root, violations)
+    check_metric_names(root, violations)
 
     for rule, rel, lineno, message in violations:
         print("%s: %s:%d: %s" % (rule, rel, lineno, message))

@@ -33,7 +33,12 @@
 # Each bench's stdout/stderr goes to <OUT>.d/<bench>.log; the JSON records
 # wall-clock seconds, exit status, and log path per bench, plus every
 # "BENCH_RESULT <name> <ms>" line the binaries emit (see
-# bench/bench_util.h:EmitResult) as a per-figure `results` array.
+# bench/bench_util.h:EmitResult) as a per-figure `results` array, and the
+# last "BENCH_METRICS {json}" line (bench_util.h:EmitMetricsSnapshot) as a
+# per-bench `metrics` object — the end-of-run observability registry
+# snapshot. Benches in the implicit set that are not built (e.g.
+# bench_micro_core without google-benchmark) are recorded as
+# {"skipped": true} entries instead of vanishing from the perf record.
 set -u
 
 BUILD_DIR=build
@@ -118,15 +123,23 @@ else
 fi
 entries=""
 overall=0
+ran=0
 for bench in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/$bench"
   if [ ! -x "$bin" ]; then
+    # Record the skip in the JSON (not just on stderr): a bench missing
+    # because its dependency is absent (bench_micro_core without
+    # google-benchmark — CMake prints the matching configure notice) must
+    # stay visible in the committed perf record.
     if [ "$EXPLICIT" -eq 1 ]; then
       echo "error: requested bench '$bench' is not built in $BUILD_DIR" >&2
       overall=1
     else
       echo "skip: $bench (not built)" >&2
     fi
+    [ -n "$entries" ] && entries="$entries,"
+    entries="$entries
+    {\"bench\": \"$bench\", \"skipped\": true, \"reason\": \"not built\"}"
     continue
   fi
   log="$LOG_DIR/$bench.log"
@@ -137,23 +150,28 @@ for bench in "${BENCHES[@]}"; do
   end_ns=$(date +%s%N)
   secs=$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')
   [ $status -eq 0 ] || overall=1
+  ran=$((ran + 1))
   echo "  $bench: ${secs}s (exit $status)" >&2
   results=$(awk '$1 == "BENCH_RESULT" && NF == 3 {
     printf "%s{\"name\": \"%s\", \"ms\": %s}", sep, $2, $3; sep = ", "
   }' "$log")
+  # Last BENCH_METRICS line wins: the end-of-run registry snapshot emitted
+  # by bench_util.h:EmitMetricsSnapshot (already compact JSON).
+  metrics=$(awk '$1 == "BENCH_METRICS" { line = $0; sub(/^BENCH_METRICS /, "", line); m = line } END { if (m != "") print m }' "$log")
+  [ -n "$metrics" ] || metrics=null
   [ -n "$entries" ] && entries="$entries,"
   entries="$entries
-    {\"bench\": \"$bench\", \"wall_clock_s\": $secs, \"exit_status\": $status, \"log\": \"$log\", \"results\": [$results]}"
+    {\"bench\": \"$bench\", \"wall_clock_s\": $secs, \"exit_status\": $status, \"log\": \"$log\", \"results\": [$results], \"metrics\": $metrics}"
 done
 
-if [ -z "$entries" ]; then
+if [ "$ran" -eq 0 ]; then
   echo "error: none of the requested benches are built in $BUILD_DIR" >&2
   exit 1
 fi
 
 cat >"$OUT" <<EOF
 {
-  "schema": "tsexplain-bench-v2",
+  "schema": "tsexplain-bench-v3",
   "timestamp_utc": "$STAMP",
   "host": "$host",
   "hostname": "$hostname",

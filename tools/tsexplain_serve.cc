@@ -51,6 +51,14 @@
 //   --session-log-dir DIR  append-log every streaming session to
 //                     DIR/session_<id>.log for crash recovery (the
 //                     recover_session op replays them)
+//   --slow-query-ms N slow-query log threshold in milliseconds: explain /
+//                     explain_session requests at or above it get a
+//                     structured NDJSON record (docs/OBSERVABILITY.md).
+//                     Default 0 = off.
+//   --slow-query-log PATH  slow-query records go here (append); the
+//                     special value "stderr" (the default) logs to stderr
+//   --access-log PATH one compact JSON line per handled request
+//                     ("stderr" allowed); default off
 //   --serial          handle every op inline (deterministic ordering;
 //                     debugging aid)
 
@@ -97,6 +105,9 @@ struct ServeOptions {
   std::string cache_load;
   std::string cache_save;
   std::string session_log_dir;
+  double slow_query_ms = 0.0;          // <= 0 = slow-query log off
+  std::string slow_query_log = "stderr";
+  std::string access_log;              // empty = access log off
   bool serial = false;
 };
 
@@ -106,7 +117,9 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "[--queue-depth N] [--tenant-cache-budget N] "
                "[--tenant-inflight N] [--preload NAME=PATH] [--time NAME] "
                "[--measure NAME] [--cache-load PATH] [--cache-save PATH] "
-               "[--session-log-dir DIR] [--serial] [--help]\n",
+               "[--session-log-dir DIR] [--slow-query-ms N] "
+               "[--slow-query-log PATH] [--access-log PATH] [--serial] "
+               "[--help]\n",
                argv0);
 }
 
@@ -189,6 +202,21 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options,
       const char* v = next();
       if (!v) return false;
       options->session_log_dir = v;
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (!v || std::atof(v) < 0.0) {
+        std::fprintf(stderr, "--slow-query-ms expects milliseconds >= 0\n");
+        return false;
+      }
+      options->slow_query_ms = std::atof(v);
+    } else if (arg == "--slow-query-log") {
+      const char* v = next();
+      if (!v) return false;
+      options->slow_query_log = v;
+    } else if (arg == "--access-log") {
+      const char* v = next();
+      if (!v) return false;
+      options->access_log = v;
     } else if (arg == "--serial") {
       options->serial = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -566,6 +594,30 @@ int main(int argc, char** argv) {
   }
 
   ProtocolHandler handler(service);
+  ProtocolHandler::LogOptions log_options;
+  std::unique_ptr<LineLog> slow_log;
+  std::unique_ptr<LineLog> access_log;
+  if (options.slow_query_ms > 0.0) {
+    std::string error;
+    slow_log = LineLog::Open(options.slow_query_log, &error);
+    if (!slow_log) {
+      std::fprintf(stderr, "cannot open slow-query log: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    log_options.slow_query_log = slow_log.get();
+    log_options.slow_query_ms = options.slow_query_ms;
+  }
+  if (!options.access_log.empty()) {
+    std::string error;
+    access_log = LineLog::Open(options.access_log, &error);
+    if (!access_log) {
+      std::fprintf(stderr, "cannot open access log: %s\n", error.c_str());
+      return 2;
+    }
+    log_options.access_log = access_log.get();
+  }
+  handler.set_log_options(log_options);
   ThreadPool& pool = ThreadPool::Shared();
   const int exit_code =
       options.port > 0
