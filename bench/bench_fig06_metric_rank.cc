@@ -47,7 +47,7 @@ void Run() {
 
       const MetricComparisonResult cmp = CompareVarianceMetrics(
           explainer, ds.ground_truth_cuts, kSamples,
-          /*seed=*/1000 + static_cast<uint64_t>(d));
+          /*seed=*/1000 + static_cast<uint64_t>(d), /*threads=*/8);
       for (size_t metric = 0; metric < 8; ++metric) {
         avg_rank[s][metric] += cmp.metric_rank[metric] / kDatasets;
       }

@@ -2,16 +2,30 @@
 // DESIGN.md calls out: Cascading Analysts cost vs epsilon, guess-and-verify
 // initial guess, variance-table granularity (vanilla vs sketch), diff-score
 // lookups, matrix profile, and the K-segmentation DP.
+//
+// After the benchmark suite, main() runs the SIMD acceptance gate: on
+// hosts where the AVX2 kernels dispatch, the vectorized ScoreAll sweep
+// must be bit-identical to the scalar reference AND at least 1.5x faster,
+// or the process exits non-zero (docs/PERF.md "SIMD scoring"). Emits
+//   micro.score_all.scalar   median scalar sweep wall clock
+//   micro.score_all.simd     median AVX2 sweep wall clock
+// as BENCH_RESULT lines for tools/run_benches.sh.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <numeric>
+#include <vector>
 
 #include "bench_util.h"
 #include "src/baselines/matrix_profile.h"
 #include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/cube/score_kernels.h"
 #include "src/datagen/liquor_sim.h"
 #include "src/datagen/synthetic.h"
 #include "src/diff/guess_verify.h"
@@ -208,6 +222,71 @@ void BM_ScoreAllBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreAllBatch)->Unit(benchmark::kMicrosecond);
 
+// Raw kernel-level sweep (no cube, no mask): the four SoA candidate
+// streams fed straight into the scoring kernels, the unit the SIMD gate
+// below times. kAvg + kRelativeChange is the heaviest lane (two guarded
+// divisions + the count>0 finalize blend).
+struct KernelFixture {
+  std::vector<double> test_sums, test_counts, control_sums, control_counts;
+  ScoreAllInputs in;
+
+  explicit KernelFixture(size_t epsilon) {
+    test_sums.resize(epsilon);
+    test_counts.resize(epsilon);
+    control_sums.resize(epsilon);
+    control_counts.resize(epsilon);
+    Rng rng(11);
+    for (size_t e = 0; e < epsilon; ++e) {
+      test_sums[e] = rng.Uniform(-100.0, 100.0);
+      test_counts[e] = static_cast<double>(static_cast<int>(
+          rng.Uniform(0.0, 9.0)));
+      control_sums[e] = rng.Uniform(-100.0, 100.0);
+      control_counts[e] = static_cast<double>(static_cast<int>(
+          rng.Uniform(0.0, 9.0)));
+    }
+    in.f = AggregateFunction::kAvg;
+    in.kind = DiffMetricKind::kRelativeChange;
+    in.overall_test = AggState{5000.0, 1000.0};
+    in.overall_control = AggState{4000.0, 900.0};
+    in.f_test = in.overall_test.Finalize(in.f);
+    in.f_control = in.overall_control.Finalize(in.f);
+    in.test_sums = test_sums.data();
+    in.test_counts = test_counts.data();
+    in.control_sums = control_sums.data();
+    in.control_counts = control_counts.data();
+    in.epsilon = epsilon;
+  }
+};
+
+void BM_ScoreAllScalarKernel(benchmark::State& state) {
+  KernelFixture fixture(static_cast<size_t>(state.range(0)));
+  std::vector<double> out(fixture.in.epsilon);
+  for (auto _ : state) {
+    ScoreAllScalar(fixture.in, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScoreAllScalarKernel)->Arg(1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ScoreAllSimd(benchmark::State& state) {
+  KernelFixture fixture(static_cast<size_t>(state.range(0)));
+  std::vector<double> out(fixture.in.epsilon);
+  if (!ScoreAllAvx2(fixture.in, out.data())) {
+    state.SkipWithError("AVX2 unavailable (CPU or TSEXPLAIN_SIMD=OFF)");
+    return;
+  }
+  for (auto _ : state) {
+    ScoreAllAvx2(fixture.in, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScoreAllSimd)->Arg(1 << 16)->Unit(benchmark::kMicrosecond);
+
 // Cube construction, serial vs the time-partitioned parallel scan (arg =
 // thread count). Results are bit-identical at any thread count.
 void BM_CubeBuildThreads(benchmark::State& state) {
@@ -250,7 +329,88 @@ void BM_LiquorCubeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LiquorCubeBuild)->Unit(benchmark::kMillisecond);
 
+// SIMD acceptance gate (ISSUE 8): where AVX2 dispatches, the vectorized
+// sweep must reproduce the scalar reference bit for bit and beat it by at
+// least 1.5x. Runs after the benchmark suite so a regression fails the
+// process, not just a number in a log. Returns 0 (with a note) when the
+// host or build has no AVX2 — the scalar-dispatch CI job must still pass.
+int RunSimdGate() {
+  constexpr size_t kEpsilon = 1 << 16;
+  constexpr int kReps = 41;
+  KernelFixture fixture(kEpsilon);
+  std::vector<double> scalar(kEpsilon), vectorized(kEpsilon);
+  if (!ScoreAllAvx2(fixture.in, vectorized.data())) {
+    std::printf("simd gate: skipped (AVX2 unavailable: CPU, non-x86, or "
+                "TSEXPLAIN_SIMD=OFF)\n");
+    return 0;
+  }
+
+  // Bit identity first, across every aggregate x metric pair — a fast
+  // wrong kernel must not pass the speed gate.
+  for (AggregateFunction f : {AggregateFunction::kSum,
+                              AggregateFunction::kCount,
+                              AggregateFunction::kAvg}) {
+    for (DiffMetricKind kind : {DiffMetricKind::kAbsoluteChange,
+                                DiffMetricKind::kRelativeChange,
+                                DiffMetricKind::kRiskRatio}) {
+      ScoreAllInputs in = fixture.in;
+      in.f = f;
+      in.kind = kind;
+      in.f_test = in.overall_test.Finalize(f);
+      in.f_control = in.overall_control.Finalize(f);
+      ScoreAllScalar(in, scalar.data());
+      ScoreAllAvx2(in, vectorized.data());
+      if (std::memcmp(scalar.data(), vectorized.data(),
+                      kEpsilon * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: AVX2 sweep is not bit-identical to scalar "
+                     "(f=%d kind=%d)\n",
+                     static_cast<int>(f), static_cast<int>(kind));
+        return 1;
+      }
+    }
+  }
+
+  auto median_ms = [&](void (*sweep)(const ScoreAllInputs&, double*),
+                       double* out) {
+    std::vector<double> samples;
+    samples.reserve(kReps);
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      sweep(fixture.in, out);
+      samples.push_back(timer.ElapsedMs());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  const double scalar_ms = median_ms(
+      +[](const ScoreAllInputs& in, double* out) { ScoreAllScalar(in, out); },
+      scalar.data());
+  const double simd_ms = median_ms(
+      +[](const ScoreAllInputs& in, double* out) { ScoreAllAvx2(in, out); },
+      vectorized.data());
+  const double speedup = scalar_ms / simd_ms;
+  std::printf("simd gate: scalar %s, avx2 %s, speedup %.2fx "
+              "(epsilon=%zu, bit-identical)\n",
+              bench::FormatMs(scalar_ms).c_str(),
+              bench::FormatMs(simd_ms).c_str(), speedup, kEpsilon);
+  bench::EmitResult("micro.score_all.scalar", scalar_ms);
+  bench::EmitResult("micro.score_all.simd", simd_ms);
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: SIMD speedup %.2fx is below the 1.5x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace tsexplain
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return tsexplain::RunSimdGate();
+}

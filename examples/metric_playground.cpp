@@ -47,8 +47,8 @@ int main() {
     SegmentExplainer::Options options;
     options.m = 3;
     SegmentExplainer explainer(cube, registry, options);
-    const MetricComparisonResult cmp =
-        CompareVarianceMetrics(explainer, ds.ground_truth_cuts, 2000, 99);
+    const MetricComparisonResult cmp = CompareVarianceMetrics(
+        explainer, ds.ground_truth_cuts, 2000, 99, /*threads=*/4);
     std::printf("\nground-truth rank among 2000 random schemes:\n");
     for (size_t i = 0; i < 8; ++i) {
       std::printf("    %-9s gt-rank %5d  (metric rank %.0f)\n",

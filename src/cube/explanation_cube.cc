@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/cube/score_kernels.h"
 
 namespace tsexplain {
 namespace {
@@ -181,26 +182,28 @@ void ExplanationCube::ScoreAll(DiffMetricKind kind, size_t t_control,
   const size_t epsilon = num_explanations_;
   TSE_CHECK_EQ(gammas->size(), epsilon);
   if (active != nullptr) TSE_CHECK_EQ(active->size(), epsilon);
-  const AggState ot = overall_[t_test];
-  const AggState oc = overall_[t_control];
-  const double f_test = overall_fin_[t_test];
-  const double f_control = overall_fin_[t_control];
-  const double* ts = slice_sums_.data() + t_test * epsilon;
-  const double* tc = slice_counts_.data() + t_test * epsilon;
-  const double* cs = slice_sums_.data() + t_control * epsilon;
-  const double* cc = slice_counts_.data() + t_control * epsilon;
+  ScoreAllInputs in;
+  in.f = f_;
+  in.kind = kind;
+  in.overall_test = overall_[t_test];
+  in.overall_control = overall_[t_control];
+  in.f_test = overall_fin_[t_test];
+  in.f_control = overall_fin_[t_control];
+  in.test_sums = slice_sums_.data() + t_test * epsilon;
+  in.test_counts = slice_counts_.data() + t_test * epsilon;
+  in.control_sums = slice_sums_.data() + t_control * epsilon;
+  in.control_counts = slice_counts_.data() + t_control * epsilon;
+  in.epsilon = epsilon;
   double* out = gammas->data();
-  for (size_t e = 0; e < epsilon; ++e) {
-    if (active != nullptr && !(*active)[e]) {
-      out[e] = 0.0;
-      continue;
+  // Kernel dispatch (scalar reference or bit-identical AVX2 — see
+  // src/cube/score_kernels.h for the policy). Every lane is computed,
+  // then masked-off candidates are zeroed: identical output to skipping
+  // them, and the kernel keeps its contiguous four-stream sweep.
+  ScoreAllAuto(in, out);
+  if (active != nullptr) {
+    for (size_t e = 0; e < epsilon; ++e) {
+      if (!(*active)[e]) out[e] = 0.0;
     }
-    const double f_test_wo =
-        AggState{ot.sum - ts[e], ot.count - tc[e]}.Finalize(f_);
-    const double f_control_wo =
-        AggState{oc.sum - cs[e], oc.count - cc[e]}.Finalize(f_);
-    out[e] = ComputeDiff(kind, f_test, f_control, f_test_wo, f_control_wo)
-                 .gamma;
   }
 }
 

@@ -1,0 +1,227 @@
+#include "src/cube/score_kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#if defined(TSEXPLAIN_ENABLE_AVX2) && defined(__x86_64__)
+#define TSE_SCORE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace tsexplain {
+
+void ScoreAllScalar(const ScoreAllInputs& in, double* out) {
+  const AggState ot = in.overall_test;
+  const AggState oc = in.overall_control;
+  for (size_t e = 0; e < in.epsilon; ++e) {
+    const double f_test_wo =
+        AggState{ot.sum - in.test_sums[e], ot.count - in.test_counts[e]}
+            .Finalize(in.f);
+    const double f_control_wo =
+        AggState{oc.sum - in.control_sums[e], oc.count - in.control_counts[e]}
+            .Finalize(in.f);
+    out[e] = ComputeDiff(in.kind, in.f_test, in.f_control, f_test_wo,
+                         f_control_wo)
+                 .gamma;
+  }
+}
+
+#ifdef TSE_SCORE_AVX2
+
+namespace {
+
+constexpr size_t kLanes = 4;  // doubles per __m256d
+
+// Finalize four (sum, count) partials. Bit-identity with
+// AggState::Finalize: kAvg's `count > 0 ? sum / count : 0` becomes a
+// blend of the divisor to 1.0 where count <= 0 (the division result for
+// those lanes is discarded by the and-mask, and no 0/0 NaN is ever
+// produced), then an and with the all-ones compare mask — +0.0 exactly
+// where the scalar returns 0.0.
+template <AggregateFunction F>
+__attribute__((target("avx2"))) inline __m256d FinalizeLanes(__m256d sum,
+                                                             __m256d count) {
+  if (F == AggregateFunction::kSum) return sum;
+  if (F == AggregateFunction::kCount) return count;
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d positive = _mm256_cmp_pd(count, zero, _CMP_GT_OQ);
+  const __m256d divisor = _mm256_blendv_pd(one, count, positive);
+  return _mm256_and_pd(_mm256_div_pd(sum, divisor), positive);
+}
+
+// Four candidates of ComputeDiff's gamma, elementwise IEEE-identical to
+// the scalar formulas in src/diff/diff_metrics.cc:
+//  - abs is a sign-bit andnot (bit-exact, unlike any multiply trick);
+//  - NO fused multiply-add anywhere (contraction would change results);
+//  - per-lane guarded divisions blend the divisor to 1.0 where the guard
+//    fires and blend the quotient away afterwards, so no lane divides by
+//    a degenerate denominator;
+//  - _mm256_min_pd(cap, x) has std::min(x, cap)'s operand semantics.
+// The scalar-uniform guards (|delta| < eps; |overall_rate| < eps) are
+// hoisted into ScoreAllAvx2Kernel and never reach this function.
+template <DiffMetricKind K>
+__attribute__((target("avx2"))) inline __m256d GammaLanes(
+    __m256d f_test_wo, __m256d f_control_wo, __m256d delta,
+    __m256d f_control, __m256d overall_rate) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d delta_wo = _mm256_sub_pd(f_test_wo, f_control_wo);
+  const __m256d contribution = _mm256_sub_pd(delta, delta_wo);
+  if (K == DiffMetricKind::kAbsoluteChange) {
+    return _mm256_andnot_pd(sign_mask, contribution);
+  }
+  if (K == DiffMetricKind::kRelativeChange) {
+    return _mm256_andnot_pd(sign_mask, _mm256_div_pd(contribution, delta));
+  }
+  // kRiskRatio.
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d eps = _mm256_set1_pd(kDiffEps);
+  const __m256d cap = _mm256_set1_pd(kRiskRatioCap);
+  const __m256d slice_base = _mm256_sub_pd(f_control, f_control_wo);
+  const __m256d base_small = _mm256_cmp_pd(
+      _mm256_andnot_pd(sign_mask, slice_base), eps, _CMP_LT_OQ);
+  const __m256d base_div = _mm256_blendv_pd(slice_base, one, base_small);
+  const __m256d slice_rate = _mm256_blendv_pd(
+      _mm256_div_pd(contribution, base_div), zero, base_small);
+  const __m256d ratio = _mm256_div_pd(slice_rate, overall_rate);
+  return _mm256_min_pd(cap, _mm256_andnot_pd(sign_mask, ratio));
+}
+
+template <AggregateFunction F, DiffMetricKind K>
+__attribute__((target("avx2"))) void ScoreAllAvx2Kernel(
+    const ScoreAllInputs& in, double* out) {
+  const AggState ot = in.overall_test;
+  const AggState oc = in.overall_control;
+  const double delta_s = in.f_test - in.f_control;
+
+  // The scalar-uniform guards: when they fire, the scalar path scores
+  // EVERY candidate 0.0, so the whole sweep is a fill.
+  double overall_rate_s = 0.0;
+  bool all_zero = false;
+  if (K == DiffMetricKind::kRelativeChange) {
+    all_zero = std::abs(delta_s) < kDiffEps;
+  } else if (K == DiffMetricKind::kRiskRatio) {
+    overall_rate_s = std::abs(in.f_control) < kDiffEps
+                         ? 0.0
+                         : delta_s / in.f_control;
+    all_zero = std::abs(overall_rate_s) < kDiffEps;
+  }
+  if (all_zero) {
+    for (size_t e = 0; e < in.epsilon; ++e) out[e] = 0.0;
+    return;
+  }
+
+  const __m256d ot_sum = _mm256_set1_pd(ot.sum);
+  const __m256d ot_count = _mm256_set1_pd(ot.count);
+  const __m256d oc_sum = _mm256_set1_pd(oc.sum);
+  const __m256d oc_count = _mm256_set1_pd(oc.count);
+  const __m256d delta = _mm256_set1_pd(delta_s);
+  const __m256d f_control = _mm256_set1_pd(in.f_control);
+  const __m256d overall_rate = _mm256_set1_pd(overall_rate_s);
+
+  size_t e = 0;
+  for (; e + kLanes <= in.epsilon; e += kLanes) {
+    const __m256d test_wo = FinalizeLanes<F>(
+        _mm256_sub_pd(ot_sum, _mm256_loadu_pd(in.test_sums + e)),
+        _mm256_sub_pd(ot_count, _mm256_loadu_pd(in.test_counts + e)));
+    const __m256d control_wo = FinalizeLanes<F>(
+        _mm256_sub_pd(oc_sum, _mm256_loadu_pd(in.control_sums + e)),
+        _mm256_sub_pd(oc_count, _mm256_loadu_pd(in.control_counts + e)));
+    _mm256_storeu_pd(out + e, GammaLanes<K>(test_wo, control_wo, delta,
+                                            f_control, overall_rate));
+  }
+  // Odd tail: the scalar reference on the remaining < kLanes candidates.
+  for (; e < in.epsilon; ++e) {
+    const double f_test_wo =
+        AggState{ot.sum - in.test_sums[e], ot.count - in.test_counts[e]}
+            .Finalize(F);
+    const double f_control_wo =
+        AggState{oc.sum - in.control_sums[e], oc.count - in.control_counts[e]}
+            .Finalize(F);
+    out[e] = ComputeDiff(K, in.f_test, in.f_control, f_test_wo,
+                         f_control_wo)
+                 .gamma;
+  }
+}
+
+using KernelFn = void (*)(const ScoreAllInputs&, double*);
+
+template <AggregateFunction F>
+KernelFn PickByMetric(DiffMetricKind kind) {
+  switch (kind) {
+    case DiffMetricKind::kAbsoluteChange:
+      return &ScoreAllAvx2Kernel<F, DiffMetricKind::kAbsoluteChange>;
+    case DiffMetricKind::kRelativeChange:
+      return &ScoreAllAvx2Kernel<F, DiffMetricKind::kRelativeChange>;
+    case DiffMetricKind::kRiskRatio:
+      return &ScoreAllAvx2Kernel<F, DiffMetricKind::kRiskRatio>;
+  }
+  return nullptr;
+}
+
+KernelFn PickKernel(AggregateFunction f, DiffMetricKind kind) {
+  switch (f) {
+    case AggregateFunction::kSum:
+      return PickByMetric<AggregateFunction::kSum>(kind);
+    case AggregateFunction::kCount:
+      return PickByMetric<AggregateFunction::kCount>(kind);
+    case AggregateFunction::kAvg:
+      return PickByMetric<AggregateFunction::kAvg>(kind);
+  }
+  return nullptr;
+}
+
+bool CpuHasAvx2() {
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return has_avx2;
+}
+
+}  // namespace
+
+bool ScoreAllAvx2(const ScoreAllInputs& in, double* out) {
+  if (!CpuHasAvx2()) return false;
+  KernelFn kernel = PickKernel(in.f, in.kind);
+  if (kernel == nullptr) return false;
+  kernel(in, out);
+  return true;
+}
+
+#else  // !TSE_SCORE_AVX2
+
+bool ScoreAllAvx2(const ScoreAllInputs& in, double* out) {
+  (void)in;
+  (void)out;
+  return false;
+}
+
+#endif  // TSE_SCORE_AVX2
+
+namespace {
+
+// maybe_unused: the TSEXPLAIN_SIMD=OFF build compiles ScoreAllUsesSimd
+// to a constant false and never calls this.
+[[maybe_unused]] bool ForcedScalarByEnv() {
+  static const bool forced = [] {
+    const char* value = std::getenv("TSE_FORCE_SCALAR");
+    return value != nullptr && value[0] == '1';
+  }();
+  return forced;
+}
+
+}  // namespace
+
+bool ScoreAllUsesSimd() {
+#ifdef TSE_SCORE_AVX2
+  return !ForcedScalarByEnv() && CpuHasAvx2();
+#else
+  return false;
+#endif
+}
+
+void ScoreAllAuto(const ScoreAllInputs& in, double* out) {
+  if (ScoreAllUsesSimd() && ScoreAllAvx2(in, out)) return;
+  ScoreAllScalar(in, out);
+}
+
+}  // namespace tsexplain

@@ -8,7 +8,7 @@
 namespace tsexplain {
 namespace {
 
-constexpr double kEps = 1e-12;
+constexpr double kEps = kDiffEps;
 
 int Sign(double x) {
   if (x > kEps) return 1;

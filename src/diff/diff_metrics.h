@@ -32,6 +32,11 @@ enum class DiffMetricKind {
 /// cannot produce unbounded scores.
 inline constexpr double kRiskRatioCap = 100.0;
 
+/// Degenerate-denominator threshold shared by every diff formula (and by
+/// the vectorized ScoreAll kernels, which must replicate these formulas
+/// bit-exactly — src/cube/score_kernels.cc).
+inline constexpr double kDiffEps = 1e-12;
+
 /// gamma(E) plus the change effect tau(E) in {-1, 0, +1}.
 struct DiffScore {
   double gamma = 0.0;

@@ -43,7 +43,7 @@ std::vector<double> FractionalRanks(const std::vector<double>& values) {
 
 MetricComparisonResult CompareVarianceMetrics(
     SegmentExplainer& explainer, const std::vector<int>& ground_truth_cuts,
-    int samples, uint64_t seed) {
+    int samples, uint64_t seed, int threads) {
   std::vector<int> positions(static_cast<size_t>(explainer.n()));
   std::iota(positions.begin(), positions.end(), 0);
 
@@ -54,7 +54,8 @@ MetricComparisonResult CompareVarianceMetrics(
     // schemes then cost O(K) lookups each). All metrics share the
     // explainer's explanation cache, so CA runs once per segment total.
     VarianceCalculator calc(explainer, metric);
-    const VarianceTable table = VarianceTable::Compute(calc, positions);
+    const VarianceTable table =
+        VarianceTable::Compute(calc, positions, /*max_span=*/-1, threads);
     // Same seed for every metric: identical sampled schemes, so metric
     // ranks differ only because the objective differs.
     const GroundTruthRankResult r = EvaluateGroundTruthRankWithTable(

@@ -29,10 +29,12 @@ struct MetricComparisonResult {
 /// Runs the ground-truth-rank evaluation for all eight variance metrics on
 /// one dataset. `explainer` must wrap the dataset's cube; all metrics share
 /// its explanation cache (identical segment queries), so the expensive CA
-/// work is paid once.
+/// work is paid once. `threads` > 1 fans each metric's variance-table fill
+/// (including the all-pair distance matrix) out over the shared ThreadPool;
+/// results are bit-identical to the serial run.
 MetricComparisonResult CompareVarianceMetrics(
     SegmentExplainer& explainer, const std::vector<int>& ground_truth_cuts,
-    int samples, uint64_t seed);
+    int samples, uint64_t seed, int threads = 1);
 
 /// Fractional ranking helper: rank[i] of values[i] ascending, ties get the
 /// average of the ranks they span (e.g. values {3, 1, 3} -> {2.5, 1, 2.5}).

@@ -37,10 +37,11 @@ class VarianceTable {
   /// (-1 = unlimited). The distance/variance semantics (metric, m, filter)
   /// come from `calc`.
   ///
-  /// `threads` > 1 parallelizes the centroid-metric phases end to end: the
-  /// O(M^2/2) centroid + O(n) unit TopFor computations are deduplicated and
-  /// fanned out over the shared ThreadPool (the explainer is reentrant with
-  /// a single-flight cache), then the distance sums -- pure reads of the
+  /// `threads` > 1 parallelizes both metric families end to end: the
+  /// distinct TopFor computations (O(M^2/2) centroids + O(n) units, or the
+  /// M-1 coarse objects for all-pair metrics) are deduplicated and fanned
+  /// out over the shared ThreadPool (the explainer is reentrant with a
+  /// single-flight cache), then the distance fills -- pure reads of the
   /// cube and the cached lists -- fan out across rows on the same pool.
   /// Results (including ca_invocations) are bit-identical to the
   /// sequential fill.

@@ -51,14 +51,17 @@ bool DatasetRegistry::RegisterSnapshotFile(const std::string& name,
                                            const std::string& path,
                                            std::string* error,
                                            DatasetInfo* info) {
-  storage::TableSnapshotResult loaded = storage::ReadTableSnapshot(path);
+  // Zero-copy open: columns borrow the mapping (owned fallback inside),
+  // and the fingerprint comes from the v2 header — registering a snapshot
+  // never re-serializes the table.
+  storage::TableSnapshotResult loaded = storage::OpenTableSnapshot(path);
   if (!loaded.ok()) {
     *error = loaded.status.ToString();
     return false;
   }
-  return RegisterTable(name, std::shared_ptr<const Table>(
-                                 std::move(loaded.table)),
-                       path, error, info);
+  return RegisterTableWithFingerprint(
+      name, std::shared_ptr<const Table>(std::move(loaded.table)), path,
+      loaded.fingerprint, error, info);
 }
 
 bool DatasetRegistry::RegisterTable(const std::string& name,
@@ -66,6 +69,21 @@ bool DatasetRegistry::RegisterTable(const std::string& name,
                                     const std::string& source,
                                     std::string* error,
                                     DatasetInfo* info) {
+  if (!table) {
+    *error = "dataset table must not be null";
+    return false;
+  }
+  // The one full-table hash of this registration; every later consumer
+  // (session attach, cache fencing) reads the cached value.
+  const uint64_t fingerprint = storage::TableFingerprint(*table);
+  return RegisterTableWithFingerprint(name, std::move(table), source,
+                                      fingerprint, error, info);
+}
+
+bool DatasetRegistry::RegisterTableWithFingerprint(
+    const std::string& name, std::shared_ptr<const Table> table,
+    const std::string& source, uint64_t fingerprint, std::string* error,
+    DatasetInfo* info) {
   if (name.empty()) {
     *error = "dataset name must not be empty";
     return false;
@@ -82,10 +100,12 @@ bool DatasetRegistry::RegisterTable(const std::string& name,
     info->dimensions = table->schema().dimension_names();
     info->measures = table->schema().measure_names();
     info->hot_engines = 0;
+    info->fingerprint = fingerprint;
   }
   auto dataset = std::make_shared<Dataset>();
   dataset->table = std::move(table);
   dataset->uid = NextDatasetUid();
+  dataset->fingerprint = fingerprint;
   dataset->source = source;
   MutexLock lock(mu_);
   const auto inserted = datasets_.emplace(name, std::move(dataset));
@@ -106,7 +126,8 @@ DatasetRegistry::TableRef DatasetRegistry::GetRef(
   MutexLock lock(mu_);
   const auto it = datasets_.find(name);
   if (it == datasets_.end()) return {};
-  return TableRef{it->second->table, it->second->uid};
+  return TableRef{it->second->table, it->second->uid,
+                  it->second->fingerprint};
 }
 
 bool DatasetRegistry::Drop(const std::string& name) {
@@ -134,6 +155,7 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
     info.time_buckets = dataset->table->num_time_buckets();
     info.dimensions = dataset->table->schema().dimension_names();
     info.measures = dataset->table->schema().measure_names();
+    info.fingerprint = dataset->fingerprint;
     {
       MutexLock engines_lock(*dataset->engines_mu);
       info.hot_engines = dataset->engines.size();

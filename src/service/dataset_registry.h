@@ -36,6 +36,11 @@ struct DatasetInfo {
   std::vector<std::string> dimensions;
   std::vector<std::string> measures;
   size_t hot_engines = 0;
+  /// Content fingerprint (storage::TableFingerprint), computed exactly
+  /// once at registration (snapshot loads reuse the file header's value)
+  /// and cached — consumers (session logs, cache fencing) read it from
+  /// here instead of re-serializing the table.
+  uint64_t fingerprint = 0;
 };
 
 /// A leased engine: hold `mu` while calling engine->Run(...); `table`
@@ -65,10 +70,13 @@ class DatasetRegistry {
                        const CsvOptions& options, std::string* error,
                        DatasetInfo* info = nullptr);
 
-  /// Reads a binary table snapshot (src/storage/table_snapshot.h) and
-  /// registers it under `name` — the warm-start path: no CSV re-parse.
-  /// Fails with the snapshot's structured error string on a corrupted or
-  /// truncated file.
+  /// Opens a binary table snapshot (src/storage/table_snapshot.h) via the
+  /// zero-copy mmap path (owned-parse fallback for v1 files / platforms
+  /// without mmap) and registers it under `name` — the warm-start path: no
+  /// CSV re-parse, no column heap copies, and the fingerprint comes from
+  /// the file header instead of a re-hash. Fails with the snapshot's
+  /// structured error string on a corrupted or truncated file. Dropping
+  /// the dataset releases the mapping once the last query finishes.
   bool RegisterSnapshotFile(const std::string& name, const std::string& path,
                             std::string* error, DatasetInfo* info = nullptr);
 
@@ -89,6 +97,8 @@ class DatasetRegistry {
   struct TableRef {
     std::shared_ptr<const Table> table;  // nullptr when unknown
     uint64_t uid = 0;
+    /// Cached content fingerprint (see DatasetInfo::fingerprint).
+    uint64_t fingerprint = 0;
   };
   TableRef GetRef(const std::string& name) const;
 
@@ -121,6 +131,11 @@ class DatasetRegistry {
   size_t NumEngines() const;
 
  private:
+  bool RegisterTableWithFingerprint(const std::string& name,
+                                    std::shared_ptr<const Table> table,
+                                    const std::string& source,
+                                    uint64_t fingerprint, std::string* error,
+                                    DatasetInfo* info);
   struct EngineEntry {
     std::shared_ptr<TSExplain> engine;
     std::shared_ptr<Mutex> run_mu;
@@ -128,6 +143,7 @@ class DatasetRegistry {
   struct Dataset {
     std::shared_ptr<const Table> table;
     uint64_t uid = 0;
+    uint64_t fingerprint = 0;  // computed once at registration
     std::string source;
     // Engine build + lookup serialization (per dataset, not global).
     std::shared_ptr<Mutex> engines_mu = std::make_shared<Mutex>();

@@ -424,7 +424,8 @@ ExplainService::RecommendResponse ExplainService::Recommend(
 uint64_t ExplainService::OpenSession(const std::string& dataset,
                                      const TSExplainConfig& config,
                                      std::string* error) {
-  const std::shared_ptr<const Table> table = registry_.Get(dataset);
+  const DatasetRegistry::TableRef ref = registry_.GetRef(dataset);
+  const std::shared_ptr<const Table>& table = ref.table;
   if (!table) {
     *error = "unknown dataset: " + dataset;
     return 0;
@@ -448,10 +449,9 @@ uint64_t ExplainService::OpenSession(const std::string& dataset,
     session->engine =
         std::make_unique<StreamingTSExplain>(*table, normalized);
     if (!session_log_dir_.empty()) {
-      // TableFingerprint re-serializes the table (O(table bytes)) — fine
-      // here because OpenSession is already O(table): StreamingTSExplain
-      // copies the whole relation two lines up.
-      AttachSessionLog(*session, storage::TableFingerprint(*table), {});
+      // The fingerprint was computed once at registration; the cached
+      // copy keeps OpenSession from re-serializing the table here.
+      AttachSessionLog(*session, ref.fingerprint, {});
     }
   }
   {
@@ -818,7 +818,9 @@ bool ExplainService::SaveCache(const std::string& path, std::string* error,
     storage::CacheSnapshot::DatasetStamp stamp;
     stamp.name = info.name;
     stamp.uid = ref.uid;
-    stamp.fingerprint = storage::TableFingerprint(*ref.table);
+    // Cached at registration: SaveCache stamps every dataset without
+    // re-serializing any table.
+    stamp.fingerprint = ref.fingerprint;
     snapshot.datasets.push_back(std::move(stamp));
   }
   for (auto& [key, value] : cache_.ExportEntries()) {
@@ -864,7 +866,7 @@ bool ExplainService::LoadCache(const std::string& path, std::string* error,
   for (const storage::CacheSnapshot::DatasetStamp& stamp : snapshot.datasets) {
     const DatasetRegistry::TableRef ref = registry_.GetRef(stamp.name);
     if (!ref.table) continue;
-    if (storage::TableFingerprint(*ref.table) != stamp.fingerprint) continue;
+    if (ref.fingerprint != stamp.fingerprint) continue;
     uid_remap[stamp.uid] = ref.uid;
   }
   size_t kept = 0;

@@ -58,6 +58,13 @@ struct StorageStatus {
 /// error messages.
 const char* StorageErrorCodeName(StorageErrorCode code);
 
+/// Bytes of framing before the payload: magic(8) + payload_len(u64) +
+/// payload_crc32(u32). A payload byte at payload offset p sits at absolute
+/// file offset kFramePrologueBytes + p — the number formats align against
+/// when they want blocks aligned in the FILE (mmap views), not merely in
+/// the payload.
+inline constexpr size_t kFramePrologueBytes = 8 + 8 + 4;
+
 /// CRC-32 (IEEE 802.3 polynomial, the zlib convention).
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
@@ -86,12 +93,21 @@ class ByteWriter {
   void WriteF64Array(const std::vector<double>& v) {
     WriteRaw(v.data(), v.size() * sizeof(double));
   }
-  /// Zero-pads to the next multiple of `alignment` (column blocks are
-  /// 8-aligned within the payload so a future mmap reader can point
-  /// typed views straight at them).
-  void AlignTo(size_t alignment) {
-    while (buffer_.size() % alignment != 0) buffer_.push_back('\0');
+  void WriteI32Array(const int32_t* data, size_t count) {
+    WriteRaw(data, count * sizeof(int32_t));
   }
+  void WriteF64Array(const double* data, size_t count) {
+    WriteRaw(data, count * sizeof(double));
+  }
+  /// Zero-pads until `position() + phase` is a multiple of `alignment`.
+  /// With phase = kFramePrologueBytes, the next write lands 8-aligned in the
+  /// FILE (frame header included), so an mmap reader can point typed views
+  /// straight at the block; phase = 0 aligns within the payload only.
+  void AlignTo(size_t alignment, size_t phase = 0) {
+    while ((buffer_.size() + phase) % alignment != 0) buffer_.push_back('\0');
+  }
+
+  size_t position() const { return buffer_.size(); }
 
   const std::string& buffer() const { return buffer_; }
   std::string TakeBuffer() { return std::move(buffer_); }
@@ -123,9 +139,15 @@ class ByteReader {
   bool ReadString(std::string* s);
   bool ReadI32Array(std::vector<int32_t>* v, uint64_t count);
   bool ReadF64Array(std::vector<double>* v, uint64_t count);
-  bool AlignTo(size_t alignment);
+  /// Consumes pad bytes until `position() + phase` is a multiple of
+  /// `alignment` (the reader-side mirror of ByteWriter::AlignTo).
+  bool AlignTo(size_t alignment, size_t phase = 0);
+  /// Advances past `size` bytes without copying; false (latching) when
+  /// fewer remain. The zero-copy reader uses this to walk column blocks.
+  bool Skip(size_t size);
 
   bool failed() const { return failed_; }
+  size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
@@ -168,6 +190,13 @@ StorageStatus WriteFramedFile(const std::string& path, const char* magic,
 /// bytes. Never interprets payload content.
 StorageStatus ReadFramedFile(const std::string& path, const char* magic,
                              std::string* payload);
+
+/// Frame validation over an in-memory buffer (the mmap'd zero-copy path):
+/// same checks and codes as ReadFramedFile, but on success `*payload`
+/// points INTO `data` (no copy). `path` feeds error messages only.
+StorageStatus ValidateFramedBuffer(const char* data, size_t size,
+                                   const char* magic, const std::string& path,
+                                   const char** payload, size_t* payload_size);
 
 /// True when the file exists and begins with the 8-byte `magic` (cheap
 /// sniff used to auto-detect snapshot vs CSV inputs).

@@ -1,0 +1,56 @@
+// MmapFile: RAII read-only memory mapping of a whole file.
+//
+// The zero-copy snapshot path (table_snapshot.h:OpenTableSnapshotMapped)
+// maps a snapshot file and points borrowed Table columns straight into the
+// mapping — a multi-GB dataset then costs page cache, not heap. The
+// mapping is PROT_READ + MAP_PRIVATE and the file descriptor is closed as
+// soon as the map exists, so a live MmapFile holds exactly one kernel
+// resource (the mapping), released in the destructor. Tables keep the
+// mapping alive via a shared_ptr keepalive (docs/STORAGE.md, "mmap
+// lifetime"); dropping the last reference unmaps.
+//
+// On platforms without <sys/mman.h> (or any open/stat/map failure), Open
+// returns false with a structured status and callers fall back to the
+// owned (heap-parsing) read path — never an abort.
+
+#ifndef TSEXPLAIN_STORAGE_MMAP_FILE_H_
+#define TSEXPLAIN_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/storage/format.h"
+
+namespace tsexplain {
+namespace storage {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. On failure returns false and fills `status`
+  /// with kIoError (the object stays empty). A zero-length file succeeds
+  /// with data() == nullptr and size() == 0 (nothing to map).
+  bool Open(const std::string& path, StorageStatus* status);
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_STORAGE_MMAP_FILE_H_

@@ -5,23 +5,31 @@
 // Layout (little-endian, framed per src/storage/format.h):
 //
 //   magic "TSXTBL01" | payload_len u64 | payload_crc32 u32 | payload
-//   payload:
-//     version u32 (= 1)
+//   payload (v2):
+//     version u32 (= 2)
+//     fingerprint u64 (FNV-1a of every payload byte after this field)
 //     schema: time_name str | ndims u32 | dim names | nmeas u32 | names
 //     nrows u64 | nbuckets u64
 //     time labels: nbuckets strs
 //     dictionaries: per dimension  count u64 | values in id order
-//     column blocks, each 8-aligned within the payload (mmap-friendly):
+//     column blocks, each 8-aligned at its ABSOLUTE file offset (frame
+//     header included), so an mmap of the file yields naturally aligned
+//     typed views:
 //       time column  nrows x i32
 //       per dimension  nrows x i32 codes
 //       per measure  nrows x f64 raw IEEE bits
 //
+// v1 files (no fingerprint field; blocks aligned payload-relative only)
+// remain readable through the owned path; the zero-copy open falls back
+// for them.
+//
 // Round trips are BIT-IDENTICAL (measures are raw double bits, dictionary
 // ids and time-bucket order are preserved), so explanation output from a
 // snapshot-loaded table equals the CSV-loaded output byte for byte —
-// asserted by tests/test_storage.cc. Loading is one file read + CRC pass +
-// column memcpys, which beats re-parsing CSV by an order of magnitude
-// (bench_storage).
+// asserted by tests/test_storage.cc. Owned loading is one file read + CRC
+// pass + column memcpys; the zero-copy open (OpenTableSnapshot) skips even
+// the memcpys by borrowing column spans straight out of the mapping
+// (bench_storage gates both against CSV parse).
 
 #ifndef TSEXPLAIN_STORAGE_TABLE_SNAPSHOT_H_
 #define TSEXPLAIN_STORAGE_TABLE_SNAPSHOT_H_
@@ -36,31 +44,53 @@ namespace tsexplain {
 namespace storage {
 
 inline constexpr char kTableSnapshotMagic[] = "TSXTBL01";
-inline constexpr uint32_t kTableSnapshotVersion = 1;
+inline constexpr uint32_t kTableSnapshotVersion = 2;
 
 /// Serializes `table` and writes it atomically to `path`.
 StorageStatus WriteTableSnapshot(const Table& table, const std::string& path);
 
 /// Serializes `table` into a payload string (the file body minus framing);
-/// exposed so TableFingerprint and the writer share one encoding.
+/// exposed so TableFingerprint and the writer share one encoding. The
+/// embedded fingerprint field is filled in (computed over the payload
+/// bytes that follow it).
 std::string EncodeTableSnapshotPayload(const Table& table);
 
 struct TableSnapshotResult {
   std::unique_ptr<Table> table;  // null on failure
   StorageStatus status;
+  /// Content fingerprint of the loaded table: read from the v2 header
+  /// (O(1) — the CRC already vouches for the payload bytes), recomputed
+  /// for v1 files. Matches TableFingerprint(*table).
+  uint64_t fingerprint = 0;
+  /// True when the table's columns borrow spans of an mmap'd region (the
+  /// mapping is pinned by the table's keepalive); false for heap-owned
+  /// loads and every fallback.
+  bool mapped = false;
 
   bool ok() const { return table != nullptr; }
 };
 
-/// Reads and validates a snapshot. Corrupted or truncated files (bad
-/// magic, bad checksum, short reads, invalid codes) fail with a structured
-/// status — never an abort or an out-of-bounds read.
+/// Reads and validates a snapshot into heap-owned columns. Corrupted or
+/// truncated files (bad magic, bad checksum, short reads, invalid codes)
+/// fail with a structured status — never an abort or an out-of-bounds
+/// read.
 TableSnapshotResult ReadTableSnapshot(const std::string& path);
 
-/// Deterministic content fingerprint of a table: FNV-1a over the v1
-/// snapshot payload. Equal tables (schema, labels, dictionaries, columns,
-/// raw measure bits) have equal fingerprints across processes — the
-/// dataset-identity stamp the cache warm-start fencing compares.
+/// Zero-copy open: mmaps `path`, validates the frame + CRC over the
+/// mapping, then registers the column blocks as borrowed spans pointing
+/// into it — no per-row heap copies; the mapping lives exactly as long as
+/// the returned Table (and its copies). Falls back to ReadTableSnapshot
+/// for v1 files, platforms without mmap, and misaligned column spans;
+/// corrupted files get the same structured rejections as the owned path.
+TableSnapshotResult OpenTableSnapshot(const std::string& path);
+
+/// Deterministic content fingerprint of a table: the FNV-1a value embedded
+/// in its snapshot encoding. Equal tables (schema, labels, dictionaries,
+/// columns, raw measure bits) have equal fingerprints across processes —
+/// the dataset-identity stamp the cache warm-start fencing compares. Costs
+/// a full serialization; hot paths reuse the value cached at registration
+/// (DatasetRegistry) or stored in the snapshot header instead of calling
+/// this (the "storage.fingerprint_computes" counter counts every call).
 uint64_t TableFingerprint(const Table& table);
 
 /// True when `path` starts with the snapshot magic (snapshot-vs-CSV

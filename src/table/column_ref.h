@@ -1,0 +1,132 @@
+// ColumnRef<T>: one accessor surface over a column that is either OWNED
+// (a std::vector<T> on the heap — the CSV/builder path) or BORROWED (a
+// read-only span pointing into an mmap'd snapshot — the zero-copy path,
+// src/storage/table_snapshot.h).
+//
+// The read side is branch-free: data_/size_ are always valid (they point
+// at owned_.data() when owned), so operator[] on the cube-build hot loop
+// costs exactly what the old std::vector access did. Mutation goes through
+// push_back, which first materializes a borrowed span into owned storage
+// (copy-on-write) — a streaming append to an mmap-backed table silently
+// upgrades the column to heap ownership and never writes the mapping.
+//
+// Lifetime contract for borrowed columns: the bytes behind a Borrow()
+// span must outlive every ColumnRef aliasing them — Table enforces this
+// by pairing borrowed columns with a shared_ptr keepalive to the mapping
+// (see Table::LoadColumnsBorrowed); copying a Table copies the keepalive,
+// so copies alias the same mapping safely.
+
+#ifndef TSEXPLAIN_TABLE_COLUMN_REF_H_
+#define TSEXPLAIN_TABLE_COLUMN_REF_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tsexplain {
+
+template <typename T>
+class ColumnRef {
+ public:
+  using value_type = T;
+
+  ColumnRef() = default;
+  /// Takes ownership of `values` (the heap-backed path).
+  explicit ColumnRef(std::vector<T> values)
+      : owned_(std::move(values)),
+        data_(owned_.data()),
+        size_(owned_.size()) {}
+
+  /// Aliases `[data, data + size)` without copying. The caller owns the
+  /// bytes and must keep them alive (Table pairs this with a keepalive).
+  static ColumnRef Borrow(const T* data, size_t size) {
+    ColumnRef ref;
+    ref.data_ = data;
+    ref.size_ = size;
+    ref.borrowed_ = true;
+    return ref;
+  }
+
+  ColumnRef(const ColumnRef& other) { CopyFrom(other); }
+  ColumnRef& operator=(const ColumnRef& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  ColumnRef(ColumnRef&& other) noexcept { MoveFrom(other); }
+  ColumnRef& operator=(ColumnRef&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  bool borrowed() const { return borrowed_; }
+
+  void push_back(const T& value) {
+    EnsureOwned();
+    owned_.push_back(value);
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const ColumnRef& a, const ColumnRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  void EnsureOwned() {
+    if (!borrowed_) return;
+    owned_.assign(data_, data_ + size_);
+    borrowed_ = false;
+  }
+  void CopyFrom(const ColumnRef& other) {
+    borrowed_ = other.borrowed_;
+    if (borrowed_) {
+      owned_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      owned_ = other.owned_;
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+  }
+  void MoveFrom(ColumnRef& other) {
+    borrowed_ = other.borrowed_;
+    if (borrowed_) {
+      owned_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      owned_ = std::move(other.owned_);
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    other.owned_.clear();
+    other.data_ = other.owned_.data();
+    other.size_ = 0;
+    other.borrowed_ = false;
+  }
+
+  std::vector<T> owned_;
+  // Always valid: points at owned_.data() when owned, at the borrowed
+  // bytes otherwise — reads never branch on the ownership mode.
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_TABLE_COLUMN_REF_H_

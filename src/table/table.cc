@@ -63,6 +63,39 @@ bool Table::LoadDictionary(AttrId attr, std::vector<std::string> values,
   return dicts_[static_cast<size_t>(attr)].Load(std::move(values), error);
 }
 
+bool Table::ValidateColumnContents(
+    const std::vector<std::string>& time_labels, const TimeId* time_col,
+    size_t rows, const std::vector<const ValueId*>& dim_cols,
+    std::string* error) const {
+  for (size_t t = 1; t < time_labels.size(); ++t) {
+    if (time_labels[t] == time_labels[t - 1]) {
+      *error = "consecutive duplicate time labels: \"" + time_labels[t] + "\"";
+      return false;
+    }
+  }
+  for (size_t row = 0; row < rows; ++row) {
+    const TimeId t = time_col[row];
+    if (t < 0 || static_cast<size_t>(t) >= time_labels.size()) {
+      *error = StrFormat("time id %d out of range (%zu buckets)", t,
+                         time_labels.size());
+      return false;
+    }
+  }
+  for (size_t a = 0; a < dim_cols.size(); ++a) {
+    const size_t dict_size = dicts_[a].size();
+    for (size_t row = 0; row < rows; ++row) {
+      const ValueId v = dim_cols[a][row];
+      if (v < 0 || static_cast<size_t>(v) >= dict_size) {
+        *error = StrFormat(
+            "dimension column %zu: code %d out of range (%zu values)", a, v,
+            dict_size);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool Table::LoadColumns(std::vector<std::string> time_labels,
                         std::vector<TimeId> time_col,
                         std::vector<std::vector<ValueId>> dim_cols,
@@ -78,33 +111,11 @@ bool Table::LoadColumns(std::vector<std::string> time_labels,
         schema_.num_measures());
     return false;
   }
-  for (size_t t = 1; t < time_labels.size(); ++t) {
-    if (time_labels[t] == time_labels[t - 1]) {
-      *error = "consecutive duplicate time labels: \"" + time_labels[t] + "\"";
-      return false;
-    }
-  }
-  for (const TimeId t : time_col) {
-    if (t < 0 || static_cast<size_t>(t) >= time_labels.size()) {
-      *error = StrFormat("time id %d out of range (%zu buckets)", t,
-                         time_labels.size());
-      return false;
-    }
-  }
   for (size_t a = 0; a < dim_cols.size(); ++a) {
     if (dim_cols[a].size() != rows) {
       *error = StrFormat("dimension column %zu has %zu entries for %zu rows",
                          a, dim_cols[a].size(), rows);
       return false;
-    }
-    const size_t dict_size = dicts_[a].size();
-    for (const ValueId v : dim_cols[a]) {
-      if (v < 0 || static_cast<size_t>(v) >= dict_size) {
-        *error = StrFormat(
-            "dimension column %zu: code %d out of range (%zu values)", a, v,
-            dict_size);
-        return false;
-      }
     }
   }
   for (size_t m = 0; m < measure_cols.size(); ++m) {
@@ -114,10 +125,72 @@ bool Table::LoadColumns(std::vector<std::string> time_labels,
       return false;
     }
   }
+  std::vector<const ValueId*> dim_views;
+  dim_views.reserve(dim_cols.size());
+  for (const auto& col : dim_cols) dim_views.push_back(col.data());
+  if (!ValidateColumnContents(time_labels, time_col.data(), rows, dim_views,
+                              error)) {
+    return false;
+  }
   time_labels_ = std::move(time_labels);
-  time_col_ = std::move(time_col);
-  dim_cols_ = std::move(dim_cols);
-  measure_cols_ = std::move(measure_cols);
+  time_col_ = ColumnRef<TimeId>(std::move(time_col));
+  dim_cols_.clear();
+  for (auto& col : dim_cols) {
+    dim_cols_.emplace_back(std::move(col));
+  }
+  measure_cols_.clear();
+  for (auto& col : measure_cols) {
+    measure_cols_.emplace_back(std::move(col));
+  }
+  keepalive_.reset();
+  return true;
+}
+
+bool Table::LoadColumnsBorrowed(std::vector<std::string> time_labels,
+                                const BorrowedColumns& columns,
+                                std::shared_ptr<const void> keepalive,
+                                std::string* error) {
+  if (columns.dim_cols.size() != schema_.num_dimensions() ||
+      columns.measure_cols.size() != schema_.num_measures()) {
+    *error = StrFormat(
+        "column count mismatch: %zu dim + %zu measure columns for a schema "
+        "with %zu + %zu",
+        columns.dim_cols.size(), columns.measure_cols.size(),
+        schema_.num_dimensions(), schema_.num_measures());
+    return false;
+  }
+  const size_t rows = columns.num_rows;
+  if (rows > 0 && columns.time == nullptr) {
+    *error = "borrowed time column is null";
+    return false;
+  }
+  for (const ValueId* col : columns.dim_cols) {
+    if (rows > 0 && col == nullptr) {
+      *error = "borrowed dimension column is null";
+      return false;
+    }
+  }
+  for (const double* col : columns.measure_cols) {
+    if (rows > 0 && col == nullptr) {
+      *error = "borrowed measure column is null";
+      return false;
+    }
+  }
+  if (!ValidateColumnContents(time_labels, columns.time, rows,
+                              columns.dim_cols, error)) {
+    return false;
+  }
+  time_labels_ = std::move(time_labels);
+  time_col_ = ColumnRef<TimeId>::Borrow(columns.time, rows);
+  dim_cols_.clear();
+  for (const ValueId* col : columns.dim_cols) {
+    dim_cols_.push_back(ColumnRef<ValueId>::Borrow(col, rows));
+  }
+  measure_cols_.clear();
+  for (const double* col : columns.measure_cols) {
+    measure_cols_.push_back(ColumnRef<double>::Borrow(col, rows));
+  }
+  keepalive_ = std::move(keepalive);
   return true;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/table/column_ref.h"
 #include "src/table/dictionary.h"
 #include "src/table/schema.h"
 
@@ -59,11 +60,11 @@ class Table {
   double measure(size_t row, int measure_idx) const {
     return measure_cols_[static_cast<size_t>(measure_idx)][row];
   }
-  const std::vector<TimeId>& time_column() const { return time_col_; }
-  const std::vector<ValueId>& dim_column(AttrId attr) const {
+  const ColumnRef<TimeId>& time_column() const { return time_col_; }
+  const ColumnRef<ValueId>& dim_column(AttrId attr) const {
     return dim_cols_[static_cast<size_t>(attr)];
   }
-  const std::vector<double>& measure_column(int measure_idx) const {
+  const ColumnRef<double>& measure_column(int measure_idx) const {
     return measure_cols_[static_cast<size_t>(measure_idx)];
   }
 
@@ -95,13 +96,44 @@ class Table {
                    std::vector<std::vector<double>> measure_cols,
                    std::string* error);
 
+  /// Borrowed column spans for the zero-copy snapshot path: every pointer
+  /// aliases bytes owned by someone else (an mmap'd file), with `num_rows`
+  /// elements each. Pointer alignment is the CALLER's contract (the mmap
+  /// reader checks before borrowing and falls back to the owned path).
+  struct BorrowedColumns {
+    const TimeId* time = nullptr;
+    std::vector<const ValueId*> dim_cols;     // one per dimension
+    std::vector<const double*> measure_cols;  // one per measure
+    size_t num_rows = 0;
+  };
+
+  /// Zero-copy variant of LoadColumns: installs the spans as borrowed
+  /// ColumnRefs (no per-row heap copies) and retains `keepalive` for the
+  /// table's lifetime so the mapped bytes outlive every reader — copies of
+  /// the table share the keepalive; streaming appends copy-on-write the
+  /// touched columns (ColumnRef::push_back) and never write the mapping.
+  /// Runs the same validation as LoadColumns; on failure the table is
+  /// unchanged and nothing is retained.
+  bool LoadColumnsBorrowed(std::vector<std::string> time_labels,
+                           const BorrowedColumns& columns,
+                           std::shared_ptr<const void> keepalive,
+                           std::string* error);
+
  private:
+  bool ValidateColumnContents(const std::vector<std::string>& time_labels,
+                              const TimeId* time_col, size_t rows,
+                              const std::vector<const ValueId*>& dim_cols,
+                              std::string* error) const;
+
   Schema schema_;
   std::vector<Dictionary> dicts_;           // one per dimension
-  std::vector<std::vector<ValueId>> dim_cols_;
-  std::vector<std::vector<double>> measure_cols_;
-  std::vector<TimeId> time_col_;
+  std::vector<ColumnRef<ValueId>> dim_cols_;
+  std::vector<ColumnRef<double>> measure_cols_;
+  ColumnRef<TimeId> time_col_;
   std::vector<std::string> time_labels_;
+  // Pins the storage behind borrowed columns (the mmap'd snapshot).
+  // Shared across Table copies; null for fully-owned tables.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace tsexplain

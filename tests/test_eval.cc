@@ -133,6 +133,17 @@ TEST_F(GroundTruthRankTest, CompareMetricsProducesEightRanks) {
     EXPECT_GE(r, 1.0);
     EXPECT_LE(r, 8.0);
   }
+  // The parallel fill (incl. the all-pair distance matrix) must reproduce
+  // the serial ranks bit-identically.
+  const MetricComparisonResult parallel =
+      CompareVarianceMetrics(*explainer_, ds_.ground_truth_cuts, 200, 9,
+                             /*threads=*/4);
+  EXPECT_EQ(parallel.metric_rank, result.metric_rank);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(parallel.per_metric[i].rank, result.per_metric[i].rank);
+    EXPECT_EQ(parallel.per_metric[i].ground_truth_score,
+              result.per_metric[i].ground_truth_score);
+  }
   // On clean data every metric tends to put the ground truth at rank 1
   // (paper Figure 6 at SNR 50: all metrics rank 1st, i.e. they tie); tse
   // must never rank WORSE than any alternative here.

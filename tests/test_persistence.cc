@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/json.h"
+#include "src/common/metrics.h"
 #include "src/service/explain_service.h"
 #include "src/service/protocol.h"
 #include "src/service/quota.h"
@@ -234,6 +235,39 @@ TEST(CachePersistence, CorruptSnapshotIsAStructuredError) {
   EXPECT_EQ(error.rfind("checksum_mismatch:", 0), 0u) << error;
   // And the failed load left the cache cold but the service serving.
   EXPECT_TRUE(restarted.Explain(SalesRequest()).ok);
+}
+
+TEST(CachePersistence, SaveAndLoadCacheDoZeroAdditionalTableHashes) {
+  // The fingerprint is computed exactly once, at registration; the cache
+  // save/load fencing reuses the registry's cached value. A regression
+  // that re-serializes the table per save/load/explain shows up as extra
+  // "storage.fingerprint_computes" ticks.
+  Counter& computes =
+      MetricRegistry::Global().GetCounter("storage.fingerprint_computes");
+  const std::string path = TempPath("nohash");
+  {
+    ExplainService service;
+    RegisterSales(service);
+    const uint64_t after_register = computes.Value();
+    ASSERT_TRUE(service.Explain(SalesRequest()).ok);
+    std::string error;
+    ASSERT_TRUE(service.SaveCache(path, &error)) << error;
+    EXPECT_EQ(computes.Value(), after_register)
+        << "explain + save_cache must not re-hash the table";
+  }
+
+  ExplainService restarted;
+  RegisterSales(restarted);
+  const uint64_t after_register = computes.Value();
+  std::string error;
+  size_t restored = 0;
+  ASSERT_TRUE(restarted.LoadCache(path, &error, &restored)) << error;
+  EXPECT_EQ(restored, 1u);
+  const ExplainResponse warm = restarted.Explain(SalesRequest());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(computes.Value(), after_register)
+      << "load_cache + a warm hit must not re-hash the table";
 }
 
 TEST(CachePersistence, StatsReportsPerTenantBytes) {

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/pipeline/report_json.h"
@@ -84,8 +85,13 @@ std::unique_ptr<Table> MakeCornerTable() {
   return table;
 }
 
-template <typename T>
-void ExpectBitIdentical(const std::vector<T>& a, const std::vector<T>& b) {
+// Accepts any contiguous container pair with matching value_type
+// (std::vector, ColumnRef in either owned or borrowed state).
+template <typename A, typename B>
+void ExpectBitIdentical(const A& a, const B& b) {
+  using T = typename A::value_type;
+  static_assert(std::is_same<T, typename B::value_type>::value,
+                "mismatched element types");
   ASSERT_EQ(a.size(), b.size());
   if (a.empty()) return;  // data() may be null; memcmp(null, ...) is UB
   EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0);
@@ -325,10 +331,17 @@ TEST(TableSnapshot, FutureVersionIsRejected) {
             StorageErrorCode::kBadVersion);
 }
 
-// Shared prefix: version + 1-dim/1-measure schema + 1 row + 1 bucket.
+// v2 aligns column blocks at their ABSOLUTE file offset, so crafted
+// payloads pad with the frame prologue's phase (20 % 8).
+constexpr size_t kCraftAlignPhase = kFramePrologueBytes % 8;
+
+// Shared prefix: version + fingerprint + 1-dim/1-measure schema + 1 row +
+// 1 bucket. The fingerprint field is not validated against content (the
+// CRC vouches for the payload), so a zero placeholder is accepted.
 ByteWriter CraftHeader() {
   ByteWriter w;
   w.WriteU32(kTableSnapshotVersion);
+  w.WriteU64(0);  // fingerprint placeholder
   w.WriteString("t");
   w.WriteU32(1);
   w.WriteString("dim");
@@ -344,11 +357,11 @@ TEST(TableSnapshot, OutOfRangeDimensionCodeIsFormatError) {
   ByteWriter w = CraftHeader();
   w.WriteU64(1);  // dictionary: one value
   w.WriteString("a");
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteI32Array({0});  // time column: ok
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteI32Array({5});  // dim code 5 >= dict size 1
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteF64Array({1.0});
   const std::string path = TempPath("badcode");
   WriteCraftedSnapshot(path, w);
@@ -360,11 +373,11 @@ TEST(TableSnapshot, OutOfRangeTimeIdIsFormatError) {
   ByteWriter w = CraftHeader();
   w.WriteU64(1);
   w.WriteString("a");
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteI32Array({3});  // time id 3 >= 1 bucket
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteI32Array({0});
-  w.AlignTo(8);
+  w.AlignTo(8, kCraftAlignPhase);
   w.WriteF64Array({1.0});
   const std::string path = TempPath("badtime");
   WriteCraftedSnapshot(path, w);

@@ -14,17 +14,20 @@
 #                  default 2 s per run; bench_service's overload scenario
 #                  runs at 2x admission capacity via TSE_OVERLOAD_X, so CI
 #                  exercises admission control + load shedding on every PR
-#                  in seconds; bench_storage exits non-zero unless the
-#                  snapshot round trip is bit-identical AND >= 5x faster
+#                  in seconds; bench_storage exits non-zero unless both
+#                  snapshot load paths are bit-identical AND the owned
+#                  load is >= 5x / the zero-copy mmap open >= 20x faster
 #                  than CSV parse, so the storage format cannot silently
 #                  rot; numbers are smoke-level, not trajectory-level).
 #                  Explicit BENCH names run in addition to the profile set.
 #   BENCH...       explicit bench names (e.g. bench_fig13_sp500)
 #
 # Default set (no --all, no names): bench_micro_core + bench_fig16_end_to_end
-# + bench_service + bench_storage — the core microbenchmarks, the
-# end-to-end latency figure, the service-layer cold/hot/concurrent
-# throughput, and the CSV-vs-snapshot load comparison.
+# + bench_service + bench_storage — the core microbenchmarks (including
+# BM_ScoreAllSimd vs BM_ScoreAllScalarKernel and the >= 1.5x SIMD speedup
+# gate with bit-identity asserted), the end-to-end latency figure, the
+# service-layer cold/hot/concurrent throughput, and the CSV-vs-snapshot
+# load comparison (owned ReadTableSnapshot + zero-copy OpenTableSnapshot).
 #
 # Every BENCH_*.json is stamped with the git SHA (plus "-dirty" when the
 # tree has uncommitted changes), hostname, and nproc, so committed perf
