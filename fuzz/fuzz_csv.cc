@@ -1,0 +1,53 @@
+// Fuzz target: table/csv_reader — the loader behind `register` with
+// inline CSV or a csv_path, i.e. fully attacker-reachable over the wire.
+// The input is parsed under two option sets (default comma / alternate
+// delimiter); a successful parse must yield a structurally consistent
+// table, a failed one a non-empty error.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "src/table/csv_reader.h"
+
+namespace {
+
+using tsexplain::CsvOptions;
+using tsexplain::CsvResult;
+
+void Drive(const std::string& text, const CsvOptions& options) {
+  const CsvResult result = tsexplain::ReadCsvFromString(text, options);
+  if (result.ok()) {
+    FUZZ_ASSERT(result.error.empty());
+    FUZZ_ASSERT(result.table->num_rows() == result.rows);
+    // Rows cannot outnumber input lines: no allocation amplification.
+    FUZZ_ASSERT(result.rows <= text.size() + 1);
+  } else {
+    FUZZ_ASSERT(!result.error.empty());
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // The quote-aware splitter must accept any single line.
+  const size_t eol = text.find('\n');
+  tsexplain::SplitCsvLine(
+      eol == std::string::npos ? text : text.substr(0, eol), ',');
+
+  CsvOptions comma;
+  comma.time_column = "time";
+  comma.measure_columns = {"value"};
+  Drive(text, comma);
+
+  CsvOptions alt;
+  alt.time_column = "t";
+  alt.measure_columns = {"v", "w"};
+  alt.delimiter = ';';
+  alt.sort_time = false;
+  Drive(text, alt);
+  return 0;
+}

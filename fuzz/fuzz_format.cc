@@ -1,0 +1,131 @@
+// Fuzz target: storage::format — frame validation and the ByteReader.
+//
+// Input shape: mode byte | bytes. Even modes run ValidateFramedBuffer
+// over the bytes (the prologue every persisted format shares); odd modes
+// drive a ByteReader through an op stream decoded from the input,
+// asserting the reader's contract: accessors never read out of bounds,
+// failure latches, and position/remaining stay consistent.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "src/storage/format.h"
+#include "src/storage/table_snapshot.h"
+
+namespace {
+
+using tsexplain::storage::ByteReader;
+using tsexplain::storage::StorageStatus;
+
+void DriveFrameValidation(const char* bytes, size_t n) {
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  const StorageStatus status = tsexplain::storage::ValidateFramedBuffer(
+      bytes, n, tsexplain::storage::kTableSnapshotMagic, "fuzz-input",
+      &payload, &payload_size);
+  if (status.ok()) {
+    // An accepted frame must hand back a payload that sits entirely
+    // inside the buffer, exactly the prologue past its start.
+    FUZZ_ASSERT(payload ==
+                bytes + tsexplain::storage::kFramePrologueBytes);
+    FUZZ_ASSERT(payload_size ==
+                n - tsexplain::storage::kFramePrologueBytes);
+  } else {
+    FUZZ_ASSERT(!status.message.empty());
+  }
+}
+
+void DriveByteReader(tsexplain::fuzz::ByteSource& src) {
+  const size_t nops = src.NextByte() % 32;
+  std::vector<uint8_t> ops;
+  for (size_t i = 0; i < nops; ++i) ops.push_back(src.NextByte());
+  const std::string buffer = src.Rest();
+
+  ByteReader r(buffer.data(), buffer.size());
+  bool failed = false;
+  for (const uint8_t op : ops) {
+    const size_t before = r.position();
+    bool ok = false;
+    switch (op % 10) {
+      case 0: {
+        uint8_t v = 0;
+        ok = r.ReadU8(&v);
+        break;
+      }
+      case 1: {
+        uint32_t v = 0;
+        ok = r.ReadU32(&v);
+        break;
+      }
+      case 2: {
+        uint64_t v = 0;
+        ok = r.ReadU64(&v);
+        break;
+      }
+      case 3: {
+        int32_t v = 0;
+        ok = r.ReadI32(&v);
+        break;
+      }
+      case 4: {
+        double v = 0;
+        ok = r.ReadF64(&v);
+        break;
+      }
+      case 5: {
+        std::string s;
+        ok = r.ReadString(&s);
+        if (ok) FUZZ_ASSERT(s.size() <= buffer.size());
+        break;
+      }
+      case 6: {
+        std::vector<int32_t> v;
+        ok = r.ReadI32Array(&v, op / 10);
+        if (ok) FUZZ_ASSERT(v.size() == op / 10);
+        break;
+      }
+      case 7: {
+        std::vector<double> v;
+        ok = r.ReadF64Array(&v, op / 10);
+        if (ok) FUZZ_ASSERT(v.size() == op / 10);
+        break;
+      }
+      case 8:
+        ok = r.AlignTo(8, op / 10);
+        break;
+      default:
+        ok = r.Skip(op / 10);
+        break;
+    }
+    // The reader contract: failure latches (no accessor succeeds after
+    // one fails), a failed accessor reports failed(), and the cursor
+    // never leaves the buffer or moves backwards.
+    if (failed) FUZZ_ASSERT(!ok);
+    if (!ok) {
+      FUZZ_ASSERT(r.failed());
+      failed = true;
+    }
+    FUZZ_ASSERT(r.position() <= buffer.size());
+    FUZZ_ASSERT(r.position() >= before);
+    FUZZ_ASSERT(r.remaining() == buffer.size() - r.position());
+    FUZZ_ASSERT(r.AtEnd() == (r.remaining() == 0));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  tsexplain::fuzz::ByteSource src(data, size);
+  const uint8_t mode = src.NextByte();
+  if (mode % 2 == 0) {
+    const std::string bytes = src.Rest();
+    DriveFrameValidation(bytes.data(), bytes.size());
+  } else {
+    DriveByteReader(src);
+  }
+  return 0;
+}

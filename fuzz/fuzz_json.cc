@@ -1,0 +1,68 @@
+// Fuzz target: common/json — the parser every NDJSON request goes
+// through. Arbitrary bytes must either parse or fail with a non-empty
+// error; parsed documents are walked through every accessor (the walk is
+// stack-safe because the parser rejects nesting beyond kMaxJsonDepth).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "src/common/json.h"
+
+namespace {
+
+using tsexplain::JsonValue;
+
+size_t Walk(const JsonValue& v) {
+  size_t nodes = 1;
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      FUZZ_ASSERT(v.IsNull());
+      break;
+    case JsonValue::Type::kBool:
+      v.AsBool();
+      break;
+    case JsonValue::Type::kNumber:
+      v.AsDouble();
+      v.AsInt();  // must clamp to the fallback instead of UB-casting
+      break;
+    case JsonValue::Type::kString:
+      FUZZ_ASSERT(v.AsString().size() < static_cast<size_t>(-1));
+      break;
+    case JsonValue::Type::kArray:
+      for (const JsonValue& item : v.array()) nodes += Walk(item);
+      break;
+    case JsonValue::Type::kObject:
+      for (const auto& member : v.members()) {
+        const JsonValue* found = v.Find(member.first);
+        FUZZ_ASSERT(found != nullptr);  // first occurrence wins, but finds
+        nodes += Walk(member.second);
+      }
+      v.GetBool("op");
+      v.GetInt("id");
+      v.GetDouble("x");
+      v.GetString("op");
+      v.GetStringArray("explain_by");
+      break;
+  }
+  return nodes;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  JsonValue doc;
+  std::string error;
+  if (tsexplain::ParseJson(text, &doc, &error)) {
+    FUZZ_ASSERT(error.empty());
+    // A parsed document can hold at most one node per input byte (every
+    // value consumes at least one character) — allocation is bounded by
+    // the input, never amplified.
+    FUZZ_ASSERT(Walk(doc) <= size + 1);
+  } else {
+    FUZZ_ASSERT(!error.empty());
+  }
+  return 0;
+}

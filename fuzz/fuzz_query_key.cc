@@ -1,0 +1,96 @@
+// Fuzz target: service/query_key — the canonicalizer every cache key and
+// engine key flows through. Builds a TSExplainConfig from the input bytes
+// (names may contain separators, quotes, NULs...) and asserts the
+// canonicalization contract: determinism, engine_key a prefix of
+// query_key, the dataset prefix property, and invariance under
+// explain-by / exclude permutation and duplication.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "src/service/query_key.h"
+
+namespace {
+
+using tsexplain::CanonicalQuery;
+using tsexplain::TSExplainConfig;
+
+TSExplainConfig ConfigFrom(tsexplain::fuzz::ByteSource& src) {
+  TSExplainConfig config;
+  config.aggregate =
+      static_cast<tsexplain::AggregateFunction>(src.NextBelow(3));
+  config.measure = src.NextString(24);
+  const size_t nattrs = src.NextByte() % 5;
+  for (size_t i = 0; i < nattrs; ++i) {
+    config.explain_by_names.push_back(src.NextString(16));
+  }
+  config.max_order = static_cast<int>(src.NextBelow(6));
+  config.m = static_cast<int>(src.NextBelow(8));
+  config.diff_metric =
+      static_cast<tsexplain::DiffMetricKind>(src.NextBelow(3));
+  config.variance_metric =
+      static_cast<tsexplain::VarianceMetric>(src.NextBelow(4));
+  config.smooth_window = static_cast<int>(src.NextBelow(9));
+  config.fixed_k = static_cast<int>(src.NextBelow(4));
+  config.max_k = static_cast<int>(src.NextBelow(24));
+  config.use_filter = src.NextByte() % 2 != 0;
+  config.filter_ratio = src.NextBelow(1000) / 1000.0;
+  config.use_guess_verify = src.NextByte() % 2 != 0;
+  config.initial_guess = static_cast<int>(src.NextBelow(64));
+  config.use_sketch = src.NextByte() % 2 != 0;
+  config.sketch_params.max_segment_len = static_cast<int>(src.NextBelow(32));
+  config.sketch_params.target_size = static_cast<int>(src.NextBelow(32));
+  config.dedupe_redundant = src.NextByte() % 2 != 0;
+  config.threads = static_cast<int>(src.NextBelow(16));
+  const size_t nexclude = src.NextByte() % 5;
+  for (size_t i = 0; i < nexclude; ++i) {
+    config.exclude.push_back(src.NextString(16));
+  }
+  return config;
+}
+
+bool IsPrefix(const std::string& prefix, const std::string& s) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tsexplain::fuzz::ByteSource src(data, size);
+  const std::string dataset = src.NextString(24);
+  const TSExplainConfig config = ConfigFrom(src);
+
+  const CanonicalQuery keys = CanonicalizeQuery(dataset, config);
+  // Deterministic.
+  const CanonicalQuery again = CanonicalizeQuery(dataset, config);
+  FUZZ_ASSERT(keys.engine_key == again.engine_key);
+  FUZZ_ASSERT(keys.query_key == again.query_key);
+  // Structural: the engine key prefixes the query key, and both live
+  // under the dataset's invalidation prefix.
+  FUZZ_ASSERT(IsPrefix(keys.engine_key, keys.query_key));
+  const std::string prefix = tsexplain::DatasetKeyPrefix(dataset);
+  FUZZ_ASSERT(IsPrefix(prefix, keys.engine_key));
+
+  // Reversing and duplicating the order-insensitive lists must not
+  // change either key (sorted + deduplicated by contract).
+  TSExplainConfig shuffled = config;
+  std::reverse(shuffled.explain_by_names.begin(),
+               shuffled.explain_by_names.end());
+  std::reverse(shuffled.exclude.begin(), shuffled.exclude.end());
+  if (!config.explain_by_names.empty()) {
+    shuffled.explain_by_names.push_back(config.explain_by_names.front());
+  }
+  if (!config.exclude.empty()) {
+    shuffled.exclude.push_back(config.exclude.front());
+  }
+  // `threads` never affects results and is dropped from keys entirely.
+  shuffled.threads = config.threads + 1;
+  const CanonicalQuery same = CanonicalizeQuery(dataset, shuffled);
+  FUZZ_ASSERT(same.engine_key == keys.engine_key);
+  FUZZ_ASSERT(same.query_key == keys.query_key);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fuzz target: storage/table_snapshot — BOTH decode paths over the same
+// bytes. Every input is opened through the owned reader
+// (ReadTableSnapshot) and the zero-copy mmap open (OpenTableSnapshot);
+// the two must agree exactly: same acceptance, same StorageErrorCode on
+// rejection, and on acceptance the same fingerprint and a byte-identical
+// re-encoding. Error-path divergence between the paths is a finding,
+// not noise — the service treats them as interchangeable.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "src/storage/table_snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const tsexplain::fuzz::TempFile file(data, size, "tbl");
+
+  const tsexplain::storage::TableSnapshotResult owned =
+      tsexplain::storage::ReadTableSnapshot(file.path());
+  const tsexplain::storage::TableSnapshotResult mapped =
+      tsexplain::storage::OpenTableSnapshot(file.path());
+
+  FUZZ_ASSERT(owned.ok() == mapped.ok());
+  FUZZ_ASSERT(owned.status.code == mapped.status.code);
+  if (!owned.ok()) {
+    FUZZ_ASSERT(!owned.status.message.empty());
+    FUZZ_ASSERT(!mapped.status.message.empty());
+    return 0;
+  }
+  // Accepted: the two loads must describe the same table.
+  FUZZ_ASSERT(owned.fingerprint == mapped.fingerprint);
+  FUZZ_ASSERT(owned.table->num_rows() == mapped.table->num_rows());
+  const std::string reencoded_owned =
+      tsexplain::storage::EncodeTableSnapshotPayload(*owned.table);
+  const std::string reencoded_mapped =
+      tsexplain::storage::EncodeTableSnapshotPayload(*mapped.table);
+  FUZZ_ASSERT(reencoded_owned == reencoded_mapped);
+  // And the fingerprint in the result must match the content.
+  FUZZ_ASSERT(tsexplain::storage::TableFingerprint(*owned.table) ==
+              owned.fingerprint);
+  return 0;
+}

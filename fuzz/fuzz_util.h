@@ -1,0 +1,138 @@
+// Shared helpers for the fuzz harnesses in fuzz/ (docs/FUZZING.md).
+//
+// Every harness exposes the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// and is built two ways:
+//   * TSEXPLAIN_FUZZ=ON (clang): linked against libFuzzer for
+//     coverage-guided exploration under ASan+UBSan (tools/run_fuzzers.sh,
+//     the fuzz-smoke CI job);
+//   * default (any compiler): linked with fuzz/replay_driver.cc into a
+//     fuzz_<target>_replay binary that replays the committed corpus under
+//     ctest — corpus regression runs in tier-1.
+//
+// Harnesses cannot use gtest: a property violation is reported by
+// trapping (FUZZ_ASSERT), which both libFuzzer and the replay driver turn
+// into a hard failure with a reproducing input.
+
+#ifndef TSEXPLAIN_FUZZ_FUZZ_UTIL_H_
+#define TSEXPLAIN_FUZZ_FUZZ_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+// Property assertion for harness invariants (NOT for rejecting inputs —
+// harnesses must accept arbitrary bytes). Prints the failed condition so
+// a crash report names the violated property, then traps so the fuzzer
+// saves the input as a crasher.
+#define FUZZ_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      __builtin_trap();                                                    \
+    }                                                                      \
+  } while (0)
+
+namespace tsexplain {
+namespace fuzz {
+
+/// Directory for harness scratch files ($TMPDIR or /tmp).
+inline std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return env && *env ? env : "/tmp";
+}
+
+/// A unique scratch path (pid + per-process counter); nothing is created.
+inline std::string TempPath(const char* tag) {
+  static unsigned long counter = 0;
+  return TempDir() + "/tsx_fuzz_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(++counter);
+}
+
+/// Writes the fuzz input to a unique temp file and removes it on scope
+/// exit — the bridge from byte-oriented fuzzing to path-oriented decode
+/// APIs (snapshots, logs).
+class TempFile {
+ public:
+  TempFile(const uint8_t* data, size_t size, const char* tag)
+      : path_(TempPath(tag)) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    FUZZ_ASSERT(f != nullptr);
+    if (size > 0) {
+      FUZZ_ASSERT(std::fwrite(data, 1, size, f) == size);
+    }
+    std::fclose(f);
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Consumes the input front-to-back to derive structured choices
+/// (structure-aware harnesses). Exhaustion yields zeros / empty strings —
+/// never an out-of-bounds read.
+class ByteSource {
+ public:
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t NextByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+  /// A value in [0, bound); 0 when bound == 0.
+  uint32_t NextBelow(uint32_t bound) {
+    if (bound == 0) return 0;
+    uint32_t v = NextByte();
+    v = (v << 8) | NextByte();
+    return v % bound;
+  }
+  /// Up to `max_len` raw bytes as a string.
+  std::string NextString(size_t max_len) {
+    size_t len = NextByte();
+    if (len > max_len) len = max_len;
+    if (len > remaining()) len = remaining();
+    std::string s(reinterpret_cast<const char*>(data_) + pos_, len);
+    pos_ += len;
+    return s;
+  }
+  /// The untouched tail (for harnesses that split "choices | payload").
+  std::string Rest() {
+    std::string s(reinterpret_cast<const char*>(data_) + pos_, remaining());
+    pos_ = size_;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// The fixed base dataset shared by the session-log harness and the seed
+/// generator: session-log seeds are written against THIS table so its
+/// fingerprint matches and coverage-guided mutation can reach the replay
+/// path, not just the fingerprint fence.
+inline const char* kSessionBaseCsv() {
+  return
+      "time,region,value\n"
+      "d0,east,1\n"
+      "d0,west,2\n"
+      "d1,east,3\n"
+      "d1,west,1\n"
+      "d2,east,2\n"
+      "d2,west,5\n";
+}
+
+}  // namespace fuzz
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,94 @@
+// Driver shim that turns a libFuzzer harness into a plain binary: feeds
+// every file (or every file in every directory) named on the command line
+// to LLVMFuzzerTestOneInput. This is how the committed seed corpora run
+// as regression tests under ctest in the default (non-libFuzzer) build —
+// see docs/FUZZING.md.
+//
+// Exit status: 0 when every input replayed without trapping; 1 on a
+// missing path or an unreadable file (a committed corpus must always be
+// replayable). A FUZZ_ASSERT / sanitizer failure aborts the process,
+// which ctest reports as the test failure it is.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  out->clear();
+  uint8_t chunk[1u << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->insert(out->end(), chunk, chunk + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// Regular files directly inside `dir` (no recursion — corpus directories
+// are flat), sorted for a deterministic replay order.
+bool ListDir(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return false;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      out->push_back(path);
+    }
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 1;
+  }
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    struct stat st;
+    if (::stat(arg.c_str(), &st) != 0) {
+      std::fprintf(stderr, "%s: no such file or directory\n", arg.c_str());
+      return 1;
+    }
+    if (S_ISDIR(st.st_mode)) {
+      if (!ListDir(arg, &inputs)) {
+        std::fprintf(stderr, "%s: cannot list directory\n", arg.c_str());
+        return 1;
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  size_t replayed = 0;
+  std::vector<uint8_t> bytes;
+  for (const std::string& path : inputs) {
+    if (!ReadFile(path, &bytes)) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      return 1;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %zu corpus input(s)\n", replayed);
+  return 0;
+}

@@ -8,8 +8,6 @@
 namespace tsexplain {
 namespace {
 
-constexpr int kMaxDepth = 64;
-
 class Parser {
  public:
   Parser(const std::string& text, std::string* error)
@@ -52,7 +50,10 @@ class Parser {
   }
 
   bool ParseValue(JsonValue* out, int depth) {
-    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (depth > kMaxJsonDepth) {
+      return Fail(StrFormat("nesting exceeds the %d-level limit "
+                            "(kMaxJsonDepth)", kMaxJsonDepth));
+    }
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
       case 'n':

@@ -80,10 +80,15 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+/// Hostile-input guard: documents nesting deeper than this many levels
+/// are rejected with a structured error naming the limit. The parser is
+/// recursive descent, so this also caps its stack use; the protocol
+/// itself never nests past ~4.
+inline constexpr int kMaxJsonDepth = 64;
+
 /// Parses one JSON document (the whole string must be consumed apart from
 /// trailing whitespace). Returns false and fills `error` on malformed
-/// input. Nesting deeper than 64 levels is rejected (hostile-input guard:
-/// the protocol never nests past ~4).
+/// input, including nesting past kMaxJsonDepth.
 bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 
 }  // namespace tsexplain

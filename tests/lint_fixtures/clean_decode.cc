@@ -1,0 +1,38 @@
+// Fixture for the clean-tree stanza: decode-path code every R5/R6 case
+// must accept — bounded allocations, consumed reader statuses, an
+// allow-listed site, and a ByteWriter (not a reader) statement call.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class ByteReader {
+ public:
+  bool ReadU64(uint64_t* out);
+  bool failed() const;
+};
+
+class ByteWriter {
+ public:
+  void AlignTo(uint64_t alignment, uint64_t phase);
+};
+
+bool Decode(ByteReader& r, std::vector<double>* out) {
+  uint64_t n = 0;
+  if (!r.ReadU64(&n)) return false;
+  if (n > 1024) return false;
+  out->resize(n);
+  return !r.failed();
+}
+
+void Encode(ByteWriter& w) {
+  w.AlignTo(8, 0);  // a writer statement call is not a reader discard
+}
+
+void Preallocate(std::vector<int>* out, uint64_t hint) {
+  // lint:allow(unbounded-decode-alloc) — hint is caller-trusted here.
+  out->reserve(hint);
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: R5 unbounded-decode-alloc must fire on the unchecked resize
+// and stay quiet on the bounded ones. Placed at src/storage/ in the
+// assembled tree.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+bool DecodeCounts(const std::string& payload, std::vector<int>* out) {
+  uint64_t count = 0;
+  std::memcpy(&count, payload.data(), sizeof(count));
+  // VIOLATION: `count` came straight off the wire; nothing bounds it
+  // before it sizes the allocation.
+  out->resize(count);
+  return true;
+}
+
+bool DecodeChecked(const std::string& payload, std::vector<int>* out) {
+  uint64_t count = 0;
+  std::memcpy(&count, payload.data(), sizeof(count));
+  if (count > payload.size() / sizeof(int)) return false;
+  out->resize(count);  // OK: bounds-compared two lines up.
+  return true;
+}
+
+void SizedFromInput(const std::string& payload, std::vector<char>* out) {
+  out->reserve(payload.size());  // OK: derived from the input itself.
+  out->resize(16);               // OK: compile-time constant.
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: R6 unchecked-bytereader must fire on the discarded Read call
+// and stay quiet on consumed ones. Placed at src/storage/ in the
+// assembled tree.
+#include <cstdint>
+
+namespace fixture {
+
+class ByteReader {
+ public:
+  bool ReadU32(uint32_t* out);
+  bool Skip(uint64_t n);
+  bool failed() const;
+};
+
+bool Decode(ByteReader& r) {
+  uint32_t n = 0;
+  // VIOLATION: status discarded; on a truncated buffer `n` stays 0 and
+  // the decode keeps going.
+  r.ReadU32(&n);
+  bool ok = r.ReadU32(&n);  // OK: assigned into the ok-chain.
+  if (!r.Skip(n)) return false;  // OK: tested.
+  return ok && !r.failed();
+}
+
+}  // namespace fixture

@@ -104,6 +104,29 @@ else
   echo "ok: dup_metric"
 fi
 
+# R5: decoded count sizing a resize with no preceding bound check.
+expect_violation unbounded_alloc unbounded_alloc.cc \
+  "src/storage/unbounded_alloc.cc" "unbounded-decode-alloc"
+
+# R5 must fire on exactly one site: the bounded/constant/input-derived
+# allocations in the same fixture must stay quiet.
+if [ "$(printf '%s\n' "${OUT}" | grep -c "unbounded-decode-alloc")" -ne 1 ]; then
+  fail "unbounded_alloc: expected exactly one R5 violation: ${OUT}"
+else
+  echo "ok: unbounded_alloc flags only the unchecked site"
+fi
+
+# R6: discarded ByteReader status in a storage decode.
+expect_violation unchecked_reader unchecked_reader.cc \
+  "src/storage/unchecked_reader.cc" "unchecked-bytereader"
+
+# R6 must not flag assigned or tested reader calls.
+if [ "$(printf '%s\n' "${OUT}" | grep -c "unchecked-bytereader")" -ne 1 ]; then
+  fail "unchecked_reader: expected exactly one R6 violation: ${OUT}"
+else
+  echo "ok: unchecked_reader flags only the discarded call"
+fi
+
 # Clean tree: annotated + allow-listed mutexes, unique slugs — exit 0.
 clean_root="${TMPDIR_ROOT}/clean"
 mkdir -p "${clean_root}/src/service" "${clean_root}/tools" \
@@ -111,6 +134,7 @@ mkdir -p "${clean_root}/src/service" "${clean_root}/tools" \
 cp "${FIXTURES}/clean_guarded.h" "${clean_root}/src/service/clean_guarded.h"
 cp "${FIXTURES}/dup_slug_a.cc" "${clean_root}/bench/dup_slug_a.cc"
 cp "${FIXTURES}/dup_metric_a.cc" "${clean_root}/src/dup_metric_a.cc"
+cp "${FIXTURES}/clean_decode.cc" "${clean_root}/src/storage/clean_decode.cc"
 run_linter "${clean_root}"
 if [ "${CODE}" -ne 0 ]; then
   fail "clean: linter flagged a clean tree: ${OUT}"

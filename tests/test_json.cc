@@ -120,6 +120,39 @@ TEST(JsonTest, DepthGuard) {
   EXPECT_TRUE(ParseJson(fine, &value, &error)) << error;
 }
 
+// Hostile-input regression: 100k-deep documents must come back as a
+// structured error naming the limit — not a stack overflow. The parser
+// recursion is bounded by kMaxJsonDepth (~65 frames), so the input size
+// here only stresses the rejection path, not the stack.
+TEST(JsonTest, PathologicalDepthRejectedStructurally) {
+  constexpr int kDepth = 100000;
+  std::string arrays(kDepth, '[');
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson(arrays, &value, &error));
+  EXPECT_NE(error.find("kMaxJsonDepth"), std::string::npos) << error;
+
+  std::string objects;
+  objects.reserve(5 * kDepth);
+  for (int i = 0; i < kDepth; ++i) objects += "{\"a\":";
+  error.clear();
+  EXPECT_FALSE(ParseJson(objects, &value, &error));
+  EXPECT_NE(error.find("kMaxJsonDepth"), std::string::npos) << error;
+
+  // Exactly at the limit still parses: the guard is a boundary, not a
+  // fuzzy threshold.
+  std::string at_limit;
+  for (int i = 0; i < kMaxJsonDepth; ++i) at_limit += "[";
+  at_limit += "0";
+  for (int i = 0; i < kMaxJsonDepth; ++i) at_limit += "]";
+  error.clear();
+  EXPECT_TRUE(ParseJson(at_limit, &value, &error)) << error;
+  std::string past_limit = "[" + at_limit + "]";
+  error.clear();
+  EXPECT_FALSE(ParseJson(past_limit, &value, &error));
+  EXPECT_NE(error.find("kMaxJsonDepth"), std::string::npos) << error;
+}
+
 TEST(JsonTest, WhitespaceTolerance) {
   const JsonValue value = Parse("  {\r\n\t\"a\" : [ 1 , 2 ] }  ");
   EXPECT_EQ(value.Find("a")->array().size(), 2u);

@@ -316,6 +316,42 @@ TEST(TableSnapshot, CorruptedFilesFailStructurally) {
             StorageErrorCode::kTruncated);  // declared != actual length
 }
 
+// The owned reader (ReadTableSnapshot) and the zero-copy mmap open
+// (OpenTableSnapshot) are interchangeable to the service, so they must
+// reject identically: same StorageErrorCode for the same corrupt bytes.
+// Sweeps every truncation point and every single-byte flip of a real
+// snapshot through BOTH paths.
+TEST(TableSnapshot, OwnedAndMappedRejectIdentically) {
+  const std::unique_ptr<Table> table = MakeCornerTable();
+  const std::string path = TempPath("bothpaths");
+  ASSERT_TRUE(WriteTableSnapshot(*table, path).ok());
+  const std::string good = ReadRawFile(path);
+
+  const auto expect_same = [&](const std::string& label) {
+    const TableSnapshotResult owned = ReadTableSnapshot(path);
+    const TableSnapshotResult mapped = OpenTableSnapshot(path);
+    EXPECT_EQ(owned.ok(), mapped.ok()) << label;
+    EXPECT_EQ(owned.status.code, mapped.status.code)
+        << label << ": owned='" << owned.status.message << "' mapped='"
+        << mapped.status.message << "'";
+    if (owned.ok() && mapped.ok()) {
+      EXPECT_EQ(owned.fingerprint, mapped.fingerprint) << label;
+    }
+  };
+
+  expect_same("intact file");
+  for (size_t keep = 0; keep < good.size(); ++keep) {
+    WriteRawFile(path, good.substr(0, keep));
+    expect_same("truncated to " + std::to_string(keep) + " bytes");
+  }
+  for (size_t at = 0; at < good.size(); ++at) {
+    std::string bad = good;
+    bad[at] ^= 0x10;
+    WriteRawFile(path, bad);
+    expect_same("byte " + std::to_string(at) + " flipped");
+  }
+}
+
 // Builds a framed snapshot file whose PAYLOAD is hand-crafted — the CRC
 // is valid, so the reader must reject the content structurally.
 void WriteCraftedSnapshot(const std::string& path, const ByteWriter& w) {

@@ -42,6 +42,24 @@ R4   duplicate-metric-name: GetCounter / GetGauge / GetHistogram
      runtime. Dynamically built names are skipped, as in R3. Snapshot
      readers (FindCounter etc.) are unrestricted.
 
+R5   unbounded-decode-alloc: in the decode surfaces (src/storage and
+     src/common/json.{h,cc}), no `.resize(` / `.reserve(` / `new T[`
+     whose size argument is a plain decoded variable. The argument must
+     be derived from real input bytes (`.size()` / `sizeof` /
+     `remaining()`), be a compile-time constant, or every identifier in
+     it must be bounds-compared (or assigned from `.size()`) within the
+     preceding 40 code lines. A decoded count that reaches an allocator
+     unchecked turns a 20-byte file into a multi-gigabyte allocation.
+     Escape hatch: `lint:allow(unbounded-decode-alloc)` on the line or
+     one of the two lines above.
+
+R6   unchecked-bytereader: in src/storage, a statement that calls a
+     ByteReader Read* / AlignTo / Skip and discards the returned status
+     (expression statement at the start of a line). Reader failure
+     latches, but per-call results must feed the decode's ok-chain so
+     failures stop consuming garbage. Escape hatch:
+     `lint:allow(unchecked-bytereader)`.
+
 Exit status: 0 when clean, 1 with one `RULE: file:line: message` line per
 violation otherwise.
 
@@ -425,6 +443,142 @@ def check_metric_names(root, violations):
                 seen[name] = (rel, lineno)
 
 
+ALLOW_UNBOUNDED_ALLOC = "lint:allow(unbounded-decode-alloc)"
+ALLOW_UNCHECKED_READER = "lint:allow(unchecked-bytereader)"
+
+# Decode-surface allocation sites: member resize/reserve calls and array
+# news, matched against stripped code.
+ALLOC_CALL = re.compile(r"(?:\.|->)(?:resize|reserve)\s*\(")
+ARRAY_NEW = re.compile(r"\bnew\s+[\w:<>, ]+?\s*\[")
+# Identifiers that are types/casts/qualifiers, not runtime values.
+ALLOC_NONVALUE_IDENTS = frozenset({
+    "static_cast", "reinterpret_cast", "const_cast", "size_t", "ptrdiff_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+    "int32_t", "int64_t", "char", "short", "int", "long", "unsigned",
+    "signed", "float", "double", "bool", "const", "std", "size", "min",
+    "max", "sizeof", "true", "false", "nullptr",
+})
+# A bounds comparison adjacent to an identifier (lookbehind window). The
+# negative lookaheads keep shifts and stream operators from counting.
+COMPARISON_OPS = r"(?:>=|<=|==|!=|>(?!>)|<(?!<))"
+
+# ByteReader declarations (locals, parameters, members) — the receivers
+# R6 tracks. `[&*]?` covers reference/pointer parameters.
+BYTEREADER_DECL = re.compile(r"\bByteReader\s*[&*]?\s*(\w+)\b")
+# A statement-initial reader call whose status result is discarded: the
+# line starts with `<name>.Read…(` / `.AlignTo(` / `.Skip(`. Assigned or
+# tested results (`ok = ok && r.ReadU32(…)`, `if (!r.Skip(n))`) start
+# mid-line and do not match.
+READER_DISCARD = re.compile(r"^\s*(\w+)\.(Read\w+|AlignTo|Skip)\s*\(")
+
+
+def balanced_args(code, open_paren, close="()"):
+    """Returns code[open_paren+1:matching_close] or None if unbalanced."""
+    depth, k = 0, open_paren
+    while k < len(code):
+        if code[k] == close[0]:
+            depth += 1
+        elif code[k] == close[1]:
+            depth -= 1
+            if depth == 0:
+                return code[open_paren + 1:k]
+        k += 1
+    return None
+
+
+def alloc_arg_is_bounded(arg, code_lines, lineno):
+    """True when an allocation-size argument is already input-derived,
+    constant, or every identifier in it was bounds-checked (or assigned
+    from `.size()`) in the preceding 40 code lines."""
+    if ".size(" in arg or "sizeof" in arg or ".remaining(" in arg:
+        return True
+    # `meta->nbuckets` is bounded by a check on `nbuckets`: drop member
+    # access object prefixes so only the field name needs a bound.
+    collapsed = re.sub(r"\b\w+\s*(?:->|\.)\s*", "", arg)
+    idents = set(re.findall(r"[A-Za-z_]\w*", collapsed)) - ALLOC_NONVALUE_IDENTS
+    if not idents:
+        return True  # compile-time constant
+    window = "\n".join(code_lines[max(0, lineno - 41):lineno])
+    for ident, esc in ((i, re.escape(i)) for i in sorted(idents)):
+        checked = re.search(
+            r"(?:\b%s\b\s*%s|%s\s*=?\s*\b%s\b)" % (
+                esc, COMPARISON_OPS, COMPARISON_OPS, esc), window)
+        # Assigned from input-derived quantities (`n = buf.size() / 8`).
+        # `=[^=]` keeps `==` comparisons from matching as assignments.
+        derived = re.search(
+            r"\b%s\b\s*=[^=;\n][^;\n]*(?:\.size\(|\.remaining\(|sizeof)"
+            % esc, window)
+        if not checked and not derived:
+            return False
+    return True
+
+
+def check_unbounded_decode_allocs(root, violations):
+    """R5: decoded counts must be bounds-checked before they size an
+    allocation."""
+    scoped = [os.path.join("src", "storage")]
+    files = list(iter_files(root, scoped, {".h", ".cc"}))
+    for name in ("json.h", "json.cc"):
+        path = os.path.join(root, "src", "common", name)
+        if os.path.exists(path):
+            files.append(path)
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+        for kind, pattern in (("call", ALLOC_CALL), ("new", ARRAY_NEW)):
+            for m in pattern.finditer(code):
+                if kind == "call":
+                    arg = balanced_args(code, m.end() - 1)
+                else:
+                    arg = balanced_args(code, m.end() - 1, "[]")
+                if arg is None:
+                    continue
+                lineno = code.count("\n", 0, m.start()) + 1
+                window = raw_lines[max(0, lineno - 3):lineno]
+                if any(ALLOW_UNBOUNDED_ALLOC in w for w in window):
+                    continue
+                if alloc_arg_is_bounded(arg, code_lines, lineno):
+                    continue
+                violations.append(
+                    ("unbounded-decode-alloc", rel, lineno,
+                     "allocation sized by '%s' with no preceding bound "
+                     "check: validate a decoded count against the real "
+                     "input size (e.g. reader.remaining()) before "
+                     "allocating, or mark the line %s" % (
+                         " ".join(arg.split()), ALLOW_UNBOUNDED_ALLOC)))
+
+
+def check_unchecked_bytereader(root, violations):
+    """R6: ByteReader call statuses must be consumed."""
+    for path in iter_files(root, [os.path.join("src", "storage")],
+                           {".h", ".cc"}):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        readers = set(BYTEREADER_DECL.findall(code))
+        if not readers:
+            continue
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = READER_DISCARD.match(line)
+            if not m or m.group(1) not in readers:
+                continue
+            window = raw_lines[max(0, lineno - 3):lineno]
+            if any(ALLOW_UNCHECKED_READER in w for w in window):
+                continue
+            violations.append(
+                ("unchecked-bytereader", rel, lineno,
+                 "discarded status of %s.%s(): feed every ByteReader "
+                 "result into the decode's ok-chain (failure must stop "
+                 "the parse), or mark the line %s" % (
+                     m.group(1), m.group(2), ALLOW_UNCHECKED_READER)))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
@@ -438,6 +592,8 @@ def main():
     check_storage_aborts(root, violations)
     check_bench_slugs(root, violations)
     check_metric_names(root, violations)
+    check_unbounded_decode_allocs(root, violations)
+    check_unchecked_bytereader(root, violations)
 
     for rule, rel, lineno, message in violations:
         print("%s: %s:%d: %s" % (rule, rel, lineno, message))

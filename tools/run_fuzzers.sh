@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Coverage-guided fuzzing driver for the fuzz/ harnesses (docs/FUZZING.md).
+# Runs each libFuzzer target against its committed seed corpus for a time
+# budget and fails if ANY target crashes, OOMs, leaks, or times out.
+#
+# Requires a TSEXPLAIN_FUZZ=ON build (clang):
+#   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+#         -DTSEXPLAIN_FUZZ=ON -DTSEXPLAIN_BUILD_BENCHES=OFF \
+#         -DTSEXPLAIN_BUILD_EXAMPLES=OFF
+#   cmake --build build-fuzz -j
+#   tools/run_fuzzers.sh -b build-fuzz -t 60
+#
+# Usage:
+#   tools/run_fuzzers.sh [-b BUILD_DIR] [-t SECONDS] [-m] [TARGET...]
+#
+#   -b BUILD_DIR   where the fuzz_* binaries live (default: build-fuzz)
+#   -t SECONDS     -max_total_time per target (default: 60; the
+#                  fuzz-smoke CI budget)
+#   -m             after fuzzing, minimize: merge each target's live
+#                  corpus back into fuzz/corpus/<surface>/ (use before
+#                  committing new coverage)
+#   TARGET...      explicit harness names (fuzz_json, ...); default: all
+#
+# Artifacts (crash-*, oom-*, timeout-*) land in FINDINGS_DIR
+# (default: <BUILD_DIR>/fuzz-findings/<surface>/). Every artifact is a
+# bug: reproduce with the replay binary from any GCC build
+#   ./build/fuzz_<surface>_replay <artifact>
+# then commit the input to fuzz/corpus/<surface>/ in the PR that fixes
+# it. Findings are never deleted or suppressed (docs/FUZZING.md policy).
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(cd "${SCRIPT_DIR}/.." && pwd)"
+
+BUILD_DIR="build-fuzz"
+BUDGET_S=60
+MERGE=0
+while getopts "b:t:m" opt; do
+  case "${opt}" in
+    b) BUILD_DIR="${OPTARG}" ;;
+    t) BUDGET_S="${OPTARG}" ;;
+    m) MERGE=1 ;;
+    *) echo "usage: $0 [-b BUILD_DIR] [-t SECONDS] [-m] [TARGET...]" >&2
+       exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+FINDINGS_DIR="${FINDINGS_DIR:-${BUILD_DIR}/fuzz-findings}"
+
+if [ "$#" -gt 0 ]; then
+  TARGETS=("$@")
+else
+  TARGETS=()
+  for src in "${REPO_ROOT}"/fuzz/fuzz_*.cc; do
+    TARGETS+=("$(basename "${src}" .cc)")
+  done
+fi
+
+failures=0
+for target in "${TARGETS[@]}"; do
+  surface="${target#fuzz_}"
+  binary="${BUILD_DIR}/${target}"
+  corpus="${REPO_ROOT}/fuzz/corpus/${surface}"
+  findings="${FINDINGS_DIR}/${surface}"
+  if [ ! -x "${binary}" ]; then
+    echo "FAIL ${target}: ${binary} not built (need TSEXPLAIN_FUZZ=ON + clang)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if [ ! -d "${corpus}" ]; then
+    echo "FAIL ${target}: no committed corpus at ${corpus}" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  mkdir -p "${findings}"
+  live="${findings}/live-corpus"
+  mkdir -p "${live}"
+  echo "=== ${target}: ${BUDGET_S}s budget, seeds from ${corpus}"
+  # -timeout: per-input hang cap. -rss_limit_mb: an input driving the
+  # process past 2 GiB is an allocation-amplification finding, not noise.
+  "${binary}" "${live}" "${corpus}" \
+      -max_total_time="${BUDGET_S}" -timeout=10 -rss_limit_mb=2048 \
+      -print_final_stats=1 -artifact_prefix="${findings}/" \
+      2> "${findings}/fuzz.log"
+  status=$?
+  if [ "${status}" -ne 0 ]; then
+    echo "FAIL ${target}: fuzzer exited ${status}; findings in ${findings}" >&2
+    tail -n 25 "${findings}/fuzz.log" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  # Belt and braces: some OOM/timeout paths write an artifact but exit 0.
+  found="$(find "${findings}" -maxdepth 1 -type f \
+           \( -name 'crash-*' -o -name 'oom-*' -o -name 'timeout-*' \
+              -o -name 'leak-*' \) | head -5)"
+  if [ -n "${found}" ]; then
+    echo "FAIL ${target}: artifacts written:" >&2
+    echo "${found}" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "ok: ${target}"
+  if [ "${MERGE}" -eq 1 ]; then
+    "${binary}" -merge=1 "${corpus}" "${live}" \
+        2> "${findings}/merge.log" || {
+      echo "FAIL ${target}: corpus merge failed" >&2
+      failures=$((failures + 1))
+    }
+  fi
+done
+
+if [ "${failures}" -ne 0 ]; then
+  echo "run_fuzzers: ${failures} target(s) failed" >&2
+  exit 1
+fi
+echo "run_fuzzers: all targets clean"
