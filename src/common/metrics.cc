@@ -96,6 +96,45 @@ void Histogram::Reset() {
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& slot : counts_) {
+    total += slot.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::ApproxPercentile(double p) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  double rank = p * static_cast<double>(total);
+  if (rank < 0.0) rank = 0.0;
+  if (rank > static_cast<double>(total)) rank = static_cast<double>(total);
+
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += n;
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i + 1 == counts_.size()) return lower;  // overflow bucket
+      const double upper = bounds_[i];
+      double fraction =
+          (rank - static_cast<double>(before)) / static_cast<double>(n);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return bounds_.back();
+}
+
 double HistogramSnapshot::Percentile(double p) const {
   if (count == 0) return 0.0;
   double rank = p * static_cast<double>(count);
@@ -215,6 +254,11 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     snapshot.histograms.push_back(std::move(hist));
   }
   return snapshot;
+}
+
+size_t MetricRegistry::NumMetrics() const {
+  MutexLock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricRegistry::ResetForTest() {

@@ -107,6 +107,16 @@ class Histogram {
  public:
   void Observe(double value);
 
+  /// Allocation-free reads for periodic samplers (metrics_history.h),
+  /// which cannot afford Snapshot()'s per-scrape heap churn. All three
+  /// are relaxed atomic loads per bucket: a read racing Observe sees
+  /// some prefix of the in-flight updates, same contract as Snapshot().
+  uint64_t TotalCount() const;
+  double Sum() const;
+  /// Same interpolation as HistogramSnapshot::Percentile, computed
+  /// directly from the live buckets (two bucket walks, no allocation).
+  double ApproxPercentile(double p) const;
+
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
@@ -174,6 +184,12 @@ class MetricRegistry {
   static std::vector<double> DefaultLatencyBoundsMs();
 
   MetricsSnapshot Snapshot() const TSE_EXCLUDES(mu_);
+
+  /// Total registered metrics (counters + gauges + histograms). Cheap —
+  /// three map sizes under the registration mutex — so samplers can poll
+  /// it every tick to detect late registrations without paying for a
+  /// full Snapshot().
+  size_t NumMetrics() const TSE_EXCLUDES(mu_);
 
   /// Zeroes every registered metric in place (references stay valid).
   /// Test-only: production counters are monotonic by contract.

@@ -1,0 +1,203 @@
+// Metrics time-series history: a background sampler that snapshots the
+// MetricRegistry at a fixed interval into per-metric ring buffers, so
+// the server can answer "what did this counter look like over the last
+// N minutes" without an external scraper — and, the dogfood, export the
+// recorded history as a TSExplain dataset so the engine can explain its
+// own telemetry ("which counters explain this latency spike").
+//
+// Design constraints, mirroring metrics.h:
+//
+//  * Bounded memory. Every series is a fixed-capacity ring; the newest
+//    `capacity` ticks are retained, older samples are overwritten in
+//    place. Memory is capacity * (#series + 1) doubles, period.
+//  * No allocation on the sampling hot path after warmup. The sampler
+//    caches stable metric references (GetCounter et al. return
+//    process-lifetime references) next to their ring slots; a tick is
+//    relaxed atomic loads + ring stores. Allocation happens only when
+//    the registry's metric count changes (a rediscovery pass builds
+//    rings for the newcomers, backfilled with 0.0 for pre-registration
+//    ticks).
+//  * Lock discipline. All history state is guarded by a tsexplain::Mutex
+//    with TSA annotations; the sampler thread sleeps on a CondVar with
+//    an explicit deadline loop so Stop() never waits out an interval.
+//
+// Series naming: counters and gauges keep their registry name; every
+// histogram H contributes "H.count" and "H.sum", plus "H.p50" / "H.p99"
+// for histograms opted in via TrackHistogramPercentiles (lint rule R7
+// checks each tracked name against the one-registration-site idiom).
+//
+// The `metrics_history` NDJSON op (docs/OBSERVABILITY.md) exposes
+// Window() through RenderHistoryJson / RenderHistoryCsv, and
+// ExportAsTable() through dataset registration.
+
+#ifndef TSEXPLAIN_COMMON_METRICS_HISTORY_H_
+#define TSEXPLAIN_COMMON_METRICS_HISTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/mutex.h"
+
+namespace tsexplain {
+
+class Table;
+
+/// A read-only view of the retained history, oldest tick first. All
+/// series are tick-aligned: `series[i].values[k]` was sampled at
+/// `ticks[k]` / `ts_ms[k]`. Ticks are a monotone counter starting at 0
+/// for the history's first sample, so clients can detect both gaps
+/// (restart) and ring wraparound (`total_ticks` > ticks.size()).
+struct HistoryWindow {
+  int64_t interval_ms = 0;
+  size_t capacity = 0;
+  uint64_t total_ticks = 0;       // samples taken since construction
+  std::vector<uint64_t> ticks;    // absolute tick ids, oldest first
+  std::vector<double> ts_ms;      // wall-clock ms (unix epoch) per tick
+
+  struct Series {
+    std::string name;
+    std::string kind;  // counter | gauge | hist_count | hist_sum |
+                       // hist_p50 | hist_p99
+    std::vector<double> values;  // tick-aligned with `ticks`
+  };
+  std::vector<Series> series;  // sorted by name
+};
+
+class MetricsHistory {
+ public:
+  struct Options {
+    /// Sampling period for the background thread (Start/Stop). Manual
+    /// SampleNow() ticks ignore it.
+    int64_t interval_ms = 1000;
+    /// Ring capacity: samples retained per series.
+    size_t capacity = 600;
+  };
+
+  /// The history samples `registry` (usually MetricRegistry::Global();
+  /// tests pass their own). The registry must outlive the history.
+  MetricsHistory(MetricRegistry& registry, Options options);
+  ~MetricsHistory();  // stops the sampler
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  /// Opts histogram `name` into per-tick p50/p99 series. The name must
+  /// be registered through the one-registration-site idiom (lint R7
+  /// cross-checks every literal passed here against a GetHistogram
+  /// registration literal). Call before the histogram is first sampled;
+  /// a name tracked after its discovery pass keeps count/sum only.
+  void TrackHistogramPercentiles(const std::string& name)
+      TSE_EXCLUDES(mu_);
+
+  /// Runs before every sampler tick, OUTSIDE the history mutex — the
+  /// hook for refreshing computed gauges (uptime, stuck-query count) so
+  /// they are fresh in the same tick that records them. Set before
+  /// Start(); immutable while the sampler runs.
+  void SetSamplePrologue(std::function<void()> prologue);
+
+  /// Starts the background sampler (no-op when already running). The
+  /// first sample is taken immediately, then every interval_ms.
+  void Start();
+  /// Stops and joins the sampler (no-op when not running). Retained
+  /// samples survive; Start() may be called again.
+  void Stop();
+  bool running() const { return sampler_.joinable(); }
+
+  /// Takes one sample synchronously (tests; servers without a sampler
+  /// thread). Runs the prologue first, like a sampler tick.
+  void SampleNow() TSE_EXCLUDES(mu_);
+
+  /// Retained history, oldest first. `last_n` > 0 keeps only the newest
+  /// n ticks; a non-empty `prefix` keeps only series whose name starts
+  /// with it.
+  HistoryWindow Window(size_t last_n = 0,
+                       const std::string& prefix = std::string()) const
+      TSE_EXCLUDES(mu_);
+
+  /// Materializes Window(last_n, prefix) as a TSExplain relation with
+  /// schema (time="tick", dimensions=["metric_name"], measures=["value"])
+  /// — one row per (tick, series). Registering it as a dataset lets a
+  /// client run `explain` with measure="value", explain_by=
+  /// ["metric_name"] over the server's own telemetry. Null when the
+  /// window holds fewer than two ticks (one bucket cannot be segmented).
+  std::shared_ptr<const Table> ExportAsTable(
+      size_t last_n = 0, const std::string& prefix = std::string()) const
+      TSE_EXCLUDES(mu_);
+
+ private:
+  static constexpr size_t kNoRing = static_cast<size_t>(-1);
+
+  struct Ring {
+    std::string name;
+    const char* kind;            // static strings, see HistoryWindow
+    std::vector<double> values;  // capacity slots, indexed tick%capacity
+  };
+  struct CounterSource {
+    const Counter* metric;
+    size_t ring;
+  };
+  struct GaugeSource {
+    const Gauge* metric;
+    size_t ring;
+  };
+  struct HistogramSource {
+    const Histogram* metric;
+    size_t count_ring;
+    size_t sum_ring;
+    size_t p50_ring;  // kNoRing unless TrackHistogramPercentiles'd
+    size_t p99_ring;
+  };
+
+  void SamplerMain();
+  void SampleLocked() TSE_REQUIRES(mu_);
+  void RediscoverLocked() TSE_REQUIRES(mu_);
+  size_t AddRingLocked(const std::string& name, const char* kind)
+      TSE_REQUIRES(mu_);
+
+  MetricRegistry& registry_;
+  const Options options_;
+
+  // Written by SetSamplePrologue before Start() (thread creation
+  // publishes it to the sampler); invoked outside mu_ so the prologue
+  // may freely touch the registry.
+  std::function<void()> prologue_;
+
+  mutable Mutex mu_;
+  CondVar cv_;  // Stop() wake-up for the sampler's interval sleep
+  bool stop_requested_ TSE_GUARDED_BY(mu_) = false;
+  uint64_t ticks_ TSE_GUARDED_BY(mu_) = 0;
+  std::vector<double> tick_ts_ TSE_GUARDED_BY(mu_);  // capacity slots
+  std::vector<Ring> rings_ TSE_GUARDED_BY(mu_);
+  std::map<std::string, size_t> ring_index_ TSE_GUARDED_BY(mu_);
+  std::set<std::string> tracked_percentiles_ TSE_GUARDED_BY(mu_);
+  size_t known_metric_count_ TSE_GUARDED_BY(mu_) = 0;
+  std::vector<CounterSource> counter_sources_ TSE_GUARDED_BY(mu_);
+  std::vector<GaugeSource> gauge_sources_ TSE_GUARDED_BY(mu_);
+  std::vector<HistogramSource> histogram_sources_ TSE_GUARDED_BY(mu_);
+
+  // Owned by the Start()/Stop() caller thread (they are not safe to
+  // race each other; every other method is fully thread-safe).
+  std::thread sampler_;
+};
+
+/// Compact JSON object:
+///   {"interval_ms":..,"capacity":..,"total_ticks":..,
+///    "ticks":[..],"ts_ms":[..],
+///    "series":{name:{"kind":..,"values":[..]},...}}
+std::string RenderHistoryJson(const HistoryWindow& window);
+
+/// Long-format CSV, one row per (tick, series):
+///   tick,ts_ms,metric,kind,value
+std::string RenderHistoryCsv(const HistoryWindow& window);
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_COMMON_METRICS_HISTORY_H_

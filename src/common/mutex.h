@@ -36,7 +36,9 @@
 // name their capability and keep full diagnostics.
 #pragma GCC system_header
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/common/thread_annotations.h"
@@ -99,6 +101,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed Wait: sleeps at most `timeout_ms` milliseconds (re-acquiring
+  /// `mu` before returning either way). Returns false on timeout, true on
+  /// a notification — but spurious wakeups report true too, so callers
+  /// must loop on the predicate AND an explicit deadline, never on the
+  /// return value alone (metrics_history.cc's sampler is the model).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) TSE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::milliseconds(timeout_ms));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

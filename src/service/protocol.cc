@@ -4,10 +4,20 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/metrics_history.h"
 #include "src/common/strings.h"
 #include "src/common/timer.h"
+#include "src/cube/score_kernels.h"
 #include "src/seg/segment_distance.h"
+#include "src/service/watchdog.h"
 #include "src/storage/table_snapshot.h"
+
+// Build identity surfaced by `state` and the `metrics` op. CMake stamps
+// the configure-time git SHA; embedders without the definition report
+// "unknown" rather than failing to build.
+#ifndef TSEXPLAIN_GIT_SHA
+#define TSEXPLAIN_GIT_SHA "unknown"
+#endif
 
 namespace tsexplain {
 namespace {
@@ -73,16 +83,21 @@ std::string MakeError(const JsonValue* request, const std::string& op,
   return json.str();
 }
 
-// Begins the {"id":..,"ok":true,"op":..} envelope; the caller adds
-// op-specific fields and calls EndObject.
+// Begins the {"id":..,"ok":true,"op":..,"request_id":..} envelope; the
+// caller adds op-specific fields and calls EndObject. The request id
+// stays AHEAD of any op-specific payload so the warm-restart
+// byte-identity checks (everything after `"result":`) are unaffected by
+// per-process id sequences.
 void BeginOk(JsonWriter& json, const JsonValue& request,
-             const std::string& op) {
+             const std::string& op, uint64_t request_id) {
   json.BeginObject();
   EmitId(json, &request);
   json.Key("ok");
   json.Bool(true);
   json.Key("op");
   json.String(op);
+  json.Key("request_id");
+  json.Int(static_cast<long long>(request_id));
 }
 
 // Emits the finalized span tree (trace.h) as a flat array; parents
@@ -105,6 +120,28 @@ void EmitTrace(JsonWriter& json, const std::vector<TraceSpan>& spans) {
     json.EndObject();
   }
   json.EndArray();
+}
+
+// The "build" block of `state` and the `metrics` op: who is this binary
+// (docs/OBSERVABILITY.md, "Self-observation").
+void EmitBuildInfo(JsonWriter& json, int pool_size) {
+  json.Key("build");
+  json.BeginObject();
+  json.Key("git_sha");
+  json.String(TSEXPLAIN_GIT_SHA);
+  json.Key("simd");
+  json.String(ScoreAllUsesSimd() ? "avx2" : "scalar");
+  json.Key("pointer_bits");
+  json.Int(static_cast<long long>(sizeof(void*) * 8));
+  json.Key("threads");
+  json.Int(pool_size);
+  json.EndObject();
+}
+
+double UptimeSeconds(double start_wall_ms) {
+  if (start_wall_ms <= 0.0) return 0.0;
+  const double seconds = (WallMs() - start_wall_ms) / 1000.0;
+  return seconds > 0.0 ? seconds : 0.0;
 }
 
 bool ParseAggregate(const std::string& name, AggregateFunction* out) {
@@ -220,8 +257,11 @@ bool ParseQueryConfig(const JsonValue& request, TSExplainConfig* config,
 }
 
 bool ProtocolHandler::IsBarrierOp(const std::string& op) {
+  // healthz is the one non-barrier write-free op beyond the read list:
+  // liveness must answer while everything else is wedged, so transports
+  // run it inline without draining (protocol.h).
   return !(op == "explain" || op == "explain_session" ||
-           op == "recommend" || op == "list_datasets");
+           op == "recommend" || op == "list_datasets" || op == "healthz");
 }
 
 bool ProtocolHandler::IsExpensiveOp(const std::string& op) {
@@ -244,9 +284,18 @@ std::string ProtocolHandler::MakeOverloaded(const JsonValue& request) const {
 }
 
 std::string ProtocolHandler::Handle(const JsonValue& request) {
-  if (!log_.access_log) return HandleInternal(request);
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The watchdog brackets the WHOLE handler, so a query wedged anywhere
+  // (admission wait, engine run, render) ages in the in-flight set and
+  // eventually surfaces through healthz / `query.stuck`.
+  if (introspection_.watchdog) {
+    introspection_.watchdog->Begin(request_id, OpOf(request));
+  }
   Timer timer;
-  const std::string response = HandleInternal(request);
+  const std::string response = HandleInternal(request, request_id);
+  if (introspection_.watchdog) introspection_.watchdog->End(request_id);
+  if (!log_.access_log) return response;
   // The envelope's "ok" is the first unescaped `"ok":` in the response
   // (JsonWriter escapes quotes inside string values, so a literal
   // `"ok":true` can only be the envelope's own field).
@@ -258,6 +307,8 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
   json.BeginObject();
   json.Key("ts_ms");
   json.Number(WallMs());
+  json.Key("request_id");
+  json.Int(static_cast<long long>(request_id));
   json.Key("op");
   json.String(OpOf(request));
   json.Key("ok");
@@ -270,6 +321,7 @@ std::string ProtocolHandler::Handle(const JsonValue& request) {
 }
 
 void ProtocolHandler::MaybeLogSlowQuery(const std::string& op,
+                                        uint64_t request_id,
                                         const std::string& dataset,
                                         uint64_t session,
                                         const std::string& tenant,
@@ -280,6 +332,8 @@ void ProtocolHandler::MaybeLogSlowQuery(const std::string& op,
   json.BeginObject();
   json.Key("ts_ms");
   json.Number(WallMs());
+  json.Key("request_id");
+  json.Int(static_cast<long long>(request_id));
   json.Key("op");
   json.String(op);
   if (!dataset.empty()) {
@@ -322,7 +376,8 @@ void ProtocolHandler::MaybeLogSlowQuery(const std::string& op,
   log_.slow_query_log->WriteLine(json.str());
 }
 
-std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
+std::string ProtocolHandler::HandleInternal(const JsonValue& request,
+                                            uint64_t request_id) {
   if (!request.IsObject()) {
     return MakeError(&request, "", error_code::kBadRequest,
                      "request must be a JSON object");
@@ -378,7 +433,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       return MakeError(&request, op, error_code::kBadRequest, error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("dataset");
     json.String(name);
     json.Key("rows");
@@ -391,7 +446,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
 
   if (op == "list_datasets") {
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("datasets");
     json.BeginArray();
     for (const DatasetInfo& info : service_.registry().List()) {
@@ -432,7 +487,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
                        "unknown dataset: " + name);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("dataset");
     json.String(name);
     json.EndObject();
@@ -455,14 +510,14 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
     explain.include_k_curve = request.GetBool("k_curve", true);
     explain.trace = request.GetBool("trace", false);
     const ExplainResponse response = service_.Explain(explain);
-    MaybeLogSlowQuery(op, explain.dataset, /*session=*/0, explain.tenant,
-                      response);
+    MaybeLogSlowQuery(op, request_id, explain.dataset, /*session=*/0,
+                      explain.tenant, response);
     if (!response.ok) {
       return MakeError(&request, op, response.error_code, response.error,
                        response.retry_after_ms);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("dataset");
     json.String(explain.dataset);
     json.Key("cache_hit");
@@ -495,7 +550,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       return MakeError(&request, op, response.error_code, response.error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("dataset");
     json.String(dataset);
     json.Key("recommendations");
@@ -532,7 +587,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       return MakeError(&request, op, error_code::kInvalidQuery, error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("session");
     json.Int(static_cast<long long>(session));
     json.Key("n");
@@ -594,7 +649,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
                        error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("session");
     json.Int(static_cast<long long>(session));
     json.Key("n");
@@ -616,13 +671,14 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
         session, request.GetBool("trendlines", false),
         request.GetBool("k_curve", true), tenant,
         request.GetBool("trace", false));
-    MaybeLogSlowQuery(op, /*dataset=*/"", session, tenant, response);
+    MaybeLogSlowQuery(op, request_id, /*dataset=*/"", session, tenant,
+                      response);
     if (!response.ok) {
       return MakeError(&request, op, response.error_code, response.error,
                        response.retry_after_ms);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("session");
     json.Int(static_cast<long long>(session));
     json.Key("n");
@@ -650,7 +706,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
                                  static_cast<unsigned long long>(session)));
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("session");
     json.Int(static_cast<long long>(session));
     json.EndObject();
@@ -674,7 +730,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       return MakeError(&request, op, error_code::kBadRequest, error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("path");
     json.String(path);
     json.Key(op == "save_cache" ? "saved" : "restored");
@@ -706,7 +762,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
                        error);
     }
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("session");
     json.Int(static_cast<long long>(session));
     json.Key("n");
@@ -720,6 +776,131 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       json.Key("log");
       json.String(log_path);
     }
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "healthz") {
+    // Liveness probe. Reads ONLY the watchdog's own mutex and the wall
+    // clock — never the registry, cache, admission, or engine mutexes —
+    // so it answers even while every pool worker is wedged inside a
+    // compute (the transport dispatches it inline, ahead of the barrier
+    // drain, for the same reason).
+    QueryWatchdog::Status status;
+    if (introspection_.watchdog != nullptr) {
+      status = introspection_.watchdog->Scan();
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op, request_id);
+    json.Key("status");
+    json.String(status.stuck.empty() ? "ok" : "stuck");
+    json.Key("uptime_seconds");
+    json.Number(UptimeSeconds(introspection_.start_wall_ms));
+    json.Key("inflight");  // includes this healthz request itself
+    json.Int(static_cast<long long>(status.inflight));
+    json.Key("stuck");
+    json.Int(static_cast<long long>(status.stuck.size()));
+    if (!status.stuck.empty()) {
+      json.Key("stuck_queries");
+      json.BeginArray();
+      for (const QueryWatchdog::StuckQuery& query : status.stuck) {
+        json.BeginObject();
+        json.Key("request_id");
+        json.Int(static_cast<long long>(query.request_id));
+        json.Key("op");
+        json.String(query.op);
+        json.Key("age_ms");
+        json.Number(query.age_ms);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+    return json.str();
+  }
+
+  if (op == "state") {
+    // Operator introspection: everything an on-call wants in one shot —
+    // build identity, datasets with content fingerprints, live sessions,
+    // admission occupancy vs limits, cache bytes, watchdog state. Unlike
+    // healthz this DOES take service-wide mutexes (briefly), so it runs
+    // as a normal barrier op.
+    const ServiceStats stats = service_.Stats();
+    QueryWatchdog::Status watchdog_status;
+    double stuck_after_ms = 0.0;
+    if (introspection_.watchdog != nullptr) {
+      watchdog_status = introspection_.watchdog->Scan();
+      stuck_after_ms = introspection_.watchdog->stuck_after_ms();
+    }
+    JsonWriter json(false);
+    BeginOk(json, request, op, request_id);
+    json.Key("uptime_seconds");
+    json.Number(UptimeSeconds(introspection_.start_wall_ms));
+    EmitBuildInfo(json, introspection_.pool_size);
+    json.Key("datasets");
+    json.BeginArray();
+    for (const DatasetInfo& info : service_.registry().List()) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(info.name);
+      json.Key("source");
+      json.String(info.source);
+      json.Key("rows");
+      json.Int(static_cast<long long>(info.rows));
+      json.Key("time_buckets");
+      json.Int(static_cast<long long>(info.time_buckets));
+      json.Key("fingerprint");
+      json.String(StrFormat(
+          "%016llx", static_cast<unsigned long long>(info.fingerprint)));
+      json.Key("hot_engines");
+      json.Int(static_cast<long long>(info.hot_engines));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("open_sessions");
+    json.Int(static_cast<long long>(stats.open_sessions));
+    json.Key("tenants");
+    json.Int(static_cast<long long>(stats.tenants));
+    json.Key("tenant_bytes");
+    json.BeginObject();
+    for (const auto& [tenant, bytes] : stats.tenant_bytes) {
+      json.Key(tenant);
+      json.Int(static_cast<long long>(bytes));
+    }
+    json.EndObject();
+    json.Key("admission");
+    json.BeginObject();
+    json.Key("active");
+    json.Int(static_cast<long long>(stats.admission.active));
+    json.Key("queued");
+    json.Int(static_cast<long long>(stats.admission.queued));
+    json.Key("peak_active");
+    json.Int(static_cast<long long>(stats.admission.peak_active));
+    json.Key("peak_queued");
+    json.Int(static_cast<long long>(stats.admission.peak_queued));
+    json.Key("max_concurrent");
+    json.Int(service_.admission().max_concurrent());
+    json.Key("queue_depth");
+    json.Int(service_.admission().queue_depth());
+    json.EndObject();
+    json.Key("cache");
+    json.BeginObject();
+    json.Key("entries");
+    json.Int(static_cast<long long>(stats.cache.entries));
+    json.Key("bytes_used");
+    json.Int(static_cast<long long>(stats.cache.bytes_used));
+    json.Key("capacity_bytes");
+    json.Int(static_cast<long long>(stats.cache.capacity_bytes));
+    json.EndObject();
+    json.Key("watchdog");
+    json.BeginObject();
+    json.Key("inflight");
+    json.Int(static_cast<long long>(watchdog_status.inflight));
+    json.Key("stuck");
+    json.Int(static_cast<long long>(watchdog_status.stuck.size()));
+    json.Key("stuck_after_ms");
+    json.Number(stuck_after_ms);
+    json.EndObject();
     json.EndObject();
     return json.str();
   }
@@ -742,7 +923,7 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
       return value ? static_cast<long long>(*value) : 0;
     };
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.Key("datasets");
     json.Int(static_cast<long long>(stats.datasets));
     json.Key("hot_engines");
@@ -817,7 +998,10 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
     }
     const MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
+    json.Key("uptime_seconds");
+    json.Number(UptimeSeconds(introspection_.start_wall_ms));
+    EmitBuildInfo(json, introspection_.pool_size);
     if (format == "prometheus") {
       json.Key("format");
       json.String("prometheus");
@@ -831,10 +1015,80 @@ std::string ProtocolHandler::HandleInternal(const JsonValue& request) {
     return json.str();
   }
 
+  if (op == "metrics_history") {
+    // Windowed time-series view of the registry (docs/OBSERVABILITY.md,
+    // "Self-observation"). Optional fields: "format" ("json"|"csv"),
+    // "last_n" (trailing ticks only), "prefix" (series-name filter),
+    // "sample" (true = take one synchronous tick first — how tests and
+    // the soak harness get deterministic ticks without a live sampler),
+    // and "export_as" (materialize the window as a registered dataset so
+    // explain can run over the server's own telemetry).
+    MetricsHistory* history = introspection_.history;
+    if (history == nullptr) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "metrics history is not enabled on this server");
+    }
+    const std::string format = request.GetString("format", "json");
+    if (format != "json" && format != "csv") {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "unknown format: " + format +
+                           " (expected 'json' or 'csv')");
+    }
+    const int last_n_raw = request.GetInt("last_n", 0);
+    if (last_n_raw < 0) {
+      return MakeError(&request, op, error_code::kBadRequest,
+                       "last_n must be >= 0");
+    }
+    const size_t last_n = static_cast<size_t>(last_n_raw);
+    const std::string prefix = request.GetString("prefix");
+    if (request.GetBool("sample", false)) history->SampleNow();
+    const std::string export_as = request.GetString("export_as");
+    if (!export_as.empty()) {
+      std::shared_ptr<const Table> table =
+          history->ExportAsTable(last_n, prefix);
+      if (table == nullptr) {
+        return MakeError(&request, op, error_code::kBadRequest,
+                         "metrics history has fewer than two ticks; "
+                         "nothing to export");
+      }
+      std::string error;
+      DatasetInfo info;
+      if (!service_.registry().RegisterTable(export_as, std::move(table),
+                                             "<metrics_history>", &error,
+                                             &info)) {
+        return MakeError(&request, op, error_code::kBadRequest, error);
+      }
+      JsonWriter json(false);
+      BeginOk(json, request, op, request_id);
+      json.Key("dataset");
+      json.String(info.name);
+      json.Key("rows");
+      json.Int(static_cast<long long>(info.rows));
+      json.Key("time_buckets");
+      json.Int(static_cast<long long>(info.time_buckets));
+      json.EndObject();
+      return json.str();
+    }
+    const HistoryWindow window = history->Window(last_n, prefix);
+    JsonWriter json(false);
+    BeginOk(json, request, op, request_id);
+    if (format == "csv") {
+      json.Key("format");
+      json.String("csv");
+      json.Key("text");
+      json.String(RenderHistoryCsv(window));
+    } else {
+      json.Key("history");
+      json.Raw(RenderHistoryJson(window));
+    }
+    json.EndObject();
+    return json.str();
+  }
+
   if (op == "shutdown") {
     // The transport watches for this op and stops reading afterwards.
     JsonWriter json(false);
-    BeginOk(json, request, op);
+    BeginOk(json, request, op, request_id);
     json.EndObject();
     return json.str();
   }

@@ -11,6 +11,7 @@
 #ifndef TSEXPLAIN_SERVICE_PROTOCOL_H_
 #define TSEXPLAIN_SERVICE_PROTOCOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -19,6 +20,9 @@
 #include "src/service/request_log.h"
 
 namespace tsexplain {
+
+class MetricsHistory;
+class QueryWatchdog;
 
 class ProtocolHandler {
  public:
@@ -36,6 +40,22 @@ class ProtocolHandler {
     double slow_query_ms = 0.0;
   };
   void set_log_options(const LogOptions& options) { log_ = options; }
+
+  /// Self-observation wiring (docs/OBSERVABILITY.md, "Self-observation").
+  /// All fields are optional and borrowed from the transport: `history`
+  /// powers the `metrics_history` op, `watchdog` brackets every request
+  /// with a Begin/End stamp and feeds `healthz`/`state`; `start_wall_ms`
+  /// (WallMs at process start) yields uptime; `pool_size` is reported in
+  /// `state`'s build block. Set once at startup, before serving.
+  struct Introspection {
+    MetricsHistory* history = nullptr;
+    QueryWatchdog* watchdog = nullptr;
+    double start_wall_ms = 0.0;
+    int pool_size = 0;
+  };
+  void set_introspection(const Introspection& introspection) {
+    introspection_ = introspection;
+  }
 
   /// Handles one parsed request object; returns the response line
   /// (compact JSON, no trailing newline). Unknown ops and missing fields
@@ -56,7 +76,10 @@ class ProtocolHandler {
   /// pool: every state mutation (register, sessions, shutdown) plus
   /// "stats", whose counters are only meaningful once earlier requests
   /// have settled. Unknown ops return true — an unrecognized request is
-  /// answered inline, cheaply.
+  /// answered inline, cheaply. "healthz" is the one cheap read that is
+  /// NOT a barrier: liveness must answer immediately, so the transport
+  /// handles it inline without draining (and this handler never touches
+  /// an engine or cache mutex for it).
   static bool IsBarrierOp(const std::string& op);
 
   /// Extracts "op" from a request object ("" when absent).
@@ -68,17 +91,24 @@ class ProtocolHandler {
   static bool IsExpensiveOp(const std::string& op);
 
  private:
-  std::string HandleInternal(const JsonValue& request);
+  std::string HandleInternal(const JsonValue& request, uint64_t request_id);
 
   /// Writes a slow-query record when the slow-query log is armed and
   /// `response.latency_ms` reached the threshold. `dataset` is empty for
-  /// session queries; `session` is 0 for dataset queries.
-  void MaybeLogSlowQuery(const std::string& op, const std::string& dataset,
-                         uint64_t session, const std::string& tenant,
+  /// session queries; `session` is 0 for dataset queries. `request_id`
+  /// joins the record with the access log and the response's trace.
+  void MaybeLogSlowQuery(const std::string& op, uint64_t request_id,
+                         const std::string& dataset, uint64_t session,
+                         const std::string& tenant,
                          const ExplainResponse& response);
 
   ExplainService& service_;
   LogOptions log_;
+  Introspection introspection_;
+  /// Monotone per-handler request stamp: echoed in every ok envelope as
+  /// "request_id" and in both log records, so traces, the slow-query
+  /// log, and the access log join on it.
+  std::atomic<uint64_t> next_request_id_{0};
 };
 
 /// Parses the shared query fields of `explain` / `open_session` requests

@@ -1,0 +1,73 @@
+#include "src/service/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace tsexplain {
+namespace {
+
+// One registration site per name (lint R4); references cached so the
+// per-request path never takes the registry mutex.
+struct WatchdogMetrics {
+  Gauge& inflight = MetricRegistry::Global().GetGauge("query.inflight");
+  Gauge& stuck = MetricRegistry::Global().GetGauge("query.stuck");
+
+  static WatchdogMetrics& Get() {
+    static WatchdogMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+QueryWatchdog::QueryWatchdog() : QueryWatchdog(Options()) {}
+
+QueryWatchdog::QueryWatchdog(Options options) : options_(options) {
+  WatchdogMetrics::Get();  // register the gauges at construction
+}
+
+void QueryWatchdog::Begin(uint64_t request_id, const std::string& op) {
+  MutexLock lock(mu_);
+  Inflight& entry = inflight_[request_id];
+  entry.op = op;
+  entry.start = std::chrono::steady_clock::now();
+}
+
+void QueryWatchdog::End(uint64_t request_id) {
+  MutexLock lock(mu_);
+  inflight_.erase(request_id);
+}
+
+QueryWatchdog::Status QueryWatchdog::Scan() {
+  Status status;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(mu_);
+    status.inflight = inflight_.size();
+    for (const auto& [request_id, entry] : inflight_) {
+      const double age_ms =
+          std::chrono::duration<double, std::milli>(now - entry.start)
+              .count();
+      if (age_ms < options_.stuck_after_ms) continue;
+      StuckQuery stuck;
+      stuck.request_id = request_id;
+      stuck.op = entry.op;
+      stuck.age_ms = age_ms;
+      status.stuck.push_back(std::move(stuck));
+    }
+  }
+  // Oldest first: map order is by ascending request id, so re-sort by
+  // age (ids are monotone, but recovered/retried ops can interleave).
+  std::sort(status.stuck.begin(), status.stuck.end(),
+            [](const StuckQuery& a, const StuckQuery& b) {
+              return a.age_ms > b.age_ms;
+            });
+  WatchdogMetrics& metrics = WatchdogMetrics::Get();
+  metrics.inflight.Set(static_cast<int64_t>(status.inflight));
+  metrics.stuck.Set(static_cast<int64_t>(status.stuck.size()));
+  return status;
+}
+
+}  // namespace tsexplain

@@ -1,0 +1,76 @@
+// Stuck-query watchdog: every request the protocol layer handles is
+// stamped with a process-unique request id and its start time; Scan()
+// reports the requests that have been in flight longer than the
+// configured deadline and refreshes the `query.stuck` / `query.inflight`
+// gauges, so a wedged compute shows up in `healthz`, the `metrics` op,
+// and the metrics history — joinable with the slow-query log, the access
+// log, and trace spans through the shared request id.
+//
+// The watchdog deliberately knows nothing about the engine: Begin/End
+// bracket the protocol handler, and Scan() takes only the watchdog's own
+// mutex — which is why `healthz` can read it even while every pool
+// worker is stuck inside a cold compute.
+
+#ifndef TSEXPLAIN_SERVICE_WATCHDOG_H_
+#define TSEXPLAIN_SERVICE_WATCHDOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+
+namespace tsexplain {
+
+class QueryWatchdog {
+ public:
+  struct Options {
+    /// Age at which an in-flight request counts as stuck. The engine has
+    /// no cancellation: the watchdog SURFACES wedged queries (healthz
+    /// flips to "stuck", the gauge goes nonzero), it never kills them.
+    double stuck_after_ms = 10000.0;
+  };
+
+  QueryWatchdog();  // default Options (defined in the .cc: a default
+                    // argument here would need Options complete too early)
+  explicit QueryWatchdog(Options options);
+
+  /// Registers request `request_id` (the protocol handler's monotone
+  /// stamp) as in flight. `op` is kept for diagnostics.
+  void Begin(uint64_t request_id, const std::string& op)
+      TSE_EXCLUDES(mu_);
+  void End(uint64_t request_id) TSE_EXCLUDES(mu_);
+
+  struct StuckQuery {
+    uint64_t request_id = 0;
+    std::string op;
+    double age_ms = 0.0;
+  };
+  struct Status {
+    size_t inflight = 0;
+    std::vector<StuckQuery> stuck;  // oldest first
+  };
+
+  /// Snapshot of the in-flight set, refreshing the gauges as a side
+  /// effect (the metrics-history sampler prologue calls this every tick,
+  /// so `query.stuck` is a live series).
+  Status Scan() TSE_EXCLUDES(mu_);
+
+  double stuck_after_ms() const { return options_.stuck_after_ms; }
+
+ private:
+  struct Inflight {
+    std::string op;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::map<uint64_t, Inflight> inflight_ TSE_GUARDED_BY(mu_);
+};
+
+}  // namespace tsexplain
+
+#endif  // TSEXPLAIN_SERVICE_WATCHDOG_H_

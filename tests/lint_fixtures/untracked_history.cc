@@ -1,0 +1,19 @@
+// Fixture: unregistered-history-metric rule (R7). One tracked name has
+// a matching GetHistogram registration site ("fixture.tracked.ms"), one
+// does not ("fixture.never.registered") and must fire; a dynamically
+// built name must be skipped, and a comment mention of
+// TrackHistogramPercentiles("fixture.comment.ms") must not count as a
+// tracking site.
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/metrics_history.h"
+
+void FixtureHistory(tsexplain::MetricsHistory& history, int shard) {
+  tsexplain::MetricRegistry::Global().GetHistogram("fixture.tracked.ms",
+                                                   {1.0, 10.0});
+  history.TrackHistogramPercentiles("fixture.tracked.ms");
+  history.TrackHistogramPercentiles("fixture.never.registered");
+  history.TrackHistogramPercentiles("fixture.shard." +
+                                    std::to_string(shard));
+}

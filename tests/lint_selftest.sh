@@ -127,6 +127,22 @@ else
   echo "ok: unchecked_reader flags only the discarded call"
 fi
 
+# R7: a TrackHistogramPercentiles name with no GetHistogram site.
+expect_violation untracked_history untracked_history.cc \
+  "src/untracked_history.cc" "unregistered-history-metric"
+
+# R7 must fire on exactly the never-registered name: the registered and
+# dynamically built trackings in the same fixture must stay quiet.
+if [ "$(printf '%s\n' "${OUT}" | grep -c "unregistered-history-metric")" -ne 1 ]; then
+  fail "untracked_history: expected exactly one R7 violation: ${OUT}"
+elif ! printf '%s' "${OUT}" | grep -q "fixture.never.registered"; then
+  fail "untracked_history: wrong name flagged: ${OUT}"
+elif printf '%s' "${OUT}" | grep -q "fixture.tracked.ms\|fixture.shard"; then
+  fail "untracked_history: registered/dynamic names must not fire: ${OUT}"
+else
+  echo "ok: untracked_history flags only the unregistered name"
+fi
+
 # Clean tree: annotated + allow-listed mutexes, unique slugs — exit 0.
 clean_root="${TMPDIR_ROOT}/clean"
 mkdir -p "${clean_root}/src/service" "${clean_root}/tools" \

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/metrics_history.h"
 #include "src/common/thread_pool.h"
 #include "src/service/admission.h"
 #include "src/service/result_cache.h"
@@ -206,6 +207,79 @@ TEST(TsanStressTest, MetricsRegistryConcurrentHammer) {
   uint64_t bucket_total = 0;
   for (uint64_t n : hs->counts) bucket_total += n;
   EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(TsanStressTest, MetricsHistorySamplerUnderWriterFire) {
+  // The background sampler ticks as fast as it can while 8 writer
+  // threads hammer counters/gauges/histograms and registration, and a
+  // reader spins on Window() + rendering. Under TSan this puts the
+  // sampler's rediscovery pass, the CondVar deadline sleep, and the
+  // prologue hook under concurrent fire; under a plain build it checks
+  // the counter series never runs backwards within a window.
+  MetricRegistry registry;
+  Counter& hits = registry.GetCounter("stress.hits");
+  Gauge& level = registry.GetGauge("stress.level");
+  Histogram& lat = registry.GetHistogram("stress.ms", {1.0, 10.0, 100.0});
+  MetricsHistory::Options history_options;
+  history_options.interval_ms = 1;  // tick flat-out
+  history_options.capacity = 64;
+  MetricsHistory history(registry, history_options);
+  history.TrackHistogramPercentiles("stress.ms");
+  std::atomic<int> prologue_calls{0};
+  history.SetSamplePrologue([&prologue_calls] {
+    prologue_calls.fetch_add(1);
+  });
+  history.Start();
+
+  const auto deadline = std::chrono::steady_clock::now() + kBudget;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&registry, &hits, &level, &lat, deadline, t] {
+      size_t i = 0;
+      while (!Expired(deadline)) {
+        hits.Inc();
+        level.Set(static_cast<int64_t>(i % 1000));
+        lat.Observe(static_cast<double>((i + static_cast<size_t>(t)) %
+                                        128));
+        if (i % 257 == 0) {
+          // Late registration: the sampler's next tick must discover it.
+          registry.GetCounter("stress.late" + std::to_string(t));
+        }
+        ++i;
+      }
+    });
+  }
+  std::thread reader([&history, deadline] {
+    while (!Expired(deadline)) {
+      const HistoryWindow window = history.Window(/*last_n=*/16);
+      for (const HistoryWindow::Series& series : window.series) {
+        if (series.kind != "counter") continue;
+        for (size_t k = 1; k < series.values.size(); ++k) {
+          EXPECT_LE(series.values[k - 1], series.values[k]);
+        }
+      }
+      (void)RenderHistoryJson(window);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& th : workers) th.join();
+  reader.join();
+  history.Stop();
+
+  const HistoryWindow window = history.Window();
+  EXPECT_GT(window.total_ticks, 0u);
+  // One prologue run per tick (+1 at most: Stop() can land between a
+  // prologue run and its tick, abandoning that final sample).
+  EXPECT_GE(static_cast<uint64_t>(prologue_calls.load()),
+            window.total_ticks);
+  EXPECT_LE(static_cast<uint64_t>(prologue_calls.load()),
+            window.total_ticks + 1);
+  // The late-registered series were discovered.
+  bool found_late = false;
+  for (const HistoryWindow::Series& series : window.series) {
+    if (series.name.rfind("stress.late", 0) == 0) found_late = true;
+  }
+  EXPECT_TRUE(found_late);
 }
 
 TEST(TsanStressTest, NestedParallelForOnPrivatePool) {

@@ -60,6 +60,15 @@ R6   unchecked-bytereader: in src/storage, a statement that calls a
      failures stop consuming garbage. Escape hatch:
      `lint:allow(unchecked-bytereader)`.
 
+R7   unregistered-history-metric: every string literal passed to
+     MetricsHistory::TrackHistogramPercentiles across src/ and tools/
+     must also appear as a GetHistogram registration literal somewhere
+     in src/ or tools/ — tracking a name no histogram registers
+     silently records nothing (the sampler only builds p50/p99 rings
+     for names the registry's discovery pass actually yields), and a
+     typo'd name would never be noticed. Dynamically built names are
+     skipped, as in R3/R4.
+
 Exit status: 0 when clean, 1 with one `RULE: file:line: message` line per
 violation otherwise.
 
@@ -103,6 +112,8 @@ EMIT_LITERAL = re.compile(r'\bEmitResult\s*\(\s*"((?:[^"\\]|\\.)*)"')
 # the raw text at the same offset (the stripper preserves offsets). The
 # first argument may sit on the line after the call.
 METRIC_CALL = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"')
+HISTOGRAM_CALL = re.compile(r'\bGetHistogram\s*\(\s*"')
+TRACK_CALL = re.compile(r'\bTrackHistogramPercentiles\s*\(\s*"')
 STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 
@@ -443,6 +454,47 @@ def check_metric_names(root, violations):
                 seen[name] = (rel, lineno)
 
 
+def _literal_names(raw, code, call_re):
+    """Yields (name, lineno) for each `call_re` whose first argument is a
+    complete string literal (concatenated / %-formatted names are dynamic
+    prefixes and are skipped, as in R3/R4)."""
+    for m in call_re.finditer(code):
+        lm = STRING_LITERAL.match(raw, m.end() - 1)
+        if not lm:
+            continue
+        name = lm.group(1)
+        if raw[lm.end():lm.end() + 8].lstrip().startswith("+") or \
+                name.count("%") > 0:
+            continue
+        yield name, code.count("\n", 0, m.start()) + 1
+
+
+def check_history_metrics(root, violations):
+    """R7: TrackHistogramPercentiles names must have a GetHistogram
+    registration site somewhere in src/ or tools/."""
+    registered = set()
+    tracked = []  # (name, rel, lineno)
+    for path in iter_files(root, ["src", "tools"], {".h", ".cc"}):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        for name, _ in _literal_names(raw, code, HISTOGRAM_CALL):
+            registered.add(name)
+        for name, lineno in _literal_names(raw, code, TRACK_CALL):
+            tracked.append((name, rel, lineno))
+    for name, rel, lineno in tracked:
+        if name in registered:
+            continue
+        violations.append(
+            ("unregistered-history-metric", rel, lineno,
+             "TrackHistogramPercentiles('%s') has no GetHistogram "
+             "registration site in src/ or tools/: the sampler only "
+             "builds p50/p99 rings for histograms the registry "
+             "actually yields, so this tracking records nothing" %
+             name))
+
+
 ALLOW_UNBOUNDED_ALLOC = "lint:allow(unbounded-decode-alloc)"
 ALLOW_UNCHECKED_READER = "lint:allow(unchecked-bytereader)"
 
@@ -592,6 +644,7 @@ def main():
     check_storage_aborts(root, violations)
     check_bench_slugs(root, violations)
     check_metric_names(root, violations)
+    check_history_metrics(root, violations)
     check_unbounded_decode_allocs(root, violations)
     check_unchecked_bytereader(root, violations)
 

@@ -59,6 +59,14 @@
 //                     special value "stderr" (the default) logs to stderr
 //   --access-log PATH one compact JSON line per handled request
 //                     ("stderr" allowed); default off
+//   --metrics-history-interval-ms N  background metrics sampler tick
+//                     (default 1000; 0 disables the sampler thread — the
+//                     metrics_history op then only sees explicit
+//                     "sample":true ticks)
+//   --metrics-history-capacity N  per-series ring capacity in ticks
+//                     (default 600 = 10 minutes at the default interval)
+//   --stuck-after-ms N  age at which an in-flight query counts as stuck
+//                     in healthz / the query.stuck gauge (default 10000)
 //   --serial          handle every op inline (deterministic ordering;
 //                     debugging aid)
 
@@ -82,10 +90,13 @@
 #include <unistd.h>
 
 #include "src/common/json.h"
+#include "src/common/metrics.h"
+#include "src/common/metrics_history.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 #include "src/service/explain_service.h"
 #include "src/service/protocol.h"
+#include "src/service/watchdog.h"
 #include "src/storage/table_snapshot.h"
 
 namespace {
@@ -108,6 +119,9 @@ struct ServeOptions {
   double slow_query_ms = 0.0;          // <= 0 = slow-query log off
   std::string slow_query_log = "stderr";
   std::string access_log;              // empty = access log off
+  int history_interval_ms = 1000;      // 0 = sampler thread off
+  int history_capacity = 600;          // ticks retained per series
+  double stuck_after_ms = 10000.0;     // watchdog deadline
   bool serial = false;
 };
 
@@ -118,8 +132,10 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "[--tenant-inflight N] [--preload NAME=PATH] [--time NAME] "
                "[--measure NAME] [--cache-load PATH] [--cache-save PATH] "
                "[--session-log-dir DIR] [--slow-query-ms N] "
-               "[--slow-query-log PATH] [--access-log PATH] [--serial] "
-               "[--help]\n",
+               "[--slow-query-log PATH] [--access-log PATH] "
+               "[--metrics-history-interval-ms N] "
+               "[--metrics-history-capacity N] [--stuck-after-ms N] "
+               "[--serial] [--help]\n",
                argv0);
 }
 
@@ -217,6 +233,32 @@ bool ParseArgs(int argc, char** argv, ServeOptions* options,
       const char* v = next();
       if (!v) return false;
       options->access_log = v;
+    } else if (arg == "--metrics-history-interval-ms") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr,
+                     "--metrics-history-interval-ms expects an integer "
+                     ">= 0\n");
+        return false;
+      }
+      options->history_interval_ms = std::atoi(v);
+    } else if (arg == "--metrics-history-capacity") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) {
+        std::fprintf(stderr,
+                     "--metrics-history-capacity expects a positive "
+                     "integer\n");
+        return false;
+      }
+      options->history_capacity = std::atoi(v);
+    } else if (arg == "--stuck-after-ms") {
+      const char* v = next();
+      if (!v || std::atof(v) <= 0.0) {
+        std::fprintf(stderr,
+                     "--stuck-after-ms expects milliseconds > 0\n");
+        return false;
+      }
+      options->stuck_after_ms = std::atof(v);
     } else if (arg == "--serial") {
       options->serial = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -291,6 +333,15 @@ class RequestDispatcher {
       return false;
     }
     const std::string op = ProtocolHandler::OpOf(request);
+    if (op == "healthz") {
+      // Liveness must answer even when every pool worker is wedged in a
+      // compute and the dispatch backlog is full: handled right here on
+      // the reader thread — no Drain(), no pool submit, no backlog slot.
+      // The handler side keeps the op off every engine/cache mutex, so
+      // this cannot block behind the very stall it is reporting.
+      writer_.Write(handler_.Handle(request));
+      return false;
+    }
     if (serial_ || ProtocolHandler::IsBarrierOp(op)) {
       // Barrier: earlier dispatched reads finish first, so mutations and
       // stats observe a settled state, in submission order.
@@ -619,11 +670,57 @@ int main(int argc, char** argv) {
   }
   handler.set_log_options(log_options);
   ThreadPool& pool = ThreadPool::Shared();
+
+  // Self-observation (docs/OBSERVABILITY.md, "Self-observation"): the
+  // watchdog stamps every request; the history sampler snapshots the
+  // registry on a cadence. Both exist even when the sampler thread is
+  // disabled, so healthz/state and explicit "sample":true ticks work in
+  // every configuration.
+  const double start_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  QueryWatchdog::Options watchdog_options;
+  watchdog_options.stuck_after_ms = options.stuck_after_ms;
+  QueryWatchdog watchdog(watchdog_options);
+  MetricsHistory::Options history_options;
+  history_options.interval_ms =
+      options.history_interval_ms > 0 ? options.history_interval_ms : 1000;
+  history_options.capacity = static_cast<size_t>(options.history_capacity);
+  MetricsHistory history(MetricRegistry::Global(), history_options);
+  history.TrackHistogramPercentiles("query.hot_ms");
+  history.TrackHistogramPercentiles("query.cold_ms");
+  // Sole registration site for the process-identity gauges (lint R4):
+  // build_info is the constant 1 (Prometheus idiom — the interesting
+  // bits live in the `state` op's build block); uptime is refreshed by
+  // the sampler prologue below, alongside the watchdog gauges.
+  Gauge& uptime_gauge =
+      MetricRegistry::Global().GetGauge("server.uptime_seconds");
+  MetricRegistry::Global().GetGauge("server.build_info").Set(1);
+  history.SetSamplePrologue([&uptime_gauge, &watchdog, start_wall_ms] {
+    const double now_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    uptime_gauge.Set(
+        static_cast<int64_t>((now_ms - start_wall_ms) / 1000.0));
+    watchdog.Scan();
+  });
+  if (options.history_interval_ms > 0) history.Start();
+
+  ProtocolHandler::Introspection introspection;
+  introspection.history = &history;
+  introspection.watchdog = &watchdog;
+  introspection.start_wall_ms = start_wall_ms;
+  introspection.pool_size = static_cast<int>(pool.size());
+  handler.set_introspection(introspection);
+
   const int exit_code =
       options.port > 0
           ? RunTcpMode(handler, service.admission(), pool, options.serial,
                        options.port)
           : RunPipeMode(handler, service.admission(), pool, options.serial);
+  history.Stop();
 
   if (!options.cache_save.empty()) {
     std::string error;
